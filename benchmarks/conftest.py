@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures: it computes
+the data (cached per session), writes the formatted table to
+``benchmarks/results/<name>.txt``, prints it, and asserts the paper's
+qualitative shape.  The ``benchmark`` fixture times the representative
+computation so ``pytest benchmarks/ --benchmark-only`` reports costs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import figure2_data, figure3_data
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a table to the results directory and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def figure2():
+    """All twelve train-=-test cases (shared by several benches)."""
+    return figure2_data()
+
+
+@pytest.fixture(scope="session")
+def figure3():
+    """Self + cross-validated cases (reuses figure2's cached cases)."""
+    return figure3_data()

@@ -1,0 +1,76 @@
+"""Ablation A1 — what does the cost model buy?
+
+Compares, across the suite:
+* Pettis–Hansen frequency greedy (the paper's "greedy"),
+* Calder–Grunwald-style cost-weighted greedy,
+* TSP alignment under the real machine model,
+* TSP alignment under the UNIT_COST frequency pseudo-model, *evaluated*
+  under the real model — isolating the value of microarchitecture-aware
+  edge costs (the paper's §2.1 critique of frequency-only greedy: "they
+  use frequencies rather than cost models based on the target machine").
+"""
+
+from repro.core import align_program, evaluate_program
+from repro.experiments import format_table, profiled_run
+from repro.machine import ALPHA_21164, UNIT_COST
+from repro.workloads import all_cases, compile_benchmark
+
+VARIANTS = ("greedy", "cost-greedy", "tsp-unitcost", "tsp")
+
+
+def run_variant(program, profile, variant):
+    if variant == "tsp-unitcost":
+        return align_program(program, profile, method="tsp", model=UNIT_COST)
+    if variant == "tsp":
+        return align_program(program, profile, method="tsp", model=ALPHA_21164)
+    return align_program(
+        program, profile, method=variant, model=ALPHA_21164
+    )
+
+
+def compute():
+    table = {}
+    for abbr, dataset in all_cases():
+        module = compile_benchmark(abbr)
+        profile = profiled_run(abbr, dataset).profile
+        original = evaluate_program(
+            module.program,
+            align_program(module.program, profile, method="original"),
+            profile,
+            ALPHA_21164,
+        ).total
+        row = {}
+        for variant in VARIANTS:
+            layouts = run_variant(module.program, profile, variant)
+            penalty = evaluate_program(
+                module.program, layouts, profile, ALPHA_21164
+            ).total
+            row[variant] = penalty / original if original else 1.0
+        table[f"{abbr}.{dataset}"] = row
+    return table
+
+
+def test_ablation_cost_model(benchmark, emit):
+    table = benchmark.pedantic(compute, rounds=1, iterations=1, warmup_rounds=0)
+    headers = ["case", *VARIANTS]
+    rows = [
+        [label, *(row[v] for v in VARIANTS)] for label, row in table.items()
+    ]
+    means = {
+        v: sum(row[v] for row in table.values()) / len(table) for v in VARIANTS
+    }
+    rows.append(["MEAN", *(means[v] for v in VARIANTS)])
+    emit("ablation_cost_model", format_table(
+        headers, rows,
+        title="Ablation A1: cost-model choice "
+              "(normalized control penalty under ALPHA 21164)",
+    ))
+
+    # The full pipeline (machine-aware TSP) is the best variant on average.
+    assert means["tsp"] <= min(means.values()) + 1e-9
+    # Machine-aware edge costs matter: unit-cost TSP is worse than real TSP.
+    assert means["tsp"] <= means["tsp-unitcost"] + 1e-9
+    # Cost-weighted greedy is at least as good as frequency greedy.
+    assert means["cost-greedy"] <= means["greedy"] + 1e-3
+    # No variant is worse than doing nothing.
+    assert all(value <= 1.0 + 1e-9 for row in table.values() for value in row.values())

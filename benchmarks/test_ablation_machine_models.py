@@ -1,0 +1,74 @@
+"""Ablation A3 — machine-model sensitivity (the paper's §6: "we would like
+to investigate applying our method to other machine models").
+
+Runs the aligner under a shorter pipeline (ALPHA 21064-like, 4-cycle
+mispredict), the paper's ALPHA 21164, and a deep pipeline (12-cycle
+mispredict): the *absolute* cycles recovered by alignment grow with
+pipeline depth, while near-optimality versus the certified bound holds on
+every machine.
+"""
+
+import pytest
+
+from repro.core import align_program, evaluate_program, lower_bound_program
+from repro.experiments import format_table, profiled_run
+from repro.machine import ALPHA_21064, ALPHA_21164, DEEP_PIPE
+from repro.workloads import compile_benchmark
+
+MODELS = (ALPHA_21064, ALPHA_21164, DEEP_PIPE)
+CASES = (("com", "in"), ("eqn", "fx"), ("xli", "q7"))
+
+
+def compute():
+    rows = []
+    savings_by_model = {model.name: 0.0 for model in MODELS}
+    gaps = []
+    for abbr, dataset in CASES:
+        module = compile_benchmark(abbr)
+        profile = profiled_run(abbr, dataset).profile
+        for model in MODELS:
+            original = evaluate_program(
+                module.program,
+                align_program(module.program, profile, method="original",
+                              model=model),
+                profile,
+                model,
+            ).total
+            layouts = align_program(
+                module.program, profile, method="tsp", model=model
+            )
+            aligned = evaluate_program(
+                module.program, layouts, profile, model
+            ).total
+            bound = lower_bound_program(
+                module.program, profile, model=model
+            ).total
+            savings_by_model[model.name] += original - aligned
+            if aligned > 0:
+                gaps.append((aligned - bound) / aligned)
+            rows.append([
+                f"{abbr}.{dataset}", model.name, original, aligned, bound,
+                aligned / original if original else 1.0,
+            ])
+    return rows, savings_by_model, gaps
+
+
+def test_ablation_machine_models(benchmark, emit):
+    rows, savings, gaps = benchmark.pedantic(
+        compute, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit("ablation_machine_models", format_table(
+        ["case", "model", "original", "tsp", "bound", "normalized"],
+        rows,
+        title="Ablation A3: machine-model sensitivity",
+    ))
+
+    # Alignment cannot recover mispredict cycles (the C/I prediction counts
+    # are layout-independent, §2.2), so the 21064 — which differs from the
+    # 21164 only in mispredict latency — yields *identical* savings...
+    assert savings["alpha21064"] == pytest.approx(savings["alpha21164"])
+    # ...while the deep pipe's larger misfetch/register penalties leave
+    # strictly more cycles on the table for alignment to recover.
+    assert savings["deep-pipe"] > 1.5 * savings["alpha21164"]
+    # Near-optimality holds on every machine model.
+    assert max(gaps) < 0.02

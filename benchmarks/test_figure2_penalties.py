@@ -1,0 +1,47 @@
+"""Figure 2 (left) — normalized control penalties, train = test.
+
+Paper: greedy removes a mean 33% of control penalties, TSP 36%, and the
+lower bound shows 36% is all that is achievable; TSP is within 0.3% of the
+lower bound on average.  Aligning doduc removes ~2/3 of its penalties.
+
+Ours: the same bar chart as a table.  Exact removal percentages differ
+(scaled-down workloads), but every qualitative relationship is asserted:
+tsp <= greedy <= original per case, TSP within a whisker of the certified
+bound, greedy close behind, doduc's unusually large benefit.
+"""
+
+from repro.experiments import format_table
+
+
+def test_figure2_penalties(benchmark, emit, figure2):
+    headers, rows = benchmark.pedantic(
+        figure2.penalty_rows, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit("figure2_penalties", format_table(
+        headers, rows,
+        title="Figure 2 (left): normalized control penalties (train = test)",
+    ))
+
+    for label, case in figure2.cases.items():
+        tsp = case.normalized_penalty("tsp")
+        greedy = case.normalized_penalty("greedy")
+        assert tsp <= greedy + 1e-9, label
+        assert greedy <= 1.0 + 1e-9, label
+        assert case.normalized_bound <= tsp + 1e-9, label
+
+    # TSP is near-optimal: within 1% of the certified bound on average
+    # (paper: within 0.3% of the Held-Karp bound).
+    gaps = [
+        case.normalized_penalty("tsp") - case.normalized_bound
+        for case in figure2.cases.values()
+    ]
+    assert sum(gaps) / len(gaps) < 0.01
+
+    # Greedy captures the bulk of the achievable benefit (paper: 33 of 36
+    # points) but strictly less than TSP somewhere.
+    assert figure2.mean_greedy_removal > 0.6 * figure2.mean_tsp_removal
+    assert figure2.mean_tsp_removal > figure2.mean_greedy_removal
+
+    # Aligning doduc removes a large share of its penalties (paper: ~2/3).
+    dod = figure2.cases["dod.re"]
+    assert dod.normalized_penalty("tsp") < 0.5

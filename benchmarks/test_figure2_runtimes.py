@@ -1,0 +1,51 @@
+"""Figure 2 (right) — normalized execution times, train = test.
+
+Paper: running times improve 1.19% under greedy and 2.01% under TSP; the
+TSP layouts run noticeably faster than greedy ones *beyond* what the
+penalty model predicts, traced (via IPROBE) to instruction-cache effects;
+su2cor is the exception where alignment barely moves run time.
+
+Ours: the timing simulator reproduces the mechanisms — penalties plus an
+I-cache term the aligner does not optimize for.  Absolute improvements are
+larger (our simulated machine is branch-dominated; DESIGN.md), but the
+shape holds: TSP >= greedy speedups on average, su2cor nearly unmoved.
+"""
+
+from repro.experiments import format_table
+
+
+def test_figure2_runtimes(benchmark, emit, figure2):
+    headers, rows = benchmark.pedantic(
+        figure2.runtime_rows, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit("figure2_runtimes", format_table(
+        headers, rows,
+        title="Figure 2 (right): normalized execution times (train = test)",
+    ))
+
+    for label, case in figure2.cases.items():
+        assert case.normalized_cycles("tsp") <= 1.0 + 1e-9, label
+        assert case.normalized_cycles("greedy") <= 1.0 + 1e-9, label
+
+    # TSP layouts run at least as fast as greedy ones on average.
+    assert figure2.mean_tsp_speedup >= figure2.mean_greedy_speedup - 1e-9
+
+    # su2cor: smallest run-time benefit of the suite (paper: "virtually no
+    # effect"), because control penalties are a tiny share of its cycles.
+    speedups = {
+        label: 1.0 - case.normalized_cycles("tsp")
+        for label, case in figure2.cases.items()
+    }
+    su2_best = max(speedups["su2.re"], speedups["su2.sh"])
+    others = [v for k, v in speedups.items() if not k.startswith("su2")]
+    assert su2_best < min(others)
+    assert su2_best < 0.05
+
+    # Cache effects: layouts change I-cache misses even though the cost
+    # model never sees them (the paper's §4.1 observation).
+    moved = [
+        label for label, case in figure2.cases.items()
+        if case.methods["tsp"].timing.icache_misses
+        != case.methods["original"].timing.icache_misses
+    ]
+    assert moved

@@ -1,0 +1,38 @@
+"""Figure 3 (bottom) — cross-validated execution times.
+
+Paper: run-time improvements dilute from 1.19%/2.01% (greedy/TSP, self) to
+1.06%/1.66% cross-validated; "cross-validation reduced some of the gap
+between the execution times of the greedy and TSP-based layouts".
+
+Ours: same protocol on the timing simulator.
+"""
+
+from repro.experiments import format_table
+
+
+def test_figure3_runtimes(benchmark, emit, figure3):
+    headers, rows = benchmark.pedantic(
+        figure3.runtime_rows, rounds=1, iterations=1, warmup_rounds=0
+    )
+    emit("figure3_runtimes", format_table(
+        headers, rows,
+        title="Figure 3 (bottom): cross-validated normalized execution times",
+    ))
+
+    greedy_self = figure3.mean_speedup("greedy", cross=False)
+    greedy_cross = figure3.mean_speedup("greedy", cross=True)
+    tsp_self = figure3.mean_speedup("tsp", cross=False)
+    tsp_cross = figure3.mean_speedup("tsp", cross=True)
+
+    # Cross-validation dilutes but preserves most of the speedup.
+    assert greedy_cross <= greedy_self + 1e-9
+    assert tsp_cross <= tsp_self + 1e-9
+    assert greedy_cross > 0.7 * greedy_self
+    assert tsp_cross > 0.7 * tsp_self
+    # Ranking preserved on average.
+    assert tsp_cross >= greedy_cross - 1e-9
+
+    # Every cross-validated layout still beats (or ties) the original.
+    for label, case in figure3.cross_cases.items():
+        assert case.normalized_cycles("tsp") <= 1.005, label
+        assert case.normalized_cycles("greedy") <= 1.005, label

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Aligning a hand-built CFG (no frontend needed).
+
+The aligner works on any weighted CFG: build one with :class:`CFGBuilder`,
+attach an edge profile (here synthesized by a biased Markov walk), align,
+and export before/after Graphviz DOT files annotated with layout positions.
+
+Run:  python examples/handbuilt_cfg.py
+(then e.g.:  dot -Tpng /tmp/aligned.dot -o aligned.png)
+"""
+
+import random
+
+from repro import ALPHA_21164, align_program, original_layout
+from repro.cfg import CFGBuilder, Procedure, Program, cfg_to_dot
+from repro.profiles import random_bias_assignment, synthesize_profile
+
+
+def build_cfg():
+    """A loop whose body dispatches through a switch, with a cold error
+    path — the shape where the original source order is clearly wrong."""
+    b = CFGBuilder()
+    b.block("entry", padding=2).jump("head")
+    b.block("head", padding=1).cond("body", "done")
+    # Error handling first in source order (a common anti-pattern).
+    b.block("error", padding=6).jump("head")
+    b.block("body", padding=2).switch(["op_add", "op_mul", "op_err", "op_add"])
+    b.block("op_add", padding=3).cond("overflow", "next")
+    b.block("overflow", padding=1).jump("error")
+    b.block("op_mul", padding=4).jump("next")
+    b.block("op_err", padding=1).jump("error")
+    b.block("next", padding=1).jump("head")
+    b.block("done", padding=1).ret()
+    return b.build(entry="entry")
+
+
+def main() -> None:
+    cfg = build_cfg()
+    program = Program()
+    program.add(Procedure("kernel", cfg))
+
+    rng = random.Random(3)
+    bias = random_bias_assignment(cfg, rng, skew=0.92)
+    profile = synthesize_profile(
+        program, {"kernel": bias}, seed=4, walks_per_procedure=200,
+        max_steps=2000,
+    )
+    edge_profile = profile["kernel"]
+
+    layouts = align_program(program, profile, method="tsp")
+    aligned = layouts["kernel"]
+
+    from repro.core import evaluate_layout
+    for name, layout in (
+        ("original", original_layout(cfg)),
+        ("aligned", aligned),
+    ):
+        order = " -> ".join(cfg.block(b).label for b in layout.order)
+        penalty = evaluate_layout(cfg, layout, edge_profile, ALPHA_21164)
+        print(f"{name:9s}: {order}")
+        print(f"{'':9s}  {penalty.total:8.0f} cycles "
+              f"(redirect {penalty.redirect:.0f}, mispredict "
+              f"{penalty.mispredict:.0f}, jumps {penalty.jump:.0f})")
+
+    weights = {e.key: float(edge_profile.count(*e.key)) for e in cfg.edges()}
+    for name, layout in (
+        ("/tmp/original.dot", original_layout(cfg)),
+        ("/tmp/aligned.dot", aligned),
+    ):
+        with open(name, "w") as handle:
+            handle.write(
+                cfg_to_dot(cfg, edge_weights=weights, layout_order=layout.order)
+            )
+        print(f"wrote {name}")
+
+
+if __name__ == "__main__":
+    main()

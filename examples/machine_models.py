@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Aligning for different machines (the paper's §6: "applying our method
+to other machine models").
+
+The same program is aligned under three penalty models — a short pipeline,
+the paper's Alpha 21164, and a deep pipeline — plus a custom model you can
+tweak.  Two things to notice:
+
+* the cycles *recovered* by alignment depend on the misfetch/jump
+  penalties, not the mispredict penalty (static prediction means
+  mispredicts are layout-independent), and
+* layouts themselves can differ between machines: a deep pipe may accept
+  an extra jump to straighten a hotter conditional path.
+
+Run:  python examples/machine_models.py
+"""
+
+import random
+
+from repro import (
+    ALPHA_21064,
+    ALPHA_21164,
+    DEEP_PIPE,
+    PenaltyModel,
+    align_program,
+    evaluate_program,
+)
+from repro.lang import compile_source, run_and_profile
+
+SOURCE = """
+arr data[64];
+
+fn main() {
+  var i = 0;
+  var acc = 0;
+  while (i < input_len()) {
+    var v = input(i);
+    data[v % 64] = data[v % 64] + v;
+    if (v % 5 == 0) {
+      acc = acc + data[v % 64];
+    } else {
+      if (v % 7 == 0) { acc = acc - 1; }
+    }
+    i = i + 1;
+  }
+  output(acc);
+  return acc;
+}
+"""
+
+#: Try your own machine: a hypothetical wide fetch unit whose misfetch
+#: costs 3 cycles but whose predictor resolves in 6.
+CUSTOM = PenaltyModel.from_pipeline(
+    "wide-fetch", misfetch=3.0, mispredict=6.0, multiway_redirect=4.0
+)
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+    rng = random.Random(7)
+    inputs = [rng.randrange(0, 10_000) for _ in range(8000)]
+    _, profile = run_and_profile(module, inputs)
+
+    header = f"{'model':12s} {'original':>10s} {'aligned':>10s} {'saved':>10s} {'kept':>7s}"
+    print(header)
+    print("-" * len(header))
+    for model in (ALPHA_21064, ALPHA_21164, DEEP_PIPE, CUSTOM):
+        original_layouts = align_program(
+            module.program, profile, method="original", model=model
+        )
+        original = evaluate_program(
+            module.program, original_layouts, profile, model
+        ).total
+        layouts = align_program(
+            module.program, profile, method="tsp", model=model
+        )
+        aligned = evaluate_program(
+            module.program, layouts, profile, model
+        ).total
+        print(f"{model.name:12s} {original:>10.0f} {aligned:>10.0f} "
+              f"{original - aligned:>10.0f} {aligned / original:>6.1%}")
+
+    print("\nNote: alpha21064 and alpha21164 recover the same cycles — "
+          "alignment cannot fix mispredicts, and the two models differ "
+          "only in mispredict latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Execution-time simulation and the cache effect (Figure 2, right side).
+
+The paper's surprise: TSP layouts ran measurably faster than greedy ones
+even though their *modeled* control penalties were nearly equal — IPROBE
+showed instruction-cache effects.  This example reproduces the mechanism
+on the compress benchmark: the timing simulator charges instruction issue,
+control stalls, and I-cache misses, and the cache term moves with layout
+even though the aligner never optimizes it.
+
+Run:  python examples/runtime_simulation.py
+"""
+
+from repro import ALPHA_21164, align_program
+from repro.core import train_predictors
+from repro.lang import run_and_profile
+from repro.machine import DirectMappedICache
+from repro.machine.timing import simulate_timing
+from repro.workloads import SUITE, compile_benchmark
+
+
+def main() -> None:
+    module = compile_benchmark("com")
+    program = module.program
+    inputs = SUITE["com"].inputs("in")
+    print("profiling com.in ...")
+    result, profile = run_and_profile(module, inputs)
+    predictors = train_predictors(program, profile)
+
+    print(f"\n{'layout':10s} {'cycles':>12s} {'instr':>12s} "
+          f"{'stalls':>10s} {'i$ miss':>8s} {'speedup':>8s}")
+    baseline = None
+    for method in ("original", "greedy", "tsp"):
+        layouts = align_program(program, profile, method=method)
+        timing = simulate_timing(
+            program, layouts, profile, result.trace.trace, ALPHA_21164,
+            predictors=predictors,
+            icache=DirectMappedICache(2048, 32),  # small cache: layout matters
+        )
+        if baseline is None:
+            baseline = timing.total_cycles
+        print(f"{method:10s} {timing.total_cycles:>12.0f} "
+              f"{timing.instruction_cycles:>12.0f} "
+              f"{timing.control_stall_cycles:>10.0f} "
+              f"{timing.icache_misses:>8d} "
+              f"{1 - timing.total_cycles / baseline:>7.2%}")
+
+    print("\nThe I-cache column shifts with layout even though the cost "
+          "model never sees the cache — the paper's §4.1 observation.")
+
+
+if __name__ == "__main__":
+    main()

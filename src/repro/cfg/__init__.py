@@ -1,0 +1,43 @@
+"""Control-flow-graph substrate: blocks, graphs, procedures, analyses."""
+
+from repro.cfg.blocks import (
+    BasicBlock,
+    Terminator,
+    TerminatorKind,
+    make_block,
+)
+from repro.cfg.builder import CFGBuilder
+from repro.cfg.graph import CFGError, ControlFlowGraph, Edge, Procedure, Program
+from repro.cfg.analysis import (
+    immediate_dominators,
+    loop_nesting_depth,
+    natural_loops,
+    reverse_postorder,
+)
+from repro.cfg.dot import cfg_to_dot
+from repro.cfg.simplify import SimplifyResult, simplify_cfg, simplify_procedure
+from repro.cfg.validate import validate_cfg, validate_procedure, validate_program
+
+__all__ = [
+    "BasicBlock",
+    "CFGBuilder",
+    "CFGError",
+    "ControlFlowGraph",
+    "Edge",
+    "Procedure",
+    "Program",
+    "SimplifyResult",
+    "simplify_cfg",
+    "simplify_procedure",
+    "Terminator",
+    "TerminatorKind",
+    "cfg_to_dot",
+    "immediate_dominators",
+    "loop_nesting_depth",
+    "make_block",
+    "natural_loops",
+    "reverse_postorder",
+    "validate_cfg",
+    "validate_procedure",
+    "validate_program",
+]

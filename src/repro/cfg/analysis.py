@@ -1,0 +1,142 @@
+"""Classic CFG analyses: dominators, natural loops, topological ordering.
+
+Loop structure is used by the synthetic workload generator (loop-aware
+profiles) and by diagnostics; dominators use the Cooper–Harvey–Kennedy
+iterative algorithm, which is simple and fast at the sizes we care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import ControlFlowGraph
+
+
+def reverse_postorder(cfg: ControlFlowGraph) -> list[int]:
+    """Reachable blocks in reverse postorder (a topological order when the
+    graph is acyclic; the canonical iteration order for dataflow)."""
+    order: list[int] = []
+    seen: set[int] = set()
+
+    def visit(root: int) -> None:
+        # Iterative postorder DFS to avoid recursion limits on long chains.
+        stack: list[tuple[int, int]] = [(root, 0)]
+        seen.add(root)
+        while stack:
+            block_id, next_child = stack[-1]
+            succs = cfg.successors(block_id)
+            if next_child < len(succs):
+                stack[-1] = (block_id, next_child + 1)
+                child = succs[next_child]
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, 0))
+            else:
+                order.append(block_id)
+                stack.pop()
+
+    visit(cfg.entry)
+    order.reverse()
+    return order
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> dict[int, int]:
+    """Immediate dominator of every reachable block (entry maps to itself).
+
+    Cooper–Harvey–Kennedy "A Simple, Fast Dominance Algorithm".
+    """
+    rpo = reverse_postorder(cfg)
+    index = {b: i for i, b in enumerate(rpo)}
+    idom: dict[int, int] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block_id in rpo:
+            if block_id == cfg.entry:
+                continue
+            preds = [p for p in cfg.predecessors(block_id) if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom.get(block_id) != new_idom:
+                idom[block_id] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: dict[int, int], a: int, b: int) -> bool:
+    """True when ``a`` dominates ``b`` under the given idom tree."""
+    entry_reached = False
+    node = b
+    while not entry_reached:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None:
+            return False
+        entry_reached = parent == node
+        node = parent
+    return node == a
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop: header plus body (header included)."""
+
+    header: int
+    back_edges: list[tuple[int, int]] = field(default_factory=list)
+    body: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+def natural_loops(cfg: ControlFlowGraph) -> list[NaturalLoop]:
+    """All natural loops, found from back edges (t -> h where h dominates t).
+
+    Loops sharing a header are merged, as usual.
+    """
+    idom = immediate_dominators(cfg)
+    loops: dict[int, NaturalLoop] = {}
+    for block_id in cfg.reachable():
+        for succ in cfg.successors(block_id):
+            if succ in idom and dominates(idom, succ, block_id):
+                loop = loops.setdefault(succ, NaturalLoop(header=succ))
+                loop.back_edges.append((block_id, succ))
+                _collect_loop_body(cfg, loop, block_id)
+    for loop in loops.values():
+        loop.body.add(loop.header)
+    return sorted(loops.values(), key=lambda l: l.header)
+
+
+def _collect_loop_body(cfg: ControlFlowGraph, loop: NaturalLoop, tail: int) -> None:
+    if tail == loop.header or tail in loop.body:
+        return
+    loop.body.add(tail)
+    stack = [tail]
+    while stack:
+        for pred in cfg.predecessors(stack.pop()):
+            if pred != loop.header and pred not in loop.body:
+                loop.body.add(pred)
+                stack.append(pred)
+
+
+def loop_nesting_depth(cfg: ControlFlowGraph) -> dict[int, int]:
+    """Loop nesting depth of every reachable block (0 = not in a loop)."""
+    depth = {b: 0 for b in cfg.reachable()}
+    for loop in natural_loops(cfg):
+        for block_id in loop.body:
+            depth[block_id] += 1
+    return depth

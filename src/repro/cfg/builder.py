@@ -1,0 +1,120 @@
+"""Fluent construction of control-flow graphs.
+
+The builder exists so tests, examples, and the synthetic workload generator
+can write CFGs declaratively without tracking integer ids by hand:
+
+    b = CFGBuilder()
+    b.block("entry").cond("loop", "exit")
+    b.block("loop", padding=6).jump("entry")
+    b.block("exit").ret()
+    cfg = b.build(entry="entry")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.cfg.blocks import BasicBlock, Terminator, TerminatorKind
+from repro.cfg.graph import CFGError, ControlFlowGraph
+
+
+class _BlockHandle:
+    """Handle returned by :meth:`CFGBuilder.block`; sets the terminator."""
+
+    def __init__(self, builder: "CFGBuilder", name: str):
+        self._builder = builder
+        self._name = name
+
+    def jump(self, target: str) -> "_BlockHandle":
+        self._builder._set_terminator(
+            self._name, TerminatorKind.UNCONDITIONAL, (target,)
+        )
+        return self
+
+    def cond(
+        self, true_target: str, false_target: str, *, operand: Any = None
+    ) -> "_BlockHandle":
+        self._builder._set_terminator(
+            self._name,
+            TerminatorKind.CONDITIONAL,
+            (true_target, false_target),
+            operand,
+        )
+        return self
+
+    def switch(
+        self, targets: Sequence[str], *, operand: Any = None
+    ) -> "_BlockHandle":
+        self._builder._set_terminator(
+            self._name, TerminatorKind.MULTIWAY, tuple(targets), operand
+        )
+        return self
+
+    def ret(self) -> "_BlockHandle":
+        self._builder._set_terminator(self._name, TerminatorKind.RETURN, ())
+        return self
+
+
+class CFGBuilder:
+    """Builds a :class:`ControlFlowGraph` from named blocks."""
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._padding: dict[str, int] = {}
+        self._instructions: dict[str, list[Any]] = {}
+        self._terminators: dict[str, tuple[TerminatorKind, tuple[str, ...], Any]] = {}
+        self._order: list[str] = []
+
+    def block(
+        self,
+        name: str,
+        *,
+        padding: int = 0,
+        instructions: Sequence[Any] = (),
+    ) -> _BlockHandle:
+        """Declare (or re-open) a block.  Terminator is set via the handle."""
+        if name not in self._ids:
+            self._ids[name] = len(self._ids)
+            self._order.append(name)
+        if padding:
+            self._padding[name] = padding
+        if instructions:
+            self._instructions.setdefault(name, []).extend(instructions)
+        return _BlockHandle(self, name)
+
+    def _set_terminator(
+        self,
+        name: str,
+        kind: TerminatorKind,
+        targets: tuple[str, ...],
+        operand: Any = None,
+    ) -> None:
+        for target in targets:
+            # Forward references implicitly declare the target block.
+            self.block(target)
+        self._terminators[name] = (kind, targets, operand)
+
+    def build(self, entry: str) -> ControlFlowGraph:
+        if entry not in self._ids:
+            raise CFGError(f"unknown entry block {entry!r}")
+        missing = [n for n in self._order if n not in self._terminators]
+        if missing:
+            raise CFGError(f"blocks without terminators: {missing}")
+        blocks = []
+        for name in self._order:
+            kind, targets, operand = self._terminators[name]
+            blocks.append(
+                BasicBlock(
+                    block_id=self._ids[name],
+                    terminator=Terminator(
+                        kind, tuple(self._ids[t] for t in targets), operand
+                    ),
+                    instructions=list(self._instructions.get(name, [])),
+                    padding=self._padding.get(name, 0),
+                    label=name,
+                )
+            )
+        return ControlFlowGraph(self._ids[entry], blocks)
+
+    def id_of(self, name: str) -> int:
+        return self._ids[name]

@@ -1,0 +1,64 @@
+"""Graphviz DOT export for CFGs, optionally annotated with edge frequencies
+and a layout order — handy for debugging alignments visually."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.cfg.blocks import TerminatorKind
+from repro.cfg.graph import ControlFlowGraph
+
+_KIND_SHAPE = {
+    TerminatorKind.UNCONDITIONAL: "box",
+    TerminatorKind.CONDITIONAL: "diamond",
+    TerminatorKind.MULTIWAY: "hexagon",
+    TerminatorKind.RETURN: "doublecircle",
+}
+
+
+def cfg_to_dot(
+    cfg: ControlFlowGraph,
+    *,
+    name: str = "cfg",
+    edge_weights: Mapping[tuple[int, int], float] | None = None,
+    layout_order: Sequence[int] | None = None,
+) -> str:
+    """Render a CFG as a DOT digraph.
+
+    ``edge_weights`` annotates edges with profile counts; ``layout_order``
+    annotates each block with its position in a layout.
+    """
+    position = {}
+    if layout_order is not None:
+        position = {block_id: i for i, block_id in enumerate(layout_order)}
+    lines = [f"digraph {_quote(name)} {{", "  node [fontname=monospace];"]
+    for block in cfg:
+        label = block.label or f"b{block.block_id}"
+        if block.block_id in position:
+            label = f"{label}\\n#{position[block.block_id]}"
+        attrs = [
+            f"label={_quote(label)}",
+            f"shape={_KIND_SHAPE[block.kind]}",
+        ]
+        if block.block_id == cfg.entry:
+            attrs.append("penwidth=2")
+        lines.append(f"  n{block.block_id} [{', '.join(attrs)}];")
+    for edge in cfg.edges():
+        attrs = []
+        label_bits = [l for l in edge.labels if l != "next"]
+        if edge_weights is not None:
+            weight = edge_weights.get(edge.key, 0)
+            label_bits.append(f"{weight:g}")
+        if label_bits:
+            attrs.append(f"label={_quote(' '.join(label_bits))}")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  n{edge.src} -> n{edge.dst}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    # Re-allow explicit newline escapes produced above.
+    escaped = escaped.replace("\\\\n", "\\n")
+    return f'"{escaped}"'

@@ -1,0 +1,238 @@
+"""Control-flow graphs, procedures, and programs.
+
+The control-flow graph is the unit the branch aligner works on: alignment is
+*intra*procedural, so each :class:`Procedure` is aligned independently and a
+:class:`Program` is just the collection of procedures (plus which one is the
+entry point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.cfg.blocks import BasicBlock, Terminator, TerminatorKind
+
+
+class CFGError(Exception):
+    """Raised for structurally invalid control-flow graphs."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A CFG edge.  ``labels`` records why the edge exists (e.g. the branch
+    arm or jump-table slots that induce it); parallel terminator targets to
+    the same destination collapse into one edge with several labels."""
+
+    src: int
+    dst: int
+    labels: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+
+class ControlFlowGraph:
+    """A per-procedure control-flow graph over :class:`BasicBlock` s.
+
+    Blocks are keyed by integer id.  The graph is derived entirely from each
+    block's terminator; mutating a terminator must go through
+    :meth:`replace_terminator` so edges stay consistent.
+    """
+
+    def __init__(self, entry: int, blocks: Iterable[BasicBlock]):
+        self._blocks: dict[int, BasicBlock] = {}
+        for block in blocks:
+            if block.block_id in self._blocks:
+                raise CFGError(f"duplicate block id {block.block_id}")
+            self._blocks[block.block_id] = block
+        if entry not in self._blocks:
+            raise CFGError(f"entry block {entry} not in graph")
+        self.entry = entry
+        self._check_targets()
+        self._preds: dict[int, list[int]] | None = None
+
+    # -- construction / mutation ------------------------------------------
+
+    def _check_targets(self) -> None:
+        for block in self._blocks.values():
+            for target in block.terminator.targets:
+                if target not in self._blocks:
+                    raise CFGError(
+                        f"block {block.block_id} targets missing block {target}"
+                    )
+
+    def replace_terminator(self, block_id: int, terminator: Terminator) -> None:
+        """Replace a block's terminator, revalidating targets."""
+        block = self._blocks[block_id]
+        for target in terminator.targets:
+            if target not in self._blocks:
+                raise CFGError(f"terminator targets missing block {target}")
+        block.terminator = terminator
+        self._preds = None
+
+    def add_block(self, block: BasicBlock) -> None:
+        if block.block_id in self._blocks:
+            raise CFGError(f"duplicate block id {block.block_id}")
+        for target in block.terminator.targets:
+            if target not in self._blocks and target != block.block_id:
+                raise CFGError(f"block targets missing block {target}")
+        self._blocks[block.block_id] = block
+        self._preds = None
+
+    def fresh_block_id(self) -> int:
+        return max(self._blocks) + 1 if self._blocks else 0
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self._blocks.values())
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self._blocks[block_id]
+
+    @property
+    def block_ids(self) -> list[int]:
+        return list(self._blocks)
+
+    def successors(self, block_id: int) -> tuple[int, ...]:
+        return self._blocks[block_id].successors
+
+    def predecessors(self, block_id: int) -> list[int]:
+        if self._preds is None:
+            preds: dict[int, list[int]] = {b: [] for b in self._blocks}
+            for block in self._blocks.values():
+                for succ in block.successors:
+                    preds[succ].append(block.block_id)
+            self._preds = preds
+        return self._preds[block_id]
+
+    def edges(self) -> list[Edge]:
+        """All CFG edges, with parallel targets merged and labeled."""
+        merged: dict[tuple[int, int], list[str]] = {}
+        for block in self._blocks.values():
+            term = block.terminator
+            for slot, target in enumerate(term.targets):
+                label = _slot_label(term, slot)
+                merged.setdefault((block.block_id, target), []).append(label)
+        return [
+            Edge(src, dst, tuple(labels)) for (src, dst), labels in merged.items()
+        ]
+
+    def exit_blocks(self) -> list[int]:
+        return [
+            b.block_id for b in self._blocks.values()
+            if b.kind is TerminatorKind.RETURN
+        ]
+
+    def reachable(self) -> set[int]:
+        """Block ids reachable from the entry."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self._blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def depth_first_order(self) -> list[int]:
+        """Reachable block ids in depth-first preorder from the entry."""
+        order: list[int] = []
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            order.append(block_id)
+            # Reverse so the first successor is visited first.
+            stack.extend(reversed(self._blocks[block_id].successors))
+        return order
+
+    def total_body_words(self) -> int:
+        return sum(b.body_words for b in self._blocks.values())
+
+    def copy(self) -> "ControlFlowGraph":
+        """Deep-enough copy: fresh block objects, shared instruction lists."""
+        blocks = [
+            BasicBlock(
+                block_id=b.block_id,
+                terminator=b.terminator,
+                instructions=list(b.instructions),
+                padding=b.padding,
+                label=b.label,
+            )
+            for b in self._blocks.values()
+        ]
+        return ControlFlowGraph(self.entry, blocks)
+
+
+def _slot_label(term: Terminator, slot: int) -> str:
+    if term.kind is TerminatorKind.CONDITIONAL:
+        return "true" if slot == 0 else "false"
+    if term.kind is TerminatorKind.MULTIWAY:
+        return f"case{slot}"
+    return "next"
+
+
+@dataclass
+class Procedure:
+    """A named procedure: a CFG plus frontend metadata."""
+
+    name: str
+    cfg: ControlFlowGraph
+    #: Names of formal parameters (populated by the language frontend).
+    params: tuple[str, ...] = ()
+
+    @property
+    def entry(self) -> int:
+        return self.cfg.entry
+
+    def branch_sites(self) -> list[int]:
+        """Blocks whose terminator is a real CTI decision point (conditional
+        or multiway); these are the 'branch sites' of Table 1."""
+        return [
+            b.block_id for b in self.cfg
+            if b.kind in (TerminatorKind.CONDITIONAL, TerminatorKind.MULTIWAY)
+        ]
+
+
+@dataclass
+class Program:
+    """A whole program: procedures keyed by name, plus the entry procedure."""
+
+    procedures: dict[str, Procedure] = field(default_factory=dict)
+    main: str = "main"
+
+    def add(self, proc: Procedure) -> None:
+        if proc.name in self.procedures:
+            raise CFGError(f"duplicate procedure {proc.name!r}")
+        self.procedures[proc.name] = proc
+
+    def __iter__(self) -> Iterator[Procedure]:
+        return iter(self.procedures.values())
+
+    def __getitem__(self, name: str) -> Procedure:
+        return self.procedures[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.procedures
+
+    @property
+    def entry_procedure(self) -> Procedure:
+        return self.procedures[self.main]
+
+    def total_blocks(self) -> int:
+        return sum(len(p.cfg) for p in self)
+
+    def total_branch_sites(self) -> int:
+        return sum(len(p.branch_sites()) for p in self)

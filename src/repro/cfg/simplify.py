@@ -1,0 +1,194 @@
+"""CFG simplification passes.
+
+Real frontends emit clutter — empty forwarding blocks from lowering join
+points, straight-line chains split across blocks, degenerate conditionals.
+These passes clean a CFG the way a compiler's early CFG-simplify does:
+
+* :func:`fold_degenerate_branches` — conditionals whose arms coincide and
+  multiways with a single distinct target become unconditional,
+* :func:`thread_trivial_jumps` — edges into empty unconditional blocks are
+  redirected past them (jump threading),
+* :func:`merge_chains` — a block with a single successor whose successor
+  has a single predecessor is merged into it,
+* :func:`simplify_cfg` — runs all of the above to a fixed point and prunes
+  unreachable blocks.
+
+Simplification runs *before* profiling in a real pipeline (profile the
+simplified CFG).  :func:`simplify_procedure` additionally returns the block
+id remapping (original → surviving block holding its code) for consumers
+that need to relate old ids to the cleaned graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.blocks import BasicBlock, Terminator, TerminatorKind
+from repro.cfg.graph import ControlFlowGraph, Procedure
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of a simplification run."""
+
+    cfg: ControlFlowGraph
+    #: Original block id -> surviving block id holding its code.
+    remap: dict[int, int] = field(default_factory=dict)
+    folded_branches: int = 0
+    threaded_jumps: int = 0
+    merged_blocks: int = 0
+    pruned_blocks: int = 0
+
+
+def fold_degenerate_branches(cfg: ControlFlowGraph) -> int:
+    """Turn single-distinct-target conditionals/multiways into jumps."""
+    folded = 0
+    for block in cfg:
+        term = block.terminator
+        if term.kind in (TerminatorKind.CONDITIONAL, TerminatorKind.MULTIWAY):
+            distinct = term.successors
+            if len(distinct) == 1:
+                cfg.replace_terminator(
+                    block.block_id,
+                    Terminator(TerminatorKind.UNCONDITIONAL, distinct),
+                )
+                folded += 1
+    return folded
+
+
+def thread_trivial_jumps(cfg: ControlFlowGraph) -> int:
+    """Redirect edges through empty forwarding blocks.
+
+    A *trivial* block has no instructions/padding and an unconditional
+    terminator; every edge targeting it can go straight to its successor.
+    Self-forwarding cycles of trivial blocks are left alone.
+    """
+    forward: dict[int, int] = {}
+    for block in cfg:
+        if (
+            block.kind is TerminatorKind.UNCONDITIONAL
+            and block.body_words == 0
+            and block.block_id != cfg.entry
+        ):
+            forward[block.block_id] = block.terminator.targets[0]
+
+    def resolve(target: int) -> int:
+        seen = set()
+        while target in forward and target not in seen:
+            seen.add(target)
+            target = forward[target]
+        return target
+
+    threaded = 0
+    for block in cfg:
+        term = block.terminator
+        new_targets = tuple(resolve(t) for t in term.targets)
+        if new_targets != term.targets:
+            cfg.replace_terminator(
+                block.block_id,
+                Terminator(term.kind, new_targets, term.operand),
+            )
+            threaded += 1
+    return threaded
+
+
+def merge_chains(cfg: ControlFlowGraph, remap: dict[int, int]) -> int:
+    """Merge single-successor blocks into single-predecessor successors.
+
+    The successor's instructions are appended to the predecessor and the
+    predecessor takes over the successor's terminator; ``remap`` records
+    where each absorbed block's code went.
+    """
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in list(cfg):
+            if block.kind is not TerminatorKind.UNCONDITIONAL:
+                continue
+            succ_id = block.terminator.targets[0]
+            if succ_id == block.block_id or succ_id == cfg.entry:
+                continue
+            if len(cfg.predecessors(succ_id)) != 1:
+                continue
+            successor = cfg.block(succ_id)
+            block.instructions.extend(successor.instructions)
+            block.padding += successor.padding
+            cfg.replace_terminator(block.block_id, successor.terminator)
+            # Make the absorbed block an orphan (pruned later).
+            successor.instructions = []
+            successor.padding = 0
+            cfg.replace_terminator(
+                succ_id, Terminator(TerminatorKind.RETURN, (), None)
+            )
+            remap[succ_id] = block.block_id
+            merged += 1
+            changed = True
+    return merged
+
+
+def prune_unreachable(cfg: ControlFlowGraph) -> tuple[ControlFlowGraph, int]:
+    reachable = cfg.reachable()
+    pruned = len(cfg) - len(reachable)
+    if pruned == 0:
+        return cfg, 0
+    blocks = [
+        BasicBlock(
+            block_id=b.block_id,
+            terminator=b.terminator,
+            instructions=b.instructions,
+            padding=b.padding,
+            label=b.label,
+        )
+        for b in cfg
+        if b.block_id in reachable
+    ]
+    return ControlFlowGraph(cfg.entry, blocks), pruned
+
+
+def simplify_cfg(cfg: ControlFlowGraph) -> SimplifyResult:
+    """Run all passes to a fixed point on a copy of ``cfg``."""
+    working = cfg.copy()
+    result = SimplifyResult(cfg=working, remap={b: b for b in cfg.block_ids})
+    changed = True
+    while changed:
+        changed = False
+        folded = fold_degenerate_branches(working)
+        threaded = thread_trivial_jumps(working)
+        # Prune before merging: unreachable forwarders must not count as
+        # predecessors and block chain merges.
+        working, pruned = prune_unreachable(working)
+        merged = merge_chains(working, result.remap)
+        result.folded_branches += folded
+        result.threaded_jumps += threaded
+        result.merged_blocks += merged
+        result.pruned_blocks += pruned
+        changed = bool(folded or threaded or merged or pruned)
+    result.cfg = working
+    # Resolve remap chains and drop entries for pruned code.
+    surviving = set(working.block_ids)
+
+    def resolve(block_id: int) -> int:
+        seen = set()
+        while result.remap.get(block_id, block_id) != block_id:
+            if block_id in seen:
+                break
+            seen.add(block_id)
+            block_id = result.remap[block_id]
+        return block_id
+
+    result.remap = {
+        original: resolve(original)
+        for original in result.remap
+        if resolve(original) in surviving
+    }
+    return result
+
+
+def simplify_procedure(proc: Procedure) -> tuple[Procedure, SimplifyResult]:
+    """Simplified copy of a procedure plus the block remapping."""
+    result = simplify_cfg(proc.cfg)
+    return (
+        Procedure(name=proc.name, cfg=result.cfg, params=proc.params),
+        result,
+    )

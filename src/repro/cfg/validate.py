@@ -1,0 +1,54 @@
+"""Structural validation of CFGs, procedures, and programs.
+
+Aligners assume well-formed input; ``validate_*`` gives actionable errors up
+front instead of mysterious failures deep inside cost-matrix construction.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFGError, ControlFlowGraph, Procedure, Program
+
+
+def validate_cfg(cfg: ControlFlowGraph, *, require_exit: bool = True) -> None:
+    """Raise :class:`CFGError` if the CFG is structurally unusable.
+
+    Checks: at least one block, entry present (guaranteed by construction),
+    every reachable block can reach an exit (no semantically-stuck blocks),
+    and — when ``require_exit`` — at least one RETURN block is reachable.
+    """
+    if len(cfg) == 0:
+        raise CFGError("empty CFG")
+    reachable = cfg.reachable()
+    exits = [b for b in cfg.exit_blocks() if b in reachable]
+    if require_exit and not exits:
+        raise CFGError("no reachable RETURN block (procedure cannot terminate)")
+    if require_exit:
+        # Blocks from which no exit is reachable would trap execution.
+        can_exit = set(exits)
+        changed = True
+        while changed:
+            changed = False
+            for block_id in reachable:
+                if block_id in can_exit:
+                    continue
+                if any(s in can_exit for s in cfg.successors(block_id)):
+                    can_exit.add(block_id)
+                    changed = True
+        stuck = sorted(reachable - can_exit)
+        if stuck:
+            raise CFGError(f"blocks cannot reach an exit: {stuck}")
+
+
+def validate_procedure(proc: Procedure) -> None:
+    validate_cfg(proc.cfg)
+
+
+def validate_program(program: Program) -> None:
+    """Validate every procedure and the entry-point wiring."""
+    if program.main not in program.procedures:
+        raise CFGError(f"missing entry procedure {program.main!r}")
+    for proc in program:
+        try:
+            validate_procedure(proc)
+        except CFGError as exc:
+            raise CFGError(f"procedure {proc.name!r}: {exc}") from exc

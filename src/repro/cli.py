@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+    repro compile FILE [--dot DIR] [--simplify]
+    repro run FILE [--inputs 1,2,3 | --input-file F] [--profile-out P.json]
+    repro align FILE [--inputs ... | --input-file F | --profile P.json]
+                 [--method tsp] [--model alpha21164] [--effort default]
+                 [--bound] [--cross-profile Q.json]
+    repro suite CASE [--train DATASET]
+
+``repro suite com.in`` runs one benchmark case of the paper's evaluation;
+``repro align`` is the end-user path: compile, profile (or load a saved
+profile), align, and report penalties per method against the certified
+lower bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.cfg import cfg_to_dot, simplify_procedure, validate_program
+from repro.cfg.graph import Program
+from repro.core import (
+    align_program,
+    evaluate_program,
+    lower_bound_program,
+    train_predictors,
+)
+from repro.core.align import ALIGN_METHODS
+from repro.experiments.report import format_table
+from repro.lang import LangError, compile_source, run_and_profile
+from repro.machine.models import STANDARD_MODELS, get_model
+from repro.profiles.edge_profile import ProgramProfile
+from repro.tsp.solve import EFFORTS
+
+
+def _read_source(path: str) -> str:
+    return pathlib.Path(path).read_text()
+
+
+def _parse_inputs(args) -> list[int]:
+    if getattr(args, "inputs", None):
+        return [int(x) for x in args.inputs.replace(",", " ").split()]
+    if getattr(args, "input_file", None):
+        text = pathlib.Path(args.input_file).read_text()
+        return [int(x) for x in text.split()]
+    return []
+
+
+def cmd_compile(args) -> int:
+    module = compile_source(_read_source(args.file))
+    program = module.program
+    validate_program(program)
+    rows = []
+    for proc in program:
+        cfg = proc.cfg
+        if args.simplify:
+            simplified, result = simplify_procedure(proc)
+            cfg = simplified.cfg
+            note = (f"-{result.merged_blocks + result.pruned_blocks} blocks"
+                    if result.merged_blocks or result.pruned_blocks else "")
+        else:
+            note = ""
+        rows.append([
+            proc.name, len(cfg), len(proc.branch_sites()),
+            cfg.total_body_words(), note,
+        ])
+        if args.dot:
+            out = pathlib.Path(args.dot)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{proc.name}.dot").write_text(
+                cfg_to_dot(cfg, name=proc.name)
+            )
+    print(format_table(
+        ["procedure", "blocks", "branch sites", "body words", "simplify"],
+        rows,
+    ))
+    if args.dot:
+        print(f"wrote DOT files to {args.dot}/")
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = compile_source(_read_source(args.file))
+    result, profile = run_and_profile(module, _parse_inputs(args))
+    print(f"returned: {result.returned}")
+    if result.outputs:
+        shown = ", ".join(str(v) for v in result.outputs[:20])
+        suffix = " ..." if len(result.outputs) > 20 else ""
+        print(f"outputs:  {shown}{suffix}")
+    print(f"blocks executed: {result.blocks_executed}")
+    print(f"instructions executed: {result.instructions_executed}")
+    print(f"branches executed: {profile.executed_branches(module.program)}")
+    if args.profile_out:
+        pathlib.Path(args.profile_out).write_text(profile.to_json())
+        print(f"profile written to {args.profile_out}")
+    return 0
+
+
+def _load_profile(args, module) -> ProgramProfile:
+    if args.profile:
+        profile = ProgramProfile.from_json(
+            pathlib.Path(args.profile).read_text()
+        )
+        profile.check_against(module.program)
+        return profile
+    _, profile = run_and_profile(module, _parse_inputs(args))
+    return profile
+
+
+def cmd_align(args) -> int:
+    module = compile_source(_read_source(args.file))
+    program = module.program
+    model = get_model(args.model)
+    training = _load_profile(args, module)
+    testing = training
+    predictors = train_predictors(program, training)
+    if args.cross_profile:
+        testing = ProgramProfile.from_json(
+            pathlib.Path(args.cross_profile).read_text()
+        )
+        testing.check_against(program)
+
+    methods = [args.method] if args.method != "all" else list(ALIGN_METHODS)
+    if "original" not in methods:
+        methods.insert(0, "original")
+    rows = []
+    baseline = None
+    for method in methods:
+        layouts = align_program(
+            program, training, method=method, model=model, effort=args.effort
+        )
+        penalty = evaluate_program(
+            program, layouts, testing, model, predictors=predictors
+        )
+        if baseline is None:
+            baseline = penalty.total or 1.0
+        rows.append([
+            method, penalty.total, penalty.total / baseline,
+            penalty.breakdown.redirect, penalty.breakdown.mispredict,
+            penalty.breakdown.jump,
+        ])
+    if args.bound:
+        bound = lower_bound_program(program, training, model=model)
+        rows.append(["(lower bound)", bound.total, bound.total / baseline,
+                     "", "", ""])
+    print(format_table(
+        ["method", "penalty cycles", "normalized", "redirect",
+         "mispredict", "jump"],
+        rows,
+        title=f"branch alignment under {model.name}"
+        + (" (cross-validated)" if args.cross_profile else ""),
+    ))
+    if args.details:
+        from repro.core.report import describe_program
+
+        method = methods[-1]
+        layouts = align_program(
+            program, training, method=method, model=model, effort=args.effort
+        )
+        for name, report in describe_program(
+            program, layouts, testing, model
+        ).items():
+            print()
+            print(format_table(
+                ["pos", "block", "was", "ends with", "penalty", "note"],
+                report.rows(),
+                title=(
+                    f"{name} [{method}]: {report.blocks_moved} blocks moved, "
+                    f"{report.jumps_deleted} jumps deleted, "
+                    f"{report.jumps_inserted} inserted, "
+                    f"{report.fixups} fixups"
+                ),
+            ))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.experiments import run_case
+
+    try:
+        benchmark, dataset = args.case.split(".", 1)
+    except ValueError:
+        print(f"error: CASE must look like 'com.in', got {args.case!r}",
+              file=sys.stderr)
+        return 2
+    case = run_case(benchmark, dataset, args.train)
+    rows = []
+    for method, outcome in case.methods.items():
+        rows.append([
+            method, outcome.penalty, case.normalized_penalty(method),
+            outcome.cycles, case.normalized_cycles(method),
+            outcome.timing.icache_misses,
+        ])
+    rows.append(["(lower bound)", case.lower_bound, case.normalized_bound,
+                 "", "", ""])
+    title = f"{case.label} (trained on {case.train_dataset})"
+    print(format_table(
+        ["method", "penalty", "norm", "sim cycles", "norm", "i$ misses"],
+        rows, title=title,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Near-optimal intraprocedural branch alignment "
+                    "(Young/Johnson/Karger/Smith, PLDI 1997).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and inspect a program")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--dot", help="directory for per-procedure DOT files")
+    p_compile.add_argument("--simplify", action="store_true",
+                           help="run CFG simplification first")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_run = sub.add_parser("run", help="execute a program under profiling")
+    p_run.add_argument("file")
+    p_run.add_argument("--inputs", help="comma/space separated integers")
+    p_run.add_argument("--input-file", help="file of whitespace-separated ints")
+    p_run.add_argument("--profile-out", help="write the edge profile (JSON)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_align = sub.add_parser("align", help="align a program and report")
+    p_align.add_argument("file")
+    p_align.add_argument("--inputs")
+    p_align.add_argument("--input-file")
+    p_align.add_argument("--profile", help="training profile JSON (else runs the program)")
+    p_align.add_argument("--cross-profile", help="evaluate penalties under this testing profile")
+    p_align.add_argument("--method", default="all",
+                         choices=(*ALIGN_METHODS, "all"))
+    p_align.add_argument("--model", default="alpha21164",
+                         choices=sorted(STANDARD_MODELS))
+    p_align.add_argument("--effort", default="default",
+                         choices=sorted(EFFORTS))
+    p_align.add_argument("--bound", action="store_true",
+                         help="also compute the certified lower bound")
+    p_align.add_argument("--details", action="store_true",
+                         help="per-block layout report for the last method")
+    p_align.set_defaults(func=cmd_align)
+
+    p_suite = sub.add_parser("suite", help="run one paper benchmark case")
+    p_suite.add_argument("case", help="e.g. com.in, xli.q7")
+    p_suite.add_argument("--train", help="train on this sibling data set")
+    p_suite.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (LangError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

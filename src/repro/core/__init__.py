@@ -1,0 +1,101 @@
+"""The paper's primary contribution: branch alignment via DTSP reduction.
+
+Public surface:
+
+* :func:`align_program` / :func:`lower_bound_program` — the top-level API,
+* the cost model and matrix construction (§2.2),
+* layout representation, materialization, and analytic evaluation,
+* the individual aligners (greedy baselines + TSP).
+"""
+
+from repro.core.align import (
+    ALIGN_METHODS,
+    AlignmentReport,
+    LowerBoundReport,
+    align_program,
+    lower_bound_program,
+)
+from repro.core.aligners import (
+    alignment_lower_bound,
+    calder_grunwald_layout,
+    pettis_hansen_layout,
+    tsp_align,
+)
+from repro.core.costmatrix import (
+    DUMMY_CITY,
+    AlignmentInstance,
+    build_alignment_instance,
+)
+from repro.core.costmodel import (
+    CostBreakdown,
+    effective_kind,
+    successor_counts,
+    terminator_cost,
+)
+from repro.core.evaluate import (
+    ProgramPenalty,
+    evaluate_layout,
+    evaluate_program,
+    train_predictors,
+)
+from repro.core.layout import (
+    Layout,
+    LayoutError,
+    ProgramLayout,
+    original_layout,
+    original_program_layout,
+)
+from repro.core.hot_cold import split_hot_cold, split_program_hot_cold
+from repro.core.report import describe_layout, describe_program
+from repro.core.proc_order import (
+    pettis_hansen_procedure_order,
+    reorder_program,
+)
+from repro.core.materialize import (
+    MaterializedBlock,
+    MaterializedProcedure,
+    MaterializedProgram,
+    PhysicalKind,
+    materialize_procedure,
+    materialize_program,
+)
+
+__all__ = [
+    "ALIGN_METHODS",
+    "AlignmentInstance",
+    "AlignmentReport",
+    "CostBreakdown",
+    "DUMMY_CITY",
+    "Layout",
+    "LayoutError",
+    "LowerBoundReport",
+    "MaterializedBlock",
+    "MaterializedProcedure",
+    "MaterializedProgram",
+    "PhysicalKind",
+    "ProgramLayout",
+    "ProgramPenalty",
+    "align_program",
+    "alignment_lower_bound",
+    "build_alignment_instance",
+    "calder_grunwald_layout",
+    "describe_layout",
+    "describe_program",
+    "effective_kind",
+    "evaluate_layout",
+    "evaluate_program",
+    "lower_bound_program",
+    "materialize_procedure",
+    "materialize_program",
+    "original_layout",
+    "original_program_layout",
+    "pettis_hansen_layout",
+    "pettis_hansen_procedure_order",
+    "reorder_program",
+    "split_hot_cold",
+    "split_program_hot_cold",
+    "successor_counts",
+    "terminator_cost",
+    "train_predictors",
+    "tsp_align",
+]

@@ -1,0 +1,127 @@
+"""Top-level alignment API.
+
+    profile = ...                     # ProgramProfile from a training run
+    layouts = align_program(program, profile, method="tsp")
+    penalty = evaluate_program(program, layouts, profile, ALPHA_21164)
+
+Methods: ``original`` (no reordering), ``greedy`` (Pettis–Hansen frequency
+chaining — the paper's baseline), ``cost-greedy`` (Calder–Grunwald-style),
+and ``tsp`` (the paper's near-optimal DTSP alignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import Program
+from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
+from repro.core.aligners.tsp_aligner import alignment_lower_bound, tsp_align
+from repro.core.layout import ProgramLayout, original_layout
+from repro.machine.models import ALPHA_21164, PenaltyModel
+from repro.machine.predictors import StaticPredictor
+from repro.profiles.edge_profile import EdgeProfile, ProgramProfile
+from repro.tsp.solve import DEFAULT, Effort
+
+ALIGN_METHODS = ("original", "greedy", "cost-greedy", "cg-exhaustive", "tsp")
+
+
+@dataclass
+class AlignmentReport:
+    """Per-procedure diagnostics from a TSP alignment pass."""
+
+    cities: dict[str, int] = field(default_factory=dict)
+    costs: dict[str, float] = field(default_factory=dict)
+    runs_finding_best: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+def align_program(
+    program: Program,
+    profile: ProgramProfile,
+    *,
+    method: str = "tsp",
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+    report: AlignmentReport | None = None,
+) -> ProgramLayout:
+    """Align every procedure of ``program`` using ``profile`` as training
+    data; returns one layout per procedure."""
+    if method not in ALIGN_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {ALIGN_METHODS}"
+        )
+    layouts = ProgramLayout()
+    for index, proc in enumerate(program):
+        edge_profile = profile.procedures.get(proc.name, EdgeProfile())
+        if method == "original" or edge_profile.total() == 0:
+            layouts[proc.name] = original_layout(proc.cfg)
+        elif method == "greedy":
+            layouts[proc.name] = pettis_hansen_layout(proc.cfg, edge_profile)
+        elif method == "cost-greedy":
+            layouts[proc.name] = calder_grunwald_layout(
+                proc.cfg, edge_profile, model
+            )
+        elif method == "cg-exhaustive":
+            # Calder & Grunwald's second improvement: exhaustive search
+            # over the blocks touched by the 15 hottest edges (§5).
+            layouts[proc.name] = calder_grunwald_layout(
+                proc.cfg, edge_profile, model, exhaustive_edges=15
+            )
+        else:
+            alignment = tsp_align(
+                proc.cfg,
+                edge_profile,
+                model,
+                effort=effort,
+                seed=seed + index,
+            )
+            layouts[proc.name] = alignment.layout
+            if report is not None:
+                report.cities[proc.name] = alignment.instance.n
+                report.costs[proc.name] = alignment.cost
+                report.runs_finding_best[proc.name] = (
+                    alignment.runs_finding_best,
+                    alignment.runs_total,
+                )
+    return layouts
+
+
+@dataclass
+class LowerBoundReport:
+    """Held–Karp penalty lower bounds, per procedure and total."""
+
+    per_procedure: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_procedure.values())
+
+
+def lower_bound_program(
+    program: Program,
+    profile: ProgramProfile,
+    *,
+    model: PenaltyModel = ALPHA_21164,
+    iterations: int | None = None,
+    upper_bounds: dict[str, float] | None = None,
+) -> LowerBoundReport:
+    """Held–Karp lower bound on the total control penalty of any layout.
+
+    ``upper_bounds`` optionally supplies known per-procedure tour costs
+    (e.g. from a TSP alignment) to tighten the subgradient schedule.
+    """
+    report = LowerBoundReport()
+    for proc in program:
+        edge_profile = profile.procedures.get(proc.name)
+        if edge_profile is None or edge_profile.total() == 0:
+            report.per_procedure[proc.name] = 0.0
+            continue
+        ub = upper_bounds.get(proc.name) if upper_bounds else None
+        report.per_procedure[proc.name] = alignment_lower_bound(
+            proc.cfg,
+            edge_profile,
+            model,
+            upper_bound=ub,
+            iterations=iterations,
+        )
+    return report

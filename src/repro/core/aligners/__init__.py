@@ -1,0 +1,19 @@
+"""Branch-alignment algorithms: greedy baselines and the TSP aligner."""
+
+from repro.core.aligners.chains import ChainSet, greedy_chain_layout
+from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
+from repro.core.aligners.tsp_aligner import (
+    TspAlignment,
+    alignment_lower_bound,
+    tsp_align,
+)
+
+__all__ = [
+    "ChainSet",
+    "TspAlignment",
+    "alignment_lower_bound",
+    "calder_grunwald_layout",
+    "greedy_chain_layout",
+    "pettis_hansen_layout",
+    "tsp_align",
+]

@@ -1,0 +1,116 @@
+"""Chain machinery shared by the greedy aligners.
+
+Both greedy aligners (Pettis–Hansen-style frequency greedy and the
+Calder–Grunwald-style cost-weighted variant) work the same way: consider
+CFG edges in priority order, gluing blocks into chains when the edge's head
+is still a chain tail and its target is still a chain head (§2.1's two
+checks: endpoint availability and no layout cycle — the latter is automatic
+because chains are acyclic paths).  The aligners differ only in the edge
+priority function and are built on this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.core.layout import Layout
+from repro.profiles.edge_profile import EdgeProfile
+
+
+class ChainSet:
+    """Disjoint chains (paths) over block ids, merged head-to-tail."""
+
+    def __init__(self, block_ids: list[int]):
+        self._chain_of: dict[int, int] = {b: b for b in block_ids}
+        self._chains: dict[int, list[int]] = {b: [b] for b in block_ids}
+
+    def chain_id(self, block_id: int) -> int:
+        return self._chain_of[block_id]
+
+    def chain(self, chain_id: int) -> list[int]:
+        return self._chains[chain_id]
+
+    def is_tail(self, block_id: int) -> bool:
+        return self._chains[self._chain_of[block_id]][-1] == block_id
+
+    def is_head(self, block_id: int) -> bool:
+        return self._chains[self._chain_of[block_id]][0] == block_id
+
+    def try_link(self, src: int, dst: int) -> bool:
+        """Append dst's chain after src's chain when legal (src is a chain
+        tail, dst is a chain head, different chains).  Returns success."""
+        src_chain = self._chain_of[src]
+        dst_chain = self._chain_of[dst]
+        if src_chain == dst_chain:
+            return False
+        if not self.is_tail(src) or not self.is_head(dst):
+            return False
+        merged = self._chains.pop(dst_chain)
+        self._chains[src_chain].extend(merged)
+        for block_id in merged:
+            self._chain_of[block_id] = src_chain
+        return True
+
+    def chains(self) -> list[list[int]]:
+        return list(self._chains.values())
+
+
+def greedy_chain_layout(
+    cfg: ControlFlowGraph,
+    profile: EdgeProfile,
+    priority: Callable[[int, int, int], float],
+    *,
+    preset_chains: list[list[int]] | None = None,
+) -> Layout:
+    """Build a layout by greedy chaining.
+
+    ``priority(src, dst, count)`` scores each profiled CFG edge; edges are
+    processed in decreasing score order (deterministic tie-break on the
+    edge key).  Chains are then emitted: the entry's chain first, remaining
+    chains by decreasing executed weight — hot code stays dense up front,
+    which is also what keeps the instruction cache happy.
+
+    ``preset_chains`` pre-links block sequences before any edges are
+    considered (used by the exhaustive hot-set variant).
+    """
+    chains = ChainSet(cfg.block_ids)
+    for preset in preset_chains or ():
+        for src, dst in zip(preset, preset[1:]):
+            chains.try_link(src, dst)
+    scored = []
+    for (src, dst), count in profile.counts.items():
+        if count <= 0 or src == dst:
+            continue
+        if src not in cfg or dst not in cfg.successors(src):
+            continue
+        scored.append((priority(src, dst, count), src, dst))
+    scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+    for score, src, dst in scored:
+        if score <= 0:
+            break
+        chains.try_link(src, dst)
+
+    def chain_weight(chain: list[int]) -> float:
+        return sum(profile.block_exit_count(b) for b in chain)
+
+    entry_chain = chains.chain_id(cfg.entry)
+    ordered = sorted(
+        chains.chains(),
+        key=lambda chain: (
+            chain[0] != chains.chain(entry_chain)[0],
+            -chain_weight(chain),
+            chain[0],
+        ),
+    )
+    # The entry must be first *within* its chain too; if something was glued
+    # in front of the entry, rotate the entry's chain.  (Edges into the
+    # entry do get linked by the greedy pass; a real compiler would simply
+    # not consider them, so drop the prefix to the back.)
+    order: list[int] = []
+    for chain in ordered:
+        if cfg.entry in chain and chain[0] != cfg.entry:
+            at = chain.index(cfg.entry)
+            chain = chain[at:] + chain[:at]
+        order.extend(chain)
+    return Layout(tuple(order))

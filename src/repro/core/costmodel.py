@@ -1,0 +1,188 @@
+"""The §2.2 cost model: penalty cycles at the end of a block.
+
+For a block B with layout successor X, the paper charges
+
+    c(B, X) = C(B,X)·p_NN + I(B,X)·p_TN + Σ_{B'≠X} [ C(B,B')·p_TT + I(B,B')·p_NT ]
+
+where C(B,B') / I(B,B') count executions of edge B→B' on which the static
+predictor was correct / incorrect.  Those counts depend only on the CFG and
+the profile — never on the layout — which is what makes the DTSP reduction
+exact.  This module implements the formula plus the two practicalities of
+Table 3: unconditional-jump deletion/insertion and fixup blocks.
+
+A *fixup block* is a one-instruction unconditional jump inserted as the
+fall-through of a conditional block whose layout successor is neither CFG
+successor.  The conditional branch targets the predicted successor; the
+other arm falls through into the fixup jump.  The fixup's cost (2 cycles per
+execution on the 21164) is attached to the DTSP edge that required it, per
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cfg.blocks import BasicBlock, TerminatorKind
+from repro.machine.models import PenaltyModel
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Penalty cycles at one block end, split by mechanism.
+
+    * ``redirect`` — correctly predicted taken branches (misfetch class),
+    * ``mispredict`` — wrongly predicted conditional/multiway transfers,
+    * ``jump`` — kept or inserted unconditional jumps, including fixups.
+    """
+
+    redirect: float = 0.0
+    mispredict: float = 0.0
+    jump: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.redirect + self.mispredict + self.jump
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            self.redirect + other.redirect,
+            self.mispredict + other.mispredict,
+            self.jump + other.jump,
+        )
+
+
+ZERO_COST = CostBreakdown()
+
+
+def effective_kind(block: BasicBlock) -> TerminatorKind:
+    """Layout-relevant terminator kind.
+
+    A conditional whose arms coincide, or a multiway with a single distinct
+    target, behaves like an unconditional transfer: the compiler would fold
+    the branch away, and the cost model treats it that way.
+    """
+    kind = block.kind
+    if kind in (TerminatorKind.CONDITIONAL, TerminatorKind.MULTIWAY):
+        if len(block.successors) == 1:
+            return TerminatorKind.UNCONDITIONAL
+    return kind
+
+
+def terminator_cost(
+    block: BasicBlock,
+    counts: Mapping[int, int],
+    predicted: int | None,
+    layout_successor: int | None,
+    model: PenaltyModel,
+) -> CostBreakdown:
+    """Penalty cycles charged at ``block``'s end.
+
+    ``counts`` maps each executed CFG successor to its execution count under
+    the *evaluation* profile; ``predicted`` is the static prediction (from
+    the *training* profile — the two differ under cross-validation);
+    ``layout_successor`` is the block physically following ``block``
+    (``None`` when nothing does, e.g. the last block before the dummy city).
+    """
+    kind = effective_kind(block)
+    if kind is TerminatorKind.RETURN:
+        return ZERO_COST
+
+    total = sum(counts.values())
+    if total == 0:
+        return ZERO_COST
+
+    if kind is TerminatorKind.UNCONDITIONAL:
+        successor = block.successors[0]
+        if layout_successor == successor:
+            return ZERO_COST
+        return CostBreakdown(jump=total * model.unconditional)
+
+    if predicted is None or predicted not in block.successors:
+        predicted = block.successors[0]
+
+    if kind is TerminatorKind.CONDITIONAL:
+        return _conditional_cost(
+            block, counts, predicted, layout_successor, model
+        )
+    return _multiway_cost(block, counts, predicted, layout_successor, model)
+
+
+def _conditional_cost(
+    block: BasicBlock,
+    counts: Mapping[int, int],
+    predicted: int,
+    layout_successor: int | None,
+    model: PenaltyModel,
+) -> CostBreakdown:
+    penalties = model.conditional
+    successors = block.successors
+    if layout_successor in successors:
+        # One arm falls through; the branch targets the other (inverting the
+        # source-level direction if needed).  Static prediction is "taken"
+        # exactly when the predicted arm is not the fall-through.
+        predicted_taken = predicted != layout_successor
+        redirect = mispredict = 0.0
+        for succ, n in counts.items():
+            taken = succ != layout_successor
+            cycles = n * penalties.cost(predicted_taken=predicted_taken, taken=taken)
+            if succ == predicted:
+                redirect += cycles
+            else:
+                mispredict += cycles
+        return CostBreakdown(redirect=redirect, mispredict=mispredict)
+
+    # Neither arm follows: branch to the predicted arm, fixup jump to the
+    # other.  Going to the predicted arm is a correctly predicted taken
+    # branch; going the other way falls through (mispredicted) into the
+    # fixup unconditional jump, whose cost rides on this DTSP edge.
+    redirect = mispredict = jump = 0.0
+    for succ, n in counts.items():
+        if succ == predicted:
+            redirect += n * penalties.p_tt
+        else:
+            mispredict += n * penalties.p_tn
+            jump += n * model.unconditional
+    return CostBreakdown(redirect=redirect, mispredict=mispredict, jump=jump)
+
+
+def _multiway_cost(
+    block: BasicBlock,
+    counts: Mapping[int, int],
+    predicted: int,
+    layout_successor: int | None,
+    model: PenaltyModel,
+) -> CostBreakdown:
+    # A register branch reaches any target without fixups.  Table 3: a
+    # correctly predicted transfer to the layout successor is free; every
+    # other combination pays the register-branch redirect penalty.
+    penalties = model.multiway
+    redirect = mispredict = 0.0
+    for succ, n in counts.items():
+        correct = succ == predicted
+        follows = succ == layout_successor
+        if correct and follows:
+            cycles = n * penalties.p_nn
+        elif correct:
+            cycles = n * penalties.p_tt
+        elif follows:
+            cycles = n * penalties.p_tn
+        else:
+            cycles = n * penalties.p_nt
+        if correct:
+            redirect += cycles
+        else:
+            mispredict += cycles
+    return CostBreakdown(redirect=redirect, mispredict=mispredict)
+
+
+def successor_counts(
+    profile_counts: Mapping[tuple[int, int], int], block: BasicBlock
+) -> dict[int, int]:
+    """Evaluation counts of ``block``'s distinct CFG successors."""
+    result: dict[int, int] = {}
+    for succ in block.successors:
+        n = profile_counts.get((block.block_id, succ), 0)
+        if n:
+            result[succ] = n
+    return result

@@ -1,0 +1,112 @@
+"""Analytic control-penalty evaluation of layouts.
+
+This walks a layout block by block and charges each block's terminator cost
+under a (possibly different) evaluation profile — the "compiler-computed
+control penalties" reported throughout the paper's evaluation.  Under
+cross-validation (§4.2) the static predictions come from the *training*
+profile while the counts come from the *testing* profile, which is exactly
+how this module separates the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import ControlFlowGraph, Program
+from repro.core.costmodel import CostBreakdown, successor_counts, terminator_cost
+from repro.core.layout import Layout, ProgramLayout
+from repro.machine.models import PenaltyModel
+from repro.machine.predictors import StaticPredictor
+from repro.profiles.edge_profile import EdgeProfile, ProgramProfile
+
+
+def evaluate_layout(
+    cfg: ControlFlowGraph,
+    layout: Layout,
+    profile: EdgeProfile,
+    model: PenaltyModel,
+    *,
+    predictor: StaticPredictor | None = None,
+) -> CostBreakdown:
+    """Total penalty cycles of one procedure's layout under ``profile``.
+
+    ``predictor`` defaults to static prediction trained on the same profile
+    (train = test); pass one trained on a different profile to evaluate a
+    cross-validated layout.
+    """
+    layout.check_against(cfg)
+    if predictor is None:
+        predictor = StaticPredictor.train(cfg, profile)
+    successor_map = layout.successor_map()
+    total = CostBreakdown()
+    for block_id in layout.order:
+        block = cfg.block(block_id)
+        counts = successor_counts(profile.counts, block)
+        if not counts:
+            continue
+        total = total + terminator_cost(
+            block,
+            counts,
+            predictor.predict(block_id),
+            successor_map[block_id],
+            model,
+        )
+    return total
+
+
+@dataclass
+class ProgramPenalty:
+    """Per-procedure and total penalty cycles for a program layout."""
+
+    per_procedure: dict[str, CostBreakdown] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(b.total for b in self.per_procedure.values())
+
+    @property
+    def breakdown(self) -> CostBreakdown:
+        result = CostBreakdown()
+        for b in self.per_procedure.values():
+            result = result + b
+        return result
+
+
+def train_predictors(
+    program: Program, profile: ProgramProfile
+) -> dict[str, StaticPredictor]:
+    """Static predictors for every procedure, trained on ``profile``."""
+    return {
+        proc.name: StaticPredictor.train(
+            proc.cfg,
+            profile.procedures.get(proc.name, EdgeProfile()),
+        )
+        for proc in program
+    }
+
+
+def evaluate_program(
+    program: Program,
+    layouts: ProgramLayout,
+    profile: ProgramProfile,
+    model: PenaltyModel,
+    *,
+    predictors: dict[str, StaticPredictor] | None = None,
+) -> ProgramPenalty:
+    """Penalty cycles of a whole-program layout under ``profile``."""
+    if predictors is None:
+        predictors = train_predictors(program, profile)
+    result = ProgramPenalty()
+    for proc in program:
+        edge_profile = profile.procedures.get(proc.name)
+        if edge_profile is None:
+            result.per_procedure[proc.name] = CostBreakdown()
+            continue
+        result.per_procedure[proc.name] = evaluate_layout(
+            proc.cfg,
+            layouts[proc.name],
+            edge_profile,
+            model,
+            predictor=predictors[proc.name],
+        )
+    return result

@@ -1,0 +1,112 @@
+"""Layout representation.
+
+A :class:`Layout` is a permutation of one procedure's basic blocks — the
+output of every aligner.  It is pure structure: turning a layout into
+physical code (branch inversions, jump insertions/deletions, fixup blocks,
+addresses) is the job of :mod:`repro.core.materialize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cfg.graph import ControlFlowGraph, Program
+
+
+class LayoutError(Exception):
+    """Raised for layouts that are not valid block permutations."""
+
+
+@dataclass(frozen=True)
+class Layout:
+    """An ordering of every block of one procedure.
+
+    The entry block is conventionally first (callers enter at the procedure's
+    first address); aligners in this package always anchor it.
+    """
+
+    order: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.order)) != len(self.order):
+            raise LayoutError("layout repeats a block")
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self):
+        return iter(self.order)
+
+    @property
+    def positions(self) -> dict[int, int]:
+        return {block_id: i for i, block_id in enumerate(self.order)}
+
+    def successor_map(self) -> dict[int, int | None]:
+        """Layout successor of each block (``None`` for the last block)."""
+        succ: dict[int, int | None] = {}
+        for i, block_id in enumerate(self.order):
+            succ[block_id] = self.order[i + 1] if i + 1 < len(self.order) else None
+        return succ
+
+    def check_against(self, cfg: ControlFlowGraph, *, anchor_entry: bool = True) -> None:
+        """Raise :class:`LayoutError` unless this is a permutation of the
+        CFG's blocks (entry first when ``anchor_entry``)."""
+        if set(self.order) != set(cfg.block_ids):
+            missing = set(cfg.block_ids) - set(self.order)
+            extra = set(self.order) - set(cfg.block_ids)
+            raise LayoutError(
+                f"layout is not a permutation of the CFG "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        if anchor_entry and self.order and self.order[0] != cfg.entry:
+            raise LayoutError(
+                f"layout must start at the entry block {cfg.entry}, "
+                f"starts at {self.order[0]}"
+            )
+
+
+def original_layout(cfg: ControlFlowGraph) -> Layout:
+    """The unoptimized layout: blocks in id order with the entry first.
+
+    Block ids are assigned in frontend emission order, so this matches the
+    "original" program layout of the paper's baselines.
+    """
+    rest = [b for b in sorted(cfg.block_ids) if b != cfg.entry]
+    return Layout((cfg.entry, *rest))
+
+
+@dataclass
+class ProgramLayout:
+    """Layouts for every procedure of a program, in procedure order."""
+
+    layouts: dict[str, Layout] = field(default_factory=dict)
+
+    def __getitem__(self, proc: str) -> Layout:
+        return self.layouts[proc]
+
+    def __setitem__(self, proc: str, layout: Layout) -> None:
+        self.layouts[proc] = layout
+
+    def __contains__(self, proc: str) -> bool:
+        return proc in self.layouts
+
+    def items(self) -> Iterable[tuple[str, Layout]]:
+        return self.layouts.items()
+
+    def check_against(self, program: Program) -> None:
+        for proc in program:
+            if proc.name not in self.layouts:
+                raise LayoutError(f"no layout for procedure {proc.name!r}")
+            self.layouts[proc.name].check_against(proc.cfg)
+
+
+def original_program_layout(program: Program) -> ProgramLayout:
+    layout = ProgramLayout()
+    for proc in program:
+        layout[proc.name] = original_layout(proc.cfg)
+    return layout
+
+
+def layout_from_order(order: Sequence[int]) -> Layout:
+    return Layout(tuple(order))

@@ -1,0 +1,228 @@
+"""Layout materialization: from a block permutation to physical code.
+
+Materialization performs what the paper calls "the appropriate inversions of
+conditional branches and insertions or deletions of unconditional jumps to
+ensure that program semantics are maintained" (§2.1), plus address
+assignment.  The result feeds the instruction-cache and pipeline simulators
+and the independent penalty evaluator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cfg.blocks import TerminatorKind
+from repro.cfg.graph import ControlFlowGraph, Program
+from repro.core.costmodel import effective_kind
+from repro.core.layout import Layout, ProgramLayout
+from repro.machine.icache import WORD_BYTES
+from repro.machine.predictors import StaticPredictor
+
+
+class PhysicalKind(enum.Enum):
+    """What a block physically ends with after layout."""
+
+    FALLTHROUGH = "fallthrough"     # no CTI emitted
+    JUMP = "jump"                   # unconditional jump kept/needed
+    COND = "cond"                   # conditional branch (maybe inverted)
+    REGISTER = "register"           # multiway/register branch
+    RETURN = "return"
+    FIXUP = "fixup"                 # inserted unconditional-jump block
+
+
+@dataclass
+class MaterializedBlock:
+    """One physical block: a source block or an inserted fixup jump."""
+
+    source: int | None              # CFG block id; None for fixup blocks
+    kind: PhysicalKind
+    address: int                    # byte address of the first word
+    body_words: int
+    cti_words: int                  # 0 or 1
+    branch_target: int | None = None   # CFG block targeted by the CTI
+    fallthrough: int | None = None     # CFG block reached by falling through
+    #: For COND blocks with a fixup: the CFG block the fixup jumps to.
+    fixup_target: int | None = None
+
+    @property
+    def words(self) -> int:
+        return self.body_words + self.cti_words
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.words * WORD_BYTES
+
+
+@dataclass
+class MaterializedProcedure:
+    """A procedure after layout: physical blocks in address order."""
+
+    name: str
+    layout: Layout
+    blocks: list[MaterializedBlock] = field(default_factory=list)
+    start_address: int = 0
+
+    _by_source: dict[int, MaterializedBlock] = field(default_factory=dict)
+
+    def block_for(self, source_block: int) -> MaterializedBlock:
+        return self._by_source[source_block]
+
+    def fixup_after(self, source_block: int) -> MaterializedBlock | None:
+        """The fixup block inserted after ``source_block``, if any."""
+        physical = self._by_source.get(source_block)
+        if physical is None or physical.fixup_target is None:
+            return None
+        at = self.blocks.index(physical)
+        return self.blocks[at + 1]
+
+    @property
+    def end_address(self) -> int:
+        return self.blocks[-1].end_address if self.blocks else self.start_address
+
+    @property
+    def code_words(self) -> int:
+        return sum(b.words for b in self.blocks)
+
+    @property
+    def fixup_count(self) -> int:
+        return sum(1 for b in self.blocks if b.kind is PhysicalKind.FIXUP)
+
+    @property
+    def emitted_jumps(self) -> int:
+        return sum(
+            1 for b in self.blocks
+            if b.kind in (PhysicalKind.JUMP, PhysicalKind.FIXUP)
+        )
+
+
+def materialize_procedure(
+    name: str,
+    cfg: ControlFlowGraph,
+    layout: Layout,
+    predictor: StaticPredictor,
+    *,
+    start_address: int = 0,
+) -> MaterializedProcedure:
+    """Materialize one procedure's layout.
+
+    ``predictor`` decides which arm a conditional branch targets when
+    neither arm is the layout successor (the branch goes to the predicted
+    arm; the fixup jump carries the other), matching the cost model.
+    """
+    layout.check_against(cfg)
+    result = MaterializedProcedure(name=name, layout=layout, start_address=start_address)
+    address = start_address
+    order = list(layout.order)
+    for position, block_id in enumerate(order):
+        block = cfg.block(block_id)
+        next_block = order[position + 1] if position + 1 < len(order) else None
+        kind = effective_kind(block)
+
+        fixup: MaterializedBlock | None = None
+        if kind is TerminatorKind.RETURN:
+            physical = MaterializedBlock(
+                source=block_id, kind=PhysicalKind.RETURN, address=address,
+                body_words=block.body_words, cti_words=1,
+            )
+        elif kind is TerminatorKind.UNCONDITIONAL:
+            successor = block.successors[0]
+            if successor == next_block:
+                physical = MaterializedBlock(
+                    source=block_id, kind=PhysicalKind.FALLTHROUGH,
+                    address=address, body_words=block.body_words, cti_words=0,
+                    fallthrough=successor,
+                )
+            else:
+                physical = MaterializedBlock(
+                    source=block_id, kind=PhysicalKind.JUMP, address=address,
+                    body_words=block.body_words, cti_words=1,
+                    branch_target=successor,
+                )
+        elif kind is TerminatorKind.CONDITIONAL:
+            arms = block.successors
+            if next_block in arms:
+                other = arms[0] if arms[1] == next_block else arms[1]
+                physical = MaterializedBlock(
+                    source=block_id, kind=PhysicalKind.COND, address=address,
+                    body_words=block.body_words, cti_words=1,
+                    branch_target=other, fallthrough=next_block,
+                )
+            else:
+                predicted = predictor.predict(block_id)
+                if predicted not in arms:
+                    predicted = arms[0]
+                other = arms[0] if arms[1] == predicted else arms[1]
+                physical = MaterializedBlock(
+                    source=block_id, kind=PhysicalKind.COND, address=address,
+                    body_words=block.body_words, cti_words=1,
+                    branch_target=predicted, fixup_target=other,
+                )
+                fixup = MaterializedBlock(
+                    source=None, kind=PhysicalKind.FIXUP,
+                    address=physical.end_address, body_words=0, cti_words=1,
+                    branch_target=other,
+                )
+                physical.fallthrough = other  # via the fixup jump
+        else:  # MULTIWAY
+            physical = MaterializedBlock(
+                source=block_id, kind=PhysicalKind.REGISTER, address=address,
+                body_words=block.body_words, cti_words=1,
+            )
+
+        result.blocks.append(physical)
+        result._by_source[block_id] = physical
+        address = physical.end_address
+        if fixup is not None:
+            result.blocks.append(fixup)
+            address = fixup.end_address
+    return result
+
+
+@dataclass
+class MaterializedProgram:
+    """All procedures laid out sequentially in program order."""
+
+    procedures: dict[str, MaterializedProcedure] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> MaterializedProcedure:
+        return self.procedures[name]
+
+    @property
+    def code_words(self) -> int:
+        return sum(p.code_words for p in self.procedures.values())
+
+    @property
+    def total_fixups(self) -> int:
+        return sum(p.fixup_count for p in self.procedures.values())
+
+
+def materialize_program(
+    program: Program,
+    layouts: ProgramLayout,
+    predictors: dict[str, StaticPredictor],
+    *,
+    proc_align_words: int = 8,
+) -> MaterializedProgram:
+    """Materialize every procedure, packing them at aligned addresses.
+
+    Procedures keep program order (interprocedural placement is out of the
+    paper's scope); each starts at a ``proc_align_words``-word boundary, as
+    a linker would align them.
+    """
+    result = MaterializedProgram()
+    address = 0
+    align_bytes = proc_align_words * WORD_BYTES
+    for proc in program:
+        if address % align_bytes:
+            address += align_bytes - address % align_bytes
+        materialized = materialize_procedure(
+            proc.name,
+            proc.cfg,
+            layouts[proc.name],
+            predictors[proc.name],
+            start_address=address,
+        )
+        result.procedures[proc.name] = materialized
+        address = materialized.end_address
+    return result

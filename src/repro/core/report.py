@@ -1,0 +1,144 @@
+"""Human-readable alignment reports.
+
+Turns a layout decision into the story a compiler engineer wants to read:
+which blocks moved, which jumps were deleted or inserted, where fixups
+landed, and which block-ends pay the remaining penalties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import ControlFlowGraph, Program
+from repro.core.costmodel import successor_counts, terminator_cost
+from repro.core.layout import Layout, ProgramLayout, original_layout
+from repro.core.materialize import PhysicalKind, materialize_procedure
+from repro.machine.models import PenaltyModel
+from repro.machine.predictors import StaticPredictor
+from repro.profiles.edge_profile import EdgeProfile, ProgramProfile
+
+
+@dataclass
+class BlockReport:
+    """One block's layout outcome."""
+
+    block_id: int
+    label: str
+    original_position: int
+    new_position: int
+    physical: str                # fallthrough / jump / cond / ...
+    penalty: float
+    note: str = ""
+
+    @property
+    def moved(self) -> bool:
+        return self.original_position != self.new_position
+
+
+@dataclass
+class ProcedureReport:
+    name: str
+    blocks: list[BlockReport] = field(default_factory=list)
+    total_penalty: float = 0.0
+    original_penalty: float = 0.0
+    jumps_deleted: int = 0
+    jumps_inserted: int = 0
+    fixups: int = 0
+
+    @property
+    def blocks_moved(self) -> int:
+        return sum(1 for b in self.blocks if b.moved)
+
+    def rows(self) -> list[list[object]]:
+        return [
+            [
+                b.new_position,
+                b.label or f"b{b.block_id}",
+                b.original_position,
+                b.physical,
+                b.penalty,
+                b.note,
+            ]
+            for b in self.blocks
+        ]
+
+
+def describe_layout(
+    cfg: ControlFlowGraph,
+    layout: Layout,
+    profile: EdgeProfile,
+    model: PenaltyModel,
+    *,
+    name: str = "",
+    predictor: StaticPredictor | None = None,
+) -> ProcedureReport:
+    """Describe one procedure's layout against the original order."""
+    if predictor is None:
+        predictor = StaticPredictor.train(cfg, profile)
+    baseline = original_layout(cfg)
+    original_positions = baseline.positions
+    physical = materialize_procedure(name or "proc", cfg, layout, predictor)
+    successor_map = layout.successor_map()
+
+    report = ProcedureReport(name=name)
+    original_succ = baseline.successor_map()
+    for position, block_id in enumerate(layout.order):
+        block = cfg.block(block_id)
+        counts = successor_counts(profile.counts, block)
+        penalty = terminator_cost(
+            block, counts, predictor.predict(block_id),
+            successor_map[block_id], model,
+        ).total
+        original_penalty = terminator_cost(
+            block, counts, predictor.predict(block_id),
+            original_succ[block_id], model,
+        ).total
+        materialized = physical.block_for(block_id)
+        note = ""
+        if materialized.fixup_target is not None:
+            note = f"fixup -> b{materialized.fixup_target}"
+            report.fixups += 1
+        kind = materialized.kind
+        if kind is PhysicalKind.JUMP and len(block.successors) == 1:
+            # Did the original layout avoid this jump?
+            if original_succ[block_id] == block.successors[0]:
+                note = note or "jump inserted"
+                report.jumps_inserted += 1
+        if kind is PhysicalKind.FALLTHROUGH:
+            if original_succ[block_id] != block.successors[0]:
+                note = note or "jump deleted"
+                report.jumps_deleted += 1
+        report.blocks.append(
+            BlockReport(
+                block_id=block_id,
+                label=block.label,
+                original_position=original_positions[block_id],
+                new_position=position,
+                physical=kind.value,
+                penalty=penalty,
+                note=note,
+            )
+        )
+        report.total_penalty += penalty
+        report.original_penalty += original_penalty
+    return report
+
+
+def describe_program(
+    program: Program,
+    layouts: ProgramLayout,
+    profile: ProgramProfile,
+    model: PenaltyModel,
+) -> dict[str, ProcedureReport]:
+    """Per-procedure reports for a whole program layout."""
+    reports = {}
+    for proc in program:
+        edge_profile = profile.procedures.get(proc.name, EdgeProfile())
+        reports[proc.name] = describe_layout(
+            proc.cfg,
+            layouts[proc.name],
+            edge_profile,
+            model,
+            name=proc.name,
+        )
+    return reports

@@ -1,0 +1,75 @@
+"""Experiment harness: runners, stage timers, and table/figure generators."""
+
+from repro.experiments.appendix import (
+    AppendixStats,
+    InstanceQuality,
+    analyze_instances,
+    esp_scale_instances,
+)
+from repro.experiments.crossval import (
+    CrossValidationSummary,
+    cross_validate,
+    summarize_pair,
+)
+from repro.experiments.export import (
+    case_to_dict,
+    cases_to_json,
+    figure2_to_json,
+    figure3_to_json,
+)
+from repro.experiments.report import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    percent,
+)
+from repro.experiments.runner import (
+    CaseResult,
+    MethodOutcome,
+    ProfiledRun,
+    case_lower_bound,
+    profiled_run,
+    run_case,
+)
+from repro.experiments.stages import StageTimes, time_stages, worst_dataset
+from repro.experiments.tables import (
+    Figure2Data,
+    Figure3Data,
+    figure2_data,
+    figure3_data,
+    table1_rows,
+    table4_rows,
+)
+
+__all__ = [
+    "AppendixStats",
+    "CaseResult",
+    "CrossValidationSummary",
+    "Figure2Data",
+    "Figure3Data",
+    "InstanceQuality",
+    "MethodOutcome",
+    "ProfiledRun",
+    "StageTimes",
+    "analyze_instances",
+    "arithmetic_mean",
+    "case_lower_bound",
+    "case_to_dict",
+    "cases_to_json",
+    "cross_validate",
+    "figure2_to_json",
+    "figure3_to_json",
+    "esp_scale_instances",
+    "figure2_data",
+    "figure3_data",
+    "format_table",
+    "geometric_mean",
+    "percent",
+    "profiled_run",
+    "run_case",
+    "summarize_pair",
+    "table1_rows",
+    "table4_rows",
+    "time_stages",
+    "worst_dataset",
+]

@@ -1,0 +1,65 @@
+"""Cross-validation helpers (§4.2).
+
+Thin wrappers over the runner for the train ≠ test protocol, plus the
+degradation summary quoted in the paper's conclusions: cross-validation
+"slightly reduced the benefits … but the ranking of the algorithms does
+not change, and the bulk of the benefits remain."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import CaseResult, run_case
+
+
+@dataclass
+class CrossValidationSummary:
+    """Self vs cross effectiveness of one method on one case."""
+
+    label: str
+    method: str
+    self_removal: float
+    cross_removal: float
+
+    @property
+    def dilution(self) -> float:
+        """Benefit lost by training on the other data set (fraction of the
+        original penalty)."""
+        return self.self_removal - self.cross_removal
+
+    @property
+    def kept_bulk(self) -> bool:
+        """Did cross-validation keep most of the self-trained benefit?"""
+        if self.self_removal <= 0.02:
+            return True  # nothing to keep (e.g. su2cor-like benchmarks)
+        return self.cross_removal >= 0.5 * self.self_removal
+
+
+def summarize_pair(
+    self_case: CaseResult, cross_case: CaseResult, method: str
+) -> CrossValidationSummary:
+    return CrossValidationSummary(
+        label=self_case.label,
+        method=method,
+        self_removal=1.0 - self_case.normalized_penalty(method),
+        cross_removal=1.0 - cross_case.normalized_penalty(method),
+    )
+
+
+def cross_validate(
+    benchmark: str,
+    test_dataset: str,
+    train_dataset: str,
+    *,
+    methods: tuple[str, ...] = ("original", "greedy", "tsp"),
+    **case_kwargs,
+) -> tuple[CaseResult, CaseResult]:
+    """(self-trained case, cross-trained case) for one benchmark."""
+    self_case = run_case(
+        benchmark, test_dataset, methods=methods, **case_kwargs
+    )
+    cross_case = run_case(
+        benchmark, test_dataset, train_dataset, methods=methods, **case_kwargs
+    )
+    return self_case, cross_case

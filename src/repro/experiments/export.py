@@ -1,0 +1,82 @@
+"""Machine-readable export of experiment results.
+
+The benches write human-readable tables to ``benchmarks/results/``; this
+module serializes the underlying numbers (JSON) so external tooling —
+plotting scripts, dashboards, regression trackers — can consume them
+without re-running the experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.experiments.runner import CaseResult
+from repro.experiments.tables import Figure2Data, Figure3Data
+
+
+def case_to_dict(case: CaseResult) -> dict:
+    """Flatten one case's results."""
+    return {
+        "benchmark": case.benchmark,
+        "dataset": case.dataset,
+        "train_dataset": case.train_dataset,
+        "cross_validated": case.cross_validated,
+        "lower_bound": case.lower_bound,
+        "methods": {
+            name: {
+                "penalty": outcome.penalty,
+                "normalized_penalty": case.normalized_penalty(name),
+                "cycles": outcome.cycles,
+                "normalized_cycles": case.normalized_cycles(name),
+                "redirect": outcome.breakdown.redirect,
+                "mispredict": outcome.breakdown.mispredict,
+                "jump": outcome.breakdown.jump,
+                "icache_misses": outcome.timing.icache_misses,
+                "align_seconds": outcome.align_seconds,
+            }
+            for name, outcome in case.methods.items()
+        },
+    }
+
+
+def cases_to_json(cases: Mapping[str, CaseResult], *, indent: int = 1) -> str:
+    payload = {label: case_to_dict(case) for label, case in cases.items()}
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def figure2_to_json(data: Figure2Data, *, indent: int = 1) -> str:
+    payload = {
+        "cases": {
+            label: case_to_dict(case) for label, case in data.cases.items()
+        },
+        "means": {
+            "greedy_removal": data.mean_greedy_removal,
+            "tsp_removal": data.mean_tsp_removal,
+            "bound_removal": data.mean_bound_removal,
+            "greedy_speedup": data.mean_greedy_speedup,
+            "tsp_speedup": data.mean_tsp_speedup,
+        },
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def figure3_to_json(data: Figure3Data, *, indent: int = 1) -> str:
+    payload = {
+        "self": {
+            label: case_to_dict(case)
+            for label, case in data.self_cases.items()
+        },
+        "cross": {
+            label: case_to_dict(case)
+            for label, case in data.cross_cases.items()
+        },
+        "means": {
+            side: {
+                method: data.mean_removal(method, cross=(side == "cross"))
+                for method in ("greedy", "tsp")
+            }
+            for side in ("self", "cross")
+        },
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

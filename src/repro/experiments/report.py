@@ -1,0 +1,74 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (numbers right-aligned)."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("%", "").replace("x", "")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def percent(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

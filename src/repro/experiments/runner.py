@@ -1,0 +1,245 @@
+"""End-to-end experiment runner.
+
+Drives the full pipeline for one (benchmark, testing-data-set) case,
+optionally cross-validated (train on a sibling data set): compile →
+profile → align (per method) → evaluate penalties → simulate run time.
+Profiling runs are cached per (benchmark, data set) because every figure
+reuses them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.align import align_program
+from repro.core.aligners.tsp_aligner import alignment_lower_bound, tsp_align
+from repro.core.costmodel import CostBreakdown
+from repro.core.evaluate import evaluate_program, train_predictors
+from repro.core.layout import ProgramLayout
+from repro.machine.icache import DirectMappedICache
+from repro.machine.models import ALPHA_21164, PenaltyModel
+from repro.machine.timing import TimingBreakdown, simulate_timing
+from repro.lang.vm import run_and_profile
+from repro.profiles.edge_profile import ProgramProfile
+from repro.profiles.trace import CompactTrace
+from repro.tsp.solve import DEFAULT, Effort
+from repro.workloads.suite import SUITE, compile_benchmark
+
+DEFAULT_METHODS = ("original", "greedy", "tsp")
+
+
+@dataclass
+class ProfiledRun:
+    """A cached profiling run of one benchmark on one data set."""
+
+    benchmark: str
+    dataset: str
+    profile: ProgramProfile
+    trace: CompactTrace
+    instructions: int
+    blocks: int
+    run_seconds: float
+    returned: int
+
+
+@lru_cache(maxsize=None)
+def profiled_run(benchmark: str, dataset: str) -> ProfiledRun:
+    """Execute one benchmark/data-set pair under instrumentation (cached)."""
+    module = compile_benchmark(benchmark)
+    inputs = SUITE[benchmark].inputs(dataset)
+    started = time.perf_counter()
+    result, profile = run_and_profile(module, inputs)
+    elapsed = time.perf_counter() - started
+    assert result.trace is not None
+    compact = CompactTrace(result.trace.trace)
+    return ProfiledRun(
+        benchmark=benchmark,
+        dataset=dataset,
+        profile=profile,
+        trace=compact,
+        instructions=result.instructions_executed,
+        blocks=result.blocks_executed,
+        run_seconds=elapsed,
+        returned=result.returned,
+    )
+
+
+@dataclass
+class MethodOutcome:
+    """One alignment method's results on one case."""
+
+    method: str
+    penalty: float
+    breakdown: CostBreakdown
+    timing: TimingBreakdown
+    align_seconds: float
+    layouts: ProgramLayout
+
+    @property
+    def cycles(self) -> float:
+        return self.timing.total_cycles
+
+
+@dataclass
+class CaseResult:
+    """Everything the tables/figures need for one benchmark case."""
+
+    benchmark: str
+    dataset: str            # the testing data set
+    train_dataset: str      # equals `dataset` unless cross-validating
+    methods: dict[str, MethodOutcome] = field(default_factory=dict)
+    lower_bound: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}.{self.dataset}"
+
+    @property
+    def cross_validated(self) -> bool:
+        return self.dataset != self.train_dataset
+
+    def normalized_penalty(self, method: str) -> float:
+        original = self.methods["original"].penalty
+        if original == 0:
+            return 1.0
+        return self.methods[method].penalty / original
+
+    def normalized_cycles(self, method: str) -> float:
+        original = self.methods["original"].cycles
+        if original == 0:
+            return 1.0
+        return self.methods[method].cycles / original
+
+    @property
+    def normalized_bound(self) -> float:
+        original = self.methods["original"].penalty
+        if original == 0:
+            return 1.0
+        return self.lower_bound / original
+
+
+def run_case(
+    benchmark: str,
+    dataset: str,
+    train_dataset: str | None = None,
+    *,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+    compute_bound: bool = True,
+    icache_bytes: int = 8192,
+    icache_line: int = 32,
+) -> CaseResult:
+    """Run one case: test on ``dataset``, train on ``train_dataset`` (same
+    data set when omitted — the paper's §4.1 configuration)."""
+    train_dataset = train_dataset or dataset
+    module = compile_benchmark(benchmark)
+    program = module.program
+    training = profiled_run(benchmark, train_dataset)
+    testing = (
+        training
+        if train_dataset == dataset
+        else profiled_run(benchmark, dataset)
+    )
+    predictors = train_predictors(program, training.profile)
+
+    case = CaseResult(
+        benchmark=benchmark, dataset=dataset, train_dataset=train_dataset
+    )
+    for method in methods:
+        started = time.perf_counter()
+        layouts = align_program(
+            program,
+            training.profile,
+            method=method,
+            model=model,
+            effort=effort,
+            seed=seed,
+        )
+        align_seconds = time.perf_counter() - started
+        penalty = evaluate_program(
+            program, layouts, testing.profile, model, predictors=predictors
+        )
+        timing = simulate_timing(
+            program,
+            layouts,
+            testing.profile,
+            testing.trace,
+            model,
+            predictors=predictors,
+            icache=DirectMappedICache(icache_bytes, icache_line),
+        )
+        case.methods[method] = MethodOutcome(
+            method=method,
+            penalty=penalty.total,
+            breakdown=penalty.breakdown,
+            timing=timing,
+            align_seconds=align_seconds,
+            layouts=layouts,
+        )
+
+    if compute_bound:
+        case.lower_bound = case_lower_bound(
+            benchmark, dataset, model=model, effort=effort, seed=seed
+        )
+    return case
+
+
+@lru_cache(maxsize=None)
+def run_case_cached(
+    benchmark: str,
+    dataset: str,
+    train_dataset: str | None = None,
+    *,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+) -> CaseResult:
+    """Memoized :func:`run_case` — figures share cases within a session.
+
+    Treat the result as read-only.
+    """
+    return run_case(
+        benchmark,
+        dataset,
+        train_dataset,
+        methods=methods,
+        model=model,
+        effort=effort,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=None)
+def case_lower_bound(
+    benchmark: str,
+    dataset: str,
+    *,
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+) -> float:
+    """Held–Karp lower bound for one case, with TSP tours as the subgradient
+    targets (cached — every figure reuses it)."""
+    module = compile_benchmark(benchmark)
+    run = profiled_run(benchmark, dataset)
+    total = 0.0
+    for index, proc in enumerate(module.program):
+        edge_profile = run.profile.procedures.get(proc.name)
+        if edge_profile is None or edge_profile.total() == 0:
+            continue
+        alignment = tsp_align(
+            proc.cfg, edge_profile, model, effort=effort, seed=seed + index
+        )
+        total += alignment_lower_bound(
+            proc.cfg,
+            edge_profile,
+            model,
+            instance=alignment.instance,
+            upper_bound=alignment.cost,
+        )
+    return total

@@ -1,0 +1,148 @@
+"""Compilation-stage timing (the paper's Table 2).
+
+Times each stage of the pipeline for one benchmark/data-set pair, mirroring
+the paper's columns:
+
+* Intermediate Representation — source → AST → CFG lowering,
+* Instrumented Program — preparing the tracing run (our instrumentation is
+  built into the VM, so this measures trace infrastructure setup),
+* Greedy Program — greedy alignment + materialization,
+* TSP Matrix — §2.2 cost-matrix construction for every procedure,
+* TSP Solver — DTSP solving for every procedure,
+* TSP Program — tour → layout → materialization,
+* Profiling Run Time — the instrumented execution itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.align import align_program
+from repro.core.costmatrix import build_alignment_instance
+from repro.core.evaluate import train_predictors
+from repro.core.layout import ProgramLayout
+from repro.core.materialize import materialize_program
+from repro.lang.lower import compile_source
+from repro.lang.vm import execute
+from repro.machine.models import ALPHA_21164, PenaltyModel
+from repro.profiles.edge_profile import EdgeProfile
+from repro.profiles.trace import TraceBuilder
+from repro.tsp.solve import DEFAULT, Effort, solve_dtsp
+from repro.workloads.suite import SUITE
+
+STAGE_NAMES = (
+    "ir",
+    "instrumented",
+    "greedy_program",
+    "tsp_matrix",
+    "tsp_solver",
+    "tsp_program",
+    "profiling_run",
+)
+
+
+@dataclass
+class StageTimes:
+    """Seconds spent in each pipeline stage for one benchmark case."""
+
+    benchmark: str
+    dataset: str
+    ir: float = 0.0
+    instrumented: float = 0.0
+    greedy_program: float = 0.0
+    tsp_matrix: float = 0.0
+    tsp_solver: float = 0.0
+    tsp_program: float = 0.0
+    profiling_run: float = 0.0
+
+    def as_row(self) -> list[object]:
+        return [
+            self.benchmark,
+            self.dataset,
+            *(round(getattr(self, name), 4) for name in STAGE_NAMES),
+        ]
+
+
+def time_stages(
+    benchmark: str,
+    dataset: str,
+    *,
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+) -> StageTimes:
+    """Measure every pipeline stage, end to end, for one case."""
+    times = StageTimes(benchmark=benchmark, dataset=dataset)
+    spec = SUITE[benchmark]
+    inputs = spec.inputs(dataset)
+
+    started = time.perf_counter()
+    module = compile_source(spec.source)
+    times.ir = time.perf_counter() - started
+
+    started = time.perf_counter()
+    builder = TraceBuilder(keep_events=False)
+    times.instrumented = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = execute(module, inputs, trace=True, keep_events=False)
+    times.profiling_run = time.perf_counter() - started
+    assert result.trace is not None
+    profile_counts = result.trace.edge_counts
+    del builder
+
+    profile = _to_profile(profile_counts)
+    program = module.program
+    predictors = train_predictors(program, profile)
+
+    started = time.perf_counter()
+    greedy_layouts = align_program(program, profile, method="greedy", model=model)
+    materialize_program(program, greedy_layouts, predictors)
+    times.greedy_program = time.perf_counter() - started
+
+    started = time.perf_counter()
+    instances = {}
+    for proc in program:
+        edge_profile = profile.procedures.get(proc.name, EdgeProfile())
+        instances[proc.name] = build_alignment_instance(
+            proc.cfg, edge_profile, model
+        )
+    times.tsp_matrix = time.perf_counter() - started
+
+    started = time.perf_counter()
+    tours = {}
+    for index, (name, instance) in enumerate(instances.items()):
+        tours[name] = solve_dtsp(instance.matrix, effort=effort, seed=seed + index)
+    times.tsp_solver = time.perf_counter() - started
+
+    started = time.perf_counter()
+    layouts = ProgramLayout()
+    for name, instance in instances.items():
+        layouts[name] = instance.layout_from_cycle(tours[name].tour)
+    materialize_program(program, layouts, predictors)
+    times.tsp_program = time.perf_counter() - started
+    return times
+
+
+def _to_profile(edge_counts):
+    from repro.profiles.edge_profile import ProgramProfile
+
+    profile = ProgramProfile()
+    for proc, edges in edge_counts.items():
+        edge_profile = profile.profile(proc)
+        for (src, dst), count in edges.items():
+            edge_profile.add(src, dst, count)
+    return profile
+
+
+def worst_dataset(benchmark: str) -> str:
+    """The longest-running data set (Table 2 reports "the worst data set
+    for each benchmark")."""
+    from repro.experiments.runner import profiled_run
+
+    spec = SUITE[benchmark]
+    return max(
+        spec.dataset_names(),
+        key=lambda ds: profiled_run(benchmark, ds).blocks,
+    )

@@ -1,0 +1,237 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``*_rows`` function returns (headers, rows) ready for
+:func:`repro.experiments.report.format_table`; the benches print them and
+assert the paper's qualitative shape (see EXPERIMENTS.md for the
+paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import arithmetic_mean
+from repro.experiments.runner import CaseResult, profiled_run, run_case_cached
+from repro.workloads.suite import (
+    SUITE,
+    all_cases,
+    compile_benchmark,
+    train_test_pairs,
+)
+
+
+# -- Table 1: benchmark and data-set descriptions ------------------------------
+
+
+def table1_rows() -> tuple[list[str], list[list[object]]]:
+    headers = [
+        "benchmark", "abbr", "description", "dataset",
+        "branch sites touched", "executed branch instructions",
+    ]
+    rows: list[list[object]] = []
+    for benchmark, dataset in all_cases():
+        spec = SUITE[benchmark]
+        run = profiled_run(benchmark, dataset)
+        module_program = compile_benchmark(benchmark).program
+        rows.append([
+            spec.full_name,
+            benchmark,
+            spec.description,
+            dataset,
+            run.profile.branch_sites_touched(module_program),
+            run.profile.executed_branches(module_program),
+        ])
+    return headers, rows
+
+
+# -- Table 4: original penalties, lower bounds, original run times -------------
+
+
+def table4_rows(
+    cases: dict[str, CaseResult],
+) -> tuple[list[str], list[list[object]]]:
+    headers = [
+        "case", "original penalty (cycles)", "lower bound (cycles)",
+        "original time (Mcycles)", "penalty/time",
+    ]
+    rows: list[list[object]] = []
+    for label, case in cases.items():
+        original = case.methods["original"]
+        cycles = original.cycles
+        rows.append([
+            label,
+            original.penalty,
+            case.lower_bound,
+            cycles / 1e6,
+            original.penalty / cycles if cycles else 0.0,
+        ])
+    return headers, rows
+
+
+# -- Figure 2: same training and testing data set ------------------------------
+
+
+@dataclass
+class Figure2Data:
+    """Normalized control penalties and run times, train = test."""
+
+    cases: dict[str, CaseResult] = field(default_factory=dict)
+
+    @property
+    def mean_greedy_removal(self) -> float:
+        return arithmetic_mean(
+            [1.0 - c.normalized_penalty("greedy") for c in self.cases.values()]
+        )
+
+    @property
+    def mean_tsp_removal(self) -> float:
+        return arithmetic_mean(
+            [1.0 - c.normalized_penalty("tsp") for c in self.cases.values()]
+        )
+
+    @property
+    def mean_bound_removal(self) -> float:
+        return arithmetic_mean(
+            [1.0 - c.normalized_bound for c in self.cases.values()]
+        )
+
+    @property
+    def mean_greedy_speedup(self) -> float:
+        return arithmetic_mean(
+            [1.0 - c.normalized_cycles("greedy") for c in self.cases.values()]
+        )
+
+    @property
+    def mean_tsp_speedup(self) -> float:
+        return arithmetic_mean(
+            [1.0 - c.normalized_cycles("tsp") for c in self.cases.values()]
+        )
+
+    def penalty_rows(self) -> tuple[list[str], list[list[object]]]:
+        headers = ["case", "greedy", "tsp", "lower bound"]
+        rows = [
+            [
+                label,
+                case.normalized_penalty("greedy"),
+                case.normalized_penalty("tsp"),
+                case.normalized_bound,
+            ]
+            for label, case in self.cases.items()
+        ]
+        rows.append([
+            "MEAN",
+            1.0 - self.mean_greedy_removal,
+            1.0 - self.mean_tsp_removal,
+            1.0 - self.mean_bound_removal,
+        ])
+        return headers, rows
+
+    def runtime_rows(self) -> tuple[list[str], list[list[object]]]:
+        headers = ["case", "greedy", "tsp"]
+        rows = [
+            [
+                label,
+                case.normalized_cycles("greedy"),
+                case.normalized_cycles("tsp"),
+            ]
+            for label, case in self.cases.items()
+        ]
+        rows.append([
+            "MEAN",
+            1.0 - self.mean_greedy_speedup,
+            1.0 - self.mean_tsp_speedup,
+        ])
+        return headers, rows
+
+
+def figure2_data(**case_kwargs) -> Figure2Data:
+    """Run every benchmark case with train = test (the paper's §4.1)."""
+    data = Figure2Data()
+    for benchmark, dataset in all_cases():
+        case = run_case_cached(benchmark, dataset, **case_kwargs)
+        data.cases[case.label] = case
+    return data
+
+
+# -- Figure 3: cross-validation ------------------------------------------------
+
+
+@dataclass
+class Figure3Data:
+    """Self-trained vs cross-validated penalties and run times."""
+
+    self_cases: dict[str, CaseResult] = field(default_factory=dict)
+    cross_cases: dict[str, CaseResult] = field(default_factory=dict)
+
+    def mean_removal(self, method: str, *, cross: bool) -> float:
+        cases = self.cross_cases if cross else self.self_cases
+        return arithmetic_mean(
+            [1.0 - c.normalized_penalty(method) for c in cases.values()]
+        )
+
+    def mean_speedup(self, method: str, *, cross: bool) -> float:
+        cases = self.cross_cases if cross else self.self_cases
+        return arithmetic_mean(
+            [1.0 - c.normalized_cycles(method) for c in cases.values()]
+        )
+
+    def penalty_rows(self) -> tuple[list[str], list[list[object]]]:
+        headers = [
+            "case", "greedy self", "greedy cross", "tsp self", "tsp cross",
+        ]
+        rows = []
+        for label in self.self_cases:
+            self_case = self.self_cases[label]
+            cross_case = self.cross_cases[label]
+            rows.append([
+                label,
+                self_case.normalized_penalty("greedy"),
+                cross_case.normalized_penalty("greedy"),
+                self_case.normalized_penalty("tsp"),
+                cross_case.normalized_penalty("tsp"),
+            ])
+        rows.append([
+            "MEAN",
+            1.0 - self.mean_removal("greedy", cross=False),
+            1.0 - self.mean_removal("greedy", cross=True),
+            1.0 - self.mean_removal("tsp", cross=False),
+            1.0 - self.mean_removal("tsp", cross=True),
+        ])
+        return headers, rows
+
+    def runtime_rows(self) -> tuple[list[str], list[list[object]]]:
+        headers = [
+            "case", "greedy self", "greedy cross", "tsp self", "tsp cross",
+        ]
+        rows = []
+        for label in self.self_cases:
+            self_case = self.self_cases[label]
+            cross_case = self.cross_cases[label]
+            rows.append([
+                label,
+                self_case.normalized_cycles("greedy"),
+                cross_case.normalized_cycles("greedy"),
+                self_case.normalized_cycles("tsp"),
+                cross_case.normalized_cycles("tsp"),
+            ])
+        rows.append([
+            "MEAN",
+            1.0 - self.mean_speedup("greedy", cross=False),
+            1.0 - self.mean_speedup("greedy", cross=True),
+            1.0 - self.mean_speedup("tsp", cross=False),
+            1.0 - self.mean_speedup("tsp", cross=True),
+        ])
+        return headers, rows
+
+
+def figure3_data(**case_kwargs) -> Figure3Data:
+    """Run every case twice: train = test, and train = sibling data set."""
+    data = Figure3Data()
+    for benchmark, test_dataset, train_dataset in train_test_pairs():
+        self_case = run_case_cached(benchmark, test_dataset, **case_kwargs)
+        cross_case = run_case_cached(
+            benchmark, test_dataset, train_dataset, **case_kwargs
+        )
+        data.self_cases[self_case.label] = self_case
+        data.cross_cases[cross_case.label] = cross_case
+    return data

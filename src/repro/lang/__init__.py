@@ -1,0 +1,26 @@
+"""The tiny benchmark language: lexer → parser → AST → CFG lowering → VM.
+
+This substitutes for the paper's SUIF/C frontend (see DESIGN.md): programs
+written in this language compile to the same CFG representation the aligner
+consumes, and the VM produces real traces and edge profiles from concrete
+inputs.
+"""
+
+from repro.lang.lexer import LangError, Token, tokenize
+from repro.lang.lower import CompiledModule, compile_source, lower_module
+from repro.lang.parser import parse
+from repro.lang.vm import RunResult, VMError, execute, run_and_profile
+
+__all__ = [
+    "CompiledModule",
+    "LangError",
+    "RunResult",
+    "Token",
+    "VMError",
+    "compile_source",
+    "execute",
+    "lower_module",
+    "parse",
+    "run_and_profile",
+    "tokenize",
+]

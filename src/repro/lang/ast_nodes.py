@@ -1,0 +1,176 @@
+"""AST node definitions for the tiny language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit(Node):
+    value: float
+
+
+@dataclass(frozen=True)
+class VarRef(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    array: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str               # '-', '!', '~'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str               # arithmetic / comparison / bitwise
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Logical(Node):
+    op: str               # '&&' or '||' — short-circuit, lowers to CFG
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    name: str
+    args: tuple["Expr", ...]
+
+
+Expr = IntLit | FloatLit | VarRef | Index | Unary | Binary | Logical | Call
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreStmt(Node):
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Node):
+    condition: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class While(Node):
+    condition: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class For(Node):
+    """C-style for loop; any of the three header parts may be absent."""
+
+    init: "Stmt | None"
+    condition: Expr | None
+    step: "Stmt | None"
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class SwitchCase(Node):
+    value: int
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Switch(Node):
+    selector: Expr
+    cases: tuple[SwitchCase, ...]
+    default: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    value: Expr
+
+
+Stmt = (
+    VarDecl | Assign | StoreStmt | If | While | For | Switch | Return
+    | Break | Continue | ExprStmt
+)
+
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionDecl(Node):
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class ArrayDecl(Node):
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class GlobalDecl(Node):
+    name: str
+    initial: int = 0
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    functions: tuple[FunctionDecl, ...]
+    arrays: tuple[ArrayDecl, ...]
+    globals: tuple[GlobalDecl, ...]

@@ -1,0 +1,100 @@
+"""Tokenizer for the tiny benchmark language.
+
+The language exists to generate realistic CFGs and traces (see DESIGN.md §2:
+it substitutes for the paper's SUIF/C frontend).  It is a small, C-like
+imperative language: functions, integers/floats, global scalars and arrays,
+``if``/``while``/``switch``, short-circuit booleans, and three I/O builtins
+(``input``, ``input_len``, ``output``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LangError(Exception):
+    """Raised for lexical, syntactic, or semantic errors in source text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+KEYWORDS = {
+    "fn", "var", "arr", "global", "if", "else", "while", "for", "switch",
+    "case", "default", "return", "break", "continue",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'ident', 'int', 'float', 'op', 'keyword', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}@{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, raising :class:`LangError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                seen_dot = seen_dot or source[i] == "."
+                i += 1
+            text = source[start:i]
+            kind = "float" if "." in text else "int"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise LangError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,373 @@
+"""Recursive-descent parser for the tiny language."""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import LangError, Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).  ``&&``/``||`` are
+#: handled separately because they short-circuit.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._current
+        if not self._check(kind, text):
+            want = text or kind
+            raise LangError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        functions: list[ast.FunctionDecl] = []
+        arrays: list[ast.ArrayDecl] = []
+        globals_: list[ast.GlobalDecl] = []
+        while not self._check("eof"):
+            token = self._current
+            if self._match("keyword", "fn"):
+                functions.append(self._function(token.line))
+            elif self._match("keyword", "arr"):
+                arrays.append(self._array_decl(token.line))
+            elif self._match("keyword", "global"):
+                globals_.append(self._global_decl(token.line))
+            else:
+                raise LangError(
+                    f"expected declaration, found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        return ast.Module(
+            functions=tuple(functions),
+            arrays=tuple(arrays),
+            globals=tuple(globals_),
+        )
+
+    def _function(self, line: int) -> ast.FunctionDecl:
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        params: list[str] = []
+        if not self._check("op", ")"):
+            params.append(self._expect("ident").text)
+            while self._match("op", ","):
+                params.append(self._expect("ident").text)
+        self._expect("op", ")")
+        body = self._block()
+        return ast.FunctionDecl(name=name, params=tuple(params), body=body, line=line)
+
+    def _array_decl(self, line: int) -> ast.ArrayDecl:
+        name = self._expect("ident").text
+        self._expect("op", "[")
+        size_token = self._expect("int")
+        self._expect("op", "]")
+        self._expect("op", ";")
+        size = int(size_token.text)
+        if size <= 0:
+            raise LangError("array size must be positive", size_token.line,
+                            size_token.column)
+        return ast.ArrayDecl(name=name, size=size, line=line)
+
+    def _global_decl(self, line: int) -> ast.GlobalDecl:
+        name = self._expect("ident").text
+        initial = 0
+        if self._match("op", "="):
+            negative = self._match("op", "-") is not None
+            value = int(self._expect("int").text)
+            initial = -value if negative else value
+        self._expect("op", ";")
+        return ast.GlobalDecl(name=name, initial=initial, line=line)
+
+    def _block(self) -> tuple[ast.Stmt, ...]:
+        self._expect("op", "{")
+        statements: list[ast.Stmt] = []
+        while not self._check("op", "}"):
+            statements.append(self._statement())
+        self._expect("op", "}")
+        return tuple(statements)
+
+    def _statement(self) -> ast.Stmt:
+        token = self._current
+        if self._match("keyword", "var"):
+            name = self._expect("ident").text
+            self._expect("op", "=")
+            value = self._expression()
+            self._expect("op", ";")
+            return ast.VarDecl(name=name, value=value, line=token.line)
+        if self._match("keyword", "if"):
+            return self._if_statement(token.line)
+        if self._match("keyword", "while"):
+            self._expect("op", "(")
+            condition = self._expression()
+            self._expect("op", ")")
+            body = self._block()
+            return ast.While(condition=condition, body=body, line=token.line)
+        if self._match("keyword", "for"):
+            self._expect("op", "(")
+            init = None
+            if not self._check("op", ";"):
+                init = self._simple_statement(token.line)
+            self._expect("op", ";")
+            condition = None
+            if not self._check("op", ";"):
+                condition = self._expression()
+            self._expect("op", ";")
+            step = None
+            if not self._check("op", ")"):
+                step = self._simple_statement(token.line)
+            self._expect("op", ")")
+            body = self._block()
+            return ast.For(
+                init=init, condition=condition, step=step, body=body,
+                line=token.line,
+            )
+        if self._match("keyword", "switch"):
+            return self._switch_statement(token.line)
+        if self._match("keyword", "return"):
+            value = None
+            if not self._check("op", ";"):
+                value = self._expression()
+            self._expect("op", ";")
+            return ast.Return(value=value, line=token.line)
+        if self._match("keyword", "break"):
+            self._expect("op", ";")
+            return ast.Break(line=token.line)
+        if self._match("keyword", "continue"):
+            self._expect("op", ";")
+            return ast.Continue(line=token.line)
+        if token.kind == "ident":
+            # Assignment, array store, or expression statement (call).
+            next_token = self._tokens[self._pos + 1]
+            if next_token.kind == "op" and next_token.text == "=":
+                self._advance()
+                self._advance()
+                value = self._expression()
+                self._expect("op", ";")
+                return ast.Assign(name=token.text, value=value, line=token.line)
+            if next_token.kind == "op" and next_token.text == "[":
+                saved = self._pos
+                self._advance()
+                self._advance()
+                index = self._expression()
+                self._expect("op", "]")
+                if self._match("op", "="):
+                    value = self._expression()
+                    self._expect("op", ";")
+                    return ast.StoreStmt(
+                        array=token.text, index=index, value=value,
+                        line=token.line,
+                    )
+                self._pos = saved  # it was an expression like a[i] + ...
+        value = self._expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(value=value, line=token.line)
+
+    def _simple_statement(self, line: int) -> ast.Stmt:
+        """A semicolon-free statement for ``for`` headers: a declaration,
+        an assignment, an array store, or a bare expression."""
+        token = self._current
+        if self._match("keyword", "var"):
+            name = self._expect("ident").text
+            self._expect("op", "=")
+            return ast.VarDecl(
+                name=name, value=self._expression(), line=token.line
+            )
+        if token.kind == "ident":
+            next_token = self._tokens[self._pos + 1]
+            if next_token.kind == "op" and next_token.text == "=":
+                self._advance()
+                self._advance()
+                return ast.Assign(
+                    name=token.text, value=self._expression(), line=token.line
+                )
+            if next_token.kind == "op" and next_token.text == "[":
+                saved = self._pos
+                self._advance()
+                self._advance()
+                index = self._expression()
+                self._expect("op", "]")
+                if self._match("op", "="):
+                    return ast.StoreStmt(
+                        array=token.text, index=index,
+                        value=self._expression(), line=token.line,
+                    )
+                self._pos = saved
+        return ast.ExprStmt(value=self._expression(), line=line)
+
+    def _if_statement(self, line: int) -> ast.If:
+        self._expect("op", "(")
+        condition = self._expression()
+        self._expect("op", ")")
+        then_body = self._block()
+        else_body: tuple[ast.Stmt, ...] = ()
+        if self._match("keyword", "else"):
+            if self._check("keyword", "if"):
+                inner = self._current
+                self._advance()
+                else_body = (self._if_statement(inner.line),)
+            else:
+                else_body = self._block()
+        return ast.If(
+            condition=condition, then_body=then_body, else_body=else_body,
+            line=line,
+        )
+
+    def _switch_statement(self, line: int) -> ast.Switch:
+        self._expect("op", "(")
+        selector = self._expression()
+        self._expect("op", ")")
+        self._expect("op", "{")
+        cases: list[ast.SwitchCase] = []
+        default: tuple[ast.Stmt, ...] = ()
+        seen_default = False
+        seen_values: set[int] = set()
+        while not self._check("op", "}"):
+            token = self._current
+            if self._match("keyword", "case"):
+                negative = self._match("op", "-") is not None
+                value_token = self._expect("int")
+                value = int(value_token.text)
+                if negative:
+                    value = -value
+                if value in seen_values:
+                    raise LangError(
+                        f"duplicate case {value}", value_token.line,
+                        value_token.column,
+                    )
+                seen_values.add(value)
+                self._expect("op", ":")
+                body = self._case_body()
+                cases.append(
+                    ast.SwitchCase(value=value, body=body, line=token.line)
+                )
+            elif self._match("keyword", "default"):
+                if seen_default:
+                    raise LangError("duplicate default", token.line, token.column)
+                seen_default = True
+                self._expect("op", ":")
+                default = self._case_body()
+            else:
+                raise LangError(
+                    f"expected 'case' or 'default', found {token.text!r}",
+                    token.line, token.column,
+                )
+        self._expect("op", "}")
+        return ast.Switch(
+            selector=selector, cases=tuple(cases), default=default, line=line,
+        )
+
+    def _case_body(self) -> tuple[ast.Stmt, ...]:
+        """Statements until the next case/default/closing brace.  Cases do
+        not fall through (each arm implicitly breaks)."""
+        statements: list[ast.Stmt] = []
+        while not (
+            self._check("op", "}")
+            or self._check("keyword", "case")
+            or self._check("keyword", "default")
+        ):
+            statements.append(self._statement())
+        return tuple(statements)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expression(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self._current
+            if token.kind != "op":
+                break
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                break
+            self._advance()
+            right = self._expression(precedence + 1)
+            if token.text in ("&&", "||"):
+                left = ast.Logical(
+                    op=token.text, left=left, right=right, line=token.line
+                )
+            else:
+                left = ast.Binary(
+                    op=token.text, left=left, right=right, line=token.line
+                )
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self._advance()
+            return ast.Unary(op=token.text, operand=self._unary(), line=token.line)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._advance()
+        if token.kind == "int":
+            return ast.IntLit(value=int(token.text), line=token.line)
+        if token.kind == "float":
+            return ast.FloatLit(value=float(token.text), line=token.line)
+        if token.kind == "op" and token.text == "(":
+            inner = self._expression()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "ident":
+            if self._match("op", "("):
+                args: list[ast.Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._expression())
+                    while self._match("op", ","):
+                        args.append(self._expression())
+                self._expect("op", ")")
+                return ast.Call(name=token.text, args=tuple(args), line=token.line)
+            if self._match("op", "["):
+                index = self._expression()
+                self._expect("op", "]")
+                return ast.Index(array=token.text, index=index, line=token.line)
+            return ast.VarRef(name=token.text, line=token.line)
+        raise LangError(
+            f"expected expression, found {token.text or token.kind!r}",
+            token.line, token.column,
+        )
+
+
+def parse(source: str) -> ast.Module:
+    """Parse source text into a :class:`~repro.lang.ast_nodes.Module`."""
+    return Parser(tokenize(source)).parse_module()

@@ -1,0 +1,244 @@
+"""Block-level virtual machine for compiled tiny-language modules.
+
+The VM is the profiling substrate: it executes a
+:class:`~repro.lang.lower.CompiledModule` on concrete inputs and records the
+block-level execution trace and exact per-procedure edge counts through a
+:class:`~repro.profiles.trace.TraceBuilder` — the moral equivalent of the
+paper's HALT-instrumented profiling runs.
+
+Semantics: integers are unbounded Python ints (``/`` and ``%`` floor like
+Python, documented as a dialect choice); floats are IEEE doubles;
+conditions treat any non-zero value as true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.blocks import TerminatorKind
+from repro.lang.lexer import LangError
+from repro.lang.lower import CompiledModule
+from repro.profiles.edge_profile import ProgramProfile
+from repro.profiles.trace import TraceBuilder
+
+
+class VMError(LangError):
+    """Raised for runtime errors (bad index, division by zero, runaway)."""
+
+
+def _div(a, b):
+    if b == 0:
+        raise VMError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        return a // b
+    return a / b
+
+
+def _mod(a, b):
+    if b == 0:
+        raise VMError("modulo by zero")
+    return a % b
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _div,
+    "%": _mod,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+}
+
+_UNOPS = {
+    "-": lambda a: -a,
+    "!": lambda a: 0 if a else 1,
+    "~": lambda a: ~a,
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one VM run."""
+
+    returned: int
+    outputs: list = field(default_factory=list)
+    blocks_executed: int = 0
+    instructions_executed: int = 0
+    trace: TraceBuilder | None = None
+
+
+def execute(
+    module: CompiledModule,
+    inputs: list[int] | None = None,
+    *,
+    trace: bool = True,
+    keep_events: bool = True,
+    keep_transitions: bool = False,
+    max_blocks: int = 5_000_000,
+    max_call_depth: int = 500,
+) -> RunResult:
+    """Run ``module`` on ``inputs``; returns outputs, counters, and trace."""
+    program = module.program
+    inputs = list(inputs or [])
+    n_inputs = len(inputs)
+    globals_: dict[str, object] = dict(module.globals_init)
+    arrays = {name: [0] * size for name, size in module.arrays.items()}
+    outputs: list = []
+    builder = (
+        TraceBuilder(keep_events=keep_events, keep_transitions=keep_transitions)
+        if trace
+        else None
+    )
+
+    counters = {"blocks": 0, "instructions": 0}
+
+    def resolve(operand, frame):
+        tag = operand[0]
+        if tag == "l":
+            return frame[operand[1]]
+        if tag == "c":
+            return operand[1]
+        return globals_[operand[1]]
+
+    def write(dst, value, frame):
+        if dst[0] == "l":
+            frame[dst[1]] = value
+        else:
+            globals_[dst[1]] = value
+
+    def call(fname: str, args: list, depth: int):
+        if depth > max_call_depth:
+            raise VMError(f"call depth exceeded ({max_call_depth})")
+        cfg = program[fname].cfg
+        frame = [0] * module.frame_sizes[fname]
+        frame[: len(args)] = args
+        if builder is not None:
+            builder.enter(fname)
+        block_id = cfg.entry
+        while True:
+            counters["blocks"] += 1
+            if counters["blocks"] > max_blocks:
+                raise VMError(f"execution exceeded {max_blocks} blocks")
+            if builder is not None:
+                builder.visit(block_id)
+            block = cfg.block(block_id)
+            for ins in block.instructions:
+                counters["instructions"] += 1
+                op = ins[0]
+                if op == "mov":
+                    write(ins[1], resolve(ins[2], frame), frame)
+                elif op == "bin":
+                    try:
+                        value = _BINOPS[ins[1]](
+                            resolve(ins[3], frame), resolve(ins[4], frame)
+                        )
+                    except TypeError as exc:
+                        raise VMError(
+                            f"invalid operand types for {ins[1]!r}: {exc}"
+                        ) from exc
+                    write(ins[2], value, frame)
+                elif op == "un":
+                    try:
+                        value = _UNOPS[ins[1]](resolve(ins[3], frame))
+                    except TypeError as exc:
+                        raise VMError(
+                            f"invalid operand type for {ins[1]!r}: {exc}"
+                        ) from exc
+                    write(ins[2], value, frame)
+                elif op == "load":
+                    array = arrays[ins[2]]
+                    index = resolve(ins[3], frame)
+                    if not 0 <= index < len(array):
+                        raise VMError(
+                            f"array index {index} out of bounds for "
+                            f"{ins[2]!r}[{len(array)}]"
+                        )
+                    write(ins[1], array[index], frame)
+                elif op == "store":
+                    array = arrays[ins[1]]
+                    index = resolve(ins[2], frame)
+                    if not 0 <= index < len(array):
+                        raise VMError(
+                            f"array index {index} out of bounds for "
+                            f"{ins[1]!r}[{len(array)}]"
+                        )
+                    array[index] = resolve(ins[3], frame)
+                elif op == "call":
+                    args_values = [resolve(a, frame) for a in ins[3]]
+                    write(ins[1], call(ins[2], args_values, depth + 1), frame)
+                elif op == "in":
+                    index = resolve(ins[2], frame)
+                    if not 0 <= index < n_inputs:
+                        raise VMError(f"input index {index} out of bounds")
+                    write(ins[1], inputs[index], frame)
+                elif op == "inlen":
+                    write(ins[1], n_inputs, frame)
+                elif op == "out":
+                    outputs.append(resolve(ins[1], frame))
+                else:  # pragma: no cover - lowering emits only known ops
+                    raise VMError(f"unknown instruction {op!r}")
+
+            term = block.terminator
+            kind = term.kind
+            if kind is TerminatorKind.RETURN:
+                value = resolve(term.operand, frame) if term.operand else 0
+                if builder is not None:
+                    builder.leave()
+                return value
+            if kind is TerminatorKind.UNCONDITIONAL:
+                block_id = term.targets[0]
+            elif kind is TerminatorKind.CONDITIONAL:
+                condition = resolve(term.operand, frame)
+                block_id = term.targets[0] if condition else term.targets[1]
+            else:  # MULTIWAY jump table
+                selector, base = term.operand
+                offset = resolve(selector, frame) - base
+                if 0 <= offset < len(term.targets) - 1:
+                    block_id = term.targets[offset]
+                else:
+                    block_id = term.targets[-1]
+
+    returned = call(program.main, [], 0)
+    result = RunResult(
+        returned=returned,
+        outputs=outputs,
+        blocks_executed=counters["blocks"],
+        instructions_executed=counters["instructions"],
+        trace=builder,
+    )
+    return result
+
+
+def run_and_profile(
+    module: CompiledModule,
+    inputs: list[int] | None = None,
+    *,
+    keep_events: bool = True,
+    max_blocks: int = 5_000_000,
+) -> tuple[RunResult, ProgramProfile]:
+    """Execute and return (result, edge profile) — the common profiling call."""
+    result = execute(
+        module, inputs, trace=True, keep_events=keep_events, max_blocks=max_blocks
+    )
+    assert result.trace is not None
+    profile = ProgramProfile()
+    for proc, edges in result.trace.edge_counts.items():
+        edge_profile = profile.profile(proc)
+        for (src, dst), count in edges.items():
+            edge_profile.add(src, dst, count)
+    for proc in module.program:
+        profile.call_counts[proc.name] = result.trace.activation_counts.get(
+            proc.name, 0
+        )
+    profile.call_pairs = dict(result.trace.call_pair_counts)
+    return result, profile

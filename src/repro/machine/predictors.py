@@ -1,0 +1,101 @@
+"""Branch predictors.
+
+The paper's alignment cost model assumes *static* prediction: "the processor
+always predicts the most common CFG successor of a basic block" (§3.3).
+:class:`StaticPredictor` implements exactly that, trained on a profile.
+
+The dynamic predictors (2-bit bimodal table, branch target buffer) implement
+the paper's §6 future-work suggestion — "a trace-driven simulation of the
+branch prediction hardware in the target machine" — and back the A4 ablation
+bench.  They operate on per-procedure transition streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.profiles.edge_profile import EdgeProfile
+
+
+@dataclass
+class StaticPredictor:
+    """Profile-trained static most-likely-successor prediction.
+
+    ``predictions[block_id]`` is the predicted successor block of each block
+    that executed in training.  Blocks never seen in training predict their
+    first CFG successor (the frontend's fall-through arm), matching what a
+    compiler emits when it has no information.
+    """
+
+    predictions: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def train(cls, cfg: ControlFlowGraph, profile: EdgeProfile) -> "StaticPredictor":
+        predictions: dict[int, int] = {}
+        for block in cfg:
+            successors = block.successors
+            if not successors:
+                continue
+            predicted = profile.most_frequent_successor(block.block_id)
+            if predicted is None or predicted not in successors:
+                predicted = successors[0]
+            predictions[block.block_id] = predicted
+        return cls(predictions)
+
+    def predict(self, block_id: int) -> int | None:
+        return self.predictions.get(block_id)
+
+
+class BimodalPredictor:
+    """Per-site 2-bit saturating-counter direction predictor (Smith 1981).
+
+    Keyed by block id (a perfect, alias-free table; aliasing is a
+    second-order effect the paper also sets aside, §6 footnote).  The counter
+    predicts taken when >= 2.  ``predict``/``update`` work in terms of the
+    *taken* arm of a conditional, i.e. target slot 0.
+    """
+
+    def __init__(self, initial: int = 2):
+        if not 0 <= initial <= 3:
+            raise ValueError("2-bit counter initial value must be in [0, 3]")
+        self._initial = initial
+        self._counters: dict[int, int] = {}
+
+    def predict_taken(self, site: int) -> bool:
+        return self._counters.get(site, self._initial) >= 2
+
+    def update(self, site: int, taken: bool) -> None:
+        counter = self._counters.get(site, self._initial)
+        counter = min(3, counter + 1) if taken else max(0, counter - 1)
+        self._counters[site] = counter
+
+
+class BranchTargetBuffer:
+    """A direct-mapped branch target buffer (Lee & Smith 1984).
+
+    Caches the last target of redirecting CTIs; a redirect whose target is
+    found in the BTB avoids the misfetch penalty.  Indexed by block id modulo
+    the number of entries, with tag checking, so capacity aliasing is
+    modeled.
+    """
+
+    def __init__(self, entries: int = 256):
+        if entries <= 0:
+            raise ValueError("BTB needs at least one entry")
+        self.entries = entries
+        self._slots: dict[int, tuple[int, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, site: int, actual_target: int) -> bool:
+        """True (hit) when the BTB would have supplied ``actual_target``."""
+        index = site % self.entries
+        slot = self._slots.get(index)
+        hit = slot is not None and slot == (site, actual_target)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._slots[index] = (site, actual_target)
+        return hit

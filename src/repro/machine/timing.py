@@ -1,0 +1,148 @@
+"""Trace-driven execution-time simulation.
+
+This is the repo's substitute for the paper's AlphaStation wall-clock runs
+(§3, §4).  Simulated time decomposes as:
+
+    cycles = instruction issue cycles            (1 per executed word,
+                                                  including CTIs and fixups)
+           + control stall cycles                (misfetch / mispredict
+                                                  stalls under the penalty
+                                                  model — the paper's
+                                                  "control penalties" minus
+                                                  the jump issue cycles,
+                                                  which are already in the
+                                                  first term)
+           + instruction-cache miss stalls       (direct-mapped I-cache over
+                                                  the laid-out fetch stream)
+
+The third term is deliberately *not* part of the alignment cost model —
+reproducing the paper's finding that layouts shift cache behaviour in ways
+the control-penalty model does not see ("good branch alignments also appear
+to be good for caching", §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cfg.graph import Program
+from repro.core.costmodel import successor_counts, terminator_cost
+from repro.core.evaluate import train_predictors
+from repro.core.layout import ProgramLayout
+from repro.core.materialize import MaterializedProgram, materialize_program
+from repro.machine.icache import DirectMappedICache
+from repro.machine.models import PenaltyModel
+from repro.machine.predictors import StaticPredictor
+from typing import Iterable
+
+from repro.profiles.edge_profile import ProgramProfile
+
+
+@dataclass
+class TimingBreakdown:
+    """Simulated cycles by mechanism."""
+
+    instruction_cycles: float = 0.0
+    control_stall_cycles: float = 0.0
+    icache_stall_cycles: float = 0.0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.instruction_cycles
+            + self.control_stall_cycles
+            + self.icache_stall_cycles
+        )
+
+
+def _stall_model(model: PenaltyModel) -> PenaltyModel:
+    """The penalty model with the unconditional-jump *issue* cycle removed
+    (it is counted in instruction cycles during timing simulation)."""
+    return replace(model, unconditional=max(model.unconditional - 1.0, 0.0))
+
+
+def simulate_timing(
+    program: Program,
+    layouts: ProgramLayout,
+    profile: ProgramProfile,
+    trace: Iterable[tuple[str, int]],
+    model: PenaltyModel,
+    *,
+    predictors: dict[str, StaticPredictor] | None = None,
+    icache: DirectMappedICache | None = None,
+    materialized: MaterializedProgram | None = None,
+) -> TimingBreakdown:
+    """Simulate one run's execution time under a layout.
+
+    ``profile`` and ``trace`` describe the *testing* run being timed;
+    ``predictors`` (trained on the *training* profile) define both the
+    static predictions and the fixup directions baked into the binary.
+    """
+    if predictors is None:
+        predictors = train_predictors(program, profile)
+    if materialized is None:
+        materialized = materialize_program(program, layouts, predictors)
+    if icache is None:
+        icache = DirectMappedICache()
+
+    breakdown = TimingBreakdown()
+    stall_model = _stall_model(model)
+
+    for proc in program:
+        edge_profile = profile.procedures.get(proc.name)
+        if edge_profile is None:
+            continue
+        physical = materialized[proc.name]
+        blocks = proc.cfg
+        # Instruction issue cycles: executed words per block visit, plus
+        # one word per execution of each fixup jump.
+        visits: dict[int, int] = {}
+        for (src, dst), count in edge_profile.counts.items():
+            visits[dst] = visits.get(dst, 0) + count
+        entry_visits = profile.call_counts.get(proc.name, 0)
+        visits[blocks.entry] = visits.get(blocks.entry, 0) + entry_visits
+        for block_id, count in visits.items():
+            breakdown.instruction_cycles += count * physical.block_for(block_id).words
+        for block_id in blocks.block_ids:
+            physical_block = physical.block_for(block_id)
+            if physical_block.fixup_target is not None:
+                breakdown.instruction_cycles += edge_profile.count(
+                    block_id, physical_block.fixup_target
+                )
+        # Control stalls (analytic — exact for static prediction).
+        successor_map = layouts[proc.name].successor_map()
+        predictor = predictors[proc.name]
+        for block in blocks:
+            counts = successor_counts(edge_profile.counts, block)
+            if not counts:
+                continue
+            breakdown.control_stall_cycles += terminator_cost(
+                block,
+                counts,
+                predictor.predict(block.block_id),
+                successor_map[block.block_id],
+                stall_model,
+            ).total
+
+    # Instruction-cache replay over the flat fetch stream.  Fixup jumps are
+    # fetched inline: when block b1 is followed (same procedure) by its
+    # fixup's target, the fall-through ran through the fixup block first.
+    last: tuple[str, int] | None = None
+    for proc_name, block_id in trace:
+        physical = materialized[proc_name]
+        if last is not None and last[0] == proc_name:
+            previous = physical.block_for(last[1])
+            if previous.fixup_target == block_id:
+                fixup = physical.fixup_after(last[1])
+                if fixup is not None:
+                    icache.fetch(fixup.address, fixup.words)
+        physical_block = physical.block_for(block_id)
+        icache.fetch(physical_block.address, physical_block.words)
+        last = (proc_name, block_id)
+
+    breakdown.icache_accesses = icache.stats.accesses
+    breakdown.icache_misses = icache.stats.misses
+    breakdown.icache_stall_cycles = icache.stats.misses * model.icache_miss_cycles
+    return breakdown

@@ -1,0 +1,197 @@
+"""Edge-frequency profiles.
+
+An :class:`EdgeProfile` holds, for one procedure, the execution count of each
+CFG edge from a training run.  This is the sole dynamic input to branch
+alignment (§2 of the paper: "Once the program input is fixed, the resulting
+execution trace is fixed as well").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.cfg.blocks import TerminatorKind
+from repro.cfg.graph import ControlFlowGraph, Program
+
+
+class ProfileError(Exception):
+    """Raised when a profile is inconsistent with the CFG it describes."""
+
+
+@dataclass
+class EdgeProfile:
+    """Per-procedure edge execution counts."""
+
+    counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def count(self, src: int, dst: int) -> int:
+        return self.counts.get((src, dst), 0)
+
+    def add(self, src: int, dst: int, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("edge counts must be non-negative")
+        key = (src, dst)
+        self.counts[key] = self.counts.get(key, 0) + n
+
+    def out_counts(self, src: int) -> dict[int, int]:
+        """Counts of every profiled edge leaving ``src``."""
+        return {
+            dst: n for (s, dst), n in self.counts.items() if s == src and n > 0
+        }
+
+    def block_entry_count(self, block_id: int, entry: int | None = None) -> int:
+        """Times ``block_id`` was entered via CFG edges (plus procedure calls
+        when it is the entry block — only derivable with block counts; here
+        we return in-edge flow only)."""
+        return sum(n for (_, dst), n in self.counts.items() if dst == block_id)
+
+    def block_exit_count(self, block_id: int) -> int:
+        return sum(n for (src, _), n in self.counts.items() if src == block_id)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def scaled(self, factor: float) -> "EdgeProfile":
+        """A copy with all counts scaled and rounded (used by tests)."""
+        return EdgeProfile(
+            {k: int(round(v * factor)) for k, v in self.counts.items()}
+        )
+
+    def most_frequent_successor(self, src: int) -> int | None:
+        """The statically predicted successor of ``src``: the CFG successor
+        with the highest training count (ties broken by smaller block id, so
+        prediction is deterministic).  ``None`` when ``src`` never executed.
+        """
+        outs = self.out_counts(src)
+        if not outs:
+            return None
+        return min(outs, key=lambda dst: (-outs[dst], dst))
+
+    def check_against(self, cfg: ControlFlowGraph) -> None:
+        """Raise :class:`ProfileError` if any profiled edge is not a CFG edge."""
+        for (src, dst), n in self.counts.items():
+            if n == 0:
+                continue
+            if src not in cfg or dst not in cfg:
+                raise ProfileError(f"profiled edge ({src},{dst}) has unknown block")
+            if dst not in cfg.successors(src):
+                raise ProfileError(
+                    f"profiled edge ({src},{dst}) is not a CFG edge"
+                )
+
+
+@dataclass
+class ProgramProfile:
+    """Whole-program profile: one :class:`EdgeProfile` per procedure, plus
+    procedure call counts (how many times each procedure was entered)."""
+
+    procedures: dict[str, EdgeProfile] = field(default_factory=dict)
+    call_counts: dict[str, int] = field(default_factory=dict)
+    #: Dynamic call graph: (caller, callee) -> call count.
+    call_pairs: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def profile(self, proc: str) -> EdgeProfile:
+        return self.procedures.setdefault(proc, EdgeProfile())
+
+    def __getitem__(self, proc: str) -> EdgeProfile:
+        return self.procedures[proc]
+
+    def __contains__(self, proc: str) -> bool:
+        return proc in self.procedures
+
+    def check_against(self, program: Program) -> None:
+        for name, profile in self.procedures.items():
+            if name not in program:
+                raise ProfileError(f"profiled procedure {name!r} not in program")
+            try:
+                profile.check_against(program[name].cfg)
+            except ProfileError as exc:
+                raise ProfileError(f"procedure {name!r}: {exc}") from exc
+
+    # -- paper statistics ---------------------------------------------------
+
+    def branch_sites_touched(self, program: Program) -> int:
+        """Table 1's "Branch Sites Touched": conditional/multiway blocks
+        executed at least once under this profile."""
+        touched = 0
+        for proc in program:
+            profile = self.procedures.get(proc.name)
+            if profile is None:
+                continue
+            for block_id in proc.branch_sites():
+                if profile.block_exit_count(block_id) > 0:
+                    touched += 1
+        return touched
+
+    def executed_branches(self, program: Program) -> int:
+        """Table 1's "Executed Branch Instructions": dynamic executions of
+        conditional/multiway terminators."""
+        total = 0
+        for proc in program:
+            profile = self.procedures.get(proc.name)
+            if profile is None:
+                continue
+            cfg = proc.cfg
+            for block in cfg:
+                if block.kind in (
+                    TerminatorKind.CONDITIONAL,
+                    TerminatorKind.MULTIWAY,
+                ):
+                    total += profile.block_exit_count(block.block_id)
+        return total
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "call_counts": self.call_counts,
+            "call_pairs": [
+                [caller, callee, n]
+                for (caller, callee), n in sorted(self.call_pairs.items())
+            ],
+            "procedures": {
+                name: [[src, dst, n] for (src, dst), n in sorted(p.counts.items())]
+                for name, p in self.procedures.items()
+            },
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProgramProfile":
+        payload = json.loads(text)
+        profile = cls(call_counts=dict(payload.get("call_counts", {})))
+        for caller, callee, n in payload.get("call_pairs", []):
+            profile.call_pairs[(caller, callee)] = int(n)
+        for name, triples in payload.get("procedures", {}).items():
+            edge_profile = profile.profile(name)
+            for src, dst, n in triples:
+                edge_profile.add(int(src), int(dst), int(n))
+        return profile
+
+
+def merge_profiles(profiles: Iterable[ProgramProfile]) -> ProgramProfile:
+    """Sum several profiles (e.g. multiple training inputs)."""
+    merged = ProgramProfile()
+    for profile in profiles:
+        for name, edge_profile in profile.procedures.items():
+            target = merged.profile(name)
+            for (src, dst), n in edge_profile.counts.items():
+                target.add(src, dst, n)
+        for name, n in profile.call_counts.items():
+            merged.call_counts[name] = merged.call_counts.get(name, 0) + n
+    return merged
+
+
+def profile_from_counts(
+    counts: Mapping[str, Mapping[tuple[int, int], int]],
+    call_counts: Mapping[str, int] | None = None,
+) -> ProgramProfile:
+    """Build a :class:`ProgramProfile` from nested dicts (test convenience)."""
+    profile = ProgramProfile(call_counts=dict(call_counts or {}))
+    for name, edges in counts.items():
+        edge_profile = profile.profile(name)
+        for (src, dst), n in edges.items():
+            edge_profile.add(src, dst, n)
+    return profile

@@ -1,0 +1,115 @@
+"""Exact DTSP solving by assignment-based branch and bound.
+
+Carpaneto–Toth-style subtour branching: solve the assignment relaxation at
+each node; if the cycle cover is a single tour it is optimal for the node,
+otherwise branch on the arcs of the shortest subtour (child k forbids arc k
+and commits arcs 1..k-1).  With a good initial upper bound (we use iterated
+3-Opt) this certifies optimality on the mid-sized alignment instances the
+bitmask DP (n ≤ 16) cannot reach — the appendix bench uses it to measure
+true AP/HK gaps, and the test suite uses it to validate the heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tsp.assignment import CycleCover, solve_assignment
+from repro.tsp.instance import check_matrix, tour_cost, tour_from_successors
+from repro.tsp.iterated import iterated_three_opt
+
+
+@dataclass
+class BnBResult:
+    """Outcome of a branch-and-bound run."""
+
+    tour: list[int]
+    cost: float
+    optimal: bool          # False when the node budget ran out
+    nodes: int
+
+
+def _cycle_cover(matrix: np.ndarray, forbid: float) -> CycleCover:
+    work = matrix.copy()
+    np.fill_diagonal(work, forbid)
+    match, total = solve_assignment(work)
+    return CycleCover(successor=match, cost=total)
+
+
+def branch_and_bound(
+    matrix: np.ndarray,
+    *,
+    upper_bound: float | None = None,
+    initial_tour: list[int] | None = None,
+    max_nodes: int = 50_000,
+    seed: int = 0,
+) -> BnBResult:
+    """Solve the DTSP exactly (within ``max_nodes`` subproblems).
+
+    Returns the best tour found and whether optimality was proved.  The
+    initial incumbent comes from ``initial_tour`` or a quick iterated 3-Opt.
+    """
+    matrix = check_matrix(matrix)
+    n = matrix.shape[0]
+    forbid = float(np.abs(matrix).max()) * n * 4.0 + 1.0
+
+    if initial_tour is None:
+        heur = iterated_three_opt(
+            matrix, starts=("greedy", "identity"), iterations=n, seed=seed
+        )
+        best_tour, best_cost = heur.tour, heur.cost
+    else:
+        best_tour = list(initial_tour)
+        best_cost = tour_cost(matrix, best_tour)
+    if upper_bound is not None:
+        best_cost = min(best_cost, upper_bound)
+
+    nodes = 0
+    optimal = True
+    # Each stack entry is the modified matrix of the subproblem.  Matrices
+    # are small (alignment instances are a few hundred cities at most), so
+    # copying beats bookkeeping.
+    root = matrix.copy()
+    stack: list[np.ndarray] = [root]
+    eps = 1e-9
+
+    while stack:
+        if nodes >= max_nodes:
+            optimal = False
+            break
+        work = stack.pop()
+        nodes += 1
+        cover = _cycle_cover(work, forbid)
+        if cover.cost >= best_cost - eps or cover.cost >= forbid:
+            continue
+        cycles = cover.cycles()
+        if len(cycles) == 1:
+            tour = tour_from_successors(cover.successor, start=0)
+            true_cost = tour_cost(matrix, tour)
+            if true_cost < best_cost - eps:
+                best_cost = true_cost
+                best_tour = tour
+            continue
+        shortest = min(cycles, key=len)
+        arcs = [
+            (city, int(cover.successor[city]))
+            for city in shortest
+        ]
+        committed: list[tuple[int, int]] = []
+        for src, dst in arcs:
+            child = work.copy()
+            for csrc, cdst in committed:
+                # Commit arc: forbid every alternative leaving csrc or
+                # entering cdst.
+                row = child[csrc].copy()
+                child[csrc, :] = forbid
+                child[csrc, cdst] = row[cdst]
+                col = child[:, cdst].copy()
+                child[:, cdst] = forbid
+                child[csrc, cdst] = col[csrc]
+            child[src, dst] = forbid
+            stack.append(child)
+            committed.append((src, dst))
+
+    return BnBResult(tour=best_tour, cost=best_cost, optimal=optimal, nodes=nodes)

@@ -1,0 +1,86 @@
+"""DTSP instances and tour primitives.
+
+A DTSP instance is just a square cost matrix ``matrix[i, j]`` = cost of the
+directed edge i→j, plus a ``big`` sentinel marking forbidden edges (used by
+the alignment reduction to anchor the walk).  Tours are city-index lists
+interpreted cyclically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TSPError(Exception):
+    """Raised for malformed instances or tours."""
+
+
+def check_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise TSPError(f"cost matrix must be square, got shape {matrix.shape}")
+    if matrix.shape[0] < 2:
+        raise TSPError("need at least two cities")
+    if not np.isfinite(matrix).all():
+        raise TSPError("cost matrix must be finite (use a BIG value, not inf)")
+    return matrix
+
+
+def check_tour(tour: list[int], n: int) -> None:
+    if sorted(tour) != list(range(n)):
+        raise TSPError(f"tour is not a permutation of {n} cities")
+
+
+def tour_cost(matrix: np.ndarray, tour: list[int]) -> float:
+    """Cost of the Hamiltonian cycle visiting ``tour`` in order."""
+    total = 0.0
+    for a, b in zip(tour, tour[1:]):
+        total += matrix[a, b]
+    total += matrix[tour[-1], tour[0]]
+    return float(total)
+
+
+def path_cost(matrix: np.ndarray, order: list[int]) -> float:
+    """Cost of the open walk visiting ``order`` in order."""
+    return float(sum(matrix[a, b] for a, b in zip(order, order[1:])))
+
+
+def successor_array(tour: list[int]) -> np.ndarray:
+    """``succ[city]`` = city following it in the cyclic tour."""
+    n = len(tour)
+    succ = np.empty(n, dtype=np.int64)
+    for i, city in enumerate(tour):
+        succ[city] = tour[(i + 1) % n]
+    return succ
+
+
+def tour_from_successors(succ: np.ndarray, start: int = 0) -> list[int]:
+    n = len(succ)
+    tour = [start]
+    city = int(succ[start])
+    while city != start:
+        tour.append(city)
+        if len(tour) > n:
+            raise TSPError("successor array does not describe one cycle")
+        city = int(succ[city])
+    if len(tour) != n:
+        raise TSPError("successor array does not describe one cycle")
+    return tour
+
+
+def out_neighbor_lists(matrix: np.ndarray, k: int) -> np.ndarray:
+    """``neigh[i]`` = up to ``k`` cities j ≠ i sorted by ascending c(i, j).
+
+    The local search uses these as candidate new-edge endpoints."""
+    n = matrix.shape[0]
+    k = min(k, n - 1)
+    costs = matrix.copy()
+    np.fill_diagonal(costs, np.inf)
+    order = np.argsort(costs, axis=1, kind="stable")
+    return order[:, :k].astype(np.int64)
+
+
+def random_tour(n: int, rng) -> list[int]:
+    tour = list(range(n))
+    rng.shuffle(tour)
+    return tour

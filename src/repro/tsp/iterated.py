@@ -1,0 +1,125 @@
+"""Iterated 3-Opt (Martin–Otto–Felten large-step Markov chains).
+
+Each *run* starts from a construction tour, descends to a 3-opt local
+optimum, and then repeats: random double-bridge kick (the orientation-
+preserving 4-opt move, legal for directed tours), re-descend, keep the
+result when it is no worse.  Following the paper's appendix, the full
+"paper effort" configuration performs 10 runs per instance — 5 randomized
+Greedy starts, 4 randomized Nearest-Neighbor starts, 1 compiler-order start
+— of 2N iterations each, and returns the best tour found.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tsp.construction import (
+    greedy_edge_tour,
+    identity_tour,
+    nearest_neighbor_tour,
+)
+from repro.tsp.instance import check_matrix, tour_cost
+from repro.tsp.local_search import ThreeOptSearch
+
+
+def double_bridge(tour: list[int], rng: random.Random) -> list[int]:
+    """The classic 4-opt double-bridge kick: A B C D → A C B D.
+
+    Preserves every segment's orientation, so it is directly usable on
+    directed tours.
+    """
+    n = len(tour)
+    if n < 8:
+        # Tiny tours: rotate-and-swap two random cities instead.
+        kicked = list(tour)
+        if n >= 4:
+            i, j = rng.sample(range(1, n), 2)
+            kicked[i], kicked[j] = kicked[j], kicked[i]
+        return kicked
+    cuts = sorted(rng.sample(range(1, n), 3))
+    i, j, k = cuts
+    return tour[:i] + tour[j:k] + tour[i:j] + tour[k:]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one iterated-3-opt run."""
+
+    start_kind: str
+    cost: float
+    iterations: int
+
+
+@dataclass
+class SolveResult:
+    """Best tour over all runs, plus per-run outcomes for the appendix
+    stability statistics ("on 128 of the 179 procedures [the best tour] was
+    found on all 10 runs")."""
+
+    tour: list[int]
+    cost: float
+    runs: list[RunResult] = field(default_factory=list)
+
+    @property
+    def runs_finding_best(self) -> int:
+        return sum(1 for r in self.runs if r.cost <= self.cost + 1e-6)
+
+
+def _construct(kind: str, matrix: np.ndarray, rng: random.Random) -> list[int]:
+    n = matrix.shape[0]
+    if kind == "greedy":
+        return greedy_edge_tour(matrix, rng, jitter=0.15)
+    if kind == "nn":
+        return nearest_neighbor_tour(matrix, rng, candidates=3)
+    if kind == "identity":
+        return identity_tour(n)
+    if kind == "patch":
+        # AP + Karp patching: strong on instances with a small AP gap
+        # (imported here to avoid an import cycle with patching).
+        from repro.tsp.patching import patched_tour
+
+        tour, _ = patched_tour(matrix)
+        return tour
+    raise ValueError(f"unknown start kind {kind!r}")
+
+
+def iterated_three_opt(
+    matrix: np.ndarray,
+    *,
+    starts: tuple[str, ...] = ("greedy", "nn", "identity"),
+    iterations: int | None = None,
+    neighbors: int = 12,
+    seed: int = 0,
+) -> SolveResult:
+    """Run iterated 3-opt from each start; return the best tour found.
+
+    ``iterations`` is the number of kick/re-descend steps per run; the
+    paper uses 2N (pass ``None`` for that default).
+    """
+    matrix = check_matrix(matrix)
+    n = matrix.shape[0]
+    rng = random.Random(seed)
+    search = ThreeOptSearch(matrix, neighbors=neighbors)
+    kicks = 2 * n if iterations is None else iterations
+
+    best_tour: list[int] | None = None
+    best_cost = float("inf")
+    runs: list[RunResult] = []
+    for start_kind in starts:
+        current, _ = search.optimize(_construct(start_kind, matrix, rng))
+        current_cost = tour_cost(matrix, current)
+        run_best = current_cost
+        for _ in range(kicks):
+            candidate, _ = search.optimize(double_bridge(current, rng))
+            candidate_cost = tour_cost(matrix, candidate)
+            if candidate_cost <= current_cost + 1e-9:
+                current, current_cost = candidate, candidate_cost
+                run_best = min(run_best, current_cost)
+        runs.append(RunResult(start_kind, run_best, kicks))
+        if current_cost < best_cost:
+            best_tour, best_cost = current, current_cost
+    assert best_tour is not None
+    return SolveResult(tour=best_tour, cost=best_cost, runs=runs)

@@ -1,0 +1,97 @@
+"""Directed Or-opt local search.
+
+Or-opt (Or 1976) relocates short segments (1–3 cities) without reversing
+them — the classic *cheap* directed improvement move, and a strict subset
+of the directed 3-opt neighborhood in :mod:`repro.tsp.local_search`.  It
+exists here as the low rung of the solver ladder: when alignment must be
+fast (JIT-ish budgets), Or-opt over a greedy start captures much of the
+benefit at a fraction of 3-opt's cost, and the A2-style comparisons can
+quantify exactly how much is left on the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tsp.instance import check_matrix, out_neighbor_lists, tour_cost
+
+_EPS = 1e-9
+
+
+def or_opt(
+    matrix: np.ndarray,
+    tour: list[int],
+    *,
+    max_segment: int = 3,
+    neighbors: int = 10,
+) -> tuple[list[int], float]:
+    """Improve ``tour`` by segment relocation to a local optimum.
+
+    For every segment of length 1..``max_segment`` the candidate insertion
+    points come from the out-neighbor lists of the segment's predecessor
+    (cities it would like to be followed by) — first-improvement, repeated
+    until no move applies.
+    """
+    matrix = check_matrix(matrix)
+    n = matrix.shape[0]
+    if n < 4:
+        return list(tour), tour_cost(matrix, tour)
+    neigh = out_neighbor_lists(matrix, neighbors)
+    tour = list(tour)
+
+    improved = True
+    while improved:
+        improved = False
+        pos = {city: i for i, city in enumerate(tour)}
+        for start_index in range(n):
+            if improved:
+                break
+            for length in range(1, max_segment + 1):
+                if improved:
+                    break
+                # Segment S = tour[start .. start+length-1] (cyclic).
+                segment = [
+                    tour[(start_index + k) % n] for k in range(length)
+                ]
+                before = tour[(start_index - 1) % n]
+                after = tour[(start_index + length) % n]
+                if before in segment or after in segment:
+                    continue  # segment covers (almost) the whole tour
+                removed = (
+                    matrix[before, segment[0]]
+                    + matrix[segment[-1], after]
+                )
+                bridge = matrix[before, after]
+                head, tail = segment[0], segment[-1]
+                for candidate in neigh[tail]:
+                    target = int(candidate)
+                    # Insert S so that `tail -> target`: between pred(target)
+                    # and target.
+                    if target in segment or target == after:
+                        continue
+                    anchor = tour[(pos[target] - 1) % n]
+                    if anchor in segment or anchor == before:
+                        continue
+                    added = (
+                        bridge
+                        + matrix[anchor, head]
+                        + matrix[tail, target]
+                    )
+                    delta = added - removed - matrix[anchor, target]
+                    if delta < -_EPS:
+                        _relocate(tour, pos, segment, anchor)
+                        improved = True
+                        break
+    return tour, tour_cost(matrix, tour)
+
+
+def _relocate(
+    tour: list[int], pos: dict[int, int], segment: list[int], anchor: int
+) -> None:
+    """Move ``segment`` (contiguous, cyclic) to directly after ``anchor``."""
+    remaining = [city for city in tour if city not in set(segment)]
+    at = remaining.index(anchor)
+    new_tour = remaining[: at + 1] + segment + remaining[at + 1:]
+    tour[:] = new_tour
+    pos.clear()
+    pos.update({city: i for i, city in enumerate(tour)})

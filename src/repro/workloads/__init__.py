@@ -1,0 +1,31 @@
+"""Workloads: the six tiny-language benchmarks (Table 1) and synthetic CFGs."""
+
+from repro.workloads.suite import (
+    SUITE,
+    BenchmarkSpec,
+    all_cases,
+    benchmark_datasets,
+    compile_benchmark,
+    train_test_pairs,
+)
+from repro.workloads.synthetic import (
+    GeneratorConfig,
+    random_biases,
+    random_procedure,
+    random_program,
+    synthetic_workload,
+)
+
+__all__ = [
+    "SUITE",
+    "BenchmarkSpec",
+    "GeneratorConfig",
+    "all_cases",
+    "benchmark_datasets",
+    "compile_benchmark",
+    "random_biases",
+    "random_procedure",
+    "random_program",
+    "synthetic_workload",
+    "train_test_pairs",
+]

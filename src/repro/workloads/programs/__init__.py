@@ -1,0 +1,1 @@
+"""Benchmark programs written in the tiny language (one module each)."""

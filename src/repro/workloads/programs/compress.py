@@ -1,0 +1,137 @@
+"""``com`` — an LZSS-style compressor (stands in for 026.compress).
+
+Like the SPEC Lempel–Ziv compressor, the hot code is a match-search loop
+over a sliding window with highly biased conditionals (most positions do
+not extend a match) plus a literal/token emission path.  Two data sets
+mirror the paper's: ``in`` (program text: skewed, repetitive bytes) and
+``st`` (movie data: smoother, noisier stream).
+"""
+
+from __future__ import annotations
+
+import random
+
+SOURCE = """
+// LZSS compressor: 4096-byte window, linear candidate chains via a
+// 256-entry head table on the current byte.
+arr window[4096];
+arr head[256];
+global emitted = 0;
+global literals = 0;
+global matches = 0;
+
+fn emit_literal(b) {
+  output(b);
+  literals = literals + 1;
+  emitted = emitted + 1;
+  return 0;
+}
+
+fn emit_match(dist, len) {
+  output(4096 + dist);
+  output(len);
+  matches = matches + 1;
+  emitted = emitted + 2;
+  return 0;
+}
+
+fn match_length(src, cand, limit) {
+  var len = 0;
+  while (len < limit && len < 18) {
+    if (input(cand + len) != input(src + len)) {
+      return len;
+    }
+    len = len + 1;
+  }
+  return len;
+}
+
+fn main() {
+  var n = input_len();
+  var i = 0;
+  while (i < 256) { head[i] = 0 - 1; i = i + 1; }
+  var pos = 0;
+  while (pos < n) {
+    var byte = input(pos);
+    var best_len = 0;
+    var best_dist = 0;
+    var cand = head[byte];
+    var tries = 0;
+    while (cand >= 0 && tries < 8) {
+      if (pos - cand < 4096) {
+        var len = match_length(pos, cand, n - pos);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - cand;
+        }
+      } else {
+        cand = 0 - 1;
+      }
+      if (cand >= 0) {
+        // Walk back through the window chain (previous same-byte position).
+        var back = cand - 1;
+        var found = 0 - 1;
+        while (back >= 0 && back > cand - 64 && found < 0) {
+          if (input(back) == byte) { found = back; }
+          back = back - 1;
+        }
+        cand = found;
+      }
+      tries = tries + 1;
+    }
+    if (best_len >= 3) {
+      emit_match(best_dist, best_len);
+      var k = 0;
+      while (k < best_len) {
+        head[input(pos + k)] = pos + k;
+        k = k + 1;
+      }
+      pos = pos + best_len;
+    } else {
+      emit_literal(byte);
+      head[byte] = pos;
+      pos = pos + 1;
+    }
+  }
+  output(literals);
+  output(matches);
+  return emitted;
+}
+"""
+
+
+def dataset_in(size: int = 2600) -> list[int]:
+    """'Program text': repetitive keyword-like byte stream."""
+    rng = random.Random(0xC0DE)
+    words = [
+        [105, 110, 116, 32],                     # "int "
+        [119, 104, 105, 108, 101, 40],           # "while("
+        [114, 101, 116, 117, 114, 110, 32],      # "return "
+        [105, 102, 32, 40],                      # "if ("
+        [32, 32, 32, 32],                        # indentation
+        [125, 10],                               # "}\n"
+    ]
+    data: list[int] = []
+    while len(data) < size:
+        if rng.random() < 0.75:
+            data.extend(rng.choice(words))
+        else:
+            data.append(rng.randrange(97, 123))
+    return data[:size]
+
+
+def dataset_st(size: int = 2600) -> list[int]:
+    """'Movie data': smooth stream with local correlation and noise."""
+    rng = random.Random(0x57A6E)
+    data: list[int] = []
+    value = 128
+    while len(data) < size:
+        value = (value + rng.randrange(-9, 10)) % 256
+        data.append(value)
+        if rng.random() < 0.08:
+            run = rng.randrange(4, 12)
+            data.extend([value] * run)
+    return data[:size]
+
+
+DATASETS = {"in": dataset_in, "st": dataset_st}

@@ -1,0 +1,115 @@
+"""``dod`` — an iterative grid relaxation kernel (stands in for 015.doduc).
+
+Doduc is a Monte-Carlo thermohydraulics simulation: numeric loop nests with
+many biased conditionals (range clamps, convergence tests, region
+dispatch).  This kernel relaxes a 1-D rod temperature profile in fixed-
+point arithmetic, with per-cell material dispatch and clamping — alignment
+removes a large share of its penalties, as the paper observed for doduc
+(~2/3 removed).  Data sets: ``re`` (reference: long run) and ``sm``
+(small input).
+"""
+
+from __future__ import annotations
+
+SOURCE = """
+// Fixed-point (x1000) heat relaxation over a rod with per-cell materials.
+arr temp[512];
+arr material[512];
+arr source_term[512];
+global cells = 0;
+global steps_done = 0;
+
+fn conductivity(kind, t) {
+  // Material dispatch: a small dense switch (becomes a jump table).
+  switch (kind) {
+    case 0: return 840 + t / 5000;
+    case 1: return 520 - t / 8000;
+    case 2: return 1200;
+    case 3: return 300 + t / 2000;
+    case 4: return 90;
+    default: return 600;
+  }
+}
+
+fn clamp(v, lo, hi) {
+  if (v < lo) { return lo; }
+  if (v > hi) { return hi; }
+  return v;
+}
+
+fn relax_pass(alpha) {
+  var moved = 0;
+  var i = 1;
+  while (i < cells - 1) {
+    var t = temp[i];
+    var k = conductivity(material[i], t);
+    var flux = (temp[i - 1] + temp[i + 1] - 2 * t) * k / 10000;
+    var next = t + alpha * flux / 2000 + source_term[i];
+    next = clamp(next, 250000, 400000);
+    var delta = next - t;
+    if (delta < 0) { delta = 0 - delta; }
+    if (delta > 40) { moved = moved + 1; }
+    temp[i] = next;
+    i = i + 1;
+  }
+  return moved;
+}
+
+fn boundary_step(step) {
+  // Oscillating boundary condition with rare regime switches.
+  var phase = step % 97;
+  if (phase < 90) {
+    temp[0] = 300000 + phase * 350;
+  } else {
+    temp[0] = 260000;
+  }
+  temp[cells - 1] = 295000;
+  return 0;
+}
+
+fn main() {
+  cells = input(0);
+  var max_steps = input(1);
+  var i = 0;
+  while (i < cells) {
+    temp[i] = 290000 + (i * 137) % 9000;
+    material[i] = input(2 + i % (input_len() - 2));
+    source_term[i] = (i * 31) % 45;
+    i = i + 1;
+  }
+  var step = 0;
+  var moved = 1;
+  while (step < max_steps && moved > 0) {
+    boundary_step(step);
+    moved = relax_pass(800);
+    steps_done = steps_done + 1;
+    step = step + 1;
+  }
+  output(steps_done);
+  output(temp[cells / 2]);
+  return steps_done;
+}
+"""
+
+
+def dataset_re() -> list[int]:
+    """Reference input: 220 cells, up to 160 steps, mixed materials."""
+    import random
+
+    rng = random.Random(0xD0D)
+    materials = [rng.choices(range(6), weights=[5, 3, 2, 2, 1, 1])[0]
+                 for _ in range(64)]
+    return [220, 160, *materials]
+
+
+def dataset_sm() -> list[int]:
+    """Small input: 60 cells, up to 40 steps, two materials dominate."""
+    import random
+
+    rng = random.Random(0x5A)
+    materials = [rng.choices(range(6), weights=[8, 4, 1, 0, 0, 1])[0]
+                 for _ in range(32)]
+    return [60, 40, *materials]
+
+
+DATASETS = {"re": dataset_re, "sm": dataset_sm}

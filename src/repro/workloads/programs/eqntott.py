@@ -1,0 +1,146 @@
+"""``eqn`` — boolean equations to truth tables (stands in for 023.eqntott).
+
+Eqntott enumerates variable assignments and evaluates boolean expressions.
+Here the expressions arrive as postfix bytecode in the input stream; the
+kernel iterates all 2^v assignments, evaluating each expression with a
+small stack machine whose opcode dispatch is a sparse if-chain, then
+accumulates ON-set statistics.  Data sets ``fx`` and ``ip`` are different
+equation suites (mirroring the fixed-to-float encoder vs. the SPEC ref
+input).
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Expression bytecode opcodes (values chosen sparse on purpose so the
+#: dispatch lowers to an if-chain, unlike xlisp's dense jump table).
+OP_VAR = 3      # push variable <arg>
+OP_NOT = 11
+OP_AND = 17
+OP_OR = 23
+OP_XOR = 31
+OP_END = 40
+
+SOURCE = """
+// Truth-table generation for postfix boolean expressions.
+// Input layout: [num_vars, num_exprs, expr stream (op arg op arg ... 40)].
+arr stack[64];
+arr expr_offsets[32];
+global on_count = 0;
+global minterms = 0;
+
+fn eval_expr(offset, assignment) {
+  var sp = 0;
+  var pc = offset;
+  var op = input(pc);
+  while (op != 40) {
+    var arg = input(pc + 1);
+    if (op == 3) {
+      stack[sp] = (assignment >> arg) & 1;
+      sp = sp + 1;
+    } else {
+      if (op == 11) {
+        stack[sp - 1] = 1 - stack[sp - 1];
+      } else {
+        var b = stack[sp - 1];
+        var a = stack[sp - 2];
+        sp = sp - 1;
+        if (op == 17) {
+          stack[sp - 1] = a & b;
+        } else {
+          if (op == 23) {
+            stack[sp - 1] = a | b;
+          } else {
+            stack[sp - 1] = a ^ b;
+          }
+        }
+      }
+    }
+    pc = pc + 2;
+    op = input(pc);
+  }
+  return stack[0];
+}
+
+fn scan_offsets(num_exprs) {
+  // Expressions start at index 2 and are terminated by opcode 40.
+  var pc = 2;
+  var e = 0;
+  while (e < num_exprs) {
+    expr_offsets[e] = pc;
+    while (input(pc) != 40) { pc = pc + 2; }
+    pc = pc + 2;
+    e = e + 1;
+  }
+  return pc;
+}
+
+fn main() {
+  var num_vars = input(0);
+  var num_exprs = input(1);
+  scan_offsets(num_exprs);
+  var rows = 1 << num_vars;
+  var assignment = 0;
+  while (assignment < rows) {
+    var e = 0;
+    var row_on = 0;
+    while (e < num_exprs) {
+      if (eval_expr(expr_offsets[e], assignment)) {
+        on_count = on_count + 1;
+        row_on = row_on + 1;
+      }
+      e = e + 1;
+    }
+    if (row_on == num_exprs) { minterms = minterms + 1; }
+    assignment = assignment + 1;
+  }
+  output(on_count);
+  output(minterms);
+  return on_count;
+}
+"""
+
+
+def _random_expression(rng: random.Random, num_vars: int, size: int) -> list[int]:
+    """A random postfix expression with proper stack discipline."""
+    code: list[int] = []
+    depth = 0
+    for _ in range(size):
+        if depth >= 2 and rng.random() < 0.45:
+            op = rng.choice([OP_AND, OP_OR, OP_XOR])
+            code.extend([op, 0])
+            depth -= 1
+        elif depth >= 1 and rng.random() < 0.2:
+            code.extend([OP_NOT, 0])
+        else:
+            code.extend([OP_VAR, rng.randrange(num_vars)])
+            depth += 1
+    while depth > 1:
+        code.extend([rng.choice([OP_AND, OP_OR]), 0])
+        depth -= 1
+    if depth == 0:
+        code.extend([OP_VAR, 0])
+    code.extend([OP_END, 0])
+    return code
+
+
+def _dataset(seed: int, num_vars: int, num_exprs: int, size: int) -> list[int]:
+    rng = random.Random(seed)
+    stream = [num_vars, num_exprs]
+    for _ in range(num_exprs):
+        stream.extend(_random_expression(rng, num_vars, size))
+    return stream
+
+
+def dataset_fx() -> list[int]:
+    """Fixed-to-float-encoder flavour: fewer, deeper expressions."""
+    return _dataset(0xF1, num_vars=8, num_exprs=6, size=24)
+
+
+def dataset_ip() -> list[int]:
+    """SPEC-ref flavour: more, shallower expressions."""
+    return _dataset(0x1B, num_vars=8, num_exprs=10, size=12)
+
+
+DATASETS = {"fx": dataset_fx, "ip": dataset_ip}

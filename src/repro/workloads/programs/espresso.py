@@ -1,0 +1,166 @@
+"""``esp`` — a two-level cover reducer (stands in for 008.espresso).
+
+Espresso minimizes boolean function covers by repeatedly expanding,
+merging, and absorbing implicant cubes.  This kernel works on cubes in the
+classic 2-bit-per-variable encoding packed into integers, performing
+distance-1 merge and containment-absorption passes until a fixed point —
+the same flavour of irregular, pointer-free, deeply branchy logic.  Data
+sets ``ti`` and ``tl`` are different cover suites.
+"""
+
+from __future__ import annotations
+
+import random
+
+SOURCE = """
+// Cube cover minimization.  A cube packs v variables at 2 bits each:
+// 01 = positive literal, 10 = negative literal, 11 = don't-care.
+// Input: [num_vars, num_cubes, cube0, cube1, ...].
+arr cover[256];
+arr alive[256];
+global num_vars = 0;
+global num_cubes = 0;
+global merges = 0;
+global absorptions = 0;
+
+fn var_mask(v) {
+  return 3 << (2 * v);
+}
+
+fn contains(big, small) {
+  // big contains small when every literal of big covers small's.
+  return (big & small) == small;
+}
+
+fn merge_distance_one(a, b) {
+  // If cubes differ in exactly one variable where their parts OR to 11,
+  // return the merged cube, else -1.
+  var diff = a ^ b;
+  var v = 0;
+  var seen = 0;
+  var merged = a | b;
+  while (v < num_vars) {
+    var m = var_mask(v);
+    if ((diff & m) != 0) {
+      seen = seen + 1;
+      if ((merged & m) != m) { return 0 - 1; }
+    }
+    v = v + 1;
+  }
+  if (seen == 1) { return merged; }
+  return 0 - 1;
+}
+
+fn absorption_pass() {
+  var removed = 0;
+  var i = 0;
+  while (i < num_cubes) {
+    if (alive[i]) {
+      var j = 0;
+      while (j < num_cubes) {
+        if (alive[j] && i != j) {
+          if (contains(cover[j], cover[i])) {
+            alive[i] = 0;
+            absorptions = absorptions + 1;
+            removed = removed + 1;
+            j = num_cubes;
+          } else {
+            j = j + 1;
+          }
+        } else {
+          j = j + 1;
+        }
+      }
+    }
+    i = i + 1;
+  }
+  return removed;
+}
+
+fn merge_pass() {
+  var found = 0;
+  var i = 0;
+  while (i < num_cubes) {
+    if (alive[i]) {
+      var j = i + 1;
+      while (j < num_cubes) {
+        if (alive[j]) {
+          var merged = merge_distance_one(cover[i], cover[j]);
+          if (merged >= 0) {
+            cover[i] = merged;
+            alive[j] = 0;
+            merges = merges + 1;
+            found = found + 1;
+          }
+        }
+        j = j + 1;
+      }
+    }
+    i = i + 1;
+  }
+  return found;
+}
+
+fn count_alive() {
+  var count = 0;
+  var i = 0;
+  while (i < num_cubes) {
+    if (alive[i]) { count = count + 1; }
+    i = i + 1;
+  }
+  return count;
+}
+
+fn main() {
+  num_vars = input(0);
+  num_cubes = input(1);
+  var i = 0;
+  while (i < num_cubes) {
+    cover[i] = input(2 + i);
+    alive[i] = 1;
+    i = i + 1;
+  }
+  var changed = 1;
+  var rounds = 0;
+  while (changed > 0 && rounds < 40) {
+    var merged = merge_pass();
+    var absorbed = absorption_pass();
+    changed = merged + absorbed;
+    rounds = rounds + 1;
+  }
+  output(count_alive());
+  output(merges);
+  output(absorptions);
+  return count_alive();
+}
+"""
+
+
+def _random_cube(rng: random.Random, num_vars: int, care_prob: float) -> int:
+    cube = 0
+    for v in range(num_vars):
+        if rng.random() < care_prob:
+            part = rng.choice([0b01, 0b10])
+        else:
+            part = 0b11
+        cube |= part << (2 * v)
+    return cube
+
+
+def _dataset(seed: int, num_vars: int, num_cubes: int, care_prob: float) -> list[int]:
+    rng = random.Random(seed)
+    cubes = [_random_cube(rng, num_vars, care_prob) for _ in range(num_cubes)]
+    return [num_vars, num_cubes, *cubes]
+
+
+def dataset_ti() -> list[int]:
+    """ti: denser cover with more don't-cares (merges happen often)."""
+    return _dataset(0x71, num_vars=10, num_cubes=110, care_prob=0.55)
+
+
+def dataset_tl() -> list[int]:
+    """tl: sparser, more specific cubes (absorption dominates)."""
+    return _dataset(0x7E, num_vars=12, num_cubes=90, care_prob=0.8)
+
+
+DATASETS = {"ti": dataset_ti, "tl": dataset_tl}

@@ -1,0 +1,112 @@
+"""``su2`` — a lattice sweep kernel (stands in for 089.su2cor).
+
+Su2cor is a quantum-physics Monte-Carlo code dominated by long stretches of
+straight-line floating-point arithmetic; its ratio of control penalties to
+execution time is very low, and the paper found branch alignment has
+"virtually no effect" on it.  This kernel reproduces that profile: large
+arithmetic basic blocks inside regular loop nests, with only rare
+data-dependent branches (an acceptance test).  Data sets: ``re``
+(reference lattice) and ``sh`` (short run).
+"""
+
+from __future__ import annotations
+
+SOURCE = """
+// Pseudo heat-bath sweeps over a 1-D lattice of 'spins' in fixed point.
+arr lattice[1024];
+global size = 0;
+global accepts = 0;
+global rng_state = 12345;
+
+fn next_random() {
+  rng_state = (rng_state * 1103515245 + 12345) % 2147483648;
+  return rng_state;
+}
+
+fn site_energy(i) {
+  // Deliberately long straight-line block: one big arithmetic expression
+  // chain with no internal control flow (su2cor's signature shape).
+  var left = lattice[i - 1];
+  var right = lattice[i + 1];
+  var center = lattice[i];
+  var a = center * 3 - left - right;
+  var b = a * a / 1000;
+  var c = b + left * right / 500;
+  var d = c - center * (left + right) / 800;
+  var e = d + (center * center) / 1200;
+  var f = e * 7 / 9;
+  var g = f + (left - right) * (left - right) / 2000;
+  var h = g - center / 3;
+  var k = h * 11 / 13 + 42;
+  var m = k + b / 7 - c / 11;
+  var p = m * 3 / 5 + d / 17;
+  var q = p + e / 23 - f / 29;
+  return q;
+}
+
+fn sweep(beta) {
+  var i = 1;
+  while (i < size - 1) {
+    var old_energy = site_energy(i);
+    var proposal = lattice[i] + (next_random() % 2001) - 1000;
+    var saved = lattice[i];
+    lattice[i] = proposal;
+    var new_energy = site_energy(i);
+    var delta = new_energy - old_energy;
+    // The one data-dependent branch: Metropolis acceptance.
+    if (delta * beta < (next_random() % 1000000)) {
+      accepts = accepts + 1;
+    } else {
+      lattice[i] = saved;
+    }
+    i = i + 1;
+  }
+  return accepts;
+}
+
+fn correlation(distance) {
+  var total = 0;
+  var i = 0;
+  while (i + distance < size) {
+    total = total + lattice[i] * lattice[i + distance] / 1000;
+    i = i + 1;
+  }
+  return total;
+}
+
+fn main() {
+  size = input(0);
+  var sweeps = input(1);
+  var beta = input(2);
+  var i = 0;
+  while (i < size) {
+    lattice[i] = (i * 97) % 512 - 256;
+    i = i + 1;
+  }
+  var s = 0;
+  while (s < sweeps) {
+    sweep(beta);
+    s = s + 1;
+  }
+  var d = 1;
+  while (d < 8) {
+    output(correlation(d));
+    d = d + 1;
+  }
+  output(accepts);
+  return accepts;
+}
+"""
+
+
+def dataset_re() -> list[int]:
+    """Reference: 420-site lattice, 26 sweeps."""
+    return [420, 26, 340]
+
+
+def dataset_sh() -> list[int]:
+    """Short: 140-site lattice, 10 sweeps."""
+    return [140, 10, 260]
+
+
+DATASETS = {"re": dataset_re, "sh": dataset_sh}

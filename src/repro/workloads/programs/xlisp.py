@@ -1,0 +1,280 @@
+"""``xli`` — a bytecode interpreter (stands in for 022.li, xlisp).
+
+Interpreters are the classic multiway-branch workload: the hot loop is an
+opcode dispatch, which lowers to a dense jump table (a register branch, the
+paper's Table 3 third kind).  The interpreter below executes a 16-opcode
+stack bytecode; the two data sets mirror the paper's: ``ne`` runs Newton's
+method (a very short run — and, as in the paper, a poor training input) and
+``q7`` solves the 7-queens problem (long-running backtracking search).
+
+Input stream layout: ``[code_len, code..., data...]`` where each bytecode
+instruction is two words (op, arg).
+"""
+
+from __future__ import annotations
+
+# Opcode map (dense 0..15 so the dispatch becomes a jump table).
+HALT, PUSH, LOAD, STORE, ADD, SUB, MUL, DIV = range(8)
+JMP, JZ, JNZ, LT, DUP, OUT, ALOAD, ASTORE = range(8, 16)
+
+SOURCE = """
+// A 16-opcode stack-machine interpreter.
+// Machine state: operand stack, 32 scalar variables, 256-cell memory.
+arr stack[128];
+arr vars[32];
+arr mem[256];
+global executed = 0;
+
+fn interp(code_len) {
+  var pc = 0;
+  var sp = 0;
+  var running = 1;
+  while (running) {
+    var op = input(1 + 2 * pc);
+    var arg = input(2 + 2 * pc);
+    pc = pc + 1;
+    executed = executed + 1;
+    switch (op) {
+      case 0:
+        running = 0;
+      case 1:
+        stack[sp] = arg; sp = sp + 1;
+      case 2:
+        stack[sp] = vars[arg]; sp = sp + 1;
+      case 3:
+        sp = sp - 1; vars[arg] = stack[sp];
+      case 4:
+        sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp];
+      case 5:
+        sp = sp - 1; stack[sp - 1] = stack[sp - 1] - stack[sp];
+      case 6:
+        sp = sp - 1; stack[sp - 1] = stack[sp - 1] * stack[sp];
+      case 7:
+        sp = sp - 1;
+        if (stack[sp] == 0) { running = 0; } else {
+          stack[sp - 1] = stack[sp - 1] / stack[sp];
+        }
+      case 8:
+        pc = arg;
+      case 9:
+        sp = sp - 1;
+        if (stack[sp] == 0) { pc = arg; }
+      case 10:
+        sp = sp - 1;
+        if (stack[sp] != 0) { pc = arg; }
+      case 11:
+        sp = sp - 1;
+        if (stack[sp - 1] < stack[sp]) { stack[sp - 1] = 1; }
+        else { stack[sp - 1] = 0; }
+      case 12:
+        stack[sp] = stack[sp - 1]; sp = sp + 1;
+      case 13:
+        sp = sp - 1; output(stack[sp]);
+      case 14:
+        stack[sp - 1] = mem[stack[sp - 1]];
+      case 15:
+        sp = sp - 2; mem[stack[sp + 1]] = stack[sp];
+    }
+  }
+  return executed;
+}
+
+fn main() {
+  var code_len = input(0);
+  interp(code_len);
+  output(executed);
+  return executed;
+}
+"""
+
+
+class Assembler:
+    """Two-word-per-instruction assembler with labels, for test programs."""
+
+    def __init__(self) -> None:
+        self._instructions: list[tuple[int, int | str]] = []
+        self._labels: dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    def emit(self, op: int, arg: int | str = 0) -> None:
+        self._instructions.append((op, arg))
+
+    def assemble(self) -> list[int]:
+        stream: list[int] = [len(self._instructions)]
+        for op, arg in self._instructions:
+            if isinstance(arg, str):
+                arg = self._labels[arg]
+            stream.extend([op, arg])
+        return stream
+
+
+def newton_program(values: list[int]) -> list[int]:
+    """Newton's method integer square roots of ``values``.
+
+    vars: 0 = x (target), 1 = guess, 2 = iterations.
+    """
+    asm = Assembler()
+    for value in values:
+        asm.emit(PUSH, value)
+        asm.emit(STORE, 0)
+        asm.emit(PUSH, max(1, value // 2))
+        asm.emit(STORE, 1)
+        asm.emit(PUSH, 26)
+        asm.emit(STORE, 2)
+        loop = f"newton_{value}"
+        done = f"newton_done_{value}"
+        asm.label(loop)
+        # guess = (guess + x / guess) / 2
+        asm.emit(LOAD, 1)
+        asm.emit(LOAD, 0)
+        asm.emit(LOAD, 1)
+        asm.emit(DIV)
+        asm.emit(ADD)
+        asm.emit(PUSH, 2)
+        asm.emit(DIV)
+        asm.emit(STORE, 1)
+        # if (--iterations) goto loop
+        asm.emit(LOAD, 2)
+        asm.emit(PUSH, 1)
+        asm.emit(SUB)
+        asm.emit(DUP)
+        asm.emit(STORE, 2)
+        asm.emit(JNZ, loop)
+        asm.label(done)
+        asm.emit(LOAD, 1)
+        asm.emit(OUT)
+    asm.emit(HALT)
+    return asm.assemble()
+
+
+def queens_program(n: int) -> list[int]:
+    """Iterative backtracking n-queens solution counter.
+
+    vars: 0 = row, 1 = count, 2 = i (safety scan), 3 = n, 4 = scratch.
+    mem[r] = column of the queen on row r.
+    """
+    asm = Assembler()
+    asm.emit(PUSH, n)
+    asm.emit(STORE, 3)
+    asm.emit(PUSH, 0)
+    asm.emit(STORE, 0)  # row = 0
+    asm.emit(PUSH, 0)
+    asm.emit(STORE, 1)  # count = 0
+    asm.emit(PUSH, 0)
+    asm.emit(PUSH, 0)
+    asm.emit(ASTORE)    # mem[0] = 0
+
+    asm.label("loop")
+    # if col[row] >= n: backtrack
+    asm.emit(LOAD, 0)
+    asm.emit(ALOAD)     # col[row]
+    asm.emit(LOAD, 3)
+    asm.emit(LT)        # col[row] < n ?
+    asm.emit(JZ, "backtrack")
+
+    # safety scan: i = 0; while i < row: check col/diagonal clashes
+    asm.emit(PUSH, 0)
+    asm.emit(STORE, 2)
+    asm.label("scan")
+    asm.emit(LOAD, 2)
+    asm.emit(LOAD, 0)
+    asm.emit(LT)        # i < row ?
+    asm.emit(JZ, "safe")
+    # clash if col[i] == col[row]
+    asm.emit(LOAD, 2)
+    asm.emit(ALOAD)
+    asm.emit(LOAD, 0)
+    asm.emit(ALOAD)
+    asm.emit(SUB)       # col[i] - col[row]
+    asm.emit(DUP)
+    asm.emit(STORE, 4)  # scratch = diff
+    asm.emit(JZ, "clash")
+    # clash if |diff| == row - i:  (diff == row-i) or (diff == i-row)
+    asm.emit(LOAD, 4)
+    asm.emit(LOAD, 0)
+    asm.emit(LOAD, 2)
+    asm.emit(SUB)       # row - i
+    asm.emit(SUB)       # diff - (row-i)
+    asm.emit(JZ, "clash")
+    asm.emit(LOAD, 4)
+    asm.emit(LOAD, 2)
+    asm.emit(LOAD, 0)
+    asm.emit(SUB)       # i - row
+    asm.emit(SUB)
+    asm.emit(JZ, "clash")
+    # i = i + 1; continue scan
+    asm.emit(LOAD, 2)
+    asm.emit(PUSH, 1)
+    asm.emit(ADD)
+    asm.emit(STORE, 2)
+    asm.emit(JMP, "scan")
+
+    asm.label("safe")
+    # if row == n-1: count++, try next column; else descend
+    asm.emit(LOAD, 0)
+    asm.emit(PUSH, 1)
+    asm.emit(ADD)
+    asm.emit(LOAD, 3)
+    asm.emit(LT)        # row + 1 < n ?
+    asm.emit(JNZ, "descend")
+    asm.emit(LOAD, 1)
+    asm.emit(PUSH, 1)
+    asm.emit(ADD)
+    asm.emit(STORE, 1)  # count++
+    asm.emit(JMP, "clash")  # advance this row's column
+
+    asm.label("descend")
+    asm.emit(LOAD, 0)
+    asm.emit(PUSH, 1)
+    asm.emit(ADD)
+    asm.emit(STORE, 0)  # row++
+    asm.emit(PUSH, 0)
+    asm.emit(LOAD, 0)
+    asm.emit(ASTORE)    # col[row] = 0
+    asm.emit(JMP, "loop")
+
+    asm.label("clash")
+    # col[row]++
+    asm.emit(LOAD, 0)
+    asm.emit(ALOAD)
+    asm.emit(PUSH, 1)
+    asm.emit(ADD)
+    asm.emit(LOAD, 0)
+    asm.emit(ASTORE)
+    asm.emit(JMP, "loop")
+
+    asm.label("backtrack")
+    # row--; if row < 0: done; else col[row]++
+    asm.emit(LOAD, 0)
+    asm.emit(PUSH, 1)
+    asm.emit(SUB)
+    asm.emit(DUP)
+    asm.emit(STORE, 0)
+    asm.emit(PUSH, 0)
+    asm.emit(LT)        # row < 0 ?
+    asm.emit(JNZ, "done")
+    asm.emit(JMP, "clash")
+
+    asm.label("done")
+    asm.emit(LOAD, 1)
+    asm.emit(OUT)
+    asm.emit(HALT)
+    return asm.assemble()
+
+
+def dataset_ne() -> list[int]:
+    """Newton's method on a few values: a very short run (the paper's
+    shortest data set by far, and a poor training input for xli.q7)."""
+    return newton_program([144, 1024, 99980001])
+
+
+def dataset_q7(n: int = 7) -> list[int]:
+    """The 7-queens problem: a long backtracking search."""
+    return queens_program(n)
+
+
+DATASETS = {"ne": dataset_ne, "q7": dataset_q7}

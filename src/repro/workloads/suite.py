@@ -1,0 +1,127 @@
+"""The benchmark suite registry (the paper's Table 1).
+
+Six benchmarks, two data sets each.  ``train_test_pairs`` reproduces the
+paper's cross-validation protocol: "we report the name of the testing data
+set and train with the other data set".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+from repro.lang.lower import CompiledModule, compile_source
+from repro.workloads.programs import (
+    compress,
+    doduc,
+    eqntott,
+    espresso,
+    su2cor,
+    xlisp,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark: its source program and named input data sets."""
+
+    abbr: str
+    full_name: str
+    description: str
+    source: str
+    datasets: dict[str, Callable[[], list[int]]] = field(hash=False)
+
+    def dataset_names(self) -> list[str]:
+        return list(self.datasets)
+
+    def inputs(self, dataset: str) -> list[int]:
+        try:
+            builder = self.datasets[dataset]
+        except KeyError:
+            known = ", ".join(self.datasets)
+            raise KeyError(
+                f"unknown data set {dataset!r} for {self.abbr} (known: {known})"
+            ) from None
+        return builder()
+
+
+SUITE: dict[str, BenchmarkSpec] = {
+    spec.abbr: spec
+    for spec in (
+        BenchmarkSpec(
+            abbr="com",
+            full_name="026.compress",
+            description="Lempel-Ziv compressor (LZSS window search)",
+            source=compress.SOURCE,
+            datasets=dict(compress.DATASETS),
+        ),
+        BenchmarkSpec(
+            abbr="dod",
+            full_name="015.doduc",
+            description="nuclear reactor thermohydraulic simulation "
+            "(grid relaxation)",
+            source=doduc.SOURCE,
+            datasets=dict(doduc.DATASETS),
+        ),
+        BenchmarkSpec(
+            abbr="eqn",
+            full_name="023.eqntott",
+            description="translates boolean equations to truth tables",
+            source=eqntott.SOURCE,
+            datasets=dict(eqntott.DATASETS),
+        ),
+        BenchmarkSpec(
+            abbr="esp",
+            full_name="008.espresso",
+            description="boolean function minimizer (cube cover reduction)",
+            source=espresso.SOURCE,
+            datasets=dict(espresso.DATASETS),
+        ),
+        BenchmarkSpec(
+            abbr="su2",
+            full_name="089.su2cor",
+            description="statistical mechanics calculation (lattice sweeps)",
+            source=su2cor.SOURCE,
+            datasets=dict(su2cor.DATASETS),
+        ),
+        BenchmarkSpec(
+            abbr="xli",
+            full_name="022.li",
+            description="bytecode interpreter (Newton's method / 7 queens)",
+            source=xlisp.SOURCE,
+            datasets=dict(xlisp.DATASETS),
+        ),
+    )
+}
+
+
+@lru_cache(maxsize=None)
+def compile_benchmark(abbr: str) -> CompiledModule:
+    """Compile a benchmark's source (cached: CFGs are immutable inputs)."""
+    return compile_source(SUITE[abbr].source)
+
+
+def benchmark_datasets(abbr: str) -> list[str]:
+    return SUITE[abbr].dataset_names()
+
+
+def train_test_pairs() -> list[tuple[str, str, str]]:
+    """(benchmark, test_dataset, train_dataset) triples: every dataset is a
+    testing set once, trained on the sibling dataset (Table 1 protocol)."""
+    pairs = []
+    for abbr, spec in SUITE.items():
+        names = spec.dataset_names()
+        for test in names:
+            train = next(name for name in names if name != test)
+            pairs.append((abbr, test, train))
+    return pairs
+
+
+def all_cases() -> list[tuple[str, str]]:
+    """Every (benchmark, dataset) case, e.g. ('com', 'in')."""
+    return [
+        (abbr, dataset)
+        for abbr, spec in SUITE.items()
+        for dataset in spec.dataset_names()
+    ]

@@ -1,0 +1,91 @@
+"""Tests for dominators, loops, and orderings."""
+
+from repro.cfg import CFGBuilder
+from repro.cfg.analysis import (
+    dominates,
+    immediate_dominators,
+    loop_nesting_depth,
+    natural_loops,
+    reverse_postorder,
+)
+
+
+def nested_loop_cfg():
+    """Outer loop containing an inner loop."""
+    b = CFGBuilder()
+    b.block("entry").jump("outer_head")
+    b.block("outer_head").cond("inner_head", "exit")
+    b.block("inner_head").cond("inner_body", "outer_latch")
+    b.block("inner_body").jump("inner_head")
+    b.block("outer_latch").jump("outer_head")
+    b.block("exit").ret()
+    return b, b.build(entry="entry")
+
+
+class TestReversePostorder:
+    def test_entry_first_and_complete(self, loop_cfg):
+        order = reverse_postorder(loop_cfg)
+        assert order[0] == loop_cfg.entry
+        assert set(order) == loop_cfg.reachable()
+
+    def test_acyclic_topological(self, diamond_cfg):
+        order = reverse_postorder(diamond_cfg)
+        position = {block: i for i, block in enumerate(order)}
+        for block_id in order:
+            for succ in diamond_cfg.successors(block_id):
+                assert position[block_id] < position[succ]
+
+
+class TestDominators:
+    def test_diamond_dominators(self, diamond_cfg):
+        idom = immediate_dominators(diamond_cfg)
+        entry = diamond_cfg.entry
+        # All blocks are immediately dominated by the entry.
+        for block_id in diamond_cfg.reachable() - {entry}:
+            assert idom[block_id] == entry
+
+    def test_nested_loops_dominator_chain(self):
+        b, cfg = nested_loop_cfg()
+        idom = immediate_dominators(cfg)
+        assert idom[b.id_of("inner_head")] == b.id_of("outer_head")
+        assert idom[b.id_of("inner_body")] == b.id_of("inner_head")
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        b, cfg = nested_loop_cfg()
+        idom = immediate_dominators(cfg)
+        entry = b.id_of("entry")
+        inner = b.id_of("inner_body")
+        assert dominates(idom, inner, inner)
+        assert dominates(idom, entry, inner)
+        assert not dominates(idom, inner, entry)
+
+
+class TestLoops:
+    def test_two_nested_loops_found(self):
+        b, cfg = nested_loop_cfg()
+        loops = natural_loops(cfg)
+        headers = {loop.header for loop in loops}
+        assert headers == {b.id_of("outer_head"), b.id_of("inner_head")}
+
+    def test_inner_loop_body_is_subset_of_outer(self):
+        b, cfg = nested_loop_cfg()
+        loops = {loop.header: loop for loop in natural_loops(cfg)}
+        inner = loops[b.id_of("inner_head")]
+        outer = loops[b.id_of("outer_head")]
+        assert inner.body < outer.body
+
+    def test_nesting_depth(self):
+        b, cfg = nested_loop_cfg()
+        depth = loop_nesting_depth(cfg)
+        assert depth[b.id_of("entry")] == 0
+        assert depth[b.id_of("exit")] == 0
+        assert depth[b.id_of("outer_head")] == 1
+        assert depth[b.id_of("inner_body")] == 2
+
+    def test_single_loop(self, loop_cfg):
+        loops = natural_loops(loop_cfg)
+        assert len(loops) == 1
+        head = next(blk for blk in loop_cfg if blk.label == "head")
+        assert loops[0].header == head.block_id
+        exit_block = next(blk for blk in loop_cfg if blk.label == "exit")
+        assert exit_block.block_id not in loops[0].body

@@ -1,0 +1,69 @@
+"""Tests for basic blocks and terminators."""
+
+import pytest
+
+from repro.cfg import BasicBlock, Terminator, TerminatorKind, make_block
+
+
+class TestTerminator:
+    def test_unconditional_needs_one_target(self):
+        Terminator(TerminatorKind.UNCONDITIONAL, (1,))
+        with pytest.raises(ValueError):
+            Terminator(TerminatorKind.UNCONDITIONAL, (1, 2))
+        with pytest.raises(ValueError):
+            Terminator(TerminatorKind.UNCONDITIONAL, ())
+
+    def test_conditional_needs_two_targets(self):
+        Terminator(TerminatorKind.CONDITIONAL, (1, 2))
+        with pytest.raises(ValueError):
+            Terminator(TerminatorKind.CONDITIONAL, (1,))
+
+    def test_multiway_needs_targets(self):
+        Terminator(TerminatorKind.MULTIWAY, (1,))
+        Terminator(TerminatorKind.MULTIWAY, (1, 2, 1, 3))
+        with pytest.raises(ValueError):
+            Terminator(TerminatorKind.MULTIWAY, ())
+
+    def test_return_takes_no_targets(self):
+        Terminator(TerminatorKind.RETURN, ())
+        with pytest.raises(ValueError):
+            Terminator(TerminatorKind.RETURN, (1,))
+
+    def test_successors_deduplicate_preserving_order(self):
+        term = Terminator(TerminatorKind.MULTIWAY, (3, 1, 3, 2, 1))
+        assert term.successors == (3, 1, 2)
+
+    def test_conditional_same_arm_successors(self):
+        term = Terminator(TerminatorKind.CONDITIONAL, (4, 4))
+        assert term.successors == (4,)
+
+    def test_retargeted_rewrites_all_slots(self):
+        term = Terminator(TerminatorKind.MULTIWAY, (1, 2, 1))
+        remapped = term.retargeted({1: 10, 2: 20})
+        assert remapped.targets == (10, 20, 10)
+        assert remapped.kind is TerminatorKind.MULTIWAY
+
+    def test_retargeted_keeps_unmapped_targets(self):
+        term = Terminator(TerminatorKind.CONDITIONAL, (1, 2))
+        assert term.retargeted({1: 5}).targets == (5, 2)
+
+
+class TestBasicBlock:
+    def test_body_words_counts_instructions_and_padding(self):
+        block = make_block(
+            0, TerminatorKind.RETURN, instructions=["a", "b"], padding=3
+        )
+        assert block.body_words == 5
+
+    def test_kind_and_successors_proxy_terminator(self):
+        block = make_block(1, TerminatorKind.CONDITIONAL, (2, 3))
+        assert block.kind is TerminatorKind.CONDITIONAL
+        assert block.successors == (2, 3)
+
+    def test_make_block_accepts_kind_string(self):
+        block = make_block(0, "unconditional", (1,))
+        assert block.kind is TerminatorKind.UNCONDITIONAL
+
+    def test_make_block_rejects_unknown_kind_string(self):
+        with pytest.raises(ValueError):
+            make_block(0, "bogus", (1,))

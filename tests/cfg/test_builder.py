@@ -1,0 +1,69 @@
+"""Tests for the fluent CFG builder."""
+
+import pytest
+
+from repro.cfg import CFGBuilder, CFGError, TerminatorKind
+
+
+class TestBuilder:
+    def test_forward_references_work(self):
+        b = CFGBuilder()
+        b.block("a").jump("later")
+        b.block("later").ret()
+        cfg = b.build(entry="a")
+        assert len(cfg) == 2
+
+    def test_missing_terminator_is_an_error(self):
+        b = CFGBuilder()
+        b.block("a").jump("b")
+        b.block("b")  # never terminated
+        with pytest.raises(CFGError, match="without terminators"):
+            b.build(entry="a")
+
+    def test_unknown_entry_is_an_error(self):
+        b = CFGBuilder()
+        b.block("a").ret()
+        with pytest.raises(CFGError, match="unknown entry"):
+            b.build(entry="zzz")
+
+    def test_padding_and_instructions_accumulate(self):
+        b = CFGBuilder()
+        b.block("a", padding=4, instructions=["i1"]).ret()
+        b.block("a", instructions=["i2"])
+        cfg = b.build(entry="a")
+        block = cfg.block(b.id_of("a"))
+        assert block.padding == 4
+        assert block.instructions == ["i1", "i2"]
+
+    def test_switch_builder(self):
+        b = CFGBuilder()
+        b.block("s").switch(["x", "y", "x"])
+        b.block("x").ret()
+        b.block("y").ret()
+        cfg = b.build(entry="s")
+        switch = cfg.block(b.id_of("s"))
+        assert switch.kind is TerminatorKind.MULTIWAY
+        assert switch.terminator.targets == (
+            b.id_of("x"), b.id_of("y"), b.id_of("x"),
+        )
+
+    def test_cond_operand_is_preserved(self):
+        b = CFGBuilder()
+        b.block("c").cond("t", "f", operand=("l", 3))
+        b.block("t").ret()
+        b.block("f").ret()
+        cfg = b.build(entry="c")
+        assert cfg.block(b.id_of("c")).terminator.operand == ("l", 3)
+
+    def test_labels_recorded_on_blocks(self):
+        b = CFGBuilder()
+        b.block("start").ret()
+        cfg = b.build(entry="start")
+        assert cfg.block(0).label == "start"
+
+    def test_ids_assigned_in_declaration_order(self):
+        b = CFGBuilder()
+        b.block("first").jump("second")
+        b.block("second").jump("third")
+        b.block("third").ret()
+        assert [b.id_of(n) for n in ("first", "second", "third")] == [0, 1, 2]

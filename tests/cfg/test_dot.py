@@ -1,0 +1,37 @@
+"""Tests for DOT export."""
+
+from repro.cfg import cfg_to_dot
+
+
+class TestDot:
+    def test_contains_all_blocks_and_edges(self, diamond_cfg):
+        dot = cfg_to_dot(diamond_cfg)
+        assert dot.startswith("digraph")
+        for block in diamond_cfg:
+            assert f"n{block.block_id} [" in dot
+        for edge in diamond_cfg.edges():
+            assert f"n{edge.src} -> n{edge.dst}" in dot
+
+    def test_entry_highlighted(self, diamond_cfg):
+        dot = cfg_to_dot(diamond_cfg)
+        assert "penwidth=2" in dot
+
+    def test_edge_weights_annotated(self, diamond_cfg):
+        edge = diamond_cfg.edges()[0]
+        dot = cfg_to_dot(diamond_cfg, edge_weights={edge.key: 42.0})
+        assert "42" in dot
+
+    def test_layout_positions_annotated(self, diamond_cfg):
+        order = [b.block_id for b in diamond_cfg]
+        dot = cfg_to_dot(diamond_cfg, layout_order=order)
+        assert "#0" in dot and "#3" in dot
+
+    def test_quotes_escaped(self, diamond_cfg):
+        dot = cfg_to_dot(diamond_cfg, name='with "quotes"')
+        assert '\\"quotes\\"' in dot
+
+    def test_shapes_by_kind(self, loop_cfg):
+        dot = cfg_to_dot(loop_cfg)
+        assert "diamond" in dot       # conditional
+        assert "hexagon" in dot       # multiway
+        assert "doublecircle" in dot  # return

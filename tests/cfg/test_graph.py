@@ -1,0 +1,136 @@
+"""Tests for ControlFlowGraph / Procedure / Program."""
+
+import pytest
+
+from repro.cfg import (
+    CFGBuilder,
+    CFGError,
+    ControlFlowGraph,
+    Procedure,
+    Program,
+    Terminator,
+    TerminatorKind,
+    make_block,
+)
+
+
+def chain_cfg():
+    """0 -> 1 -> 2(ret)."""
+    return ControlFlowGraph(
+        0,
+        [
+            make_block(0, TerminatorKind.UNCONDITIONAL, (1,)),
+            make_block(1, TerminatorKind.UNCONDITIONAL, (2,)),
+            make_block(2, TerminatorKind.RETURN),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_duplicate_block_ids_rejected(self):
+        with pytest.raises(CFGError, match="duplicate"):
+            ControlFlowGraph(
+                0,
+                [
+                    make_block(0, TerminatorKind.RETURN),
+                    make_block(0, TerminatorKind.RETURN),
+                ],
+            )
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(CFGError, match="entry"):
+            ControlFlowGraph(5, [make_block(0, TerminatorKind.RETURN)])
+
+    def test_dangling_target_rejected(self):
+        with pytest.raises(CFGError, match="missing block"):
+            ControlFlowGraph(
+                0, [make_block(0, TerminatorKind.UNCONDITIONAL, (7,))]
+            )
+
+
+class TestQueries:
+    def test_successors_and_predecessors(self, loop_cfg):
+        body = next(b for b in loop_cfg if b.label == "body")
+        latch = next(b for b in loop_cfg if b.label == "latch")
+        head = next(b for b in loop_cfg if b.label == "head")
+        assert len(body.successors) == 3  # c0, c1, c2 (c0 repeated)
+        assert head.block_id in loop_cfg.predecessors(body.block_id)
+        assert latch.block_id in loop_cfg.predecessors(head.block_id)
+
+    def test_edges_merge_parallel_slots(self, loop_cfg):
+        body = next(b for b in loop_cfg if b.label == "body")
+        edges = {e.key: e for e in loop_cfg.edges()}
+        c0 = next(b for b in loop_cfg if b.label == "c0")
+        labels = edges[(body.block_id, c0.block_id)].labels
+        assert labels == ("case0", "case3")
+
+    def test_reachable_ignores_orphans(self):
+        cfg = chain_cfg()
+        cfg.add_block(make_block(9, TerminatorKind.RETURN))
+        assert cfg.reachable() == {0, 1, 2}
+
+    def test_depth_first_order_starts_at_entry(self, loop_cfg):
+        order = loop_cfg.depth_first_order()
+        assert order[0] == loop_cfg.entry
+        assert set(order) == loop_cfg.reachable()
+
+    def test_exit_blocks(self, loop_cfg):
+        exits = loop_cfg.exit_blocks()
+        assert len(exits) == 1
+
+    def test_replace_terminator_revalidates(self):
+        cfg = chain_cfg()
+        with pytest.raises(CFGError):
+            cfg.replace_terminator(
+                0, Terminator(TerminatorKind.UNCONDITIONAL, (42,))
+            )
+        cfg.replace_terminator(0, Terminator(TerminatorKind.UNCONDITIONAL, (2,)))
+        assert cfg.successors(0) == (2,)
+
+    def test_replace_terminator_invalidates_predecessors(self):
+        cfg = chain_cfg()
+        assert cfg.predecessors(1) == [0]
+        cfg.replace_terminator(0, Terminator(TerminatorKind.UNCONDITIONAL, (2,)))
+        assert cfg.predecessors(1) == []
+
+    def test_copy_is_independent(self):
+        cfg = chain_cfg()
+        clone = cfg.copy()
+        clone.replace_terminator(
+            0, Terminator(TerminatorKind.UNCONDITIONAL, (2,))
+        )
+        assert cfg.successors(0) == (1,)
+
+    def test_fresh_block_id(self):
+        cfg = chain_cfg()
+        assert cfg.fresh_block_id() == 3
+
+    def test_total_body_words(self, diamond_cfg):
+        assert diamond_cfg.total_body_words() == 2 + 3 + 4 + 1
+
+
+class TestProcedureAndProgram:
+    def test_branch_sites_are_decision_blocks(self, loop_cfg):
+        proc = Procedure("p", loop_cfg)
+        labels = {loop_cfg.block(b).label for b in proc.branch_sites()}
+        assert labels == {"head", "body", "c1"}
+
+    def test_program_rejects_duplicate_procedures(self, loop_cfg):
+        program = Program()
+        program.add(Procedure("p", loop_cfg))
+        with pytest.raises(CFGError, match="duplicate"):
+            program.add(Procedure("p", loop_cfg))
+
+    def test_program_totals(self, loop_cfg, diamond_cfg):
+        program = Program(main="a")
+        program.add(Procedure("a", loop_cfg))
+        program.add(Procedure("b", diamond_cfg))
+        assert program.total_blocks() == len(loop_cfg) + len(diamond_cfg)
+        assert program.total_branch_sites() == 3 + 1
+
+    def test_entry_procedure_lookup(self, diamond_cfg):
+        program = Program(main="m")
+        program.add(Procedure("m", diamond_cfg))
+        assert program.entry_procedure.name == "m"
+        assert "m" in program
+        assert "x" not in program

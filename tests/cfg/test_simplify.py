@@ -1,0 +1,153 @@
+"""Tests for CFG simplification passes."""
+
+import random
+
+import pytest
+
+from repro.cfg import (
+    CFGBuilder,
+    Procedure,
+    TerminatorKind,
+    validate_cfg,
+)
+from repro.cfg.simplify import (
+    fold_degenerate_branches,
+    merge_chains,
+    prune_unreachable,
+    simplify_cfg,
+    simplify_procedure,
+    thread_trivial_jumps,
+)
+
+
+def chain_with_clutter():
+    """entry -> fwd(empty) -> a -> b -> ret, plus a degenerate cond."""
+    b = CFGBuilder()
+    b.block("entry", padding=1).cond("fwd", "fwd")   # degenerate
+    b.block("fwd").jump("a")                          # empty forwarder
+    b.block("a", padding=2).jump("b")
+    b.block("b", padding=3).ret()
+    return b, b.build(entry="entry")
+
+
+class TestIndividualPasses:
+    def test_fold_degenerate(self):
+        b, cfg = chain_with_clutter()
+        assert fold_degenerate_branches(cfg) == 1
+        entry = cfg.block(cfg.entry)
+        assert entry.kind is TerminatorKind.UNCONDITIONAL
+
+    def test_thread_trivial_jumps(self):
+        b, cfg = chain_with_clutter()
+        fold_degenerate_branches(cfg)
+        assert thread_trivial_jumps(cfg) >= 1
+        entry = cfg.block(cfg.entry)
+        assert entry.terminator.targets == (b.id_of("a"),)
+
+    def test_merge_chains(self):
+        b, cfg = chain_with_clutter()
+        fold_degenerate_branches(cfg)
+        thread_trivial_jumps(cfg)
+        cfg, _ = prune_unreachable(cfg)  # drop the orphaned forwarder
+        remap = {blk: blk for blk in cfg.block_ids}
+        merged = merge_chains(cfg, remap)
+        assert merged >= 2
+        # All code ends up in the entry block.
+        assert remap[b.id_of("b")] in (cfg.entry, b.id_of("a"))
+
+    def test_prune_unreachable(self):
+        b, cfg = chain_with_clutter()
+        fold_degenerate_branches(cfg)
+        thread_trivial_jumps(cfg)
+        pruned_cfg, pruned = prune_unreachable(cfg)
+        assert pruned == 1  # the forwarder
+        assert b.id_of("fwd") not in pruned_cfg
+
+
+class TestSimplifyCfg:
+    def test_whole_chain_collapses_to_one_block(self):
+        _, cfg = chain_with_clutter()
+        result = simplify_cfg(cfg)
+        assert len(result.cfg) == 1
+        only = result.cfg.block(result.cfg.entry)
+        assert only.kind is TerminatorKind.RETURN
+        assert only.body_words == 1 + 2 + 3  # padding preserved
+        validate_cfg(result.cfg)
+
+    def test_original_untouched(self):
+        _, cfg = chain_with_clutter()
+        before = len(cfg)
+        simplify_cfg(cfg)
+        assert len(cfg) == before
+
+    def test_remap_points_into_surviving_blocks(self):
+        _, cfg = chain_with_clutter()
+        result = simplify_cfg(cfg)
+        surviving = set(result.cfg.block_ids)
+        assert result.remap
+        assert all(target in surviving for target in result.remap.values())
+
+    def test_loops_preserved(self, loop_cfg):
+        result = simplify_cfg(loop_cfg)
+        validate_cfg(result.cfg)
+        from repro.cfg import natural_loops
+        assert len(natural_loops(result.cfg)) == 1
+
+    def test_idempotent(self, loop_cfg):
+        once = simplify_cfg(loop_cfg)
+        twice = simplify_cfg(once.cfg)
+        assert len(twice.cfg) == len(once.cfg)
+        assert twice.merged_blocks == 0
+        assert twice.threaded_jumps == 0
+
+    def test_random_cfgs_stay_valid_and_shrink(self):
+        from repro.workloads import GeneratorConfig, random_procedure
+        rng = random.Random(0)
+        for i in range(15):
+            proc = random_procedure(
+                f"p{i}", rng, GeneratorConfig(target_blocks=40)
+            )
+            simplified, result = simplify_procedure(proc)
+            validate_cfg(simplified.cfg)
+            assert len(simplified.cfg) <= len(proc.cfg)
+
+    def test_branch_structure_preserved(self, diamond_cfg):
+        """A real diamond must survive simplification (arms differ)."""
+        result = simplify_cfg(diamond_cfg)
+        kinds = [b.kind for b in result.cfg]
+        assert TerminatorKind.CONDITIONAL in kinds
+
+
+class TestSemanticsPreserved:
+    def test_lang_program_behaviour_unchanged(self):
+        """Simplify the CFGs of a compiled program and re-run: identical
+        outputs (the VM executes whatever CFG it is given)."""
+        from repro.lang import compile_source, execute
+        from repro.cfg.graph import Program
+
+        source = """
+        fn main() {
+          var i = 0;
+          var acc = 0;
+          while (i < input_len()) {
+            if (input(i) % 2 == 0) { acc = acc + input(i); }
+            i = i + 1;
+          }
+          output(acc);
+          return acc;
+        }
+        """
+        module = compile_source(source)
+        inputs = list(range(50))
+        expected = execute(module, inputs, trace=False)
+
+        simplified_program = Program(main=module.program.main)
+        for proc in module.program:
+            simplified, _ = simplify_procedure(proc)
+            simplified_program.add(simplified)
+        module.program = simplified_program
+        actual = execute(module, inputs, trace=False)
+        assert actual.returned == expected.returned
+        assert actual.outputs == expected.outputs
+        # Simplification shortens the dynamic block count.
+        assert actual.blocks_executed <= expected.blocks_executed

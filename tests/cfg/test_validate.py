@@ -1,0 +1,64 @@
+"""Tests for CFG/program validation."""
+
+import pytest
+
+from repro.cfg import (
+    CFGBuilder,
+    CFGError,
+    Procedure,
+    Program,
+    validate_cfg,
+    validate_procedure,
+    validate_program,
+)
+
+
+class TestValidateCFG:
+    def test_valid_cfg_passes(self, loop_cfg):
+        validate_cfg(loop_cfg)
+
+    def test_missing_exit_rejected(self):
+        b = CFGBuilder()
+        b.block("a").jump("b")
+        b.block("b").jump("a")
+        cfg = b.build(entry="a")
+        with pytest.raises(CFGError, match="RETURN"):
+            validate_cfg(cfg)
+
+    def test_missing_exit_allowed_when_not_required(self):
+        b = CFGBuilder()
+        b.block("a").jump("b")
+        b.block("b").jump("a")
+        cfg = b.build(entry="a")
+        validate_cfg(cfg, require_exit=False)
+
+    def test_stuck_blocks_rejected(self):
+        b = CFGBuilder()
+        b.block("a").cond("trap1", "out")
+        b.block("trap1").jump("trap2")
+        b.block("trap2").jump("trap1")
+        b.block("out").ret()
+        cfg = b.build(entry="a")
+        with pytest.raises(CFGError, match="cannot reach an exit"):
+            validate_cfg(cfg)
+
+
+class TestValidateProgram:
+    def test_missing_main_rejected(self, loop_cfg):
+        program = Program(main="main")
+        program.add(Procedure("helper", loop_cfg))
+        with pytest.raises(CFGError, match="missing entry procedure"):
+            validate_program(program)
+
+    def test_error_names_the_procedure(self):
+        b = CFGBuilder()
+        b.block("a").jump("a")
+        cfg = b.build(entry="a")
+        program = Program(main="bad")
+        program.add(Procedure("bad", cfg))
+        with pytest.raises(CFGError, match="'bad'"):
+            validate_program(program)
+
+    def test_valid_program_passes(self, loop_program):
+        validate_program(loop_program)
+        validate_procedure(loop_program["main"])

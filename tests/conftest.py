@@ -1,0 +1,114 @@
+"""Shared fixtures: small CFGs, a compiled module, and profiled runs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cfg import CFGBuilder, Procedure, Program
+from repro.lang import compile_source, run_and_profile
+from repro.machine import ALPHA_21164
+from repro.profiles import random_bias_assignment, synthesize_profile
+
+
+@pytest.fixture
+def loop_cfg():
+    """A small loop with a conditional exit and a switch in the body."""
+    b = CFGBuilder()
+    b.block("entry", padding=3).jump("head")
+    b.block("head", padding=2).cond("body", "exit")
+    b.block("body", padding=4).switch(["c0", "c1", "c2", "c0"])
+    b.block("c0", padding=5).jump("latch")
+    b.block("c1", padding=2).cond("c1a", "latch")
+    b.block("c1a", padding=1).jump("latch")
+    b.block("c2", padding=8).jump("latch")
+    b.block("latch", padding=1).jump("head")
+    b.block("exit", padding=1).ret()
+    return b.build(entry="entry")
+
+
+@pytest.fixture
+def diamond_cfg():
+    """entry -> (left | right) -> exit."""
+    b = CFGBuilder()
+    b.block("entry", padding=2).cond("left", "right")
+    b.block("left", padding=3).jump("exit")
+    b.block("right", padding=4).jump("exit")
+    b.block("exit", padding=1).ret()
+    return b.build(entry="entry")
+
+
+@pytest.fixture
+def loop_program(loop_cfg):
+    program = Program()
+    program.add(Procedure("main", loop_cfg))
+    return program
+
+
+@pytest.fixture
+def loop_profile(loop_program, loop_cfg):
+    rng = random.Random(1)
+    biases = {"main": random_bias_assignment(loop_cfg, rng)}
+    return synthesize_profile(
+        loop_program, biases, seed=2, walks_per_procedure=40, max_steps=2500
+    )
+
+
+MINI_SOURCE = """
+arr counts[32];
+global total = 0;
+
+fn bucket(x) {
+  return (x * 7 + 3) % 32;
+}
+
+fn classify(v) {
+  switch (v % 6) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return 2;
+    case 4: return 3;
+    default: return 0;
+  }
+}
+
+fn main() {
+  var i = 0;
+  var n = input_len();
+  while (i < n) {
+    var v = input(i);
+    counts[bucket(v)] = counts[bucket(v)] + 1;
+    if (v > 50 && v % 2 == 0) {
+      total = total + classify(v);
+    } else {
+      if (v < 5 || v == 13) { total = total - 1; }
+    }
+    i = i + 1;
+  }
+  output(total);
+  return total;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def mini_module():
+    return compile_source(MINI_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def mini_run(mini_module):
+    rng = random.Random(9)
+    inputs = [rng.randrange(0, 120) for _ in range(800)]
+    return run_and_profile(mini_module, inputs)
+
+
+@pytest.fixture(scope="session")
+def mini_profile(mini_run):
+    return mini_run[1]
+
+
+@pytest.fixture
+def machine_model():
+    return ALPHA_21164

@@ -1,0 +1,107 @@
+"""Tests for the DTSP reduction: matrix construction and walk costs."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DUMMY_CITY,
+    build_alignment_instance,
+    evaluate_layout,
+    original_layout,
+)
+from repro.core.costmatrix import has_real_choice, instance_statistics
+from repro.core.layout import Layout
+from repro.machine import ALPHA_21164
+from repro.profiles import EdgeProfile
+
+
+@pytest.fixture
+def loop_instance(loop_cfg, loop_profile):
+    return build_alignment_instance(
+        loop_cfg, loop_profile["main"], ALPHA_21164
+    )
+
+
+class TestStructure:
+    def test_cities_are_blocks_plus_dummy(self, loop_cfg, loop_instance):
+        assert loop_instance.n == len(loop_cfg) + 1
+        assert loop_instance.cities[0] == loop_cfg.entry
+        assert loop_instance.cities[-1] == DUMMY_CITY
+
+    def test_anchoring_edges(self, loop_cfg, loop_instance):
+        matrix, big = loop_instance.matrix, loop_instance.big
+        dummy, entry = loop_instance.dummy_index, loop_instance.entry_index
+        assert matrix[dummy, entry] == 0.0
+        # Dummy can go nowhere else; nothing else may precede the entry.
+        for j in range(loop_instance.n):
+            if j != entry:
+                assert matrix[dummy, j] == big
+        for i in range(loop_instance.n):
+            if i != dummy:
+                assert matrix[:, entry][i] == big
+
+    def test_diagonal_forbidden(self, loop_instance):
+        assert (np.diag(loop_instance.matrix) == loop_instance.big).all()
+
+    def test_costs_nonnegative(self, loop_instance):
+        assert (loop_instance.matrix >= 0).all()
+
+
+class TestWalkCostEqualsEvaluator:
+    """The reduction's central claim: walk cost == layout control penalty."""
+
+    def test_original_layout(self, loop_cfg, loop_profile, loop_instance):
+        layout = original_layout(loop_cfg)
+        expected = evaluate_layout(
+            loop_cfg, layout, loop_profile["main"], ALPHA_21164
+        ).total
+        assert loop_instance.layout_cost(layout) == pytest.approx(expected)
+
+    def test_random_layouts(self, loop_cfg, loop_profile, loop_instance):
+        rng = random.Random(4)
+        rest = [b for b in loop_cfg.block_ids if b != loop_cfg.entry]
+        for _ in range(25):
+            rng.shuffle(rest)
+            layout = Layout((loop_cfg.entry, *rest))
+            expected = evaluate_layout(
+                loop_cfg, layout, loop_profile["main"], ALPHA_21164
+            ).total
+            assert loop_instance.layout_cost(layout) == pytest.approx(expected)
+
+    def test_all_layouts_of_small_cfg(self, diamond_cfg):
+        profile = EdgeProfile({(0, 1): 70, (0, 2): 30, (1, 3): 70, (2, 3): 30})
+        instance = build_alignment_instance(diamond_cfg, profile, ALPHA_21164)
+        rest = [b for b in diamond_cfg.block_ids if b != diamond_cfg.entry]
+        for perm in itertools.permutations(rest):
+            layout = Layout((diamond_cfg.entry, *perm))
+            expected = evaluate_layout(
+                diamond_cfg, layout, profile, ALPHA_21164
+            ).total
+            assert instance.layout_cost(layout) == pytest.approx(expected)
+
+
+class TestCycleConversion:
+    def test_layout_from_cycle_rotates_dummy_last(self, loop_instance):
+        n = loop_instance.n
+        cycle = list(range(n))
+        layout = loop_instance.layout_from_cycle(cycle)
+        assert len(layout) == n - 1
+        assert layout.order[0] == loop_instance.cities[0]
+
+    def test_bad_cycle_rejected(self, loop_instance):
+        with pytest.raises(ValueError):
+            loop_instance.layout_from_cycle([0, 0, 1])
+
+
+class TestHelpers:
+    def test_statistics(self, loop_instance):
+        stats = instance_statistics(loop_instance)
+        assert stats["cities"] == loop_instance.n
+        assert stats["max_cost"] < loop_instance.big
+
+    def test_has_real_choice(self, loop_cfg, loop_profile):
+        assert has_real_choice(loop_cfg, loop_profile["main"])
+        assert not has_real_choice(loop_cfg, EdgeProfile())

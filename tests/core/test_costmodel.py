@@ -1,0 +1,105 @@
+"""Tests for the §2.2 terminator cost model against Table 3 by hand."""
+
+import pytest
+
+from repro.cfg import TerminatorKind, make_block
+from repro.core import CostBreakdown, effective_kind, terminator_cost
+from repro.machine import ALPHA_21164
+
+
+def cost(block, counts, predicted, layout_successor):
+    return terminator_cost(block, counts, predicted, layout_successor, ALPHA_21164)
+
+
+class TestUnconditional:
+    def test_fallthrough_is_free(self):
+        block = make_block(0, TerminatorKind.UNCONDITIONAL, (1,))
+        assert cost(block, {1: 100}, 1, 1).total == 0
+
+    def test_kept_jump_costs_two_per_execution(self):
+        block = make_block(0, TerminatorKind.UNCONDITIONAL, (1,))
+        result = cost(block, {1: 100}, 1, 7)
+        assert result.total == 200
+        assert result.jump == 200
+
+    def test_last_block_needs_jump(self):
+        block = make_block(0, TerminatorKind.UNCONDITIONAL, (1,))
+        assert cost(block, {1: 50}, 1, None).total == 100
+
+
+class TestConditional:
+    def block(self):
+        return make_block(0, TerminatorKind.CONDITIONAL, (1, 2))
+
+    def test_predicted_arm_as_fallthrough(self):
+        # Predicted 1 (90), other 2 (10); layout successor 1.
+        result = cost(self.block(), {1: 90, 2: 10}, 1, 1)
+        # 90 * p_nn(0) + 10 * mispredict(5)
+        assert result.total == 50
+        assert result.mispredict == 50
+
+    def test_unpredicted_arm_as_fallthrough(self):
+        result = cost(self.block(), {1: 90, 2: 10}, 1, 2)
+        # 90 taken correctly predicted (misfetch 1) + 10 mispredicted (5)
+        assert result.total == 90 * 1 + 10 * 5
+        assert result.redirect == 90
+
+    def test_neither_arm_needs_fixup(self):
+        result = cost(self.block(), {1: 90, 2: 10}, 1, 99)
+        # 90 * p_tt(1) + 10 * (mispredict 5 + fixup jump 2)
+        assert result.total == 90 + 10 * 5 + 10 * 2
+        assert result.jump == 20
+
+    def test_end_of_layout_same_as_fixup(self):
+        with_fixup = cost(self.block(), {1: 90, 2: 10}, 1, 99)
+        at_end = cost(self.block(), {1: 90, 2: 10}, 1, None)
+        assert with_fixup.total == at_end.total
+
+    def test_stale_prediction_outside_successors_falls_back(self):
+        result = cost(self.block(), {1: 90, 2: 10}, 42, 1)
+        # Prediction falls back to the first successor (1).
+        assert result.total == 50
+
+    def test_never_executed_is_free(self):
+        assert cost(self.block(), {}, 1, 7).total == 0
+
+
+class TestMultiway:
+    def block(self):
+        return make_block(0, TerminatorKind.MULTIWAY, (1, 2, 3, 1))
+
+    def test_correct_predicted_layout_successor_free(self):
+        result = cost(self.block(), {1: 80, 2: 15, 3: 5}, 1, 1)
+        # 80 free; 15+5 mispredicted register transfers at 3 cycles.
+        assert result.total == 60
+
+    def test_correct_prediction_elsewhere_pays_redirect(self):
+        result = cost(self.block(), {1: 80, 2: 15, 3: 5}, 1, 99)
+        assert result.total == 80 * 3 + 20 * 3
+
+    def test_no_fixup_ever(self):
+        result = cost(self.block(), {1: 80, 2: 20}, 1, 99)
+        assert result.jump == 0
+
+
+class TestDegenerate:
+    def test_conditional_with_equal_arms_behaves_unconditional(self):
+        block = make_block(0, TerminatorKind.CONDITIONAL, (1, 1))
+        assert effective_kind(block) is TerminatorKind.UNCONDITIONAL
+        assert cost(block, {1: 10}, 1, 1).total == 0
+        assert cost(block, {1: 10}, 1, 5).total == 20
+
+    def test_single_target_multiway_behaves_unconditional(self):
+        block = make_block(0, TerminatorKind.MULTIWAY, (1, 1, 1))
+        assert effective_kind(block) is TerminatorKind.UNCONDITIONAL
+
+    def test_return_is_free(self):
+        block = make_block(0, TerminatorKind.RETURN)
+        assert cost(block, {}, None, None).total == 0
+
+
+class TestCostBreakdown:
+    def test_addition(self):
+        total = CostBreakdown(1, 2, 3) + CostBreakdown(10, 20, 30)
+        assert (total.redirect, total.mispredict, total.jump) == (11, 22, 33)
+        assert total.total == 66

@@ -1,0 +1,75 @@
+"""Tests for the analytic layout evaluator."""
+
+import pytest
+
+from repro.core import (
+    evaluate_layout,
+    evaluate_program,
+    original_layout,
+    original_program_layout,
+    train_predictors,
+)
+from repro.machine import ALPHA_21164, StaticPredictor
+from repro.profiles import EdgeProfile, profile_from_counts
+
+
+class TestEvaluateLayout:
+    def test_empty_profile_is_free(self, loop_cfg):
+        result = evaluate_layout(
+            loop_cfg, original_layout(loop_cfg), EdgeProfile(), ALPHA_21164
+        )
+        assert result.total == 0
+
+    def test_breakdown_components_sum(self, loop_cfg, loop_profile):
+        result = evaluate_layout(
+            loop_cfg, original_layout(loop_cfg), loop_profile["main"], ALPHA_21164
+        )
+        assert result.total == pytest.approx(
+            result.redirect + result.mispredict + result.jump
+        )
+        assert result.total > 0
+
+    def test_cross_profile_prediction(self, diamond_cfg):
+        """Evaluating with a testing profile and a stale training predictor
+        charges mispredicts where the branch flipped direction."""
+        b = {blk.label: blk.block_id for blk in diamond_cfg}
+        train = EdgeProfile({(b["entry"], b["left"]): 90,
+                             (b["entry"], b["right"]): 10,
+                             (b["left"], b["exit"]): 90,
+                             (b["right"], b["exit"]): 10})
+        test = EdgeProfile({(b["entry"], b["left"]): 10,
+                            (b["entry"], b["right"]): 90,
+                            (b["left"], b["exit"]): 10,
+                            (b["right"], b["exit"]): 90})
+        layout = original_layout(diamond_cfg)
+        predictor = StaticPredictor.train(diamond_cfg, train)
+        stale = evaluate_layout(
+            diamond_cfg, layout, test, ALPHA_21164, predictor=predictor
+        )
+        fresh = evaluate_layout(diamond_cfg, layout, test, ALPHA_21164)
+        assert stale.total > fresh.total
+
+
+class TestEvaluateProgram:
+    def test_sums_over_procedures(self, mini_module, mini_profile):
+        program = mini_module.program
+        layouts = original_program_layout(program)
+        result = evaluate_program(program, layouts, mini_profile, ALPHA_21164)
+        assert set(result.per_procedure) == set(program.procedures)
+        assert result.total == pytest.approx(
+            sum(b.total for b in result.per_procedure.values())
+        )
+        assert result.total > 0
+
+    def test_unprofiled_procedure_contributes_zero(self, mini_module):
+        program = mini_module.program
+        layouts = original_program_layout(program)
+        profile = profile_from_counts({})
+        result = evaluate_program(program, layouts, profile, ALPHA_21164)
+        assert result.total == 0
+
+    def test_train_predictors_covers_all_procedures(
+        self, mini_module, mini_profile
+    ):
+        predictors = train_predictors(mini_module.program, mini_profile)
+        assert set(predictors) == set(mini_module.program.procedures)

@@ -1,0 +1,115 @@
+"""Tests for the greedy aligners and the chain machinery."""
+
+import pytest
+
+from repro.core import (
+    calder_grunwald_layout,
+    evaluate_layout,
+    original_layout,
+    pettis_hansen_layout,
+)
+from repro.core.aligners.chains import ChainSet
+from repro.machine import ALPHA_21164
+from repro.profiles import EdgeProfile
+
+
+class TestChainSet:
+    def test_link_merges_head_to_tail(self):
+        chains = ChainSet([0, 1, 2, 3])
+        assert chains.try_link(0, 1)
+        assert chains.try_link(1, 2)
+        assert chains.chain(chains.chain_id(0)) == [0, 1, 2]
+
+    def test_link_rejects_mid_chain_endpoints(self):
+        chains = ChainSet([0, 1, 2, 3])
+        chains.try_link(0, 1)
+        chains.try_link(1, 2)
+        assert not chains.try_link(1, 3)   # 1 is not a tail
+        assert not chains.try_link(3, 1)   # 1 is not a head
+
+    def test_link_rejects_cycles(self):
+        chains = ChainSet([0, 1])
+        chains.try_link(0, 1)
+        assert not chains.try_link(1, 0)
+
+    def test_is_head_is_tail(self):
+        chains = ChainSet([0, 1])
+        chains.try_link(0, 1)
+        assert chains.is_head(0) and chains.is_tail(1)
+        assert not chains.is_head(1) and not chains.is_tail(0)
+
+
+class TestPettisHansen:
+    def test_hot_edge_becomes_fallthrough(self, diamond_cfg):
+        b = {blk.label: blk.block_id for blk in diamond_cfg}
+        profile = EdgeProfile({
+            (b["entry"], b["right"]): 90,
+            (b["entry"], b["left"]): 10,
+            (b["right"], b["exit"]): 90,
+            (b["left"], b["exit"]): 10,
+        })
+        layout = pettis_hansen_layout(diamond_cfg, profile)
+        position = layout.positions
+        # Hot path entry -> right -> exit is laid out contiguously.
+        assert position[b["right"]] == position[b["entry"]] + 1
+        assert position[b["exit"]] == position[b["right"]] + 1
+
+    def test_layout_is_valid_permutation(self, loop_cfg, loop_profile):
+        layout = pettis_hansen_layout(loop_cfg, loop_profile["main"])
+        layout.check_against(loop_cfg)
+
+    def test_improves_over_original(self, loop_cfg, loop_profile):
+        profile = loop_profile["main"]
+        greedy = evaluate_layout(
+            loop_cfg,
+            pettis_hansen_layout(loop_cfg, profile),
+            profile,
+            ALPHA_21164,
+        ).total
+        baseline = evaluate_layout(
+            loop_cfg, original_layout(loop_cfg), profile, ALPHA_21164
+        ).total
+        assert greedy <= baseline
+
+    def test_empty_profile_degrades_gracefully(self, loop_cfg):
+        layout = pettis_hansen_layout(loop_cfg, EdgeProfile())
+        layout.check_against(loop_cfg)
+
+
+class TestCalderGrunwald:
+    def test_layout_valid(self, loop_cfg, loop_profile):
+        layout = calder_grunwald_layout(
+            loop_cfg, loop_profile["main"], ALPHA_21164
+        )
+        layout.check_against(loop_cfg)
+
+    def test_cost_weighting_beats_frequency_when_costs_disagree(self):
+        """A case where frequency greedy picks the wrong fall-through.
+
+        Block A is conditional (arms B hot / C cold); block J is
+        unconditional into B with frequency between the two arms.  The
+        frequency order links (A,B) first, so J pays a kept jump (2/exec).
+        Cost weighting knows (J,B) saves 2 cycles/exec while (A,B) as a
+        fall-through saves only 1/exec over branching to B.
+        """
+        from repro.cfg import CFGBuilder
+        b = CFGBuilder()
+        b.block("A", padding=1).cond("B", "C")
+        b.block("J", padding=1).jump("B")
+        b.block("B", padding=1).ret()
+        b.block("C", padding=1).jump("J")
+        cfg = b.build(entry="A")
+        ids = {name: b.id_of(name) for name in "ABCJ"}
+        profile = EdgeProfile({
+            (ids["A"], ids["B"]): 100,
+            (ids["A"], ids["C"]): 60,
+            (ids["C"], ids["J"]): 60,
+            (ids["J"], ids["B"]): 60 + 30,  # J also entered externally? no:
+        })
+        # Keep flow consistent: J->B executes 60 times.
+        profile.counts[(ids["J"], ids["B"])] = 60
+        freq = pettis_hansen_layout(cfg, profile)
+        cost = calder_grunwald_layout(cfg, profile, ALPHA_21164)
+        freq_penalty = evaluate_layout(cfg, freq, profile, ALPHA_21164).total
+        cost_penalty = evaluate_layout(cfg, cost, profile, ALPHA_21164).total
+        assert cost_penalty <= freq_penalty

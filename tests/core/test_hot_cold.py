@@ -1,0 +1,110 @@
+"""Tests for hot/cold block splitting."""
+
+import pytest
+
+from repro.core import align_program, evaluate_layout, original_layout
+from repro.core.hot_cold import cold_fraction, split_hot_cold, split_program_hot_cold
+from repro.machine import ALPHA_21164
+from repro.profiles import EdgeProfile
+
+
+@pytest.fixture
+def cold_heavy_cfg():
+    from repro.cfg import CFGBuilder
+    b = CFGBuilder()
+    b.block("entry", padding=1).cond("hot", "cold1")
+    b.block("hot", padding=2).cond("entry", "exit")
+    b.block("cold1", padding=9).jump("cold2")
+    b.block("cold2", padding=9).jump("exit")
+    b.block("exit", padding=1).ret()
+    return b, b.build(entry="entry")
+
+
+@pytest.fixture
+def hot_profile(cold_heavy_cfg):
+    b, cfg = cold_heavy_cfg
+    ids = {name: b.id_of(name) for name in ("entry", "hot", "cold1", "cold2", "exit")}
+    return ids, EdgeProfile({
+        (ids["entry"], ids["hot"]): 1000,
+        (ids["hot"], ids["entry"]): 999,
+        (ids["hot"], ids["exit"]): 1,
+    })
+
+
+class TestSplitHotCold:
+    def test_cold_blocks_moved_last(self, cold_heavy_cfg, hot_profile):
+        b, cfg = cold_heavy_cfg
+        ids, profile = hot_profile
+        layout = split_hot_cold(cfg, original_layout(cfg), profile)
+        positions = layout.positions
+        for cold in ("cold1", "cold2"):
+            for hot in ("entry", "hot", "exit"):
+                assert positions[ids[cold]] > positions[ids[hot]]
+
+    def test_relative_order_preserved(self, cold_heavy_cfg, hot_profile):
+        b, cfg = cold_heavy_cfg
+        ids, profile = hot_profile
+        layout = split_hot_cold(cfg, original_layout(cfg), profile)
+        assert layout.positions[ids["cold1"]] < layout.positions[ids["cold2"]]
+
+    def test_entry_stays_first_even_if_cold(self, cold_heavy_cfg):
+        b, cfg = cold_heavy_cfg
+        layout = split_hot_cold(cfg, original_layout(cfg), EdgeProfile())
+        assert layout.order[0] == cfg.entry
+
+    def test_penalty_not_worsened_here(self, cold_heavy_cfg, hot_profile):
+        """Pulling cold interlopers out of the hot path can only help this
+        layout (hot blocks become adjacent, enabling fall-throughs)."""
+        b, cfg = cold_heavy_cfg
+        ids, profile = hot_profile
+        base = original_layout(cfg)
+        split = split_hot_cold(cfg, base, profile)
+        before = evaluate_layout(cfg, base, profile, ALPHA_21164).total
+        after = evaluate_layout(cfg, split, profile, ALPHA_21164).total
+        assert after <= before
+
+    def test_penalty_preserved_on_tsp_layouts(self, mini_module, mini_profile):
+        """On an aligned layout the hot region is already contiguous, so
+        splitting is penalty-neutral (cold blocks contribute nothing)."""
+        from repro.core import evaluate_program
+        program = mini_module.program
+        layouts = align_program(program, mini_profile, method="tsp")
+        split = split_program_hot_cold(program, layouts, mini_profile)
+        before = evaluate_program(program, layouts, mini_profile, ALPHA_21164)
+        after = evaluate_program(program, split, mini_profile, ALPHA_21164)
+        assert after.total <= before.total + 1e-6
+
+    def test_cold_fraction(self, cold_heavy_cfg, hot_profile):
+        b, cfg = cold_heavy_cfg
+        ids, profile = hot_profile
+        fraction = cold_fraction(cfg, profile)
+        assert 0.4 < fraction < 0.9
+        assert cold_fraction(cfg, profile, threshold=10_000) > fraction
+
+
+class TestProgramLevel:
+    def test_split_program(self, mini_module, mini_profile):
+        program = mini_module.program
+        layouts = align_program(program, mini_profile, method="tsp")
+        split = split_program_hot_cold(program, layouts, mini_profile)
+        split.check_against(program)
+
+    def test_split_improves_or_keeps_cache_density(self, mini_module, mini_run):
+        from repro.core import train_predictors
+        from repro.machine import DirectMappedICache
+        from repro.machine.timing import simulate_timing
+
+        result, profile = mini_run
+        program = mini_module.program
+        layouts = align_program(program, profile, method="tsp")
+        predictors = train_predictors(program, profile)
+
+        def misses(candidate):
+            timing = simulate_timing(
+                program, candidate, profile, result.trace.trace, ALPHA_21164,
+                predictors=predictors, icache=DirectMappedICache(512, 32),
+            )
+            return timing.icache_misses
+
+        split = split_program_hot_cold(program, layouts, profile)
+        assert misses(split) <= misses(layouts) * 1.05

@@ -1,0 +1,58 @@
+"""Tests for layout representation."""
+
+import pytest
+
+from repro.core import (
+    Layout,
+    LayoutError,
+    ProgramLayout,
+    original_layout,
+    original_program_layout,
+)
+from repro.core.layout import layout_from_order
+
+
+class TestLayout:
+    def test_rejects_duplicates(self):
+        with pytest.raises(LayoutError):
+            Layout((0, 1, 1))
+
+    def test_positions_and_successors(self):
+        layout = Layout((2, 0, 1))
+        assert layout.positions == {2: 0, 0: 1, 1: 2}
+        assert layout.successor_map() == {2: 0, 0: 1, 1: None}
+
+    def test_check_against_requires_permutation(self, diamond_cfg):
+        with pytest.raises(LayoutError, match="permutation"):
+            Layout((0, 1)).check_against(diamond_cfg)
+
+    def test_check_against_requires_entry_first(self, diamond_cfg):
+        blocks = diamond_cfg.block_ids
+        wrong = Layout(tuple(reversed(blocks)))
+        with pytest.raises(LayoutError, match="entry"):
+            wrong.check_against(diamond_cfg)
+        wrong.check_against(diamond_cfg, anchor_entry=False)
+
+    def test_original_layout_entry_first(self, loop_cfg):
+        layout = original_layout(loop_cfg)
+        assert layout.order[0] == loop_cfg.entry
+        assert set(layout) == set(loop_cfg.block_ids)
+
+    def test_layout_from_order(self):
+        assert layout_from_order([3, 1, 2]).order == (3, 1, 2)
+
+
+class TestProgramLayout:
+    def test_check_against_program(self, loop_program):
+        layouts = original_program_layout(loop_program)
+        layouts.check_against(loop_program)
+
+    def test_missing_procedure_detected(self, loop_program):
+        with pytest.raises(LayoutError, match="no layout"):
+            ProgramLayout().check_against(loop_program)
+
+    def test_mapping_interface(self, loop_cfg):
+        layouts = ProgramLayout()
+        layouts["main"] = original_layout(loop_cfg)
+        assert "main" in layouts
+        assert list(dict(layouts.items())) == ["main"]

@@ -1,0 +1,130 @@
+"""Tests for layout materialization: branch inversion, jumps, fixups,
+addresses."""
+
+import pytest
+
+from repro.cfg import Procedure, Program
+from repro.core import (
+    PhysicalKind,
+    materialize_procedure,
+    materialize_program,
+    original_layout,
+    original_program_layout,
+)
+from repro.core.layout import Layout
+from repro.machine import StaticPredictor, WORD_BYTES
+from repro.profiles import EdgeProfile
+
+
+def predictor_for(cfg, counts):
+    return StaticPredictor.train(cfg, EdgeProfile(counts))
+
+
+class TestConditionalMaterialization:
+    def test_fallthrough_arm_chosen_branch_inverted(self, diamond_cfg):
+        # Layout: entry, right, left, exit — branch must target 'left'.
+        b = {blk.label: blk.block_id for blk in diamond_cfg}
+        layout = Layout((b["entry"], b["right"], b["left"], b["exit"]))
+        predictor = predictor_for(
+            diamond_cfg, {(b["entry"], b["left"]): 9, (b["entry"], b["right"]): 1}
+        )
+        physical = materialize_procedure("p", diamond_cfg, layout, predictor)
+        entry = physical.block_for(b["entry"])
+        assert entry.kind is PhysicalKind.COND
+        assert entry.fallthrough == b["right"]
+        assert entry.branch_target == b["left"]
+        assert entry.fixup_target is None
+
+    def test_fixup_inserted_when_neither_arm_follows(self, diamond_cfg):
+        b = {blk.label: blk.block_id for blk in diamond_cfg}
+        layout = Layout((b["entry"], b["exit"], b["left"], b["right"]))
+        predictor = predictor_for(
+            diamond_cfg, {(b["entry"], b["left"]): 9, (b["entry"], b["right"]): 1}
+        )
+        physical = materialize_procedure("p", diamond_cfg, layout, predictor)
+        entry = physical.block_for(b["entry"])
+        # Branch goes to the predicted arm; fixup jump carries the other.
+        assert entry.branch_target == b["left"]
+        assert entry.fixup_target == b["right"]
+        fixup = physical.fixup_after(b["entry"])
+        assert fixup is not None
+        assert fixup.kind is PhysicalKind.FIXUP
+        assert fixup.branch_target == b["right"]
+        assert fixup.words == 1
+        assert physical.fixup_count == 1
+
+
+class TestUnconditionalMaterialization:
+    def test_jump_deleted_when_successor_follows(self, loop_cfg, loop_profile):
+        layout = original_layout(loop_cfg)
+        predictor = StaticPredictor.train(loop_cfg, loop_profile["main"])
+        physical = materialize_procedure("p", loop_cfg, layout, predictor)
+        entry = physical.block_for(loop_cfg.entry)
+        # entry's single successor (head) is next in the original layout.
+        assert entry.kind is PhysicalKind.FALLTHROUGH
+        assert entry.cti_words == 0
+
+    def test_jump_kept_when_successor_elsewhere(self, loop_cfg, loop_profile):
+        blocks = list(original_layout(loop_cfg).order)
+        # Move entry's successor to the end.
+        successor = loop_cfg.successors(loop_cfg.entry)[0]
+        blocks.remove(successor)
+        blocks.append(successor)
+        layout = Layout(tuple(blocks))
+        predictor = StaticPredictor.train(loop_cfg, loop_profile["main"])
+        physical = materialize_procedure("p", loop_cfg, layout, predictor)
+        entry = physical.block_for(loop_cfg.entry)
+        assert entry.kind is PhysicalKind.JUMP
+        assert entry.cti_words == 1
+
+
+class TestAddresses:
+    def test_addresses_contiguous_and_sized(self, loop_cfg, loop_profile):
+        layout = original_layout(loop_cfg)
+        predictor = StaticPredictor.train(loop_cfg, loop_profile["main"])
+        physical = materialize_procedure(
+            "p", loop_cfg, layout, predictor, start_address=128
+        )
+        assert physical.start_address == 128
+        address = 128
+        for block in physical.blocks:
+            assert block.address == address
+            address += block.words * WORD_BYTES
+        assert physical.end_address == address
+        assert physical.code_words == (address - 128) // WORD_BYTES
+
+    def test_program_packing_aligns_procedures(self, mini_module, mini_profile):
+        from repro.core.evaluate import train_predictors
+
+        program = mini_module.program
+        layouts = original_program_layout(program)
+        predictors = train_predictors(program, mini_profile)
+        physical = materialize_program(
+            program, layouts, predictors, proc_align_words=8
+        )
+        align_bytes = 8 * WORD_BYTES
+        previous_end = 0
+        for proc in program:
+            materialized = physical[proc.name]
+            assert materialized.start_address % align_bytes == 0
+            assert materialized.start_address >= previous_end
+            previous_end = materialized.end_address
+        assert physical.code_words > 0
+
+    def test_register_and_return_blocks(self, loop_cfg, loop_profile):
+        layout = original_layout(loop_cfg)
+        predictor = StaticPredictor.train(loop_cfg, loop_profile["main"])
+        physical = materialize_procedure("p", loop_cfg, layout, predictor)
+        kinds = {block.kind for block in physical.blocks}
+        assert PhysicalKind.REGISTER in kinds
+        assert PhysicalKind.RETURN in kinds
+        switch = next(
+            b for b in physical.blocks if b.kind is PhysicalKind.REGISTER
+        )
+        assert switch.cti_words == 1
+
+    def test_layout_validation_enforced(self, diamond_cfg):
+        with pytest.raises(Exception):
+            materialize_procedure(
+                "p", diamond_cfg, Layout((0, 1)), StaticPredictor({})
+            )

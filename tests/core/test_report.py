@@ -1,0 +1,87 @@
+"""Tests for the human-readable layout reports."""
+
+import pytest
+
+from repro.core import align_program, original_layout
+from repro.core.report import describe_layout, describe_program
+from repro.machine import ALPHA_21164
+from repro.profiles import EdgeProfile
+
+
+class TestDescribeLayout:
+    def test_original_layout_reports_no_moves(self, loop_cfg, loop_profile):
+        report = describe_layout(
+            loop_cfg, original_layout(loop_cfg), loop_profile["main"],
+            ALPHA_21164, name="main",
+        )
+        assert report.blocks_moved == 0
+        assert len(report.blocks) == len(loop_cfg)
+        assert report.total_penalty == pytest.approx(report.original_penalty)
+
+    def test_aligned_layout_reports_improvements(self, loop_cfg, loop_profile):
+        from repro.core import tsp_align
+        alignment = tsp_align(loop_cfg, loop_profile["main"], ALPHA_21164)
+        report = describe_layout(
+            loop_cfg, alignment.layout, loop_profile["main"], ALPHA_21164,
+            name="main",
+        )
+        assert report.total_penalty == pytest.approx(alignment.cost)
+        assert report.total_penalty <= report.original_penalty
+        assert report.blocks_moved > 0
+
+    def test_penalties_sum_matches_evaluator(self, loop_cfg, loop_profile):
+        from repro.core import evaluate_layout, pettis_hansen_layout
+        layout = pettis_hansen_layout(loop_cfg, loop_profile["main"])
+        report = describe_layout(
+            loop_cfg, layout, loop_profile["main"], ALPHA_21164
+        )
+        expected = evaluate_layout(
+            loop_cfg, layout, loop_profile["main"], ALPHA_21164
+        ).total
+        assert report.total_penalty == pytest.approx(expected)
+
+    def test_rows_shape(self, diamond_cfg):
+        profile = EdgeProfile({(0, 1): 10, (0, 2): 5, (1, 3): 10, (2, 3): 5})
+        report = describe_layout(
+            diamond_cfg, original_layout(diamond_cfg), profile, ALPHA_21164
+        )
+        rows = report.rows()
+        assert len(rows) == 4
+        assert rows[0][0] == 0  # position column
+
+
+class TestDescribeProgram:
+    def test_covers_all_procedures(self, mini_module, mini_profile):
+        layouts = align_program(mini_module.program, mini_profile, method="tsp")
+        reports = describe_program(
+            mini_module.program, layouts, mini_profile, ALPHA_21164
+        )
+        assert set(reports) == set(mini_module.program.procedures)
+        total = sum(r.total_penalty for r in reports.values())
+        from repro.core import evaluate_program
+        expected = evaluate_program(
+            mini_module.program, layouts, mini_profile, ALPHA_21164
+        ).total
+        assert total == pytest.approx(expected)
+
+    def test_cli_details_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        source = tmp_path / "p.tl"
+        source.write_text("""
+        fn main() {
+          var i = 0;
+          while (i < input_len()) {
+            if (input(i) % 3) { output(i); }
+            i = i + 1;
+          }
+          return i;
+        }
+        """)
+        assert main([
+            "align", str(source),
+            "--inputs", ",".join(str(i) for i in range(60)),
+            "--method", "tsp", "--details",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "blocks moved" in out
+        assert "ends with" in out

@@ -1,0 +1,56 @@
+"""Tests for the appendix statistics machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import analyze_instances, esp_scale_instances
+from repro.experiments.appendix import InstanceQuality
+
+
+def random_instances(count, n, seed):
+    rng = np.random.default_rng(seed)
+    instances = []
+    for i in range(count):
+        m = rng.uniform(1, 100, size=(n, n))
+        np.fill_diagonal(m, 0)
+        instances.append((f"inst{i}", m))
+    return instances
+
+
+class TestInstanceQuality:
+    def test_gap_properties(self):
+        quality = InstanceQuality(
+            name="x", cities=10, tour_cost=110.0, hk_bound=100.0,
+            ap_bound=55.0, ap_is_tour=False, runs_finding_best=3,
+            runs_total=4,
+        )
+        assert quality.hk_gap == pytest.approx(0.10)
+        assert quality.ap_gap == pytest.approx(1.0)
+        assert not quality.ap_tight
+
+    def test_zero_bound_cases(self):
+        quality = InstanceQuality(
+            name="z", cities=3, tour_cost=0.0, hk_bound=0.0, ap_bound=0.0,
+            ap_is_tour=True, runs_finding_best=1, runs_total=1,
+        )
+        assert quality.hk_gap == 0.0
+        assert quality.ap_tight
+
+
+class TestAnalyze:
+    def test_statistics_computed(self):
+        stats = analyze_instances(
+            random_instances(5, 8, 0), effort="quick", seed=0
+        )
+        assert stats.n == 5
+        assert 0 <= stats.ap_tight_count <= 5
+        assert 0 <= stats.stable_count <= 5
+        assert stats.mean_hk_gap >= 0
+        assert stats.max_hk_gap >= stats.mean_hk_gap
+
+    def test_esp_scale_instances_generated(self):
+        instances = esp_scale_instances(procedures=8, seed=1)
+        assert len(instances) >= 6
+        for name, matrix in instances:
+            assert matrix.shape[0] >= 3
+            assert matrix.shape[0] == matrix.shape[1]

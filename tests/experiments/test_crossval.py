@@ -1,0 +1,36 @@
+"""Tests for cross-validation helpers."""
+
+import pytest
+
+from repro.experiments import cross_validate, summarize_pair
+
+
+@pytest.fixture(scope="module")
+def dod_pair():
+    return cross_validate("dod", "sm", "re", compute_bound=False)
+
+
+class TestCrossValidate:
+    def test_pair_shapes(self, dod_pair):
+        self_case, cross_case = dod_pair
+        assert not self_case.cross_validated
+        assert cross_case.cross_validated
+        assert self_case.dataset == cross_case.dataset == "sm"
+        assert cross_case.train_dataset == "re"
+
+    def test_summary(self, dod_pair):
+        self_case, cross_case = dod_pair
+        summary = summarize_pair(self_case, cross_case, "tsp")
+        assert summary.label == "dod.sm"
+        assert -1.0 <= summary.cross_removal <= 1.0
+        assert summary.dilution == pytest.approx(
+            summary.self_removal - summary.cross_removal
+        )
+
+    def test_bulk_of_benefit_remains(self, dod_pair):
+        """The paper's conclusion holds on this pair: cross-validation
+        keeps most of the benefit."""
+        self_case, cross_case = dod_pair
+        for method in ("greedy", "tsp"):
+            summary = summarize_pair(self_case, cross_case, method)
+            assert summary.kept_bulk

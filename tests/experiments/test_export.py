@@ -1,0 +1,44 @@
+"""Tests for JSON export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    case_to_dict,
+    cases_to_json,
+    figure2_to_json,
+    figure3_to_json,
+)
+from repro.experiments.tables import Figure2Data, Figure3Data
+from tests.experiments.test_tables import fake_case
+
+
+class TestExport:
+    def test_case_to_dict_fields(self):
+        payload = case_to_dict(fake_case("aa.x"))
+        assert payload["benchmark"] == "aa"
+        assert payload["lower_bound"] == pytest.approx(390.0)
+        assert payload["methods"]["tsp"]["normalized_penalty"] == pytest.approx(0.4)
+        assert not payload["cross_validated"]
+
+    def test_cases_to_json_roundtrips(self):
+        text = cases_to_json({"aa.x": fake_case("aa.x")})
+        payload = json.loads(text)
+        assert "aa.x" in payload
+        assert payload["aa.x"]["methods"]["greedy"]["penalty"] == 500.0
+
+    def test_figure2_export(self):
+        data = Figure2Data()
+        data.cases["aa.x"] = fake_case("aa.x")
+        payload = json.loads(figure2_to_json(data))
+        assert payload["means"]["tsp_removal"] == pytest.approx(0.6)
+        assert "aa.x" in payload["cases"]
+
+    def test_figure3_export(self):
+        data = Figure3Data()
+        data.self_cases["aa.x"] = fake_case("aa.x")
+        data.cross_cases["aa.x"] = fake_case("aa.x", tsp=450.0)
+        payload = json.loads(figure3_to_json(data))
+        assert payload["means"]["self"]["tsp"] == pytest.approx(0.6)
+        assert payload["means"]["cross"]["tsp"] == pytest.approx(0.55)

@@ -1,0 +1,44 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.experiments import arithmetic_mean, format_table, geometric_mean, percent
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 120000.0]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "120,000" in lines[4]
+
+    def test_number_formats(self):
+        text = format_table(["x"], [[0.1234], [12.34], [0.0]])
+        assert "0.123" in text
+        assert "12.3" in text
+
+    def test_strings_left_numbers_right(self):
+        text = format_table(["a", "b"], [["xx", 1.0], ["yyyy", 22.0]])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("xx ")
+        assert rows[0].rstrip().endswith("1.000")
+
+
+class TestMeans:
+    def test_percent(self):
+        assert percent(0.336) == "33.6%"
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for the table/figure generators, using synthetic cases."""
+
+import pytest
+
+from repro.core.costmodel import CostBreakdown
+from repro.core.layout import ProgramLayout
+from repro.experiments.runner import CaseResult, MethodOutcome
+from repro.experiments.tables import Figure2Data, Figure3Data, table4_rows
+from repro.machine.timing import TimingBreakdown
+
+
+def outcome(method, penalty, cycles, misses=0):
+    timing = TimingBreakdown(
+        instruction_cycles=cycles * 0.8,
+        control_stall_cycles=cycles * 0.2,
+        icache_stall_cycles=0.0,
+        icache_misses=misses,
+    )
+    return MethodOutcome(
+        method=method,
+        penalty=penalty,
+        breakdown=CostBreakdown(mispredict=penalty),
+        timing=timing,
+        align_seconds=0.01,
+        layouts=ProgramLayout(),
+    )
+
+
+def fake_case(label, original=1000.0, greedy=500.0, tsp=400.0, bound=390.0):
+    benchmark, dataset = label.split(".")
+    case = CaseResult(
+        benchmark=benchmark, dataset=dataset, train_dataset=dataset
+    )
+    case.methods["original"] = outcome("original", original, 10_000)
+    case.methods["greedy"] = outcome("greedy", greedy, 9_000)
+    case.methods["tsp"] = outcome("tsp", tsp, 8_800)
+    case.lower_bound = bound
+    return case
+
+
+class TestCaseResult:
+    def test_normalizations(self):
+        case = fake_case("aa.x")
+        assert case.normalized_penalty("greedy") == pytest.approx(0.5)
+        assert case.normalized_penalty("tsp") == pytest.approx(0.4)
+        assert case.normalized_bound == pytest.approx(0.39)
+        assert case.normalized_cycles("tsp") == pytest.approx(0.88)
+        assert case.label == "aa.x"
+        assert not case.cross_validated
+
+    def test_zero_original_degrades_gracefully(self):
+        case = fake_case("bb.y", original=0.0, greedy=0.0, tsp=0.0, bound=0.0)
+        assert case.normalized_penalty("tsp") == 1.0
+        assert case.normalized_bound == 1.0
+
+
+class TestFigure2Data:
+    def make(self):
+        data = Figure2Data()
+        data.cases["aa.x"] = fake_case("aa.x", 1000, 500, 400, 400)
+        data.cases["bb.y"] = fake_case("bb.y", 1000, 800, 700, 700)
+        return data
+
+    def test_mean_removals(self):
+        data = self.make()
+        assert data.mean_greedy_removal == pytest.approx((0.5 + 0.2) / 2)
+        assert data.mean_tsp_removal == pytest.approx((0.6 + 0.3) / 2)
+        assert data.mean_bound_removal == pytest.approx(data.mean_tsp_removal)
+
+    def test_penalty_rows_include_mean(self):
+        headers, rows = self.make().penalty_rows()
+        assert headers[0] == "case"
+        assert rows[-1][0] == "MEAN"
+        assert len(rows) == 3
+
+    def test_runtime_rows(self):
+        headers, rows = self.make().runtime_rows()
+        assert rows[0][1] == pytest.approx(0.9)
+        assert rows[-1][0] == "MEAN"
+
+
+class TestFigure3Data:
+    def test_means_by_side(self):
+        data = Figure3Data()
+        data.self_cases["aa.x"] = fake_case("aa.x", 1000, 500, 400)
+        data.cross_cases["aa.x"] = fake_case("aa.x", 1000, 550, 450)
+        assert data.mean_removal("tsp", cross=False) == pytest.approx(0.6)
+        assert data.mean_removal("tsp", cross=True) == pytest.approx(0.55)
+        headers, rows = data.penalty_rows()
+        assert rows[0][3] == pytest.approx(0.4)   # tsp self
+        assert rows[0][4] == pytest.approx(0.45)  # tsp cross
+
+
+class TestTable4:
+    def test_rows(self):
+        cases = {"aa.x": fake_case("aa.x")}
+        headers, rows = table4_rows(cases)
+        assert rows[0][0] == "aa.x"
+        assert rows[0][1] == pytest.approx(1000.0)
+        assert rows[0][2] == pytest.approx(390.0)
+        assert rows[0][4] == pytest.approx(1000.0 / 10_000.0)

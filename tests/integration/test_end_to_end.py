@@ -1,0 +1,129 @@
+"""End-to-end integration tests: source text → aligned, timed program.
+
+These exercise the whole public surface on a fresh program, the way the
+README quickstart does, plus the semantic-preservation argument: alignment
+is a layout decision, so the VM (which runs the CFG, not the layout) and
+the evaluator must tell a consistent story across all methods.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    ALPHA_21164,
+    align_program,
+    evaluate_program,
+    lower_bound_program,
+)
+from repro.core import build_alignment_instance, train_predictors
+from repro.core.materialize import materialize_program
+from repro.lang import compile_source, run_and_profile
+from repro.machine.timing import simulate_timing
+
+SOURCE = """
+arr histogram[16];
+global checksum = 0;
+
+fn mix(x) {
+  return (x * 31 + 17) % 97;
+}
+
+fn step(v) {
+  var m = mix(v);
+  histogram[m % 16] = histogram[m % 16] + 1;
+  if (m > 48) {
+    checksum = checksum + m;
+    return 1;
+  }
+  return 0;
+}
+
+fn main() {
+  var i = 0;
+  var hits = 0;
+  while (i < input_len()) {
+    hits = hits + step(input(i));
+    i = i + 1;
+  }
+  output(hits);
+  output(checksum);
+  return hits;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    module = compile_source(SOURCE)
+    rng = random.Random(17)
+    inputs = [rng.randrange(0, 1000) for _ in range(1500)]
+    result, profile = run_and_profile(module, inputs)
+    return module, result, profile
+
+
+class TestEndToEnd:
+    def test_full_pipeline_ordering(self, pipeline):
+        module, result, profile = pipeline
+        program = module.program
+        penalties = {}
+        cycles = {}
+        for method in ("original", "greedy", "cost-greedy", "tsp"):
+            layouts = align_program(program, profile, method=method)
+            layouts.check_against(program)
+            penalties[method] = evaluate_program(
+                program, layouts, profile, ALPHA_21164
+            ).total
+            timing = simulate_timing(
+                program, layouts, profile, result.trace.trace, ALPHA_21164
+            )
+            cycles[method] = timing.total_cycles
+        bound = lower_bound_program(program, profile).total
+
+        assert bound <= penalties["tsp"] + 1e-6
+        assert penalties["tsp"] <= penalties["greedy"] + 1e-6
+        assert penalties["tsp"] <= penalties["cost-greedy"] + 1e-6
+        assert penalties["greedy"] <= penalties["original"] + 1e-6
+        assert cycles["tsp"] <= cycles["original"]
+
+    def test_matrix_agrees_with_evaluator_on_aligned_layouts(self, pipeline):
+        module, _, profile = pipeline
+        program = module.program
+        layouts = align_program(program, profile, method="tsp")
+        for proc in program:
+            edge_profile = profile.procedures.get(proc.name)
+            if edge_profile is None or edge_profile.total() == 0:
+                continue
+            instance = build_alignment_instance(
+                proc.cfg, edge_profile, ALPHA_21164
+            )
+            from repro.core import evaluate_layout
+            walk = instance.layout_cost(layouts[proc.name])
+            penalty = evaluate_layout(
+                proc.cfg, layouts[proc.name], edge_profile, ALPHA_21164
+            ).total
+            assert walk == pytest.approx(penalty)
+
+    def test_materialization_covers_all_blocks(self, pipeline):
+        module, _, profile = pipeline
+        program = module.program
+        layouts = align_program(program, profile, method="tsp")
+        predictors = train_predictors(program, profile)
+        physical = materialize_program(program, layouts, predictors)
+        for proc in program:
+            materialized = physical[proc.name]
+            sources = {
+                b.source for b in materialized.blocks if b.source is not None
+            }
+            assert sources == set(proc.cfg.block_ids)
+
+    def test_outputs_independent_of_layout_decisions(self, pipeline):
+        """Alignment must not change semantics: re-running the VM after
+        computing alignments yields identical outputs (the VM executes the
+        CFG; layouts only change addresses/penalties)."""
+        module, result, profile = pipeline
+        rng = random.Random(17)
+        inputs = [rng.randrange(0, 1000) for _ in range(1500)]
+        rerun, _ = run_and_profile(module, inputs)
+        assert rerun.outputs == result.outputs
+        assert rerun.returned == result.returned

@@ -1,0 +1,173 @@
+"""Tests for the C-style for loop."""
+
+import pytest
+
+from repro.cfg import natural_loops, validate_program
+from repro.lang import LangError, compile_source, execute
+
+
+def run(source, inputs=None):
+    return execute(compile_source(source), inputs or [])
+
+
+class TestForSemantics:
+    def test_basic_counting(self):
+        result = run("""
+        fn main() {
+          var total = 0;
+          for (var i = 0; i < 10; i = i + 1) {
+            total = total + i;
+          }
+          return total;
+        }
+        """)
+        assert result.returned == 45
+
+    def test_continue_runs_step(self):
+        """C semantics: continue jumps to the step, not the condition."""
+        result = run("""
+        fn main() {
+          var total = 0;
+          for (var i = 0; i < 10; i = i + 1) {
+            if (i % 2) { continue; }
+            total = total + i;
+          }
+          return total;
+        }
+        """)
+        assert result.returned == 0 + 2 + 4 + 6 + 8
+
+    def test_break(self):
+        result = run("""
+        fn main() {
+          var i = 0;
+          for (; ; i = i + 1) {
+            if (i == 7) { break; }
+          }
+          return i;
+        }
+        """)
+        assert result.returned == 7
+
+    def test_empty_header_parts(self):
+        result = run("""
+        fn main() {
+          var i = 0;
+          for (;;) {
+            i = i + 1;
+            if (i >= 3) { break; }
+          }
+          return i;
+        }
+        """)
+        assert result.returned == 3
+
+    def test_array_store_in_step(self):
+        """The step runs after every body iteration, before the condition
+        re-check (C semantics) — including the final one."""
+        result = run("""
+        arr seen[16];
+        fn main() {
+          var i = 0;
+          for (i = 0; i < 8; seen[i] = 1) {
+            i = i + 1;
+          }
+          return seen[8] * 10 + seen[0];
+        }
+        """)
+        # Body increments first, so the step marks seen[1..8]; seen[0]
+        # stays 0.
+        assert result.returned == 10
+
+    def test_nested_for(self):
+        result = run("""
+        fn main() {
+          var total = 0;
+          for (var i = 0; i < 4; i = i + 1) {
+            for (var j = 0; j < 4; j = j + 1) {
+              if (i == j) { continue; }
+              total = total + 1;
+            }
+          }
+          return total;
+        }
+        """)
+        assert result.returned == 12
+
+    def test_call_in_condition_and_step(self):
+        result = run("""
+        global calls = 0;
+        fn bump() { calls = calls + 1; return calls; }
+        fn main() {
+          var total = 0;
+          for (var i = 0; bump() < 6; i = i + 1) {
+            total = total + 1;
+          }
+          return total;
+        }
+        """)
+        assert result.returned == 5
+
+
+class TestForLowering:
+    def test_produces_one_natural_loop(self):
+        module = compile_source("""
+        fn main() {
+          var total = 0;
+          for (var i = 0; i < 5; i = i + 1) { total = total + i; }
+          return total;
+        }
+        """)
+        validate_program(module.program)
+        assert len(natural_loops(module.program["main"].cfg)) == 1
+
+    def test_equivalent_to_while(self):
+        for_module = compile_source("""
+        fn main() {
+          var t = 0;
+          for (var i = 0; i < input_len(); i = i + 1) { t = t + input(i); }
+          return t;
+        }
+        """)
+        while_module = compile_source("""
+        fn main() {
+          var t = 0;
+          var i = 0;
+          while (i < input_len()) { t = t + input(i); i = i + 1; }
+          return t;
+        }
+        """)
+        inputs = list(range(30))
+        assert (
+            execute(for_module, inputs, trace=False).returned
+            == execute(while_module, inputs, trace=False).returned
+        )
+
+    def test_for_in_benchmark_style_alignment(self):
+        """A for-heavy kernel goes through the whole alignment pipeline."""
+        from repro import ALPHA_21164, align_program, evaluate_program
+        from repro.lang import run_and_profile
+
+        module = compile_source("""
+        fn main() {
+          var acc = 0;
+          for (var i = 0; i < input_len(); i = i + 1) {
+            for (var j = 0; j < 3; j = j + 1) {
+              if ((input(i) + j) % 2) { acc = acc + 1; }
+            }
+          }
+          return acc;
+        }
+        """)
+        _, profile = run_and_profile(module, list(range(300)))
+        layouts = align_program(module.program, profile, method="tsp")
+        penalty = evaluate_program(
+            module.program, layouts, profile, ALPHA_21164
+        )
+        original = evaluate_program(
+            module.program,
+            align_program(module.program, profile, method="original"),
+            profile,
+            ALPHA_21164,
+        )
+        assert penalty.total <= original.total

@@ -1,0 +1,54 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.lang import LangError, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds_and_texts("fn foo while whilex")
+        assert tokens == [
+            ("keyword", "fn"), ("ident", "foo"),
+            ("keyword", "while"), ("ident", "whilex"),
+        ]
+
+    def test_numbers(self):
+        tokens = kinds_and_texts("12 3.5 0")
+        assert tokens == [("int", "12"), ("float", "3.5"), ("int", "0")]
+
+    def test_maximal_munch_operators(self):
+        tokens = kinds_and_texts("a<<=b")
+        # '<<' then '=' (no '<<=' operator in the language)
+        assert [t for _, t in tokens] == ["a", "<<", "=", "b"]
+
+    def test_two_char_operators(self):
+        for op in ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>"]:
+            tokens = kinds_and_texts(f"a {op} b")
+            assert ("op", op) in tokens
+
+    def test_comments_skipped(self):
+        tokens = kinds_and_texts("a // comment until eol\nb")
+        assert [t for _, t in tokens] == ["a", "b"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        a, b = tokens[0], tokens[1]
+        assert (a.line, a.column) == (1, 1)
+        assert (b.line, b.column) == (2, 3)
+
+    def test_unexpected_character_reports_location(self):
+        with pytest.raises(LangError, match="2:1"):
+            tokenize("ok\n$")
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        tokens = kinds_and_texts("_x x_1 input_len")
+        assert all(kind == "ident" for kind, _ in tokens)

@@ -1,0 +1,177 @@
+"""Tests for AST → CFG lowering."""
+
+import pytest
+
+from repro.cfg import TerminatorKind, validate_program
+from repro.lang import LangError, compile_source
+
+
+def kinds(module, fn):
+    return [b.kind for b in module.program[fn].cfg]
+
+
+class TestLoweringShapes:
+    def test_straight_line_single_block(self):
+        module = compile_source("fn main() { var x = 1 + 2; return x; }")
+        cfg = module.program["main"].cfg
+        assert len(cfg) == 1
+        assert cfg.block(cfg.entry).kind is TerminatorKind.RETURN
+
+    def test_if_produces_conditional(self):
+        module = compile_source(
+            "fn main() { var x = input(0); if (x) { output(1); } return 0; }"
+        )
+        assert TerminatorKind.CONDITIONAL in kinds(module, "main")
+
+    def test_while_loop_has_back_edge(self):
+        module = compile_source("""
+        fn main() {
+          var i = 0;
+          while (i < 10) { i = i + 1; }
+          return i;
+        }
+        """)
+        cfg = module.program["main"].cfg
+        from repro.cfg import natural_loops
+        assert len(natural_loops(cfg)) == 1
+
+    def test_dense_switch_lowered_to_jump_table(self):
+        module = compile_source("""
+        fn main() {
+          var x = input(0);
+          var y = 0;
+          switch (x) {
+            case 0: y = 1;
+            case 1: y = 2;
+            case 2: y = 3;
+            case 4: y = 4;
+          }
+          return y;
+        }
+        """)
+        cfg = module.program["main"].cfg
+        multiway = [b for b in cfg if b.kind is TerminatorKind.MULTIWAY]
+        assert len(multiway) == 1
+        # Table covers values 0..4 plus the out-of-range slot.
+        assert len(multiway[0].terminator.targets) == 6
+
+    def test_sparse_switch_lowered_to_if_chain(self):
+        module = compile_source("""
+        fn main() {
+          var x = input(0);
+          var y = 0;
+          switch (x) {
+            case 0: y = 1;
+            case 100: y = 2;
+            case 5000: y = 3;
+          }
+          return y;
+        }
+        """)
+        assert TerminatorKind.MULTIWAY not in kinds(module, "main")
+
+    def test_short_circuit_and_creates_blocks(self):
+        module = compile_source("""
+        fn main() {
+          var a = input(0);
+          var b = input(1);
+          if (a > 1 && b > 2) { output(1); }
+          return 0;
+        }
+        """)
+        conds = [
+            b for b in module.program["main"].cfg
+            if b.kind is TerminatorKind.CONDITIONAL
+        ]
+        assert len(conds) == 2  # one per operand of &&
+
+    def test_materialized_logical_value(self):
+        module = compile_source("""
+        fn main() {
+          var a = input(0);
+          var flag = a > 1 && a < 10;
+          return flag;
+        }
+        """)
+        # Evaluating && as a value requires control flow.
+        assert TerminatorKind.CONDITIONAL in kinds(module, "main")
+
+    def test_unreachable_code_pruned(self):
+        module = compile_source("""
+        fn main() {
+          return 1;
+          output(999);
+        }
+        """)
+        assert len(module.program["main"].cfg) == 1
+
+    def test_implicit_return_zero(self):
+        module = compile_source("fn main() { output(1); }")
+        cfg = module.program["main"].cfg
+        block = cfg.block(cfg.entry)
+        assert block.kind is TerminatorKind.RETURN
+        assert block.terminator.operand == ("c", 0)
+
+    def test_break_and_continue_targets(self):
+        module = compile_source("""
+        fn main() {
+          var i = 0;
+          while (i < 10) {
+            i = i + 1;
+            if (i == 3) { continue; }
+            if (i == 7) { break; }
+            output(i);
+          }
+          return i;
+        }
+        """)
+        validate_program(module.program)
+
+    def test_all_programs_validate(self, mini_module):
+        validate_program(mini_module.program)
+
+
+class TestLoweringErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(LangError, match="undefined variable"):
+            compile_source("fn main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(LangError, match="undefined function"):
+            compile_source("fn main() { return nope(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(LangError, match="argument"):
+            compile_source("fn f(a) { return a; } fn main() { return f(); }")
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(LangError, match="builtin"):
+            compile_source("fn main() { return input(); }")
+
+    def test_undefined_array(self):
+        with pytest.raises(LangError, match="undefined array"):
+            compile_source("fn main() { return a[0]; }")
+
+    def test_redeclared_variable(self):
+        with pytest.raises(LangError, match="redeclared"):
+            compile_source("fn main() { var x = 1; var x = 2; return x; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(LangError, match="break outside"):
+            compile_source("fn main() { break; }")
+
+    def test_missing_main(self):
+        with pytest.raises(LangError, match="missing entry"):
+            compile_source("fn helper() { return 0; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(LangError, match="no parameters"):
+            compile_source("fn main(x) { return x; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(LangError, match="duplicate function"):
+            compile_source("fn main() { return 0; } fn main() { return 1; }")
+
+    def test_frame_sizes_recorded(self, mini_module):
+        for name, proc in mini_module.program.procedures.items():
+            assert mini_module.frame_sizes[name] >= len(proc.params)

@@ -1,0 +1,134 @@
+"""Tests for the parser."""
+
+import pytest
+
+from repro.lang import LangError, parse
+from repro.lang import ast_nodes as ast
+
+
+def parse_expr(text):
+    module = parse(f"fn main() {{ var x = {text}; }}")
+    stmt = module.functions[0].body[0]
+    assert isinstance(stmt, ast.VarDecl)
+    return stmt.value
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "-"
+        assert isinstance(expr.right, ast.IntLit) and expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "+"
+
+    def test_logical_lower_than_comparison(self):
+        expr = parse_expr("a < b && c > d")
+        assert isinstance(expr, ast.Logical) and expr.op == "&&"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "<"
+
+    def test_unary_chains(self):
+        expr = parse_expr("!!x")
+        assert isinstance(expr, ast.Unary) and expr.op == "!"
+        assert isinstance(expr.operand, ast.Unary)
+
+    def test_call_and_index(self):
+        expr = parse_expr("f(a[i], 2)")
+        assert isinstance(expr, ast.Call) and expr.name == "f"
+        assert isinstance(expr.args[0], ast.Index)
+
+    def test_float_literal(self):
+        expr = parse_expr("2.5")
+        assert isinstance(expr, ast.FloatLit) and expr.value == 2.5
+
+
+class TestStatements:
+    def test_if_else_if_chain(self):
+        module = parse("""
+        fn main() {
+          if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }
+        }
+        """)
+        stmt = module.functions[0].body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+
+    def test_array_store_vs_index_expression(self):
+        module = parse("""
+        fn main() {
+          a[i] = 1;
+          x = a[i] + 2;
+        }
+        """)
+        store, assign = module.functions[0].body
+        assert isinstance(store, ast.StoreStmt)
+        assert isinstance(assign, ast.Assign)
+
+    def test_switch_with_cases_and_default(self):
+        module = parse("""
+        fn main() {
+          switch (x) {
+            case 1: y = 1;
+            case -2: y = 2;
+            default: y = 0;
+          }
+        }
+        """)
+        switch = module.functions[0].body[0]
+        assert isinstance(switch, ast.Switch)
+        assert [c.value for c in switch.cases] == [1, -2]
+        assert len(switch.default) == 1
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(LangError, match="duplicate case"):
+            parse("fn main() { switch (x) { case 1: case 1: } }")
+
+    def test_return_with_and_without_value(self):
+        module = parse("fn main() { return; } fn f() { return 1; }")
+        assert module.functions[0].body[0].value is None
+        assert module.functions[1].body[0].value.value == 1
+
+    def test_expression_statement(self):
+        module = parse("fn main() { output(1); }")
+        assert isinstance(module.functions[0].body[0], ast.ExprStmt)
+
+    def test_break_and_continue(self):
+        module = parse("fn main() { while (1) { break; continue; } }")
+        loop = module.functions[0].body[0]
+        assert isinstance(loop.body[0], ast.Break)
+        assert isinstance(loop.body[1], ast.Continue)
+
+
+class TestTopLevel:
+    def test_declarations(self):
+        module = parse("""
+        arr data[100];
+        global counter = -5;
+        global flag;
+        fn helper(a, b) { return a + b; }
+        fn main() { return 0; }
+        """)
+        assert module.arrays[0].size == 100
+        assert module.globals[0].initial == -5
+        assert module.globals[1].initial == 0
+        assert module.functions[0].params == ("a", "b")
+
+    def test_zero_array_size_rejected(self):
+        with pytest.raises(LangError, match="positive"):
+            parse("arr a[0];")
+
+    def test_stray_token_rejected(self):
+        with pytest.raises(LangError, match="declaration"):
+            parse("var x = 1;")
+
+    def test_missing_semicolon_reported(self):
+        with pytest.raises(LangError, match="expected ';'"):
+            parse("fn main() { var x = 1 }")

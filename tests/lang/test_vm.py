@@ -1,0 +1,197 @@
+"""Tests for the VM: semantics, tracing, and errors."""
+
+import pytest
+
+from repro.lang import VMError, compile_source, execute, run_and_profile
+
+
+def run(source, inputs=None):
+    return execute(compile_source(source), inputs or [])
+
+
+class TestSemantics:
+    def test_arithmetic(self):
+        result = run("fn main() { return 2 + 3 * 4 - 1; }")
+        assert result.returned == 13
+
+    def test_division_floors(self):
+        assert run("fn main() { return 7 / 2; }").returned == 3
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(VMError, match="division by zero"):
+            run("fn main() { return 1 / input_len(); }")
+
+    def test_comparisons_return_01(self):
+        result = run("fn main() { output(3 < 5); output(5 < 3); return 0; }")
+        assert result.outputs == [1, 0]
+
+    def test_bitwise_and_shifts(self):
+        result = run("fn main() { return (5 & 3) | (1 << 4) ^ 2; }")
+        assert result.returned == (5 & 3) | (1 << 4) ^ 2
+
+    def test_unary_ops(self):
+        result = run("fn main() { output(-5); output(!0); output(~7); return 0; }")
+        assert result.outputs == [-5, 1, ~7]
+
+    def test_short_circuit_skips_side_effects(self):
+        result = run("""
+        global hits = 0;
+        fn touch() { hits = hits + 1; return 1; }
+        fn main() {
+          var a = 0 && touch();
+          var b = 1 || touch();
+          return hits;
+        }
+        """)
+        assert result.returned == 0
+
+    def test_short_circuit_evaluates_when_needed(self):
+        result = run("""
+        global hits = 0;
+        fn touch() { hits = hits + 1; return 1; }
+        fn main() {
+          var a = 1 && touch();
+          var b = 0 || touch();
+          return hits;
+        }
+        """)
+        assert result.returned == 2
+
+    def test_globals_and_arrays(self):
+        result = run("""
+        arr a[4];
+        global g = 10;
+        fn main() {
+          a[0] = g;
+          a[1] = a[0] * 2;
+          g = a[1] + 1;
+          return g;
+        }
+        """)
+        assert result.returned == 21
+
+    def test_recursion(self):
+        result = run("""
+        fn fib(n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { return fib(12); }
+        """)
+        assert result.returned == 144
+
+    def test_while_with_break_continue(self):
+        result = run("""
+        fn main() {
+          var i = 0;
+          var sum = 0;
+          while (1) {
+            i = i + 1;
+            if (i > 10) { break; }
+            if (i % 2) { continue; }
+            sum = sum + i;
+          }
+          return sum;
+        }
+        """)
+        assert result.returned == 2 + 4 + 6 + 8 + 10
+
+    def test_switch_dispatch_and_default(self):
+        source = """
+        fn pick(x) {
+          switch (x) {
+            case 0: return 10;
+            case 1: return 11;
+            case 2: return 12;
+            case 3: return 13;
+            default: return 99;
+          }
+        }
+        fn main() {
+          output(pick(0)); output(pick(2)); output(pick(3));
+          output(pick(42)); output(pick(-1));
+          return 0;
+        }
+        """
+        assert run(source).outputs == [10, 12, 13, 99, 99]
+
+    def test_inputs_and_outputs(self):
+        result = run(
+            "fn main() { output(input(0) + input(1)); return input_len(); }",
+            [4, 5],
+        )
+        assert result.outputs == [9]
+        assert result.returned == 2
+
+    def test_float_arithmetic(self):
+        result = run("fn main() { var x = 1.5; var y = x * 2.0; output(y); return 0; }")
+        assert result.outputs == [3.0]
+
+
+class TestErrors:
+    def test_array_bounds_checked(self):
+        with pytest.raises(VMError, match="out of bounds"):
+            run("arr a[2]; fn main() { return a[5]; }")
+
+    def test_input_bounds_checked(self):
+        with pytest.raises(VMError, match="input index"):
+            run("fn main() { return input(0); }")
+
+    def test_runaway_guard(self):
+        module = compile_source("fn main() { while (1) { } return 0; }")
+        with pytest.raises(VMError, match="exceeded"):
+            execute(module, max_blocks=1000)
+
+    def test_call_depth_guard(self):
+        module = compile_source("""
+        fn spin(n) { return spin(n + 1); }
+        fn main() { return spin(0); }
+        """)
+        with pytest.raises(VMError, match="call depth"):
+            execute(module, max_call_depth=50)
+
+
+class TestTracing:
+    def test_counters_populated(self, mini_module, mini_run):
+        result, profile = mini_run
+        assert result.blocks_executed > 0
+        assert result.instructions_executed > result.blocks_executed
+
+    def test_edge_counts_match_cfg(self, mini_module, mini_profile):
+        mini_profile.check_against(mini_module.program)
+
+    def test_flow_conservation_inner_blocks(self, mini_module, mini_profile):
+        """In-flow == out-flow for every non-entry, non-exit block."""
+        for proc in mini_module.program:
+            edge_profile = mini_profile.procedures.get(proc.name)
+            if edge_profile is None:
+                continue
+            cfg = proc.cfg
+            for block in cfg:
+                if block.block_id == cfg.entry or not block.successors:
+                    continue
+                inflow = edge_profile.block_entry_count(block.block_id)
+                outflow = edge_profile.block_exit_count(block.block_id)
+                assert inflow == outflow, (proc.name, block.block_id)
+
+    def test_call_counts_recorded(self, mini_module, mini_profile):
+        assert mini_profile.call_counts["main"] == 1
+        assert mini_profile.call_counts["bucket"] > 0
+
+    def test_trace_interleaves_procedures(self, mini_run):
+        result, _ = mini_run
+        procs = result.trace.trace.procedures()
+        assert {"main", "bucket"} <= procs
+
+    def test_transition_log_optional(self):
+        module = compile_source("""
+        fn main() {
+          var i = 0;
+          while (i < 5) { i = i + 1; }
+          return i;
+        }
+        """)
+        from repro.profiles import TraceBuilder
+        # Default runs don't keep transition logs.
+        result = execute(module)
+        assert result.trace.transition_log == {}

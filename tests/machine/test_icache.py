@@ -1,0 +1,85 @@
+"""Tests for the instruction-cache simulators."""
+
+import pytest
+
+from repro.machine import DirectMappedICache, SetAssociativeICache, WORD_BYTES
+
+
+class TestDirectMapped:
+    def test_cold_miss_then_hit(self):
+        cache = DirectMappedICache(1024, 32)
+        assert cache.fetch(0, 4) == 1
+        assert cache.fetch(0, 4) == 0
+
+    def test_fetch_spanning_lines(self):
+        cache = DirectMappedICache(1024, 32)
+        # 12 words * 4 bytes = 48 bytes: spans two 32-byte lines.
+        assert cache.fetch(0, 12) == 2
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedICache(64, 32)  # 2 lines
+        cache.fetch(0, 1)
+        cache.fetch(64, 1)   # maps to the same line as address 0
+        assert cache.fetch(0, 1) == 1  # evicted
+
+    def test_non_conflicting_addresses_coexist(self):
+        cache = DirectMappedICache(64, 32)
+        cache.fetch(0, 1)
+        cache.fetch(32, 1)
+        assert cache.fetch(0, 1) == 0
+        assert cache.fetch(32, 1) == 0
+
+    def test_stats_accumulate(self):
+        cache = DirectMappedICache(1024, 32)
+        cache.fetch(0, 8)
+        cache.fetch(0, 8)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert 0 < cache.stats.miss_rate < 1
+
+    def test_zero_words_noop(self):
+        cache = DirectMappedICache(1024, 32)
+        assert cache.fetch(0, 0) == 0
+        assert cache.stats.accesses == 0
+
+    def test_reset(self):
+        cache = DirectMappedICache(1024, 32)
+        cache.fetch(0, 1)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.fetch(0, 1) == 1
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedICache(1000, 32)
+        with pytest.raises(ValueError):
+            DirectMappedICache(32, 64)
+
+
+class TestSetAssociative:
+    def test_lru_within_set(self):
+        # 2 sets, 2 ways, 32-byte lines.
+        cache = SetAssociativeICache(128, 32, ways=2)
+        cache.fetch(0, 1)       # set 0
+        cache.fetch(64, 1)      # set 0
+        cache.fetch(0, 1)       # touch line 0 (now MRU)
+        cache.fetch(128, 1)     # set 0: evicts LRU = line at 64
+        assert cache.fetch(0, 1) == 0
+        assert cache.fetch(64, 1) == 1
+
+    def test_higher_associativity_never_worse_on_conflicts(self):
+        addresses = [0, 1024, 2048, 0, 1024, 2048] * 30
+        direct = DirectMappedICache(1024, 32)
+        assoc = SetAssociativeICache(1024, 32, ways=4)
+        for addr in addresses:
+            direct.fetch(addr, 1)
+            assoc.fetch(addr, 1)
+        assert assoc.stats.misses <= direct.stats.misses
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeICache(128, 32, ways=3)
+
+    def test_word_bytes_constant(self):
+        assert WORD_BYTES == 4

@@ -1,0 +1,78 @@
+"""Tests for penalty models — including the paper's Table 3 values."""
+
+import pytest
+
+from repro.machine import (
+    ALPHA_21064,
+    ALPHA_21164,
+    DEEP_PIPE,
+    UNIT_COST,
+    BranchPenalties,
+    PenaltyModel,
+    get_model,
+)
+
+
+class TestTable3:
+    """The Alpha 21164 model must match the paper's Table 3 exactly."""
+
+    def test_misfetch_and_mispredict(self):
+        assert ALPHA_21164.misfetch_cycles == 1.0
+        assert ALPHA_21164.mispredict_cycles == 5.0
+
+    def test_unconditional_branch_costs_two(self):
+        # "pTT equals 2 to account for the cost of the branch in addition
+        # to the one cycle penalty for the misfetch."
+        assert ALPHA_21164.unconditional == 2.0
+
+    def test_conditional_penalties(self):
+        cond = ALPHA_21164.conditional
+        assert cond.p_nn == 0.0    # fall through to (common) following block
+        assert cond.p_tt == 1.0    # branch to (common) following block
+        assert cond.p_nt == 5.0    # mispredict (any layout)
+        assert cond.p_tn == 5.0
+
+    def test_register_branch_penalties(self):
+        multi = ALPHA_21164.multiway
+        assert multi.p_nn == 0.0   # fall through to (common) following block
+        assert multi.p_tt == 3.0   # branch to any other CFG successor
+        assert multi.p_nt == 3.0
+        assert multi.p_tn == 3.0
+
+
+class TestBranchPenalties:
+    def test_cost_dispatch(self):
+        penalties = BranchPenalties(p_tt=1, p_tn=2, p_nt=3, p_nn=4)
+        assert penalties.cost(predicted_taken=True, taken=True) == 1
+        assert penalties.cost(predicted_taken=True, taken=False) == 2
+        assert penalties.cost(predicted_taken=False, taken=True) == 3
+        assert penalties.cost(predicted_taken=False, taken=False) == 4
+
+
+class TestModelRegistry:
+    def test_get_model(self):
+        assert get_model("alpha21164") is ALPHA_21164
+        assert get_model("alpha21064") is ALPHA_21064
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown machine model"):
+            get_model("pentium-9")
+
+    def test_from_pipeline_derivations(self):
+        model = PenaltyModel.from_pipeline("x", misfetch=2, mispredict=9)
+        assert model.unconditional == 3.0
+        assert model.conditional.p_tt == 2.0
+        assert model.conditional.p_nt == 9.0
+        assert model.multiway.p_tt == 9.0  # defaults to mispredict
+
+    def test_deep_pipe_dominates_21164(self):
+        assert DEEP_PIPE.mispredict_cycles > ALPHA_21164.mispredict_cycles
+        assert DEEP_PIPE.misfetch_cycles > ALPHA_21164.misfetch_cycles
+
+    def test_unit_cost_is_frequency_model(self):
+        assert UNIT_COST.unconditional == 1.0
+        assert UNIT_COST.conditional.p_tt == 1.0
+        assert UNIT_COST.conditional.p_nt == 1.0
+
+    def test_models_hashable_for_caching(self):
+        assert {ALPHA_21164, ALPHA_21064}

@@ -1,0 +1,94 @@
+"""Tests for static and dynamic predictors."""
+
+import pytest
+
+from repro.machine import BimodalPredictor, BranchTargetBuffer, StaticPredictor
+from repro.profiles import EdgeProfile
+
+
+class TestStaticPredictor:
+    def test_trains_to_most_frequent_successor(self, diamond_cfg):
+        left = next(b for b in diamond_cfg if b.label == "left").block_id
+        right = next(b for b in diamond_cfg if b.label == "right").block_id
+        profile = EdgeProfile({(diamond_cfg.entry, left): 3,
+                               (diamond_cfg.entry, right): 9})
+        predictor = StaticPredictor.train(diamond_cfg, profile)
+        assert predictor.predict(diamond_cfg.entry) == right
+
+    def test_untrained_block_predicts_first_successor(self, diamond_cfg):
+        predictor = StaticPredictor.train(diamond_cfg, EdgeProfile())
+        assert predictor.predict(diamond_cfg.entry) == diamond_cfg.successors(
+            diamond_cfg.entry
+        )[0]
+
+    def test_return_blocks_have_no_prediction(self, diamond_cfg):
+        predictor = StaticPredictor.train(diamond_cfg, EdgeProfile())
+        exit_block = next(b for b in diamond_cfg if b.label == "exit")
+        assert predictor.predict(exit_block.block_id) is None
+
+
+class TestBimodal:
+    def test_saturating_counter_hysteresis(self):
+        predictor = BimodalPredictor(initial=2)
+        assert predictor.predict_taken(0)
+        predictor.update(0, taken=False)      # 2 -> 1
+        assert not predictor.predict_taken(0)
+        predictor.update(0, taken=True)       # 1 -> 2
+        assert predictor.predict_taken(0)
+
+    def test_saturation_bounds(self):
+        predictor = BimodalPredictor(initial=3)
+        for _ in range(10):
+            predictor.update(0, taken=True)
+        predictor.update(0, taken=False)
+        assert predictor.predict_taken(0)  # 3 -> 2, still predicts taken
+
+    def test_sites_independent(self):
+        predictor = BimodalPredictor()
+        predictor.update(1, taken=False)
+        predictor.update(1, taken=False)
+        assert predictor.predict_taken(2)
+        assert not predictor.predict_taken(1)
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(initial=7)
+
+    def test_biased_stream_accuracy(self):
+        """A 90/10 biased branch should be predicted mostly correctly."""
+        import random
+        rng = random.Random(0)
+        predictor = BimodalPredictor()
+        correct = total = 0
+        for _ in range(2000):
+            taken = rng.random() < 0.9
+            if predictor.predict_taken(5) == taken:
+                correct += 1
+            predictor.update(5, taken)
+            total += 1
+        assert correct / total > 0.85
+
+
+class TestBTB:
+    def test_hit_after_fill(self):
+        btb = BranchTargetBuffer(16)
+        assert not btb.lookup(3, 100)   # cold miss
+        assert btb.lookup(3, 100)       # now hits
+        assert not btb.lookup(3, 200)   # target changed
+
+    def test_capacity_aliasing(self):
+        btb = BranchTargetBuffer(1)
+        btb.lookup(0, 10)
+        btb.lookup(1, 20)               # evicts site 0
+        assert not btb.lookup(0, 10)
+
+    def test_stats(self):
+        btb = BranchTargetBuffer(8)
+        btb.lookup(0, 1)
+        btb.lookup(0, 1)
+        assert btb.hits == 1
+        assert btb.misses == 1
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(0)

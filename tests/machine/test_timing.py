@@ -1,0 +1,81 @@
+"""Tests for the trace-driven timing simulator."""
+
+import pytest
+
+from repro.core import align_program, evaluate_program, original_program_layout, train_predictors
+from repro.machine import ALPHA_21164, DirectMappedICache
+from repro.machine.timing import TimingBreakdown, simulate_timing
+
+
+@pytest.fixture(scope="module")
+def timed(mini_module, mini_run):
+    result, profile = mini_run
+    program = mini_module.program
+    outcomes = {}
+    for method in ("original", "greedy", "tsp"):
+        layouts = align_program(program, profile, method=method)
+        outcomes[method] = (
+            layouts,
+            simulate_timing(
+                program, layouts, profile, result.trace.trace, ALPHA_21164
+            ),
+        )
+    return outcomes
+
+
+class TestTiming:
+    def test_breakdown_sums(self, timed):
+        for _, timing in timed.values():
+            assert timing.total_cycles == pytest.approx(
+                timing.instruction_cycles
+                + timing.control_stall_cycles
+                + timing.icache_stall_cycles
+            )
+
+    def test_instruction_cycles_close_to_vm_count(self, mini_run, timed):
+        """Base cycles track the VM's executed-instruction count: every body
+        word issues, plus CTIs and fixups that the VM does not execute."""
+        result, _ = mini_run
+        _, timing = timed["original"]
+        assert timing.instruction_cycles >= result.instructions_executed
+        # CTI overhead is bounded by one word per executed block.
+        assert timing.instruction_cycles <= (
+            result.instructions_executed + 2 * result.blocks_executed
+        )
+
+    def test_alignment_reduces_cycles(self, timed):
+        original = timed["original"][1].total_cycles
+        greedy = timed["greedy"][1].total_cycles
+        tsp = timed["tsp"][1].total_cycles
+        assert tsp <= greedy <= original
+
+    def test_stalls_less_than_full_penalties(
+        self, mini_module, mini_run, timed
+    ):
+        """Control stalls exclude jump issue cycles, so they are bounded by
+        the full §2.2 penalty."""
+        result, profile = mini_run
+        program = mini_module.program
+        layouts, timing = timed["original"]
+        penalty = evaluate_program(program, layouts, profile, ALPHA_21164)
+        assert timing.control_stall_cycles <= penalty.total + 1e-9
+
+    def test_icache_stats_populated(self, timed):
+        _, timing = timed["original"]
+        assert timing.icache_accesses > 0
+        assert timing.icache_misses >= 1  # at least the cold misses
+
+    def test_small_cache_misses_more(self, mini_module, mini_run):
+        result, profile = mini_run
+        program = mini_module.program
+        layouts = original_program_layout(program)
+        predictors = train_predictors(program, profile)
+        big = simulate_timing(
+            program, layouts, profile, result.trace.trace, ALPHA_21164,
+            predictors=predictors, icache=DirectMappedICache(8192, 32),
+        )
+        small = simulate_timing(
+            program, layouts, profile, result.trace.trace, ALPHA_21164,
+            predictors=predictors, icache=DirectMappedICache(256, 32),
+        )
+        assert small.icache_misses >= big.icache_misses

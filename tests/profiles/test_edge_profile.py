@@ -1,0 +1,84 @@
+"""Tests for edge profiles."""
+
+import pytest
+
+from repro.profiles import (
+    EdgeProfile,
+    ProfileError,
+    ProgramProfile,
+    merge_profiles,
+    profile_from_counts,
+)
+
+
+class TestEdgeProfile:
+    def test_add_and_count(self):
+        profile = EdgeProfile()
+        profile.add(0, 1, 5)
+        profile.add(0, 1, 2)
+        assert profile.count(0, 1) == 7
+        assert profile.count(0, 9) == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeProfile().add(0, 1, -1)
+
+    def test_out_counts_excludes_zero(self):
+        profile = EdgeProfile({(0, 1): 3, (0, 2): 0, (1, 2): 9})
+        assert profile.out_counts(0) == {1: 3}
+
+    def test_block_entry_and_exit_counts(self):
+        profile = EdgeProfile({(0, 1): 3, (2, 1): 4, (1, 5): 7})
+        assert profile.block_entry_count(1) == 7
+        assert profile.block_exit_count(1) == 7
+        assert profile.total() == 14
+
+    def test_most_frequent_successor_with_ties(self):
+        profile = EdgeProfile({(0, 2): 5, (0, 1): 5})
+        # Deterministic tie break: smaller block id.
+        assert profile.most_frequent_successor(0) == 1
+
+    def test_most_frequent_successor_none_when_unexecuted(self):
+        assert EdgeProfile().most_frequent_successor(0) is None
+
+    def test_scaled(self):
+        profile = EdgeProfile({(0, 1): 10})
+        assert profile.scaled(0.25).count(0, 1) == 2
+
+    def test_check_against_rejects_non_cfg_edges(self, loop_cfg):
+        profile = EdgeProfile({(0, 0): 3})
+        with pytest.raises(ProfileError):
+            profile.check_against(loop_cfg)
+
+
+class TestProgramProfile:
+    def test_json_roundtrip(self):
+        profile = profile_from_counts(
+            {"f": {(0, 1): 3, (1, 0): 2}, "g": {(0, 1): 1}},
+            call_counts={"f": 4},
+        )
+        restored = ProgramProfile.from_json(profile.to_json())
+        assert restored.procedures["f"].counts == {(0, 1): 3, (1, 0): 2}
+        assert restored.call_counts == {"f": 4}
+
+    def test_merge(self):
+        a = profile_from_counts({"f": {(0, 1): 3}}, {"f": 1})
+        b = profile_from_counts({"f": {(0, 1): 2, (1, 2): 1}}, {"f": 2})
+        merged = merge_profiles([a, b])
+        assert merged["f"].count(0, 1) == 5
+        assert merged["f"].count(1, 2) == 1
+        assert merged.call_counts["f"] == 3
+
+    def test_check_against_program(self, mini_module, mini_profile):
+        mini_profile.check_against(mini_module.program)
+
+    def test_check_against_unknown_procedure(self, mini_module):
+        bogus = profile_from_counts({"nope": {(0, 1): 1}})
+        with pytest.raises(ProfileError, match="nope"):
+            bogus.check_against(mini_module.program)
+
+    def test_branch_statistics(self, mini_module, mini_profile):
+        touched = mini_profile.branch_sites_touched(mini_module.program)
+        executed = mini_profile.executed_branches(mini_module.program)
+        assert 0 < touched <= mini_module.program.total_branch_sites()
+        assert executed > touched

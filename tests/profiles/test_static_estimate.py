@@ -1,0 +1,106 @@
+"""Tests for static (profile-free) edge-weight estimation."""
+
+import pytest
+
+from repro.cfg import CFGBuilder
+from repro.profiles.static_estimate import (
+    estimate_edge_profile,
+    estimate_program_profile,
+)
+
+
+class TestHeuristics:
+    def test_loop_back_edge_is_hot(self, loop_cfg):
+        profile = estimate_edge_profile(loop_cfg)
+        head = next(b for b in loop_cfg if b.label == "head")
+        body = next(b for b in loop_cfg if b.label == "body")
+        exit_block = next(b for b in loop_cfg if b.label == "exit")
+        into_loop = profile.count(head.block_id, body.block_id)
+        out_of_loop = profile.count(head.block_id, exit_block.block_id)
+        assert into_loop > 3 * out_of_loop
+
+    def test_flow_conservation_approximately(self, loop_cfg):
+        profile = estimate_edge_profile(loop_cfg)
+        for block in loop_cfg:
+            if block.block_id == loop_cfg.entry or not block.successors:
+                continue
+            inflow = profile.block_entry_count(block.block_id)
+            outflow = profile.block_exit_count(block.block_id)
+            if inflow + outflow == 0:
+                continue
+            assert inflow == pytest.approx(outflow, rel=0.05, abs=3)
+
+    def test_exit_heuristic_discounts_return_arm(self):
+        b = CFGBuilder()
+        b.block("entry", padding=1).cond("work", "bail")
+        b.block("work", padding=2).jump("exit")
+        b.block("bail", padding=1).ret()
+        b.block("exit", padding=1).ret()
+        cfg = b.build(entry="entry")
+        profile = estimate_edge_profile(cfg)
+        work_flow = profile.count(b.id_of("entry"), b.id_of("work"))
+        bail_flow = profile.count(b.id_of("entry"), b.id_of("bail"))
+        assert work_flow > bail_flow
+
+    def test_multiway_splits_by_slots(self):
+        b = CFGBuilder()
+        b.block("s", padding=1).switch(["a", "a", "a", "c"])
+        b.block("a", padding=1).ret()
+        b.block("c", padding=1).ret()
+        cfg = b.build(entry="s")
+        profile = estimate_edge_profile(cfg)
+        assert profile.count(b.id_of("s"), b.id_of("a")) == pytest.approx(
+            3 * profile.count(b.id_of("s"), b.id_of("c")), rel=0.05
+        )
+
+    def test_profile_is_cfg_consistent(self, loop_cfg):
+        estimate_edge_profile(loop_cfg).check_against(loop_cfg)
+
+    def test_trip_count_scales_loop_heat(self, loop_cfg):
+        low = estimate_edge_profile(loop_cfg, trip_count=3)
+        high = estimate_edge_profile(loop_cfg, trip_count=50)
+        head = next(b for b in loop_cfg if b.label == "head")
+        body = next(b for b in loop_cfg if b.label == "body")
+        assert high.count(head.block_id, body.block_id) > low.count(
+            head.block_id, body.block_id
+        )
+
+
+class TestProgramEstimate:
+    def test_covers_all_procedures(self, mini_module):
+        profile = estimate_program_profile(mini_module.program)
+        for proc in mini_module.program:
+            # Single-block procedures have no edges to estimate.
+            if len(proc.cfg) > 1:
+                assert profile[proc.name].total() > 0
+
+    def test_usable_for_alignment(self, mini_module, mini_profile):
+        """Static-estimated profiles drive the aligner and recover a
+        meaningful share of the real-profile benefit when judged under the
+        real profile."""
+        from repro.core import align_program, evaluate_program
+        from repro.machine import ALPHA_21164
+
+        program = mini_module.program
+        static = estimate_program_profile(program)
+        original = evaluate_program(
+            program,
+            align_program(program, mini_profile, method="original"),
+            mini_profile,
+            ALPHA_21164,
+        ).total
+        static_aligned = evaluate_program(
+            program,
+            align_program(program, static, method="tsp"),
+            mini_profile,
+            ALPHA_21164,
+        ).total
+        real_aligned = evaluate_program(
+            program,
+            align_program(program, mini_profile, method="tsp"),
+            mini_profile,
+            ALPHA_21164,
+        ).total
+        assert real_aligned <= static_aligned <= original
+        # At least a third of the profile-guided benefit from zero profiling.
+        assert (original - static_aligned) > 0.33 * (original - real_aligned)

@@ -1,0 +1,98 @@
+"""Property-based tests of layout materialization invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import Layout
+from repro.core.materialize import PhysicalKind, materialize_procedure
+from repro.machine.icache import WORD_BYTES
+from repro.machine.predictors import StaticPredictor
+from repro.profiles import EdgeProfile
+from repro.workloads import GeneratorConfig, random_procedure
+
+
+def build(seed: int, target: int, layout_seed: int, start: int):
+    rng = random.Random(seed)
+    proc = random_procedure("p", rng, GeneratorConfig(target_blocks=target))
+    profile = EdgeProfile()
+    profile_rng = random.Random(seed + 1)
+    for block in proc.cfg:
+        for succ in block.successors:
+            profile.add(block.block_id, succ, profile_rng.randrange(0, 200))
+    predictor = StaticPredictor.train(proc.cfg, profile)
+    rest = [b for b in proc.cfg.block_ids if b != proc.cfg.entry]
+    random.Random(layout_seed).shuffle(rest)
+    layout = Layout((proc.cfg.entry, *rest))
+    physical = materialize_procedure(
+        "p", proc.cfg, layout, predictor, start_address=start
+    )
+    return proc, layout, physical
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    target=st.integers(5, 25),
+    layout_seed=st.integers(0, 10_000),
+    start=st.integers(0, 64).map(lambda words: words * WORD_BYTES),
+)
+def test_materialization_invariants(seed, target, layout_seed, start):
+    proc, layout, physical = build(seed, target, layout_seed, start)
+
+    # Addresses are contiguous, word-aligned, and strictly increasing.
+    address = start
+    for block in physical.blocks:
+        assert block.address == address
+        assert block.address % WORD_BYTES == 0
+        assert block.words >= 1 or block.kind is PhysicalKind.FALLTHROUGH
+        address = block.end_address
+    assert physical.end_address == address
+
+    # Every CFG block materializes exactly once, in layout order.
+    sources = [b.source for b in physical.blocks if b.source is not None]
+    assert sources == list(layout.order)
+
+    # Fixup blocks appear exactly after conditional blocks that need them,
+    # and jump where the owner says they do.
+    for i, block in enumerate(physical.blocks):
+        if block.kind is PhysicalKind.FIXUP:
+            owner = physical.blocks[i - 1]
+            assert owner.kind is PhysicalKind.COND
+            assert owner.fixup_target == block.branch_target
+            assert block.words == 1
+
+    # Fall-through blocks are followed by their CFG successor.
+    for i, block in enumerate(physical.blocks):
+        if block.kind is PhysicalKind.FALLTHROUGH:
+            assert i + 1 < len(physical.blocks)
+            assert physical.blocks[i + 1].source == block.fallthrough
+
+    # Conditional invariants: the branch target is a real arm, and the
+    # fall-through (direct or via fixup) is the other arm.
+    for block in physical.blocks:
+        if block.kind is PhysicalKind.COND:
+            arms = set(proc.cfg.successors(block.source))
+            assert block.branch_target in arms
+            assert block.fallthrough in arms
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    target=st.integers(5, 20),
+)
+def test_code_size_bounds(seed, target):
+    """Total emitted words are bounded: at least the body words, at most
+    body + one CTI per block + one fixup word per conditional."""
+    proc, layout, physical = build(seed, target, seed + 7, 0)
+    body = sum(b.body_words for b in proc.cfg)
+    n_blocks = len(proc.cfg)
+    conditionals = sum(
+        1 for b in proc.cfg if len(set(b.successors)) == 2
+    )
+    assert body <= physical.code_words <= body + n_blocks + conditionals
+    assert physical.fixup_count <= conditionals

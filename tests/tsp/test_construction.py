@@ -1,0 +1,74 @@
+"""Tests for tour construction heuristics."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.tsp import (
+    check_tour,
+    greedy_edge_tour,
+    identity_tour,
+    nearest_neighbor_tour,
+    tour_cost,
+)
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(1)
+    m = rng.uniform(1, 100, size=(20, 20))
+    np.fill_diagonal(m, 0)
+    return m
+
+
+class TestNearestNeighbor:
+    def test_valid_tour(self, matrix):
+        tour = nearest_neighbor_tour(matrix, random.Random(0))
+        check_tour(tour, 20)
+
+    def test_fixed_start(self, matrix):
+        tour = nearest_neighbor_tour(matrix, random.Random(0), start=7)
+        assert tour[0] == 7
+
+    def test_deterministic_without_randomization(self, matrix):
+        a = nearest_neighbor_tour(matrix, random.Random(0), start=0, candidates=1)
+        b = nearest_neighbor_tour(matrix, random.Random(9), start=0, candidates=1)
+        assert a == b
+
+    def test_randomized_candidates_vary(self, matrix):
+        tours = {
+            tuple(nearest_neighbor_tour(matrix, random.Random(s), start=0,
+                                        candidates=3))
+            for s in range(8)
+        }
+        assert len(tours) > 1
+
+    def test_greedy_choice_on_tiny_instance(self):
+        m = np.array([[0, 1, 9], [9, 0, 1], [1, 9, 0]], dtype=float)
+        tour = nearest_neighbor_tour(m, random.Random(0), start=0)
+        assert tour == [0, 1, 2]
+
+
+class TestGreedyEdge:
+    def test_valid_tour(self, matrix):
+        tour = greedy_edge_tour(matrix, random.Random(0))
+        check_tour(tour, 20)
+
+    def test_jitter_varies_tours(self, matrix):
+        tours = {
+            tuple(greedy_edge_tour(matrix, random.Random(s), jitter=0.3))
+            for s in range(8)
+        }
+        assert len(tours) > 1
+
+    def test_usually_beats_random_order(self, matrix):
+        rng = random.Random(0)
+        greedy_cost = tour_cost(matrix, greedy_edge_tour(matrix, rng))
+        identity_cost = tour_cost(matrix, identity_tour(20))
+        assert greedy_cost < identity_cost
+
+
+class TestIdentity:
+    def test_identity(self):
+        assert identity_tour(4) == [0, 1, 2, 3]

@@ -1,0 +1,90 @@
+"""Tests for TSP instance primitives."""
+
+import numpy as np
+import pytest
+
+from repro.tsp import (
+    TSPError,
+    check_matrix,
+    check_tour,
+    out_neighbor_lists,
+    path_cost,
+    tour_cost,
+)
+from repro.tsp.instance import (
+    random_tour,
+    successor_array,
+    tour_from_successors,
+)
+
+
+class TestChecks:
+    def test_check_matrix_accepts_square(self):
+        check_matrix(np.zeros((3, 3)))
+
+    def test_check_matrix_rejects_nonsquare(self):
+        with pytest.raises(TSPError):
+            check_matrix(np.zeros((2, 3)))
+
+    def test_check_matrix_rejects_inf(self):
+        m = np.zeros((3, 3))
+        m[0, 1] = np.inf
+        with pytest.raises(TSPError):
+            check_matrix(m)
+
+    def test_check_matrix_rejects_tiny(self):
+        with pytest.raises(TSPError):
+            check_matrix(np.zeros((1, 1)))
+
+    def test_check_tour(self):
+        check_tour([2, 0, 1], 3)
+        with pytest.raises(TSPError):
+            check_tour([0, 0, 1], 3)
+
+
+class TestCosts:
+    def test_tour_cost_includes_closing_edge(self):
+        m = np.array([[0.0, 1.0], [10.0, 0.0]])
+        assert tour_cost(m, [0, 1]) == 11.0
+
+    def test_path_cost_open(self):
+        m = np.array([[0.0, 1.0], [10.0, 0.0]])
+        assert path_cost(m, [0, 1]) == 1.0
+
+    def test_asymmetric_direction_matters(self):
+        m = np.array([[0, 1, 5], [5, 0, 1], [1, 5, 0]], dtype=float)
+        assert tour_cost(m, [0, 1, 2]) == 3.0
+        assert tour_cost(m, [0, 2, 1]) == 15.0
+
+
+class TestSuccessors:
+    def test_roundtrip(self):
+        tour = [3, 1, 0, 2]
+        succ = successor_array(tour)
+        rebuilt = tour_from_successors(succ, start=3)
+        assert rebuilt == tour
+
+    def test_subcycles_detected(self):
+        succ = np.array([1, 0, 3, 2])  # two 2-cycles
+        with pytest.raises(TSPError):
+            tour_from_successors(succ, start=0)
+
+
+class TestNeighborLists:
+    def test_sorted_ascending_and_excludes_self(self):
+        m = np.array(
+            [[0, 5, 1, 9], [5, 0, 2, 1], [1, 2, 0, 7], [9, 1, 7, 0]],
+            dtype=float,
+        )
+        neigh = out_neighbor_lists(m, 2)
+        assert list(neigh[0]) == [2, 1]
+        assert all(0 not in row or row[0] != 0 for row in neigh[0:1])
+
+    def test_k_clamped(self):
+        m = np.ones((3, 3))
+        assert out_neighbor_lists(m, 10).shape == (3, 2)
+
+    def test_random_tour_is_permutation(self):
+        import random
+        tour = random_tour(10, random.Random(0))
+        check_tour(tour, 10)

@@ -1,0 +1,70 @@
+"""Tests for the solve facade and effort presets."""
+
+import numpy as np
+import pytest
+
+from repro.tsp import (
+    DEFAULT,
+    EFFORTS,
+    PAPER,
+    QUICK,
+    check_tour,
+    exact_tour,
+    get_effort,
+    solution_gap,
+    solve_dtsp,
+)
+
+
+def random_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(1, 100, size=(n, n))
+    np.fill_diagonal(m, 0)
+    return m
+
+
+class TestEfforts:
+    def test_presets_registered(self):
+        assert set(EFFORTS) == {"quick", "default", "paper"}
+        assert get_effort("paper") is PAPER
+        assert get_effort(DEFAULT) is DEFAULT
+
+    def test_unknown_effort(self):
+        with pytest.raises(KeyError, match="unknown effort"):
+            get_effort("heroic")
+
+    def test_paper_preset_matches_appendix(self):
+        """10 runs: 5 greedy, 4 NN, 1 compiler order; 2N iterations."""
+        assert len(PAPER.starts) == 10
+        assert PAPER.starts.count("greedy") == 5
+        assert PAPER.starts.count("nn") == 4
+        assert PAPER.starts.count("identity") == 1
+        assert PAPER.iterations is None  # None means 2N
+
+
+class TestSolve:
+    def test_small_instances_solved_exactly(self):
+        m = random_matrix(8, 0)
+        _, optimal = exact_tour(m)
+        result = solve_dtsp(m)
+        assert result.cost == pytest.approx(optimal)
+        assert result.runs[0].start_kind == "exact"
+
+    def test_large_instances_use_heuristic(self):
+        m = random_matrix(30, 1)
+        result = solve_dtsp(m, effort="quick", seed=0)
+        check_tour(result.tour, 30)
+        assert result.runs[0].start_kind != "exact"
+
+    def test_higher_effort_never_worse(self):
+        m = random_matrix(30, 2)
+        quick = solve_dtsp(m, effort=QUICK, seed=0).cost
+        default = solve_dtsp(m, effort=DEFAULT, seed=0).cost
+        assert default <= quick + 1e-9
+
+
+class TestSolutionGap:
+    def test_gap_computation(self):
+        assert solution_gap(110.0, 100.0) == pytest.approx(0.10)
+        assert solution_gap(0.0, 0.0) == 0.0
+        assert solution_gap(5.0, 0.0) == float("inf")

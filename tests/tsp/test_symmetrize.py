@@ -1,0 +1,92 @@
+"""Tests for the 2-node DTSP→STSP transformation."""
+
+import numpy as np
+import pytest
+
+from repro.tsp import (
+    TSPError,
+    directed_tour_to_sym,
+    exact_tour,
+    symmetrize,
+    tour_cost,
+)
+
+
+def random_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(1, 100, size=(n, n))
+    np.fill_diagonal(m, 0)
+    return m
+
+
+class TestSymmetrize:
+    def test_structure(self):
+        m = random_matrix(5, 0)
+        sym = symmetrize(m, tour_upper_bound=500.0)
+        w = sym.sym_matrix
+        assert w.shape == (10, 10)
+        assert np.allclose(w, w.T)
+        for v in range(5):
+            assert w[v, 5 + v] == -sym.lock_weight
+        # out(u) -- in(v) carries c(u, v).
+        assert w[5 + 2, 3] == m[2, 3]
+        # in-in and out-out forbidden.
+        assert w[0, 1] == sym.forbid_weight
+        assert w[6, 7] == sym.forbid_weight
+
+    def test_negative_costs_rejected(self):
+        m = random_matrix(4, 1)
+        m[0, 1] = -5
+        with pytest.raises(TSPError):
+            symmetrize(m)
+
+    def test_cost_correspondence(self):
+        """Directed tour cost == symmetric cost + n * lock."""
+        m = random_matrix(6, 2)
+        sym = symmetrize(m, tour_upper_bound=1000.0)
+        directed = [3, 1, 0, 5, 2, 4]
+        sym_tour = directed_tour_to_sym(directed, 6)
+        sym_cost = tour_cost(sym.sym_matrix, sym_tour)
+        assert sym.directed_cost(sym_cost) == pytest.approx(
+            tour_cost(m, directed)
+        )
+
+    def test_decode_roundtrip(self):
+        m = random_matrix(7, 3)
+        sym = symmetrize(m, tour_upper_bound=1000.0)
+        directed = [0, 4, 2, 6, 1, 5, 3]
+        sym_tour = directed_tour_to_sym(directed, 7)
+        decoded = sym.directed_tour_from_sym(sym_tour)
+        # Decoding normalizes rotation to start at city 0.
+        at = directed.index(0)
+        assert decoded == directed[at:] + directed[:at]
+
+    def test_decode_reversed_sym_tour(self):
+        """A symmetric tour traversed backwards decodes to the same
+        directed order (the doubled encoding is direction-canonical)."""
+        m = random_matrix(5, 4)
+        sym = symmetrize(m, tour_upper_bound=1000.0)
+        directed = [0, 2, 4, 1, 3]
+        sym_tour = directed_tour_to_sym(directed, 5)
+        reversed_tour = [sym_tour[0]] + sym_tour[:0:-1]
+        assert sym.directed_tour_from_sym(reversed_tour) == directed
+
+    def test_decode_rejects_lock_violations(self):
+        m = random_matrix(4, 5)
+        sym = symmetrize(m, tour_upper_bound=100.0)
+        bad = [0, 1, 4, 5, 2, 6, 3, 7]  # locks not adjacent
+        with pytest.raises(TSPError):
+            sym.directed_tour_from_sym(bad)
+
+    def test_optimal_sym_tour_cost_matches_directed_optimum(self):
+        """Brute-force check of the reduction's optimality preservation."""
+        import itertools
+        m = random_matrix(5, 6)
+        _, directed_opt = exact_tour(m)
+        sym = symmetrize(m, tour_upper_bound=directed_opt + 1)
+        # Enumerate directed tours via the doubled encoding.
+        best = float("inf")
+        for perm in itertools.permutations(range(1, 5)):
+            tour = directed_tour_to_sym([0, *perm], 5)
+            best = min(best, tour_cost(sym.sym_matrix, tour))
+        assert sym.directed_cost(best) == pytest.approx(directed_opt)

@@ -1,0 +1,44 @@
+"""Golden regression pins for every benchmark/data-set case.
+
+The suite's behaviour is part of the experiment definition: if a workload's
+outputs drift, every downstream table silently changes.  These tests pin
+the exact observable behaviour (return value and key outputs) of all 12
+cases.  If you intentionally change a workload, update the goldens AND
+re-record EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.lang import execute
+from repro.workloads import SUITE, compile_benchmark
+
+#: (benchmark, dataset) -> (returned, first outputs)
+GOLDENS = {
+    ("com", "in"): (991, [105, 110, 116]),
+    ("com", "st"): (1864, [136, 139, 143]),
+    ("dod", "re"): (160, [160, 299082]),
+    ("dod", "sm"): (40, [40, 295191]),
+    ("eqn", "fx"): (632, [632, 0]),
+    ("eqn", "ip"): (1288, [1288, 0]),
+    ("esp", "ti"): (77, [77, 5, 28]),
+    ("esp", "tl"): (87, [87, 1, 2]),
+    ("su2", "re"): (6220, [39081, 23083, 12923]),
+    ("su2", "sh"): (869, [11654, 3897, 6217]),
+    ("xli", "ne"): (None, [12, 32, 9999]),   # returned = executed count
+    ("xli", "q7"): (None, [40]),
+}
+
+
+@pytest.mark.parametrize("abbr,dataset", sorted(GOLDENS))
+def test_golden_behaviour(abbr, dataset):
+    module = compile_benchmark(abbr)
+    result = execute(module, SUITE[abbr].inputs(dataset), trace=False)
+    expected_return, expected_outputs = GOLDENS[(abbr, dataset)]
+    if expected_return is not None:
+        assert result.returned == expected_return
+    assert result.outputs[: len(expected_outputs)] == expected_outputs
+
+
+def test_goldens_cover_every_case():
+    from repro.workloads import all_cases
+    assert set(GOLDENS) == set(all_cases())

@@ -1,0 +1,107 @@
+"""Tests for the benchmark suite registry (Table 1 protocol)."""
+
+import pytest
+
+from repro.cfg import TerminatorKind, validate_program
+from repro.workloads import (
+    SUITE,
+    all_cases,
+    benchmark_datasets,
+    compile_benchmark,
+    train_test_pairs,
+)
+
+
+class TestRegistry:
+    def test_six_benchmarks_two_datasets_each(self):
+        assert set(SUITE) == {"com", "dod", "eqn", "esp", "su2", "xli"}
+        for abbr in SUITE:
+            assert len(benchmark_datasets(abbr)) == 2
+
+    def test_paper_dataset_names(self):
+        assert benchmark_datasets("com") == ["in", "st"]
+        assert benchmark_datasets("dod") == ["re", "sm"]
+        assert benchmark_datasets("eqn") == ["fx", "ip"]
+        assert benchmark_datasets("esp") == ["ti", "tl"]
+        assert benchmark_datasets("su2") == ["re", "sh"]
+        assert benchmark_datasets("xli") == ["ne", "q7"]
+
+    def test_all_cases_count(self):
+        assert len(all_cases()) == 12
+
+    def test_train_test_pairs_use_sibling(self):
+        pairs = train_test_pairs()
+        assert len(pairs) == 12
+        for benchmark, test, train in pairs:
+            assert test != train
+            assert {test, train} == set(benchmark_datasets(benchmark))
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="unknown data set"):
+            SUITE["com"].inputs("nope")
+
+
+class TestCompiledBenchmarks:
+    @pytest.mark.parametrize("abbr", sorted(SUITE))
+    def test_programs_valid(self, abbr):
+        module = compile_benchmark(abbr)
+        validate_program(module.program)
+
+    def test_compile_cached(self):
+        assert compile_benchmark("com") is compile_benchmark("com")
+
+    def test_xli_has_jump_table(self):
+        """The interpreter's dispatch must lower to a register branch."""
+        module = compile_benchmark("xli")
+        kinds = [
+            block.kind
+            for proc in module.program
+            for block in proc.cfg
+        ]
+        assert TerminatorKind.MULTIWAY in kinds
+
+    def test_dod_has_jump_table(self):
+        module = compile_benchmark("dod")
+        kinds = [
+            block.kind for proc in module.program for block in proc.cfg
+        ]
+        assert TerminatorKind.MULTIWAY in kinds
+
+    def test_datasets_deterministic(self):
+        for abbr, dataset in all_cases():
+            assert SUITE[abbr].inputs(dataset) == SUITE[abbr].inputs(dataset)
+
+
+class TestBenchmarkBehavior:
+    def test_xli_q7_counts_queens_solutions(self):
+        from repro.lang import execute
+        module = compile_benchmark("xli")
+        result = execute(module, SUITE["xli"].inputs("q7"), trace=False)
+        assert result.outputs[0] == 40  # 7-queens has 40 solutions
+
+    def test_xli_ne_square_roots(self):
+        from repro.lang import execute
+        module = compile_benchmark("xli")
+        result = execute(module, SUITE["xli"].inputs("ne"), trace=False)
+        # Newton's method converges to the integer square roots.
+        assert result.outputs[0] == 12     # sqrt(144)
+        assert result.outputs[1] == 32     # sqrt(1024)
+        assert result.outputs[2] == 9999   # sqrt(99980001)
+
+    def test_com_output_roundtrip_size(self):
+        from repro.lang import execute
+        module = compile_benchmark("com")
+        inputs = SUITE["com"].inputs("in")
+        result = execute(module, inputs, trace=False)
+        literals, matches = result.outputs[-2], result.outputs[-1]
+        assert literals + matches > 0
+        # Compression must shorten the repetitive program-text input.
+        assert result.returned < len(inputs)
+
+    def test_esp_reduces_cover(self):
+        from repro.lang import execute
+        module = compile_benchmark("esp")
+        inputs = SUITE["esp"].inputs("ti")
+        result = execute(module, inputs, trace=False)
+        final_cubes = result.outputs[0]
+        assert 0 < final_cubes < inputs[1]  # strictly reduced

@@ -1,0 +1,78 @@
+"""Tests for the synthetic CFG generator."""
+
+import random
+
+import pytest
+
+from repro.cfg import TerminatorKind, validate_cfg, validate_program
+from repro.workloads import (
+    GeneratorConfig,
+    random_biases,
+    random_procedure,
+    random_program,
+    synthetic_workload,
+)
+
+
+class TestRandomProcedure:
+    def test_valid_and_roughly_sized(self):
+        rng = random.Random(0)
+        proc = random_procedure("p", rng, GeneratorConfig(target_blocks=40))
+        validate_cfg(proc.cfg)
+        assert 10 <= len(proc.cfg) <= 120
+
+    def test_deterministic_per_seed(self):
+        a = random_procedure("p", random.Random(3))
+        b = random_procedure("p", random.Random(3))
+        assert sorted(x.block_id for x in a.cfg) == sorted(
+            x.block_id for x in b.cfg
+        )
+        assert [x.terminator.targets for x in a.cfg] == [
+            x.terminator.targets for x in b.cfg
+        ]
+
+    def test_variety_of_terminators(self):
+        rng = random.Random(1)
+        kinds = set()
+        for i in range(10):
+            proc = random_procedure(
+                f"p{i}", rng, GeneratorConfig(target_blocks=50)
+            )
+            kinds |= {block.kind for block in proc.cfg}
+        assert TerminatorKind.CONDITIONAL in kinds
+        assert TerminatorKind.MULTIWAY in kinds
+        assert TerminatorKind.RETURN in kinds
+
+    def test_blocks_have_padding_sizes(self):
+        proc = random_procedure("p", random.Random(2))
+        assert all(block.body_words >= 1 for block in proc.cfg)
+
+
+class TestRandomProgram:
+    def test_program_valid(self):
+        program = random_program(procedures=10, seed=4)
+        validate_program(program)
+        assert len(program.procedures) == 10
+
+    def test_size_range_respected(self):
+        program = random_program(
+            procedures=8, seed=5, min_blocks=10, max_blocks=20
+        )
+        for proc in program:
+            assert len(proc.cfg) <= 70  # generator overshoot is bounded
+
+
+class TestSyntheticWorkload:
+    def test_profile_consistent(self):
+        program, profile = synthetic_workload(procedures=6, seed=6, walks=5)
+        profile.check_against(program)
+        for proc in program:
+            assert profile[proc.name].total() > 0
+
+    def test_biases_differ_between_seeds(self):
+        program = random_program(procedures=4, seed=7)
+        a = random_biases(program, 1)
+        b = random_biases(program, 2)
+        assert any(
+            a[name].probabilities != b[name].probabilities for name in a
+        )
