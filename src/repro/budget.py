@@ -1,0 +1,116 @@
+"""Solver deadlines: wall-clock and iteration budgets.
+
+A :class:`Budget` is an immutable *spec* — "at most 250 ms and 10 000
+iterations".  Starting it yields a :class:`BudgetTimer`, the mutable
+object the solvers actually consult at iteration boundaries:
+
+    budget = Budget(wall_ms=250)
+    timer = budget.start()
+    for ...:
+        timer.tick()          # raises SolverBudgetExceeded on expiry
+        ...
+
+Solvers that can degrade *internally* (Held–Karp keeps its best certified
+bound, branch-and-bound keeps its incumbent) use the non-raising
+:attr:`BudgetTimer.expired` check instead and return their best-so-far
+result; only the heuristic tour search raises, because its caller — the
+TSP aligner — owns the degradation ladder.
+
+The clock is injectable so tests (and the fault harness) can expire a
+budget deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import SolverBudgetExceeded
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-solve resource limits.  ``None`` means unlimited."""
+
+    wall_ms: float | None = None
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.wall_ms is not None and self.wall_ms < 0:
+            raise ValueError("wall_ms must be non-negative")
+        if self.max_iterations is not None and self.max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.wall_ms is None and self.max_iterations is None
+
+    def start(self, *, clock: Clock | None = None) -> "BudgetTimer":
+        """Begin the countdown: the deadline is measured from this call."""
+        return BudgetTimer(self, clock=clock)
+
+
+#: The default budget: no limits (the seed behaviour).
+UNLIMITED = Budget()
+
+
+class BudgetTimer:
+    """A running countdown against one :class:`Budget`."""
+
+    def __init__(self, budget: Budget, *, clock: Clock | None = None):
+        self.budget = budget
+        self._clock: Clock = clock or time.monotonic
+        self._started = self._clock()
+        self.iterations = 0
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (self._clock() - self._started) * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        """Non-raising check, for solvers that degrade internally."""
+        budget = self.budget
+        if budget.wall_ms is not None and self.elapsed_ms >= budget.wall_ms:
+            return True
+        if (
+            budget.max_iterations is not None
+            and self.iterations >= budget.max_iterations
+        ):
+            return True
+        return False
+
+    def tick(self, n: int = 1, *, where: str = "solver") -> None:
+        """Count ``n`` iterations and raise on an exhausted budget."""
+        self.iterations += n
+        self.check(where=where)
+
+    def check(self, *, where: str = "solver") -> None:
+        if self.expired:
+            raise SolverBudgetExceeded(
+                f"{where}: budget exhausted after "
+                f"{self.elapsed_ms:.1f} ms / {self.iterations} iterations "
+                f"(limits: wall_ms={self.budget.wall_ms}, "
+                f"max_iterations={self.budget.max_iterations})",
+                where=where,
+                elapsed_ms=self.elapsed_ms,
+                iterations=self.iterations,
+            )
+
+
+def ensure_timer(
+    budget: "Budget | BudgetTimer | None",
+) -> BudgetTimer | None:
+    """Normalize a budget argument: specs start counting now, timers pass
+    through (so one deadline can span several solver calls), ``None`` stays
+    ``None`` (no budget checks at all — the fast path)."""
+    if budget is None:
+        return None
+    if isinstance(budget, BudgetTimer):
+        return budget
+    if budget.unlimited:
+        return None
+    return budget.start()

@@ -5,12 +5,17 @@
     repro align FILE [--inputs ... | --input-file F | --profile P.json]
                  [--method tsp] [--model alpha21164] [--effort default]
                  [--bound] [--cross-profile Q.json]
-    repro suite CASE [--train DATASET]
+    repro suite CASE [CASE ...] [--train DATASET] [--budget-ms MS]
+                 [--checkpoint P.jsonl [--resume]]
 
-``repro suite com.in`` runs one benchmark case of the paper's evaluation;
-``repro align`` is the end-user path: compile, profile (or load a saved
-profile), align, and report penalties per method against the certified
-lower bound.
+``repro suite com.in`` runs one benchmark case of the paper's evaluation
+(``repro suite all`` runs every case; ``--budget-ms`` bounds each
+procedure's solver, ``--checkpoint``/``--resume`` persist completed cases
+across interrupted runs); ``repro align`` is the end-user path: compile,
+profile (or load a saved profile), align, and report penalties per method
+against the certified lower bound.
+
+Exit codes: 0 success, 1 runtime failure (compile/profile/solver), 2 usage.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.core import (
     train_predictors,
 )
 from repro.core.align import ALIGN_METHODS
+from repro.errors import ReproError, UsageError
 from repro.experiments.report import format_table
 from repro.lang import LangError, compile_source, run_and_profile
 from repro.machine.models import STANDARD_MODELS, get_model
@@ -41,10 +47,25 @@ def _read_source(path: str) -> str:
 
 def _parse_inputs(args) -> list[int]:
     if getattr(args, "inputs", None):
-        return [int(x) for x in args.inputs.replace(",", " ").split()]
+        try:
+            return [int(x) for x in args.inputs.replace(",", " ").split()]
+        except ValueError:
+            raise UsageError(
+                f"--inputs must be comma/space separated integers, "
+                f"got {args.inputs!r}"
+            ) from None
     if getattr(args, "input_file", None):
-        text = pathlib.Path(args.input_file).read_text()
-        return [int(x) for x in text.split()]
+        try:
+            text = pathlib.Path(args.input_file).read_text()
+        except OSError as exc:
+            raise UsageError(f"--input-file: {exc}") from None
+        try:
+            return [int(x) for x in text.split()]
+        except ValueError as exc:
+            raise UsageError(
+                f"--input-file {args.input_file}: expected "
+                f"whitespace-separated integers ({exc})"
+            ) from None
     return []
 
 
@@ -176,31 +197,83 @@ def cmd_align(args) -> int:
     return 0
 
 
-def cmd_suite(args) -> int:
-    from repro.experiments import run_case
+def _suite_specs(args) -> list[tuple[str, str, str | None]]:
+    """Parse and validate the suite CASE arguments up front, so an unknown
+    benchmark or data set fails fast instead of becoming a skipped row."""
+    from repro.workloads.suite import all_cases, get_benchmark
 
-    try:
-        benchmark, dataset = args.case.split(".", 1)
-    except ValueError:
-        print(f"error: CASE must look like 'com.in', got {args.case!r}",
-              file=sys.stderr)
-        return 2
-    case = run_case(benchmark, dataset, args.train)
-    rows = []
-    for method, outcome in case.methods.items():
-        rows.append([
-            method, outcome.penalty, case.normalized_penalty(method),
-            outcome.cycles, case.normalized_cycles(method),
-            outcome.timing.icache_misses,
-        ])
-    rows.append(["(lower bound)", case.lower_bound, case.normalized_bound,
-                 "", "", ""])
-    title = f"{case.label} (trained on {case.train_dataset})"
-    print(format_table(
-        ["method", "penalty", "norm", "sim cycles", "norm", "i$ misses"],
-        rows, title=title,
-    ))
-    return 0
+    if args.cases == ["all"]:
+        return [(bm, ds, None) for bm, ds in all_cases()]
+    specs: list[tuple[str, str, str | None]] = []
+    for case in args.cases:
+        if "." not in case:
+            raise UsageError(
+                f"CASE must look like 'com.in' (or 'all'), got {case!r}"
+            )
+        benchmark, dataset = case.split(".", 1)
+        spec = get_benchmark(benchmark)
+        for ds in (dataset, args.train):
+            if ds is not None and ds not in spec.dataset_names():
+                spec.inputs(ds)  # raises UnknownNameError with known names
+        specs.append((benchmark, dataset, args.train))
+    return specs
+
+
+def cmd_suite(args) -> int:
+    from repro.budget import Budget
+    from repro.experiments import ExperimentCheckpoint, run_cases
+
+    specs = _suite_specs(args)
+    if args.resume and not args.checkpoint:
+        raise UsageError("--resume requires --checkpoint")
+    budget = None
+    if args.budget_ms is not None:
+        if args.budget_ms <= 0:
+            raise UsageError(
+                f"--budget-ms must be a positive number of milliseconds, "
+                f"got {args.budget_ms}"
+            )
+        budget = Budget(wall_ms=args.budget_ms)
+    checkpoint = (
+        ExperimentCheckpoint(args.checkpoint, resume=args.resume)
+        if args.checkpoint
+        else None
+    )
+
+    result = run_cases(specs, budget=budget, checkpoint=checkpoint)
+    for case in result.cases:
+        rows = []
+        for method, outcome in case.methods.items():
+            rows.append([
+                method, outcome.penalty, case.normalized_penalty(method),
+                outcome.cycles, case.normalized_cycles(method),
+                outcome.timing.icache_misses,
+                outcome.degraded_summary or "-",
+            ])
+        rows.append(["(lower bound)", case.lower_bound, case.normalized_bound,
+                     "", "", "", ""])
+        title = f"{case.label} (trained on {case.train_dataset})"
+        print(format_table(
+            ["method", "penalty", "norm", "sim cycles", "norm", "i$ misses",
+             "degraded"],
+            rows, title=title,
+        ))
+        for line in sorted(
+            {w for outcome in case.methods.values() for w in outcome.warnings}
+        ):
+            print(f"warning: {line}")
+    for skip in result.skipped:
+        print(
+            f"skipped: {skip.label} after {skip.attempts} attempts "
+            f"({skip.error})",
+            file=sys.stderr,
+        )
+    if checkpoint is not None:
+        print(
+            f"checkpoint {args.checkpoint}: {result.from_checkpoint} case(s) "
+            f"resumed, {result.computed} computed"
+        )
+    return 0 if result.cases else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,9 +316,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-block layout report for the last method")
     p_align.set_defaults(func=cmd_align)
 
-    p_suite = sub.add_parser("suite", help="run one paper benchmark case")
-    p_suite.add_argument("case", help="e.g. com.in, xli.q7")
+    p_suite = sub.add_parser("suite", help="run paper benchmark cases")
+    p_suite.add_argument("cases", nargs="+", metavar="CASE",
+                         help="e.g. com.in xli.q7, or 'all'")
     p_suite.add_argument("--train", help="train on this sibling data set")
+    p_suite.add_argument("--budget-ms", type=float, default=None,
+                         help="per-procedure solver deadline (milliseconds); "
+                              "over-budget procedures degrade gracefully")
+    p_suite.add_argument("--checkpoint",
+                         help="persist completed cases to this JSON-lines file")
+    p_suite.add_argument("--resume", action="store_true",
+                         help="serve cases already in --checkpoint instead of "
+                              "recomputing them")
     p_suite.set_defaults(func=cmd_suite)
     return parser
 
@@ -255,7 +337,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (LangError, FileNotFoundError, KeyError) as exc:
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (LangError, ReproError, FileNotFoundError) as exc:
+        # Typed failures only — a genuine KeyError is a bug and should
+        # propagate as a traceback, not masquerade as a user error.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.budget import Budget
 from repro.cfg.graph import Program
+from repro.errors import UnknownNameError
 from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
 from repro.core.aligners.tsp_aligner import alignment_lower_bound, tsp_align
 from repro.core.layout import ProgramLayout, original_layout
@@ -32,6 +34,10 @@ class AlignmentReport:
     cities: dict[str, int] = field(default_factory=dict)
     costs: dict[str, float] = field(default_factory=dict)
     runs_finding_best: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Procedures whose layout came from a fallback rung (proc → rung name).
+    degraded: dict[str, str] = field(default_factory=dict)
+    #: Structured warnings explaining each degradation.
+    warnings: list[str] = field(default_factory=list)
 
 
 def align_program(
@@ -42,12 +48,19 @@ def align_program(
     model: PenaltyModel = ALPHA_21164,
     effort: Effort | str = DEFAULT,
     seed: int = 0,
+    budget: Budget | None = None,
     report: AlignmentReport | None = None,
 ) -> ProgramLayout:
     """Align every procedure of ``program`` using ``profile`` as training
-    data; returns one layout per procedure."""
+    data; returns one layout per procedure.
+
+    ``budget`` is a *per-procedure* solver deadline for the TSP method: each
+    procedure's solve starts a fresh countdown, and a procedure that cannot
+    be solved in time degrades down the aligner's ladder instead of raising
+    (``report.degraded`` records which rung each such procedure used).
+    """
     if method not in ALIGN_METHODS:
-        raise ValueError(
+        raise UnknownNameError(
             f"unknown method {method!r}; choose from {ALIGN_METHODS}"
         )
     layouts = ProgramLayout()
@@ -74,6 +87,7 @@ def align_program(
                 model,
                 effort=effort,
                 seed=seed + index,
+                budget=budget,
             )
             layouts[proc.name] = alignment.layout
             if report is not None:
@@ -83,6 +97,13 @@ def align_program(
                     alignment.runs_finding_best,
                     alignment.runs_total,
                 )
+                if alignment.degraded != "none":
+                    report.degraded[proc.name] = alignment.degraded
+                    if alignment.warning:
+                        report.warnings.append(
+                            f"{proc.name}: degraded to "
+                            f"{alignment.degraded!r} ({alignment.warning})"
+                        )
     return layouts
 
 
@@ -104,6 +125,7 @@ def lower_bound_program(
     model: PenaltyModel = ALPHA_21164,
     iterations: int | None = None,
     upper_bounds: dict[str, float] | None = None,
+    budget: Budget | None = None,
 ) -> LowerBoundReport:
     """Held–Karp lower bound on the total control penalty of any layout.
 
@@ -123,5 +145,6 @@ def lower_bound_program(
             model,
             upper_bound=ub,
             iterations=iterations,
+            budget=budget,
         )
     return report

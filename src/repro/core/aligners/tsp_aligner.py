@@ -4,21 +4,49 @@ Build the §2.2 cost matrix, solve the DTSP with iterated 3-Opt (exact DP on
 small procedures), and read the tour back as a layout.  Also exposes the
 per-procedure Held–Karp lower bound — the provable floor under any layout's
 control penalty.
+
+Resilience: the aligner is a best-effort pass.  When the solver exhausts
+its :class:`~repro.budget.Budget` (or a fault is injected), it *degrades*
+instead of raising, stepping down a ladder of ever-cheaper rungs:
+
+    tsp (full solve) → construction (best of greedy-edge / nearest-neighbor
+    / identity tours, plus any tour salvaged from the interrupted solve)
+    → greedy (Pettis–Hansen chaining) → original (no reordering)
+
+Every rung yields a valid, penalty-evaluable layout; the construction rung
+always considers the identity tour, so a degraded result is never worse
+than the original layout under the training profile.  The rung used is
+recorded on the returned :class:`TspAlignment` together with a structured
+warning.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 
+from repro import faults
+from repro.budget import Budget, BudgetTimer, ensure_timer
 from repro.cfg.graph import ControlFlowGraph
+from repro.core.aligners.greedy import pettis_hansen_layout
 from repro.core.costmatrix import AlignmentInstance, build_alignment_instance
 from repro.core.layout import Layout, original_layout
+from repro.errors import ReproError, SolverBudgetExceeded
 from repro.machine.models import PenaltyModel
 from repro.machine.predictors import StaticPredictor
 from repro.profiles.edge_profile import EdgeProfile
 from repro.tsp.branch_and_bound import branch_and_bound
+from repro.tsp.construction import (
+    greedy_edge_tour,
+    identity_tour,
+    nearest_neighbor_tour,
+)
 from repro.tsp.held_karp import held_karp_bound_directed
+from repro.tsp.instance import tour_cost
 from repro.tsp.solve import DEFAULT, Effort, get_effort, solve_dtsp
+
+#: Rung names of the degradation ladder, in order of decreasing quality.
+DEGRADATION_RUNGS = ("none", "construction", "greedy", "original")
 
 
 @dataclass
@@ -30,6 +58,40 @@ class TspAlignment:
     instance: AlignmentInstance
     runs_finding_best: int = 0
     runs_total: int = 0
+    #: Which ladder rung produced the layout ("none" = the full TSP solve).
+    degraded: str = "none"
+    #: Human-readable reason when ``degraded != "none"``.
+    warning: str | None = None
+
+
+def _best_construction_layout(
+    instance: AlignmentInstance,
+    seed: int,
+    salvaged: list[list[int]],
+) -> tuple[Layout, float]:
+    """The construction rung: cheapest of the deterministic construction
+    tours and any tour salvaged from an interrupted solve.
+
+    The identity tour (= the original layout) is always a candidate, so the
+    result never costs more than the original layout.
+    """
+    rng = random.Random(seed)
+    n = instance.n
+    candidates: list[list[int]] = [identity_tour(n)]
+    candidates.extend(list(tour) for tour in salvaged)
+    try:
+        candidates.append(greedy_edge_tour(instance.matrix, rng, jitter=0.0))
+    except Exception:  # noqa: BLE001 — a broken heuristic must not block the rung
+        pass
+    try:
+        candidates.append(
+            nearest_neighbor_tour(instance.matrix, rng, candidates=1)
+        )
+    except Exception:  # noqa: BLE001
+        pass
+    best = min(candidates, key=lambda tour: tour_cost(instance.matrix, tour))
+    layout = instance.layout_from_cycle(best)
+    return layout, instance.layout_cost(layout)
 
 
 def tsp_align(
@@ -40,8 +102,14 @@ def tsp_align(
     predictor: StaticPredictor | None = None,
     effort: Effort | str = DEFAULT,
     seed: int = 0,
+    budget: Budget | BudgetTimer | None = None,
 ) -> TspAlignment:
-    """Align one procedure, returning the layout and solver diagnostics."""
+    """Align one procedure, returning the layout and solver diagnostics.
+
+    Never raises :class:`~repro.errors.SolverBudgetExceeded`: on budget
+    expiry (or injected fault) the result comes from a cheaper rung of the
+    degradation ladder, recorded in ``degraded``/``warning``.
+    """
     effort = get_effort(effort)
     instance = build_alignment_instance(cfg, profile, model, predictor=predictor)
     if len(cfg) <= 2 or profile.total() == 0:
@@ -51,23 +119,76 @@ def tsp_align(
             cost=instance.layout_cost(layout),
             instance=instance,
         )
-    result = solve_dtsp(instance.matrix, effort=effort, seed=seed)
-    layout = instance.layout_from_cycle(result.tour)
-    if result.cost >= instance.big:
+
+    timer = ensure_timer(budget)
+    salvaged: list[list[int]] = []
+    warning: str
+    try:
+        result = solve_dtsp(
+            instance.matrix, effort=effort, seed=seed, budget=timer
+        )
+        if result.cost < instance.big:
+            return TspAlignment(
+                layout=instance.layout_from_cycle(result.tour),
+                cost=result.cost,
+                instance=instance,
+                runs_finding_best=result.runs_finding_best,
+                runs_total=len(result.runs),
+            )
         # The solver failed to avoid a forbidden edge (cannot happen with an
         # identity start in the mix, but fail safe rather than corrupt).
-        layout = original_layout(cfg)
+        warning = "solver tour used a forbidden edge"
+    except SolverBudgetExceeded as exc:
+        warning = str(exc)
+        if exc.best_so_far is not None:
+            salvaged.append(exc.best_so_far)
+
+    # Rung: best construction tour (identity always included, so never
+    # worse than the original layout).
+    try:
+        faults.check_construction_failure()
+        layout, cost = _best_construction_layout(instance, seed, salvaged)
+        if cost < instance.big:
+            return TspAlignment(
+                layout=layout,
+                cost=cost,
+                instance=instance,
+                degraded="construction",
+                warning=warning,
+            )
+        warning += "; construction tour used a forbidden edge"
+    except (ReproError, ValueError) as exc:
+        warning += f"; construction rung failed: {exc}"
+
+    # Rung: greedy (Pettis–Hansen) alignment.  Greedy chaining is not
+    # guaranteed to beat the original order, so keep whichever is cheaper —
+    # every rung of the ladder is never worse than no reordering.
+    try:
+        faults.check_greedy_failure()
+        layout = pettis_hansen_layout(cfg, profile)
+        cost = instance.layout_cost(layout)
+        fallback = original_layout(cfg)
+        fallback_cost = instance.layout_cost(fallback)
+        if fallback_cost < cost:
+            layout, cost = fallback, fallback_cost
         return TspAlignment(
             layout=layout,
-            cost=instance.layout_cost(layout),
+            cost=cost,
             instance=instance,
+            degraded="greedy",
+            warning=warning,
         )
+    except (ReproError, ValueError) as exc:
+        warning += f"; greedy rung failed: {exc}"
+
+    # Rung of last resort: the original layout, which always exists.
+    layout = original_layout(cfg)
     return TspAlignment(
         layout=layout,
-        cost=result.cost,
+        cost=instance.layout_cost(layout),
         instance=instance,
-        runs_finding_best=result.runs_finding_best,
-        runs_total=len(result.runs),
+        degraded="original",
+        warning=warning,
     )
 
 
@@ -80,6 +201,7 @@ def alignment_lower_bound(
     upper_bound: float | None = None,
     iterations: int | None = None,
     exact_nodes: int = 20_000,
+    budget: Budget | BudgetTimer | None = None,
 ) -> float:
     """Certified lower bound on the procedure's achievable control penalty.
 
@@ -89,25 +211,42 @@ def alignment_lower_bound(
     instances usually certify in well under a hundred nodes), otherwise the
     Held–Karp subgradient bound — the paper's appendix bound.  Pass
     ``exact_nodes=0`` to force pure Held–Karp.
+
+    Degrades, never raises: on an exhausted budget (or injected fault) the
+    loosest certified bound — 0.0, since penalties are non-negative — is
+    returned.
     """
     if profile.total() == 0:
         return 0.0
-    if instance is None:
-        instance = build_alignment_instance(cfg, profile, model)
-    if upper_bound is None:
-        # A tight upper bound keeps the subgradient step sizes sane; a quick
-        # heuristic tour is far tighter than the original layout.
-        quick = solve_dtsp(instance.matrix, effort="quick")
-        upper_bound = min(
-            instance.layout_cost(original_layout(cfg)), quick.cost
+    timer = ensure_timer(budget)
+    try:
+        faults.check_bound_timeout()
+        if instance is None:
+            instance = build_alignment_instance(cfg, profile, model)
+        if upper_bound is None:
+            # A tight upper bound keeps the subgradient step sizes sane; a
+            # quick heuristic tour is far tighter than the original layout.
+            original_cost = instance.layout_cost(original_layout(cfg))
+            try:
+                quick = solve_dtsp(instance.matrix, effort="quick", budget=timer)
+                upper_bound = min(original_cost, quick.cost)
+            except SolverBudgetExceeded:
+                upper_bound = original_cost
+        if exact_nodes > 0:
+            exact = branch_and_bound(
+                instance.matrix,
+                upper_bound=upper_bound,
+                max_nodes=exact_nodes,
+                budget=timer,
+            )
+            if exact.optimal:
+                return min(exact.cost, upper_bound)
+        result = held_karp_bound_directed(
+            instance.matrix,
+            tour_upper_bound=upper_bound,
+            iterations=iterations,
+            budget=timer,
         )
-    if exact_nodes > 0:
-        exact = branch_and_bound(
-            instance.matrix, upper_bound=upper_bound, max_nodes=exact_nodes
-        )
-        if exact.optimal:
-            return min(exact.cost, upper_bound)
-    result = held_karp_bound_directed(
-        instance.matrix, tour_upper_bound=upper_bound, iterations=iterations
-    )
-    return min(result.bound, upper_bound)
+        return min(result.bound, upper_bound)
+    except SolverBudgetExceeded:
+        return 0.0

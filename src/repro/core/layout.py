@@ -12,9 +12,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.cfg.graph import ControlFlowGraph, Program
+from repro.errors import ReproError
 
 
-class LayoutError(Exception):
+class LayoutError(ReproError):
     """Raised for layouts that are not valid block permutations."""
 
 

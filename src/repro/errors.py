@@ -1,0 +1,116 @@
+"""Error taxonomy for the whole pipeline.
+
+Production block-layout pipelines treat the optimizer as a best-effort
+pass: a procedure that cannot be aligned within budget ships with a cheaper
+layout and the run continues.  That policy needs errors the upper tiers can
+*reason about* — "the solver ran out of budget" (degrade) is handled very
+differently from "this profile does not describe this CFG" (reject the
+input) or from a genuine ``KeyError`` (a bug; let it propagate with a
+traceback).
+
+Every intentional failure raised by this package derives from
+:class:`ReproError`.  Catching ``ReproError`` at a tier boundary (the CLI,
+the experiment runner, a degradation ladder) is therefore safe: it can
+never mask an unrelated programming error.
+
+Compatibility notes
+-------------------
+* :class:`UnknownNameError` also subclasses :class:`KeyError` and
+  :class:`ValueError` so long-standing call sites (and tests) that caught
+  those builtins for unknown model/effort/data-set names keep working.  It
+  overrides ``KeyError.__str__`` (which quotes its argument) so messages
+  print cleanly.
+* :class:`VMRunawayError` must subclass the VM's ``VMError`` (itself a
+  ``LangError``); it is defined in :mod:`repro.lang.vm` and re-exported
+  here lazily to avoid an import cycle.
+* ``ProfileError`` remains available in :mod:`repro.profiles.edge_profile`
+  as an alias of :class:`ProfileMismatchError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the taxonomy: every intentional failure in this package."""
+
+
+class UsageError(ReproError):
+    """Bad command-line usage (malformed inputs, flag combinations).
+
+    The CLI reports these with ``error: ...`` and exit status 2.
+    """
+
+
+class UnknownNameError(ReproError, KeyError, ValueError):
+    """A lookup by user-supplied name failed (model, effort, benchmark,
+    data set, alignment method)."""
+
+    # KeyError.__str__ shows repr(args[0]) — "error: 'name'" told users
+    # nothing.  Print the message verbatim instead.
+    __str__ = Exception.__str__
+
+
+class ProfileMismatchError(ReproError):
+    """A profile is inconsistent with the CFG/program it claims to describe."""
+
+
+class SolverBudgetExceeded(ReproError):
+    """A solver hit its wall-clock or iteration budget.
+
+    Raised at iteration boundaries; callers degrade to a cheaper rung.
+    ``best_so_far`` optionally carries the best feasible tour found before
+    the deadline so fallback rungs can reuse the work.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        where: str = "solver",
+        elapsed_ms: float | None = None,
+        iterations: int | None = None,
+        best_so_far: list[int] | None = None,
+    ):
+        super().__init__(message)
+        self.where = where
+        self.elapsed_ms = elapsed_ms
+        self.iterations = iterations
+        self.best_so_far = best_so_far
+
+
+class DegradationError(ReproError):
+    """A fallback rung of the degradation ladder failed.
+
+    Only the fault-injection harness raises this in practice; the ladder
+    catches it and falls through to the next rung.
+    """
+
+
+class CheckpointCorruptError(ReproError):
+    """A checkpoint line failed to parse or its checksum does not match."""
+
+    def __init__(self, message: str, *, line_number: int | None = None):
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def __getattr__(name: str):
+    # Lazy re-export: VMRunawayError subclasses repro.lang.vm.VMError, and
+    # vm.py imports this module, so an eager import here would cycle.
+    if name == "VMRunawayError":
+        from repro.lang.vm import VMRunawayError
+
+        return VMRunawayError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CheckpointCorruptError",
+    "DegradationError",
+    "ProfileMismatchError",
+    "ReproError",
+    "SolverBudgetExceeded",
+    "UnknownNameError",
+    "UsageError",
+    "VMRunawayError",
+]

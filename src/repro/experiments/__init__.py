@@ -11,11 +11,18 @@ from repro.experiments.crossval import (
     cross_validate,
     summarize_pair,
 )
+from repro.experiments.checkpoint import (
+    CaseKey,
+    ExperimentCheckpoint,
+    case_from_state,
+    case_to_state,
+)
 from repro.experiments.export import (
     case_to_dict,
     cases_to_json,
     figure2_to_json,
     figure3_to_json,
+    skipped_to_dict,
 )
 from repro.experiments.report import (
     arithmetic_mean,
@@ -27,9 +34,14 @@ from repro.experiments.runner import (
     CaseResult,
     MethodOutcome,
     ProfiledRun,
+    SkippedCase,
+    SweepResult,
     case_lower_bound,
     profiled_run,
     run_case,
+    run_case_cached,
+    run_case_resilient,
+    run_cases,
 )
 from repro.experiments.stages import StageTimes, time_stages, worst_dataset
 from repro.experiments.tables import (
@@ -43,18 +55,24 @@ from repro.experiments.tables import (
 
 __all__ = [
     "AppendixStats",
+    "CaseKey",
     "CaseResult",
     "CrossValidationSummary",
+    "ExperimentCheckpoint",
     "Figure2Data",
     "Figure3Data",
     "InstanceQuality",
     "MethodOutcome",
     "ProfiledRun",
+    "SkippedCase",
     "StageTimes",
+    "SweepResult",
     "analyze_instances",
     "arithmetic_mean",
+    "case_from_state",
     "case_lower_bound",
     "case_to_dict",
+    "case_to_state",
     "cases_to_json",
     "cross_validate",
     "figure2_to_json",
@@ -67,7 +85,10 @@ __all__ = [
     "percent",
     "profiled_run",
     "run_case",
-    "summarize_pair",
+    "run_case_cached",
+    "run_case_resilient",
+    "run_cases",
+    "skipped_to_dict",
     "table1_rows",
     "table4_rows",
     "time_stages",

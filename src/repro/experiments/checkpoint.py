@@ -1,0 +1,266 @@
+"""Checkpoint/resume for experiment sweeps.
+
+Figure runs execute dozens of (benchmark, data-set, train, method) cases;
+one pathological case must not cost the completed ones.  Completed
+:class:`~repro.experiments.runner.CaseResult`s persist to an append-only
+JSON-lines file, one self-describing record per line:
+
+    {"v": 1, "key": {...}, "sha": "<sha256 of the case payload>",
+     "case": {...}}
+
+* **Keying** — a :class:`CaseKey` captures everything that determines a
+  case's numbers: (benchmark, dataset, train_dataset, methods, model,
+  effort, seed, budget).  Resuming with different parameters recomputes
+  rather than serving stale results.
+* **Corruption** — every line carries a checksum of its payload.  A torn
+  write (the process was killed mid-line) or bit rot fails the checksum;
+  by default the loader *skips* such lines (the case is simply recomputed)
+  and records them in :attr:`ExperimentCheckpoint.corrupt_lines`; with
+  ``strict=True`` it raises :class:`~repro.errors.CheckpointCorruptError`.
+* **Fidelity** — the serialized state includes per-method penalties, cost
+  and timing breakdowns, layouts, and degradation records, so a resumed
+  run produces byte-identical tables to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro import faults
+from repro.budget import Budget
+from repro.core.costmodel import CostBreakdown
+from repro.core.layout import Layout, ProgramLayout
+from repro.errors import CheckpointCorruptError
+from repro.experiments.runner import CaseResult, MethodOutcome
+from repro.machine.models import PenaltyModel
+from repro.machine.timing import TimingBreakdown
+from repro.tsp.solve import Effort, get_effort
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CaseKey:
+    """Identity of one experiment case in a checkpoint."""
+
+    benchmark: str
+    dataset: str
+    train_dataset: str
+    methods: tuple[str, ...]
+    model: str
+    effort: str
+    seed: int
+    budget_wall_ms: float | None = None
+    budget_max_iterations: int | None = None
+
+    @classmethod
+    def for_case(
+        cls,
+        benchmark: str,
+        dataset: str,
+        train_dataset: str | None = None,
+        *,
+        methods: tuple[str, ...],
+        model: "PenaltyModel | str",
+        effort: "Effort | str",
+        seed: int = 0,
+        budget: Budget | None = None,
+    ) -> "CaseKey":
+        return cls(
+            benchmark=benchmark,
+            dataset=dataset,
+            train_dataset=train_dataset or dataset,
+            methods=tuple(methods),
+            model=model if isinstance(model, str) else model.name,
+            effort=get_effort(effort).name,
+            seed=seed,
+            budget_wall_ms=budget.wall_ms if budget else None,
+            budget_max_iterations=budget.max_iterations if budget else None,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "dataset": self.dataset,
+            "train_dataset": self.train_dataset,
+            "methods": list(self.methods),
+            "model": self.model,
+            "effort": self.effort,
+            "seed": self.seed,
+            "budget_wall_ms": self.budget_wall_ms,
+            "budget_max_iterations": self.budget_max_iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CaseKey":
+        return cls(
+            benchmark=payload["benchmark"],
+            dataset=payload["dataset"],
+            train_dataset=payload["train_dataset"],
+            methods=tuple(payload["methods"]),
+            model=payload["model"],
+            effort=payload["effort"],
+            seed=int(payload["seed"]),
+            budget_wall_ms=payload.get("budget_wall_ms"),
+            budget_max_iterations=payload.get("budget_max_iterations"),
+        )
+
+
+# -- CaseResult (de)serialization ---------------------------------------------
+
+
+def case_to_state(case: CaseResult) -> dict:
+    """Serialize everything a resumed run needs to reproduce this case's
+    rows byte-for-byte (JSON floats round-trip exactly)."""
+    return {
+        "benchmark": case.benchmark,
+        "dataset": case.dataset,
+        "train_dataset": case.train_dataset,
+        "lower_bound": case.lower_bound,
+        # Lines are serialized with sorted keys (stable checksums), which
+        # would lose the report-facing method order — keep it explicitly.
+        "method_order": list(case.methods),
+        "methods": {
+            name: {
+                "penalty": outcome.penalty,
+                "breakdown": {
+                    "redirect": outcome.breakdown.redirect,
+                    "mispredict": outcome.breakdown.mispredict,
+                    "jump": outcome.breakdown.jump,
+                },
+                "timing": {
+                    "instruction_cycles": outcome.timing.instruction_cycles,
+                    "control_stall_cycles": outcome.timing.control_stall_cycles,
+                    "icache_stall_cycles": outcome.timing.icache_stall_cycles,
+                    "icache_accesses": outcome.timing.icache_accesses,
+                    "icache_misses": outcome.timing.icache_misses,
+                },
+                "align_seconds": outcome.align_seconds,
+                "layouts": {
+                    proc: list(layout.order)
+                    for proc, layout in outcome.layouts.items()
+                },
+                "degraded": dict(outcome.degraded),
+                "warnings": list(outcome.warnings),
+            }
+            for name, outcome in case.methods.items()
+        },
+    }
+
+
+def case_from_state(state: dict) -> CaseResult:
+    case = CaseResult(
+        benchmark=state["benchmark"],
+        dataset=state["dataset"],
+        train_dataset=state["train_dataset"],
+        lower_bound=state["lower_bound"],
+    )
+    order = state.get("method_order") or list(state["methods"])
+    for name in order:
+        payload = state["methods"][name]
+        layouts = ProgramLayout()
+        for proc, order in payload["layouts"].items():
+            layouts[proc] = Layout(tuple(order))
+        case.methods[name] = MethodOutcome(
+            method=name,
+            penalty=payload["penalty"],
+            breakdown=CostBreakdown(**payload["breakdown"]),
+            timing=TimingBreakdown(**payload["timing"]),
+            align_seconds=payload["align_seconds"],
+            layouts=layouts,
+            degraded=dict(payload.get("degraded", {})),
+            warnings=list(payload.get("warnings", [])),
+        )
+    return case
+
+
+def _payload_sha(state: dict) -> str:
+    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# -- the checkpoint file ------------------------------------------------------
+
+
+class ExperimentCheckpoint:
+    """Append-only JSON-lines store of completed cases."""
+
+    def __init__(
+        self,
+        path: "str | pathlib.Path",
+        *,
+        resume: bool = True,
+        strict: bool = False,
+    ):
+        self.path = pathlib.Path(path)
+        self._entries: dict[CaseKey, dict] = {}
+        #: 1-based line numbers that failed to parse or checksum on load.
+        self.corrupt_lines: list[int] = []
+        if resume and self.path.exists():
+            self._load(strict=strict)
+
+    def _load(self, *, strict: bool) -> None:
+        for number, line in enumerate(
+            self.path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("v") != CHECKPOINT_VERSION:
+                    raise ValueError(
+                        f"unsupported checkpoint version {record.get('v')!r}"
+                    )
+                key = CaseKey.from_dict(record["key"])
+                state = record["case"]
+                if _payload_sha(state) != record["sha"]:
+                    raise ValueError("checksum mismatch")
+            except (ValueError, KeyError, TypeError) as exc:
+                if strict:
+                    raise CheckpointCorruptError(
+                        f"{self.path}:{number}: corrupt checkpoint line "
+                        f"({exc})",
+                        line_number=number,
+                    ) from exc
+                self.corrupt_lines.append(number)
+                continue
+            # Later lines win: a case recomputed after a corrupt write
+            # shadows the earlier record.
+            self._entries[key] = state
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CaseKey) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[CaseKey]:
+        return list(self._entries)
+
+    def get(self, key: CaseKey) -> CaseResult | None:
+        state = self._entries.get(key)
+        return case_from_state(state) if state is not None else None
+
+    def record(self, key: CaseKey, case: CaseResult) -> None:
+        """Persist one completed case (and serve it for future ``get``s)."""
+        state = case_to_state(case)
+        self._entries[key] = state
+        line = json.dumps(
+            {
+                "v": CHECKPOINT_VERSION,
+                "key": key.to_dict(),
+                "sha": _payload_sha(state),
+                "case": state,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        line = faults.corrupt_checkpoint_line(line)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from typing import Mapping
 
-from repro.experiments.runner import CaseResult
+from repro.experiments.runner import CaseResult, SkippedCase
 from repro.experiments.tables import Figure2Data, Figure3Data
 
 
@@ -34,9 +34,22 @@ def case_to_dict(case: CaseResult) -> dict:
                 "jump": outcome.breakdown.jump,
                 "icache_misses": outcome.timing.icache_misses,
                 "align_seconds": outcome.align_seconds,
+                "degraded": dict(outcome.degraded),
+                "warnings": list(outcome.warnings),
             }
             for name, outcome in case.methods.items()
         },
+    }
+
+
+def skipped_to_dict(skip: SkippedCase) -> dict:
+    """Flatten one skipped-case record."""
+    return {
+        "benchmark": skip.benchmark,
+        "dataset": skip.dataset,
+        "train_dataset": skip.train_dataset,
+        "error": skip.error,
+        "attempts": skip.attempts,
     }
 
 
@@ -57,6 +70,7 @@ def figure2_to_json(data: Figure2Data, *, indent: int = 1) -> str:
             "greedy_speedup": data.mean_greedy_speedup,
             "tsp_speedup": data.mean_tsp_speedup,
         },
+        "skipped": [skipped_to_dict(skip) for skip in data.skipped],
     }
     return json.dumps(payload, indent=indent, sort_keys=True)
 
@@ -78,5 +92,6 @@ def figure3_to_json(data: Figure3Data, *, indent: int = 1) -> str:
             }
             for side in ("self", "cross")
         },
+        "skipped": [skipped_to_dict(skip) for skip in data.skipped],
     }
     return json.dumps(payload, indent=indent, sort_keys=True)

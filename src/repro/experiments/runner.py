@@ -5,6 +5,14 @@ optionally cross-validated (train on a sibling data set): compile →
 profile → align (per method) → evaluate penalties → simulate run time.
 Profiling runs are cached per (benchmark, data set) because every figure
 reuses them.
+
+Resilience (see ``docs/robustness.md``): a per-procedure solver
+:class:`~repro.budget.Budget` makes every case finish in bounded time
+(procedures that cannot be solved in budget degrade down the aligner's
+ladder, recorded per method in :attr:`MethodOutcome.degraded`), and
+:func:`run_cases` sweeps many cases fault-tolerantly — each case is
+retried once, recorded as a skipped row on repeated failure, and persisted
+to a checkpoint so an interrupted sweep resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -12,8 +20,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.core.align import align_program
+from repro.budget import Budget
+from repro.core.align import AlignmentReport, align_program
 from repro.core.aligners.tsp_aligner import alignment_lower_bound, tsp_align
 from repro.core.costmodel import CostBreakdown
 from repro.core.evaluate import evaluate_program, train_predictors
@@ -24,8 +34,11 @@ from repro.machine.timing import TimingBreakdown, simulate_timing
 from repro.lang.vm import run_and_profile
 from repro.profiles.edge_profile import ProgramProfile
 from repro.profiles.trace import CompactTrace
-from repro.tsp.solve import DEFAULT, Effort
-from repro.workloads.suite import SUITE, compile_benchmark
+from repro.tsp.solve import DEFAULT, Effort, get_effort
+from repro.workloads.suite import compile_benchmark, get_benchmark
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle is fine at type time
+    from repro.experiments.checkpoint import ExperimentCheckpoint
 
 DEFAULT_METHODS = ("original", "greedy", "tsp")
 
@@ -48,7 +61,7 @@ class ProfiledRun:
 def profiled_run(benchmark: str, dataset: str) -> ProfiledRun:
     """Execute one benchmark/data-set pair under instrumentation (cached)."""
     module = compile_benchmark(benchmark)
-    inputs = SUITE[benchmark].inputs(dataset)
+    inputs = get_benchmark(benchmark).inputs(dataset)
     started = time.perf_counter()
     result, profile = run_and_profile(module, inputs)
     elapsed = time.perf_counter() - started
@@ -76,10 +89,28 @@ class MethodOutcome:
     timing: TimingBreakdown
     align_seconds: float
     layouts: ProgramLayout
+    #: Procedures laid out by a fallback rung (proc → rung name); empty when
+    #: every procedure got the full solve.
+    degraded: dict[str, str] = field(default_factory=dict)
+    #: Structured warnings explaining each degradation.
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def cycles(self) -> float:
         return self.timing.total_cycles
+
+    @property
+    def degraded_summary(self) -> str:
+        """Compact report-cell form, e.g. ``construction×3``."""
+        if not self.degraded:
+            return ""
+        counts: dict[str, int] = {}
+        for rung in self.degraded.values():
+            counts[rung] = counts.get(rung, 0) + 1
+        return ",".join(
+            f"{rung}×{n}" if n > 1 else rung
+            for rung, n in sorted(counts.items())
+        )
 
 
 @dataclass
@@ -119,6 +150,11 @@ class CaseResult:
             return 1.0
         return self.lower_bound / original
 
+    @property
+    def degraded(self) -> bool:
+        """True when any method degraded any procedure."""
+        return any(outcome.degraded for outcome in self.methods.values())
+
 
 def run_case(
     benchmark: str,
@@ -129,12 +165,17 @@ def run_case(
     model: PenaltyModel = ALPHA_21164,
     effort: Effort | str = DEFAULT,
     seed: int = 0,
+    budget: Budget | None = None,
     compute_bound: bool = True,
     icache_bytes: int = 8192,
     icache_line: int = 32,
 ) -> CaseResult:
     """Run one case: test on ``dataset``, train on ``train_dataset`` (same
-    data set when omitted — the paper's §4.1 configuration)."""
+    data set when omitted — the paper's §4.1 configuration).
+
+    ``budget`` bounds each procedure's TSP solve; procedures that blow it
+    degrade down the aligner's ladder, recorded in the method's outcome.
+    """
     train_dataset = train_dataset or dataset
     module = compile_benchmark(benchmark)
     program = module.program
@@ -151,6 +192,7 @@ def run_case(
     )
     for method in methods:
         started = time.perf_counter()
+        align_report = AlignmentReport()
         layouts = align_program(
             program,
             training.profile,
@@ -158,6 +200,8 @@ def run_case(
             model=model,
             effort=effort,
             seed=seed,
+            budget=budget,
+            report=align_report,
         )
         align_seconds = time.perf_counter() - started
         penalty = evaluate_program(
@@ -179,16 +223,46 @@ def run_case(
             timing=timing,
             align_seconds=align_seconds,
             layouts=layouts,
+            degraded=align_report.degraded,
+            warnings=align_report.warnings,
         )
 
     if compute_bound:
         case.lower_bound = case_lower_bound(
-            benchmark, dataset, model=model, effort=effort, seed=seed
+            benchmark,
+            dataset,
+            model=model,
+            effort=effort,
+            seed=seed,
+            budget=budget,
         )
     return case
 
 
 @lru_cache(maxsize=None)
+def _run_case_cached(
+    benchmark: str,
+    dataset: str,
+    train_dataset: str,
+    *,
+    methods: tuple[str, ...],
+    model: PenaltyModel,
+    effort: Effort,
+    seed: int,
+    budget: Budget | None,
+) -> CaseResult:
+    return run_case(
+        benchmark,
+        dataset,
+        train_dataset,
+        methods=methods,
+        model=model,
+        effort=effort,
+        seed=seed,
+        budget=budget,
+    )
+
+
 def run_case_cached(
     benchmark: str,
     dataset: str,
@@ -198,33 +272,40 @@ def run_case_cached(
     model: PenaltyModel = ALPHA_21164,
     effort: Effort | str = DEFAULT,
     seed: int = 0,
+    budget: Budget | None = None,
 ) -> CaseResult:
     """Memoized :func:`run_case` — figures share cases within a session.
 
-    Treat the result as read-only.
+    Arguments are normalized *before* the cache boundary, so the spellings
+    ``(bm, ds)``, ``(bm, ds, ds)``, and ``effort="default"`` vs the Effort
+    object all hit one entry.  Treat the result as read-only.
     """
-    return run_case(
+    return _run_case_cached(
         benchmark,
         dataset,
-        train_dataset,
-        methods=methods,
+        train_dataset or dataset,
+        methods=tuple(methods),
         model=model,
-        effort=effort,
+        effort=get_effort(effort),
         seed=seed,
+        budget=budget,
     )
 
 
+run_case_cached.cache_clear = _run_case_cached.cache_clear  # type: ignore[attr-defined]
+run_case_cached.cache_info = _run_case_cached.cache_info  # type: ignore[attr-defined]
+
+
 @lru_cache(maxsize=None)
-def case_lower_bound(
+def _case_lower_bound(
     benchmark: str,
     dataset: str,
     *,
-    model: PenaltyModel = ALPHA_21164,
-    effort: Effort | str = DEFAULT,
-    seed: int = 0,
+    model: PenaltyModel,
+    effort: Effort,
+    seed: int,
+    budget: Budget | None,
 ) -> float:
-    """Held–Karp lower bound for one case, with TSP tours as the subgradient
-    targets (cached — every figure reuses it)."""
     module = compile_benchmark(benchmark)
     run = profiled_run(benchmark, dataset)
     total = 0.0
@@ -233,7 +314,12 @@ def case_lower_bound(
         if edge_profile is None or edge_profile.total() == 0:
             continue
         alignment = tsp_align(
-            proc.cfg, edge_profile, model, effort=effort, seed=seed + index
+            proc.cfg,
+            edge_profile,
+            model,
+            effort=effort,
+            seed=seed + index,
+            budget=budget,
         )
         total += alignment_lower_bound(
             proc.cfg,
@@ -241,5 +327,193 @@ def case_lower_bound(
             model,
             instance=alignment.instance,
             upper_bound=alignment.cost,
+            budget=budget,
         )
     return total
+
+
+def case_lower_bound(
+    benchmark: str,
+    dataset: str,
+    *,
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+    budget: Budget | None = None,
+) -> float:
+    """Held–Karp lower bound for one case, with TSP tours as the subgradient
+    targets (cached — every figure reuses it; arguments are normalized
+    before the cache boundary)."""
+    return _case_lower_bound(
+        benchmark,
+        dataset,
+        model=model,
+        effort=get_effort(effort),
+        seed=seed,
+        budget=budget,
+    )
+
+
+case_lower_bound.cache_clear = _case_lower_bound.cache_clear  # type: ignore[attr-defined]
+case_lower_bound.cache_info = _case_lower_bound.cache_info  # type: ignore[attr-defined]
+
+
+# -- fault-tolerant sweeps ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SkippedCase:
+    """A case that failed every attempt of a sweep — recorded, not raised."""
+
+    benchmark: str
+    dataset: str
+    train_dataset: str
+    error: str
+    attempts: int = 2
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}.{self.dataset}"
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`run_cases` over many cases."""
+
+    cases: list[CaseResult] = field(default_factory=list)
+    skipped: list[SkippedCase] = field(default_factory=list)
+    #: How many cases were served from the checkpoint vs computed fresh.
+    from_checkpoint: int = 0
+    computed: int = 0
+
+
+def run_case_resilient(
+    benchmark: str,
+    dataset: str,
+    train_dataset: str | None = None,
+    *,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+    budget: Budget | None = None,
+    compute_bound: bool = True,
+    checkpoint: "ExperimentCheckpoint | None" = None,
+    retries: int = 1,
+) -> "CaseResult | SkippedCase":
+    """:func:`run_case` with checkpoint lookup, retry, and skip-on-failure.
+
+    A case already in ``checkpoint`` is served from it (no recompute); a
+    fresh case is persisted to ``checkpoint`` on success.  A case that
+    raises is retried ``retries`` more times; if every attempt fails the
+    failure is folded into a :class:`SkippedCase` instead of propagating —
+    one pathological case must not sink a whole figure run.
+    """
+    from repro.experiments.checkpoint import CaseKey  # local: import cycle
+
+    key = None
+    if checkpoint is not None:
+        key = CaseKey.for_case(
+            benchmark,
+            dataset,
+            train_dataset,
+            methods=methods,
+            model=model,
+            effort=effort,
+            seed=seed,
+            budget=budget,
+        )
+        cached = checkpoint.get(key)
+        if cached is not None:
+            return cached
+
+    last_error: Exception | None = None
+    for _attempt in range(retries + 1):
+        try:
+            case = run_case(
+                benchmark,
+                dataset,
+                train_dataset,
+                methods=methods,
+                model=model,
+                effort=effort,
+                seed=seed,
+                budget=budget,
+                compute_bound=compute_bound,
+            )
+        except Exception as exc:  # noqa: BLE001 — sweep survival by design
+            last_error = exc
+            continue
+        if checkpoint is not None and key is not None:
+            checkpoint.record(key, case)
+        return case
+    return SkippedCase(
+        benchmark=benchmark,
+        dataset=dataset,
+        train_dataset=train_dataset or dataset,
+        error=f"{type(last_error).__name__}: {last_error}",
+        attempts=retries + 1,
+    )
+
+
+def run_cases(
+    specs: Iterable[Sequence[str]],
+    *,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    model: PenaltyModel = ALPHA_21164,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+    budget: Budget | None = None,
+    compute_bound: bool = True,
+    checkpoint: "ExperimentCheckpoint | None" = None,
+    retries: int = 1,
+) -> SweepResult:
+    """Run a sweep of cases fault-tolerantly.
+
+    ``specs`` is an iterable of ``(benchmark, dataset)`` or
+    ``(benchmark, dataset, train_dataset)`` tuples.  Completed cases land
+    in ``result.cases`` in spec order; failures land in ``result.skipped``.
+    """
+    from repro.experiments.checkpoint import CaseKey  # local: import cycle
+
+    result = SweepResult()
+    for spec in specs:
+        benchmark, dataset = spec[0], spec[1]
+        train_dataset = spec[2] if len(spec) > 2 else None
+        was_checkpointed = False
+        if checkpoint is not None:
+            was_checkpointed = (
+                CaseKey.for_case(
+                    benchmark,
+                    dataset,
+                    train_dataset,
+                    methods=methods,
+                    model=model,
+                    effort=effort,
+                    seed=seed,
+                    budget=budget,
+                )
+                in checkpoint
+            )
+        outcome = run_case_resilient(
+            benchmark,
+            dataset,
+            train_dataset,
+            methods=methods,
+            model=model,
+            effort=effort,
+            seed=seed,
+            budget=budget,
+            compute_bound=compute_bound,
+            checkpoint=checkpoint,
+            retries=retries,
+        )
+        if isinstance(outcome, SkippedCase):
+            result.skipped.append(outcome)
+        else:
+            result.cases.append(outcome)
+            if was_checkpointed:
+                result.from_checkpoint += 1
+            else:
+                result.computed += 1
+    return result

@@ -9,15 +9,69 @@ paper-vs-measured record).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.budget import Budget
 from repro.experiments.report import arithmetic_mean
-from repro.experiments.runner import CaseResult, profiled_run, run_case_cached
+from repro.experiments.runner import (
+    CaseResult,
+    SkippedCase,
+    profiled_run,
+    run_case_cached,
+    run_case_resilient,
+)
 from repro.workloads.suite import (
     SUITE,
     all_cases,
     compile_benchmark,
     train_test_pairs,
 )
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle is fine at type time
+    from repro.experiments.checkpoint import ExperimentCheckpoint
+
+
+def _resilient_case(
+    benchmark: str,
+    dataset: str,
+    train_dataset: str | None = None,
+    *,
+    checkpoint: "ExperimentCheckpoint | None" = None,
+    budget: Budget | None = None,
+    **case_kwargs,
+) -> "CaseResult | SkippedCase":
+    """One figure case, fault-tolerantly.
+
+    With a checkpoint the case goes through :func:`run_case_resilient`
+    (checkpoint lookup → compute → persist).  Without one it uses the
+    session-local memo cache, but still retries once and folds repeated
+    failure into a :class:`SkippedCase` so one pathological case cannot
+    sink the whole figure.
+    """
+    if checkpoint is not None:
+        return run_case_resilient(
+            benchmark,
+            dataset,
+            train_dataset,
+            budget=budget,
+            checkpoint=checkpoint,
+            **case_kwargs,
+        )
+    last_error: Exception | None = None
+    for _attempt in range(2):
+        try:
+            # lru_cache does not cache exceptions, so the retry recomputes.
+            return run_case_cached(
+                benchmark, dataset, train_dataset, budget=budget, **case_kwargs
+            )
+        except Exception as exc:  # noqa: BLE001 — figure survival by design
+            last_error = exc
+    return SkippedCase(
+        benchmark=benchmark,
+        dataset=dataset,
+        train_dataset=train_dataset or dataset,
+        error=f"{type(last_error).__name__}: {last_error}",
+    )
 
 
 # -- Table 1: benchmark and data-set descriptions ------------------------------
@@ -76,6 +130,8 @@ class Figure2Data:
     """Normalized control penalties and run times, train = test."""
 
     cases: dict[str, CaseResult] = field(default_factory=dict)
+    #: Cases that failed every attempt (excluded from the means).
+    skipped: list[SkippedCase] = field(default_factory=list)
 
     @property
     def mean_greedy_removal(self) -> float:
@@ -144,12 +200,28 @@ class Figure2Data:
         return headers, rows
 
 
-def figure2_data(**case_kwargs) -> Figure2Data:
-    """Run every benchmark case with train = test (the paper's §4.1)."""
+def figure2_data(
+    *,
+    checkpoint: "ExperimentCheckpoint | None" = None,
+    budget: Budget | None = None,
+    **case_kwargs,
+) -> Figure2Data:
+    """Run every benchmark case with train = test (the paper's §4.1).
+
+    Fault-tolerant: a case that fails twice becomes a ``data.skipped`` row
+    instead of aborting the figure; with ``checkpoint``, completed cases
+    persist and an interrupted run resumes where it stopped.
+    """
     data = Figure2Data()
     for benchmark, dataset in all_cases():
-        case = run_case_cached(benchmark, dataset, **case_kwargs)
-        data.cases[case.label] = case
+        outcome = _resilient_case(
+            benchmark, dataset, checkpoint=checkpoint, budget=budget,
+            **case_kwargs,
+        )
+        if isinstance(outcome, SkippedCase):
+            data.skipped.append(outcome)
+        else:
+            data.cases[outcome.label] = outcome
     return data
 
 
@@ -162,6 +234,8 @@ class Figure3Data:
 
     self_cases: dict[str, CaseResult] = field(default_factory=dict)
     cross_cases: dict[str, CaseResult] = field(default_factory=dict)
+    #: Cases where either half of the pair failed every attempt.
+    skipped: list[SkippedCase] = field(default_factory=list)
 
     def mean_removal(self, method: str, *, cross: bool) -> float:
         cases = self.cross_cases if cross else self.self_cases
@@ -224,14 +298,34 @@ class Figure3Data:
         return headers, rows
 
 
-def figure3_data(**case_kwargs) -> Figure3Data:
-    """Run every case twice: train = test, and train = sibling data set."""
+def figure3_data(
+    *,
+    checkpoint: "ExperimentCheckpoint | None" = None,
+    budget: Budget | None = None,
+    **case_kwargs,
+) -> Figure3Data:
+    """Run every case twice: train = test, and train = sibling data set.
+
+    Fault-tolerant like :func:`figure2_data`; a pair is only included when
+    both halves complete, so the self/cross rows stay aligned.
+    """
     data = Figure3Data()
     for benchmark, test_dataset, train_dataset in train_test_pairs():
-        self_case = run_case_cached(benchmark, test_dataset, **case_kwargs)
-        cross_case = run_case_cached(
-            benchmark, test_dataset, train_dataset, **case_kwargs
+        self_case = _resilient_case(
+            benchmark, test_dataset, checkpoint=checkpoint, budget=budget,
+            **case_kwargs,
         )
+        cross_case = _resilient_case(
+            benchmark, test_dataset, train_dataset,
+            checkpoint=checkpoint, budget=budget, **case_kwargs,
+        )
+        skipped = [
+            half for half in (self_case, cross_case)
+            if isinstance(half, SkippedCase)
+        ]
+        if skipped:
+            data.skipped.extend(skipped)
+            continue
         data.self_cases[self_case.label] = self_case
         data.cross_cases[cross_case.label] = cross_case
     return data

@@ -1,0 +1,143 @@
+"""Fault-injection harness.
+
+Lets tests (and chaos-style experiments) make the pipeline's failure paths
+*happen on demand*: solvers time out, degradation rungs break, VM runs
+exceed their step limits, checkpoint writes corrupt on the Nth call.  The
+production code consults this module at the same points where the real
+failures occur, so a test that survives injected faults exercises exactly
+the code that must survive real ones.
+
+Usage::
+
+    from repro.faults import inject_faults
+
+    with inject_faults(solver_timeout=True) as plan:
+        case = run_case("com", "in")      # every tsp solve degrades
+    assert plan.trips("solver") > 0
+
+Site trigger values are ``False``/``None`` (never fire), ``True`` (fire on
+every call), or an integer ``n`` (fire on the n-th call only, 1-based —
+"corrupt the 3rd checkpoint write").  Plans nest; the innermost context
+wins.  State lives in a :class:`contextvars.ContextVar`, so plans stay
+scoped under threads and async tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.errors import DegradationError, SolverBudgetExceeded
+
+Trigger = "bool | int | None"
+
+
+@dataclass
+class FaultPlan:
+    """One set of armed faults plus per-site call/trip counters."""
+
+    #: Heuristic DTSP solves raise :class:`SolverBudgetExceeded`.
+    solver_timeout: bool | int | None = False
+    #: The construction-tour fallback rung raises :class:`DegradationError`.
+    construction_failure: bool | int | None = False
+    #: The greedy-alignment fallback rung raises :class:`DegradationError`.
+    greedy_failure: bool | int | None = False
+    #: Lower-bound computations raise :class:`SolverBudgetExceeded`.
+    bound_timeout: bool | int | None = False
+    #: Override the VM's ``max_blocks`` so runs trip the runaway guard.
+    vm_max_blocks: int | None = None
+    #: Corrupt the n-th checkpoint line written (``True`` = every line).
+    checkpoint_corrupt_on: bool | int | None = False
+
+    _calls: dict[str, int] = field(default_factory=dict)
+    _trips: dict[str, int] = field(default_factory=dict)
+
+    def calls(self, site: str) -> int:
+        return self._calls.get(site, 0)
+
+    def trips(self, site: str) -> int:
+        return self._trips.get(site, 0)
+
+    def fires(self, site: str, trigger: bool | int | None) -> bool:
+        """Count one call at ``site`` and decide whether the fault fires."""
+        call = self._calls.get(site, 0) + 1
+        self._calls[site] = call
+        fired = trigger is True or (
+            isinstance(trigger, int) and not isinstance(trigger, bool)
+            and call == trigger
+        )
+        if fired:
+            self._trips[site] = self._trips.get(site, 0) + 1
+        return fired
+
+
+_ACTIVE: ContextVar[FaultPlan | None] = ContextVar("repro_faults", default=None)
+
+
+def active() -> FaultPlan | None:
+    """The innermost armed plan, or ``None`` outside any context."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def inject_faults(**kwargs):
+    """Arm a :class:`FaultPlan` for the duration of the ``with`` block."""
+    plan = FaultPlan(**kwargs)
+    token = _ACTIVE.set(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.reset(token)
+
+
+# -- hooks called by production code ------------------------------------------
+
+
+def check_solver_timeout() -> None:
+    """Called at the top of every heuristic DTSP solve."""
+    plan = active()
+    if plan is not None and plan.fires("solver", plan.solver_timeout):
+        raise SolverBudgetExceeded(
+            "fault injection: solver timed out", where="fault:solver"
+        )
+
+
+def check_construction_failure() -> None:
+    plan = active()
+    if plan is not None and plan.fires(
+        "construction", plan.construction_failure
+    ):
+        raise DegradationError("fault injection: construction rung failed")
+
+
+def check_greedy_failure() -> None:
+    plan = active()
+    if plan is not None and plan.fires("greedy", plan.greedy_failure):
+        raise DegradationError("fault injection: greedy rung failed")
+
+
+def check_bound_timeout() -> None:
+    plan = active()
+    if plan is not None and plan.fires("bound", plan.bound_timeout):
+        raise SolverBudgetExceeded(
+            "fault injection: lower bound timed out", where="fault:bound"
+        )
+
+
+def vm_block_limit(default: int) -> int:
+    """The VM's effective ``max_blocks``: the armed override, if tighter."""
+    plan = active()
+    if plan is not None and plan.vm_max_blocks is not None:
+        plan.fires("vm", True)
+        return min(default, plan.vm_max_blocks)
+    return default
+
+
+def corrupt_checkpoint_line(line: str) -> str:
+    """Return ``line`` mangled when the checkpoint fault fires (a torn
+    write: the tail of the record is lost)."""
+    plan = active()
+    if plan is not None and plan.fires("checkpoint", plan.checkpoint_corrupt_on):
+        return line[: max(1, len(line) // 2)]
+    return line

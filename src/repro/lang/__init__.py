@@ -9,7 +9,13 @@ inputs.
 from repro.lang.lexer import LangError, Token, tokenize
 from repro.lang.lower import CompiledModule, compile_source, lower_module
 from repro.lang.parser import parse
-from repro.lang.vm import RunResult, VMError, execute, run_and_profile
+from repro.lang.vm import (
+    RunResult,
+    VMError,
+    VMRunawayError,
+    execute,
+    run_and_profile,
+)
 
 __all__ = [
     "CompiledModule",
@@ -17,6 +23,7 @@ __all__ = [
     "RunResult",
     "Token",
     "VMError",
+    "VMRunawayError",
     "compile_source",
     "execute",
     "lower_module",

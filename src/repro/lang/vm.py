@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.cfg.blocks import TerminatorKind
+from repro.errors import ReproError
 from repro.lang.lexer import LangError
 from repro.lang.lower import CompiledModule
 from repro.profiles.edge_profile import ProgramProfile
@@ -24,6 +26,16 @@ from repro.profiles.trace import TraceBuilder
 
 class VMError(LangError):
     """Raised for runtime errors (bad index, division by zero, runaway)."""
+
+
+class VMRunawayError(VMError, ReproError):
+    """A run exceeded its block or call-depth limit (a loop that never
+    terminates under this input, or injected via :mod:`repro.faults`).
+
+    Part of the :mod:`repro.errors` taxonomy: experiment runners treat a
+    runaway case as a per-case failure (retry once, then skip), never as a
+    reason to abort a whole figure run.
+    """
 
 
 def _div(a, b):
@@ -101,6 +113,7 @@ def execute(
     )
 
     counters = {"blocks": 0, "instructions": 0}
+    max_blocks = faults.vm_block_limit(max_blocks)
 
     def resolve(operand, frame):
         tag = operand[0]
@@ -118,7 +131,7 @@ def execute(
 
     def call(fname: str, args: list, depth: int):
         if depth > max_call_depth:
-            raise VMError(f"call depth exceeded ({max_call_depth})")
+            raise VMRunawayError(f"call depth exceeded ({max_call_depth})")
         cfg = program[fname].cfg
         frame = [0] * module.frame_sizes[fname]
         frame[: len(args)] = args
@@ -128,7 +141,9 @@ def execute(
         while True:
             counters["blocks"] += 1
             if counters["blocks"] > max_blocks:
-                raise VMError(f"execution exceeded {max_blocks} blocks")
+                raise VMRunawayError(
+                    f"execution exceeded {max_blocks} blocks"
+                )
             if builder is not None:
                 builder.visit(block_id)
             block = cfg.block(block_id)

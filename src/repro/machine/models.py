@@ -19,6 +19,8 @@ direction-dependent predictors are out of scope, as in the paper).
 
 from __future__ import annotations
 
+from repro.errors import UnknownNameError
+
 from dataclasses import dataclass
 
 
@@ -143,4 +145,6 @@ def get_model(name: str) -> PenaltyModel:
         return STANDARD_MODELS[name]
     except KeyError:
         known = ", ".join(sorted(STANDARD_MODELS))
-        raise KeyError(f"unknown machine model {name!r} (known: {known})") from None
+        raise UnknownNameError(
+            f"unknown machine model {name!r} (known: {known})"
+        ) from None

@@ -14,10 +14,11 @@ from typing import Iterable, Mapping
 
 from repro.cfg.blocks import TerminatorKind
 from repro.cfg.graph import ControlFlowGraph, Program
+from repro.errors import ProfileMismatchError
 
-
-class ProfileError(Exception):
-    """Raised when a profile is inconsistent with the CFG it describes."""
+#: Historical name; the class now lives in the :mod:`repro.errors` taxonomy
+#: so tier boundaries (CLI, experiment runner) can catch it as a ReproError.
+ProfileError = ProfileMismatchError
 
 
 @dataclass

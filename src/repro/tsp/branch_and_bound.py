@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.budget import Budget, BudgetTimer, ensure_timer
 from repro.tsp.assignment import CycleCover, solve_assignment
 from repro.tsp.instance import check_matrix, tour_cost, tour_from_successors
 from repro.tsp.iterated import iterated_three_opt
@@ -44,13 +45,17 @@ def branch_and_bound(
     initial_tour: list[int] | None = None,
     max_nodes: int = 50_000,
     seed: int = 0,
+    budget: Budget | BudgetTimer | None = None,
 ) -> BnBResult:
     """Solve the DTSP exactly (within ``max_nodes`` subproblems).
 
     Returns the best tour found and whether optimality was proved.  The
     initial incumbent comes from ``initial_tour`` or a quick iterated 3-Opt.
+    An expired ``budget`` stops the node loop gracefully: the incumbent is
+    returned with ``optimal=False`` (same contract as a node-limit hit).
     """
     matrix = check_matrix(matrix)
+    timer = ensure_timer(budget)
     n = matrix.shape[0]
     forbid = float(np.abs(matrix).max()) * n * 4.0 + 1.0
 
@@ -75,7 +80,7 @@ def branch_and_bound(
     eps = 1e-9
 
     while stack:
-        if nodes >= max_nodes:
+        if nodes >= max_nodes or (timer is not None and timer.expired):
             optimal = False
             break
         work = stack.pop()

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.budget import Budget, BudgetTimer, ensure_timer
 from repro.tsp.instance import check_matrix
 from repro.tsp.symmetrize import symmetrize
 
@@ -28,6 +29,9 @@ class BoundResult:
     bound: float
     iterations: int
     converged_to_tour: bool = False
+    #: True when a budget cut the ascent short; the bound is still certified
+    #: (every subgradient iterate is a valid lower bound), just looser.
+    budget_exhausted: bool = False
 
 
 def minimum_one_tree(
@@ -81,24 +85,32 @@ def held_karp_bound_symmetric(
     iterations: int | None = None,
     initial_lambda: float = 2.0,
     patience: int = 12,
+    budget: Budget | BudgetTimer | None = None,
 ) -> BoundResult:
     """Subgradient-ascent Held–Karp bound for a symmetric matrix.
 
     Uses the textbook step rule t = λ (UB − L) / ‖d‖², halving λ after
     ``patience`` non-improving iterations.  Without an upper bound, a
     greedy-ish proxy (twice the best 1-tree) stands in; the returned bound
-    stays certified either way.
+    stays certified either way.  An expired ``budget`` stops the ascent
+    gracefully: the best bound so far is returned (never raises — every
+    iterate is certified), flagged ``budget_exhausted``.
     """
     weights = check_matrix(weights)
     n = weights.shape[0]
     if iterations is None:
         iterations = max(60, min(400, 4 * n))
+    timer = ensure_timer(budget)
     pi = np.zeros(n)
     best = -np.inf
     stale = 0
     lam = initial_lambda
     converged = False
     for iteration in range(iterations):
+        if timer is not None and timer.expired:
+            return BoundResult(
+                best, iteration, converged, budget_exhausted=True
+            )
         adjusted = weights + pi[:, None] + pi[None, :]
         tree_cost, degrees = minimum_one_tree(adjusted)
         bound = tree_cost - 2.0 * float(pi.sum())
@@ -129,6 +141,7 @@ def held_karp_bound_directed(
     *,
     tour_upper_bound: float | None = None,
     iterations: int | None = None,
+    budget: Budget | BudgetTimer | None = None,
 ) -> BoundResult:
     """Held–Karp bound for a directed matrix via the 2-node transformation.
 
@@ -144,12 +157,18 @@ def held_karp_bound_directed(
         tour_upper_bound - offset if tour_upper_bound is not None else None
     )
     result = held_karp_bound_symmetric(
-        sym.sym_matrix, upper_bound=sym_upper, iterations=iterations
+        sym.sym_matrix,
+        upper_bound=sym_upper,
+        iterations=iterations,
+        budget=budget,
     )
     bound = result.bound + offset
     # All alignment costs are non-negative, so 0 is always a valid bound;
     # the translated subgradient bound can dip below it early on tiny
     # instances.
     return BoundResult(
-        max(bound, 0.0), result.iterations, result.converged_to_tour
+        max(bound, 0.0),
+        result.iterations,
+        result.converged_to_tour,
+        budget_exhausted=result.budget_exhausted,
     )

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.budget import Budget, BudgetTimer, ensure_timer
+from repro.errors import SolverBudgetExceeded
 from repro.tsp.construction import (
     greedy_edge_tour,
     identity_tour,
@@ -93,33 +95,59 @@ def iterated_three_opt(
     iterations: int | None = None,
     neighbors: int = 12,
     seed: int = 0,
+    budget: Budget | BudgetTimer | None = None,
 ) -> SolveResult:
     """Run iterated 3-opt from each start; return the best tour found.
 
     ``iterations`` is the number of kick/re-descend steps per run; the
-    paper uses 2N (pass ``None`` for that default).
+    paper uses 2N (pass ``None`` for that default).  A ``budget`` is
+    checked at every start and kick boundary (and periodically inside the
+    3-opt descent); on expiry :class:`SolverBudgetExceeded` propagates with
+    the best complete tour found so far attached as ``best_so_far``.
     """
     matrix = check_matrix(matrix)
     n = matrix.shape[0]
     rng = random.Random(seed)
     search = ThreeOptSearch(matrix, neighbors=neighbors)
     kicks = 2 * n if iterations is None else iterations
+    timer = ensure_timer(budget)
 
     best_tour: list[int] | None = None
     best_cost = float("inf")
+    # Best locally-optimal tour seen at *any* boundary — only used to
+    # salvage work when the budget expires mid-run.
+    seen_tour: list[int] | None = None
+    seen_cost = float("inf")
     runs: list[RunResult] = []
-    for start_kind in starts:
-        current, _ = search.optimize(_construct(start_kind, matrix, rng))
-        current_cost = tour_cost(matrix, current)
-        run_best = current_cost
-        for _ in range(kicks):
-            candidate, _ = search.optimize(double_bridge(current, rng))
-            candidate_cost = tour_cost(matrix, candidate)
-            if candidate_cost <= current_cost + 1e-9:
-                current, current_cost = candidate, candidate_cost
-                run_best = min(run_best, current_cost)
-        runs.append(RunResult(start_kind, run_best, kicks))
-        if current_cost < best_cost:
-            best_tour, best_cost = current, current_cost
+    try:
+        for start_kind in starts:
+            if timer is not None:
+                timer.check(where="iterated-3opt")
+            current, _ = search.optimize(
+                _construct(start_kind, matrix, rng), budget=timer
+            )
+            current_cost = tour_cost(matrix, current)
+            if current_cost < seen_cost:
+                seen_tour, seen_cost = current, current_cost
+            run_best = current_cost
+            for _ in range(kicks):
+                if timer is not None:
+                    timer.tick(where="iterated-3opt")
+                candidate, _ = search.optimize(
+                    double_bridge(current, rng), budget=timer
+                )
+                candidate_cost = tour_cost(matrix, candidate)
+                if candidate_cost <= current_cost + 1e-9:
+                    current, current_cost = candidate, candidate_cost
+                    run_best = min(run_best, current_cost)
+                    if current_cost < seen_cost:
+                        seen_tour, seen_cost = current, current_cost
+            runs.append(RunResult(start_kind, run_best, kicks))
+            if current_cost < best_cost:
+                best_tour, best_cost = current, current_cost
+    except SolverBudgetExceeded as exc:
+        if exc.best_so_far is None and seen_tour is not None:
+            exc.best_so_far = seen_tour
+        raise
     assert best_tour is not None
     return SolveResult(tour=best_tour, cost=best_cost, runs=runs)

@@ -21,9 +21,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.budget import BudgetTimer
 from repro.tsp.instance import check_matrix, out_neighbor_lists, tour_cost
 
 _EPS = 1e-9
+
+#: Budget poll period inside the descent loop: one wall-clock read per this
+#: many queue pops keeps the overhead unmeasurable.
+_BUDGET_POLL = 64
 
 
 @dataclass
@@ -44,8 +49,17 @@ class ThreeOptSearch:
         # In-neighbors: cities c with small c(c, j), for the second move form.
         self.in_neigh = out_neighbor_lists(self.matrix.T, neighbors)
 
-    def optimize(self, tour: list[int]) -> tuple[list[int], SearchStats]:
-        """Run 3-opt to a local optimum, returning a new tour."""
+    def optimize(
+        self, tour: list[int], *, budget: BudgetTimer | None = None
+    ) -> tuple[list[int], SearchStats]:
+        """Run 3-opt to a local optimum, returning a new tour.
+
+        ``budget`` (a running :class:`~repro.budget.BudgetTimer`) is polled
+        every few queue pops; an expired wall clock aborts the descent by
+        raising :class:`~repro.errors.SolverBudgetExceeded`.  The partially
+        descended tour is discarded — callers salvage their last complete
+        tour instead.
+        """
         n = self.n
         stats = SearchStats()
         if n < 4:
@@ -65,7 +79,11 @@ class ThreeOptSearch:
                 queued[city] = True
                 queue.append(city)
 
+        pops = 0
         while queue:
+            pops += 1
+            if budget is not None and pops % _BUDGET_POLL == 0:
+                budget.check(where="3opt-descent")
             a = queue.pop()
             queued[a] = False
             if dont_look[a]:

@@ -13,6 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults
+from repro.budget import Budget, BudgetTimer, ensure_timer
+from repro.errors import UnknownNameError
 from repro.tsp.exact import MAX_EXACT_CITIES, exact_tour
 from repro.tsp.instance import check_matrix, tour_cost
 from repro.tsp.iterated import SolveResult, RunResult, iterated_three_opt
@@ -51,7 +54,9 @@ def get_effort(effort: "Effort | str") -> Effort:
         return EFFORTS[effort]
     except KeyError:
         known = ", ".join(sorted(EFFORTS))
-        raise KeyError(f"unknown effort {effort!r} (known: {known})") from None
+        raise UnknownNameError(
+            f"unknown effort {effort!r} (known: {known})"
+        ) from None
 
 
 def solve_dtsp(
@@ -59,16 +64,24 @@ def solve_dtsp(
     *,
     effort: Effort | str = DEFAULT,
     seed: int = 0,
+    budget: Budget | BudgetTimer | None = None,
 ) -> SolveResult:
     """Find a (near-)optimal directed tour.
 
     Instances at or below the effort's exact threshold are solved optimally
-    by Held–Karp DP; larger ones by iterated 3-Opt.
+    by Held–Karp DP; larger ones by iterated 3-Opt.  ``budget`` bounds the
+    search: on expiry :class:`~repro.errors.SolverBudgetExceeded` is raised
+    (carrying the best tour found so far, if any) so callers can degrade to
+    a cheaper construction.
     """
+    faults.check_solver_timeout()
     matrix = check_matrix(matrix)
     effort = get_effort(effort)
+    timer = ensure_timer(budget)
     n = matrix.shape[0]
     if n <= min(effort.exact_threshold, MAX_EXACT_CITIES):
+        if timer is not None:
+            timer.check(where="exact")
         tour, cost = exact_tour(matrix)
         return SolveResult(
             tour=tour, cost=cost, runs=[RunResult("exact", cost, 0)]
@@ -79,6 +92,7 @@ def solve_dtsp(
         iterations=effort.iterations,
         neighbors=effort.neighbors,
         seed=seed,
+        budget=timer,
     )
 
 

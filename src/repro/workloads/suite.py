@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable
 
+from repro.errors import UnknownNameError
 from repro.lang.lower import CompiledModule, compile_source
 from repro.workloads.programs import (
     compress,
@@ -40,7 +41,7 @@ class BenchmarkSpec:
             builder = self.datasets[dataset]
         except KeyError:
             known = ", ".join(self.datasets)
-            raise KeyError(
+            raise UnknownNameError(
                 f"unknown data set {dataset!r} for {self.abbr} (known: {known})"
             ) from None
         return builder()
@@ -96,14 +97,25 @@ SUITE: dict[str, BenchmarkSpec] = {
 }
 
 
+def get_benchmark(abbr: str) -> BenchmarkSpec:
+    """Look up a benchmark by abbreviation."""
+    try:
+        return SUITE[abbr]
+    except KeyError:
+        known = ", ".join(sorted(SUITE))
+        raise UnknownNameError(
+            f"unknown benchmark {abbr!r} (known: {known})"
+        ) from None
+
+
 @lru_cache(maxsize=None)
 def compile_benchmark(abbr: str) -> CompiledModule:
     """Compile a benchmark's source (cached: CFGs are immutable inputs)."""
-    return compile_source(SUITE[abbr].source)
+    return compile_source(get_benchmark(abbr).source)
 
 
 def benchmark_datasets(abbr: str) -> list[str]:
-    return SUITE[abbr].dataset_names()
+    return get_benchmark(abbr).dataset_names()
 
 
 def train_test_pairs() -> list[tuple[str, str, str]]:

@@ -1,0 +1,126 @@
+"""Tests for the aligner's degradation ladder under faults and budgets.
+
+The acceptance bar: with faults injected at *every* rung, alignment still
+completes without raising, records which rung produced each layout, and the
+resulting penalty is never worse than the original (unaligned) layout.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.core import align_program, evaluate_program
+from repro.core.align import AlignmentReport
+from repro.core.aligners.tsp_aligner import (
+    DEGRADATION_RUNGS,
+    alignment_lower_bound,
+    tsp_align,
+)
+from repro.core.layout import original_layout
+from repro.faults import inject_faults
+
+#: Fault sets driving the ladder to each successive rung.
+RUNG_FAULTS = {
+    "construction": dict(solver_timeout=True),
+    "greedy": dict(solver_timeout=True, construction_failure=True),
+    "original": dict(
+        solver_timeout=True, construction_failure=True, greedy_failure=True
+    ),
+}
+
+
+class TestTspAlignLadder:
+    @pytest.mark.parametrize("rung", list(RUNG_FAULTS))
+    def test_each_rung_yields_a_valid_cheap_layout(
+        self, rung, loop_cfg, loop_profile, machine_model
+    ):
+        profile = loop_profile.procedures["main"]
+        clean = tsp_align(loop_cfg, profile, machine_model, seed=0)
+        assert clean.degraded == "none" and clean.warning is None
+
+        with inject_faults(**RUNG_FAULTS[rung]) as plan:
+            degraded = tsp_align(loop_cfg, profile, machine_model, seed=0)
+        assert plan.trips("solver") == 1
+        assert degraded.degraded == rung
+        assert degraded.warning  # a structured reason, not a silent fallback
+        # Valid permutation of the same blocks.
+        assert sorted(degraded.layout.order) == sorted(clean.layout.order)
+        # Never worse than no reordering; never better than the real solve.
+        original_cost = degraded.instance.layout_cost(original_layout(loop_cfg))
+        assert degraded.cost <= original_cost + 1e-9
+        assert degraded.cost >= clean.cost - 1e-9
+
+    def test_rung_names_are_the_documented_ladder(self):
+        assert DEGRADATION_RUNGS == ("none", "construction", "greedy", "original")
+
+    def test_exhausted_budget_degrades_instead_of_raising(
+        self, loop_cfg, loop_profile, machine_model
+    ):
+        profile = loop_profile.procedures["main"]
+        result = tsp_align(
+            loop_cfg, profile, machine_model, seed=0,
+            budget=Budget(max_iterations=0),
+        )
+        assert result.degraded != "none"
+        assert result.warning
+
+
+class TestAlignProgramLadder:
+    @pytest.mark.parametrize("rung", list(RUNG_FAULTS))
+    def test_program_alignment_survives_faults(
+        self, rung, mini_module, mini_profile, machine_model
+    ):
+        program = mini_module.program
+        baseline_layouts = align_program(program, mini_profile, method="original")
+        baseline = evaluate_program(
+            program, baseline_layouts, mini_profile, machine_model
+        )
+
+        report = AlignmentReport()
+        with inject_faults(**RUNG_FAULTS[rung]):
+            layouts = align_program(
+                program, mini_profile, method="tsp", model=machine_model,
+                report=report,
+            )
+        # Every alignable procedure was driven to exactly the expected rung.
+        assert report.degraded
+        assert set(report.degraded.values()) == {rung}
+        assert report.warnings
+        penalty = evaluate_program(program, layouts, mini_profile, machine_model)
+        assert penalty.total <= baseline.total + 1e-9
+
+    def test_budget_degradation_recorded_in_report(
+        self, mini_module, mini_profile, machine_model
+    ):
+        program = mini_module.program
+        report = AlignmentReport()
+        layouts = align_program(
+            program, mini_profile, method="tsp", model=machine_model,
+            budget=Budget(max_iterations=0), report=report,
+        )
+        assert report.degraded
+        assert all(r in DEGRADATION_RUNGS for r in report.degraded.values())
+        baseline_layouts = align_program(program, mini_profile, method="original")
+        baseline = evaluate_program(
+            program, baseline_layouts, mini_profile, machine_model
+        )
+        penalty = evaluate_program(program, layouts, mini_profile, machine_model)
+        assert penalty.total <= baseline.total + 1e-9
+
+
+class TestLowerBoundDegradation:
+    def test_bound_fault_returns_the_loosest_certified_bound(
+        self, loop_cfg, loop_profile, machine_model
+    ):
+        profile = loop_profile.procedures["main"]
+        with inject_faults(bound_timeout=True):
+            assert alignment_lower_bound(loop_cfg, profile, machine_model) == 0.0
+
+    def test_bound_with_exhausted_budget_stays_sound(
+        self, loop_cfg, loop_profile, machine_model
+    ):
+        profile = loop_profile.procedures["main"]
+        full = alignment_lower_bound(loop_cfg, profile, machine_model)
+        cut = alignment_lower_bound(
+            loop_cfg, profile, machine_model, budget=Budget(max_iterations=0)
+        )
+        assert 0.0 <= cut <= full + 1e-9

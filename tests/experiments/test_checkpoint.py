@@ -1,0 +1,222 @@
+"""Tests for checkpoint/resume and the fault-tolerant sweep machinery."""
+
+import pytest
+
+from repro.errors import CheckpointCorruptError
+from repro.experiments import (
+    CaseKey,
+    ExperimentCheckpoint,
+    case_from_state,
+    case_to_state,
+    format_table,
+    run_case,
+    run_cases,
+)
+from repro.experiments.runner import (
+    DEFAULT_METHODS,
+    case_lower_bound,
+    run_case_cached,
+)
+from repro.faults import inject_faults
+from repro.machine.models import ALPHA_21164
+
+
+def make_key(benchmark="su2", dataset="sh", train=None):
+    return CaseKey.for_case(
+        benchmark, dataset, train,
+        methods=DEFAULT_METHODS, model=ALPHA_21164, effort="default",
+    )
+
+
+def suite_table(cases):
+    """The suite-style report for a list of cases (byte-comparable)."""
+    rows = []
+    for case in cases:
+        for method, outcome in case.methods.items():
+            rows.append([
+                case.label, method, outcome.penalty,
+                case.normalized_penalty(method), outcome.cycles,
+            ])
+        rows.append([
+            case.label, "(lower bound)", case.lower_bound,
+            case.normalized_bound, "",
+        ])
+    return format_table(["case", "method", "penalty", "norm", "cycles"], rows)
+
+
+class TestCaseKey:
+    def test_train_dataset_normalized(self):
+        assert make_key("su2", "sh") == make_key("su2", "sh", "sh")
+
+    def test_spellings_of_model_and_effort_normalized(self):
+        by_object = make_key()
+        by_name = CaseKey.for_case(
+            "su2", "sh",
+            methods=DEFAULT_METHODS, model="alpha21164", effort="default",
+        )
+        assert by_object == by_name
+
+    def test_dict_roundtrip(self):
+        key = make_key("su2", "sh", "re")
+        assert CaseKey.from_dict(key.to_dict()) == key
+
+    def test_different_parameters_different_keys(self):
+        assert make_key("su2", "sh") != make_key("su2", "sh", "re")
+
+
+class TestStateRoundtrip:
+    def test_case_survives_serialization_exactly(self):
+        case = run_case("su2", "sh")
+        back = case_from_state(case_to_state(case))
+        assert back.lower_bound == case.lower_bound
+        for method in case.methods:
+            a, b = case.methods[method], back.methods[method]
+            assert a.penalty == b.penalty
+            assert a.timing.total_cycles == b.timing.total_cycles
+            assert a.breakdown.redirect == b.breakdown.redirect
+            assert a.layouts["main"].order == b.layouts["main"].order
+            assert a.degraded == b.degraded
+
+
+class TestCheckpointFile:
+    def test_record_then_reload(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        key = make_key()
+        case = run_case("su2", "sh")
+        ExperimentCheckpoint(path).record(key, case)
+
+        loaded = ExperimentCheckpoint(path)
+        assert len(loaded) == 1 and key in loaded
+        assert loaded.get(key).lower_bound == case.lower_bound
+        assert loaded.get(make_key("su2", "sh", "re")) is None
+
+    def test_corrupt_line_skipped_and_recomputable(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        key = make_key()
+        case = run_case("su2", "sh")
+        with inject_faults(checkpoint_corrupt_on=1):
+            ExperimentCheckpoint(path).record(key, case)
+
+        loaded = ExperimentCheckpoint(path)
+        assert loaded.corrupt_lines == [1]
+        assert key not in loaded  # the case will simply be recomputed
+        with pytest.raises(CheckpointCorruptError) as info:
+            ExperimentCheckpoint(path, strict=True)
+        assert info.value.line_number == 1
+
+        # A clean rewrite appends; later lines win over the torn one.
+        loaded.record(key, case)
+        again = ExperimentCheckpoint(path)
+        assert again.corrupt_lines == [1]
+        assert again.get(key).lower_bound == case.lower_bound
+
+    def test_no_resume_ignores_existing_file(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ExperimentCheckpoint(path).record(make_key(), run_case("su2", "sh"))
+        fresh = ExperimentCheckpoint(path, resume=False)
+        assert len(fresh) == 0
+
+
+class TestResume:
+    def test_resume_recomputes_only_unfinished_cases(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.runner as runner_mod
+
+        calls = []
+        real = runner_mod.run_case
+
+        def spy(benchmark, dataset, *args, **kwargs):
+            calls.append((benchmark, dataset))
+            return real(benchmark, dataset, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_case", spy)
+        path = tmp_path / "ck.jsonl"
+
+        # First (interrupted) run completes only su2.sh.
+        first = run_cases([("su2", "sh")], checkpoint=ExperimentCheckpoint(path))
+        assert first.computed == 1
+        assert calls == [("su2", "sh")]
+
+        # The resumed run recomputes only the unfinished case.
+        second = run_cases(
+            [("su2", "sh"), ("su2", "re")],
+            checkpoint=ExperimentCheckpoint(path),
+        )
+        assert calls == [("su2", "sh"), ("su2", "re")]
+        assert second.from_checkpoint == 1 and second.computed == 1
+
+    def test_resumed_table_is_byte_identical(self, tmp_path):
+        specs = [("su2", "sh"), ("su2", "re")]
+        uninterrupted = run_cases(specs)
+        expected = suite_table(uninterrupted.cases)
+
+        # Simulate an interrupted run that finished only the first case,
+        # then resume through a freshly loaded checkpoint.
+        path = tmp_path / "ck.jsonl"
+        run_cases(specs[:1], checkpoint=ExperimentCheckpoint(path))
+        resumed = run_cases(specs, checkpoint=ExperimentCheckpoint(path))
+        assert resumed.from_checkpoint == 1
+        assert suite_table(resumed.cases) == expected
+
+
+class TestSweepFaultTolerance:
+    def test_failures_retried_once_then_skipped(self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        attempts = {"n": 0}
+
+        def boom(*args, **kwargs):
+            attempts["n"] += 1
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(runner_mod, "run_case", boom)
+        result = run_cases([("su2", "sh")])
+        assert result.cases == []
+        assert attempts["n"] == 2  # original try + one retry
+        (skip,) = result.skipped
+        assert skip.label == "su2.sh"
+        assert skip.attempts == 2
+        assert "kaboom" in skip.error and "RuntimeError" in skip.error
+
+    def test_single_retry_recovers_a_flaky_case(self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        real = runner_mod.run_case
+        state = {"failed": False}
+
+        def flaky(*args, **kwargs):
+            if not state["failed"]:
+                state["failed"] = True
+                raise RuntimeError("transient")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_case", flaky)
+        result = run_cases([("su2", "sh")])
+        assert len(result.cases) == 1 and not result.skipped
+
+    def test_figure2_records_skips_instead_of_raising(self, monkeypatch):
+        import repro.experiments.tables as tables
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(tables, "run_case_cached", boom)
+        data = tables.figure2_data()
+        assert data.cases == {}
+        assert data.skipped and all("kaboom" in s.error for s in data.skipped)
+
+
+class TestCacheNormalization:
+    def test_spellings_share_one_cache_entry(self):
+        a = run_case_cached("su2", "sh")
+        b = run_case_cached("su2", "sh", "sh")
+        c = run_case_cached("su2", "sh", effort="default")
+        assert a is b is c
+
+    def test_lower_bound_normalized_before_cache(self):
+        first = case_lower_bound("su2", "sh")
+        size = case_lower_bound.cache_info().currsize
+        second = case_lower_bound("su2", "sh", effort="default")
+        assert first == second
+        assert case_lower_bound.cache_info().currsize == size

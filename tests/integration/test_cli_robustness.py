@@ -1,0 +1,110 @@
+"""Tests for the CLI's error handling and resilience flags."""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import inject_faults
+
+SOURCE = """
+fn main() {
+  var i = 0;
+  var acc = 0;
+  while (i < input_len()) {
+    if (input(i) % 2) { acc = acc + 1; }
+    i = i + 1;
+  }
+  output(acc);
+  return acc;
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.tl"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestUsageErrors:
+    def test_bad_inputs_is_a_friendly_usage_error(self, program_file, capsys):
+        assert main(["run", str(program_file), "--inputs", "1,two,3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "integers" in err
+        assert "Traceback" not in err
+
+    def test_missing_input_file(self, program_file, capsys):
+        assert main([
+            "run", str(program_file), "--input-file", "/nonexistent/inputs",
+        ]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unparsable_input_file(self, program_file, tmp_path, capsys):
+        bad = tmp_path / "inputs.txt"
+        bad.write_text("1 2 banana")
+        assert main([
+            "run", str(program_file), "--input-file", str(bad),
+        ]) == 2
+        assert "integers" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["suite", "su2.sh", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_unknown_names_print_clean_messages(self, capsys):
+        # UnknownNameError subclasses KeyError, whose __str__ used to turn
+        # the report into a useless "error: 'zzz.in'".
+        assert main(["suite", "zzz.in"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown benchmark" in err
+        assert main(["suite", "su2.nope"]) == 1
+        assert "unknown data set" in capsys.readouterr().err
+
+    def test_genuine_key_errors_propagate(self, monkeypatch):
+        # Programming errors must not masquerade as user errors: main() no
+        # longer catches bare KeyError.
+        import repro.cli as cli
+
+        def buggy(args):
+            raise KeyError("oops")
+
+        monkeypatch.setattr(cli, "cmd_suite", buggy)
+        with pytest.raises(KeyError):
+            cli.main(["suite", "su2.sh"])
+
+
+class TestSuiteResilience:
+    def test_degraded_column_reports_the_rung(self, capsys):
+        with inject_faults(solver_timeout=True):
+            assert main(["suite", "su2.sh"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "construction" in out
+        assert "warning:" in out
+
+    def test_clean_run_shows_no_degradation(self, capsys):
+        assert main(["suite", "su2.sh"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "construction" not in out
+
+    def test_budget_flag_degrades_gracefully(self, capsys):
+        assert main(["suite", "su2.sh", "--budget-ms", "0.000001"]) == 0
+        out = capsys.readouterr().out
+        assert "su2.sh" in out
+
+    def test_multiple_cases_in_one_run(self, capsys):
+        assert main(["suite", "su2.sh", "su2.re"]) == 0
+        out = capsys.readouterr().out
+        assert "su2.sh" in out and "su2.re" in out
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        ck = tmp_path / "ck.jsonl"
+        assert main(["suite", "su2.sh", "--checkpoint", str(ck)]) == 0
+        assert "1 computed" in capsys.readouterr().out
+        assert ck.exists()
+        assert main([
+            "suite", "su2.sh", "--checkpoint", str(ck), "--resume",
+        ]) == 0
+        assert "1 case(s) resumed, 0 computed" in capsys.readouterr().out

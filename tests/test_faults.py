@@ -1,0 +1,107 @@
+"""Tests for the fault-injection harness (repro.faults)."""
+
+import pytest
+
+from repro import faults
+from repro.errors import DegradationError, SolverBudgetExceeded
+from repro.faults import FaultPlan, inject_faults
+
+
+class TestFaultPlan:
+    def test_true_fires_every_call(self):
+        plan = FaultPlan()
+        assert [plan.fires("s", True) for _ in range(3)] == [True] * 3
+        assert plan.calls("s") == 3
+        assert plan.trips("s") == 3
+
+    def test_integer_fires_on_nth_call_only(self):
+        plan = FaultPlan()
+        assert [plan.fires("s", 3) for _ in range(5)] == [
+            False, False, True, False, False,
+        ]
+        assert plan.trips("s") == 1
+
+    def test_false_and_none_never_fire(self):
+        plan = FaultPlan()
+        assert not plan.fires("s", False)
+        assert not plan.fires("s", None)
+        assert plan.calls("s") == 2
+        assert plan.trips("s") == 0
+
+    def test_true_is_not_treated_as_call_one(self):
+        # bool is an int subclass; True must mean "always", not "call 1".
+        plan = FaultPlan()
+        plan.fires("s", 1)
+        assert plan.trips("s") == 1
+        plan2 = FaultPlan()
+        for _ in range(4):
+            plan2.fires("s", True)
+        assert plan2.trips("s") == 4
+
+
+class TestScoping:
+    def test_no_plan_outside_context(self):
+        assert faults.active() is None
+        # Hooks are no-ops without an armed plan.
+        faults.check_solver_timeout()
+        faults.check_bound_timeout()
+        assert faults.vm_block_limit(100) == 100
+        assert faults.corrupt_checkpoint_line("abc") == "abc"
+
+    def test_plan_active_inside_context(self):
+        with inject_faults() as plan:
+            assert faults.active() is plan
+        assert faults.active() is None
+
+    def test_innermost_plan_wins(self):
+        with inject_faults(solver_timeout=True) as outer:
+            with inject_faults() as inner:
+                assert faults.active() is inner
+                faults.check_solver_timeout()  # inner plan: no fault
+            assert faults.active() is outer
+            with pytest.raises(SolverBudgetExceeded):
+                faults.check_solver_timeout()
+
+
+class TestHooks:
+    def test_solver_timeout_raises_typed_error(self):
+        with inject_faults(solver_timeout=True) as plan:
+            with pytest.raises(SolverBudgetExceeded) as info:
+                faults.check_solver_timeout()
+            assert info.value.where == "fault:solver"
+            assert plan.trips("solver") == 1
+
+    def test_rung_failures_raise_degradation_error(self):
+        with inject_faults(construction_failure=True, greedy_failure=True):
+            with pytest.raises(DegradationError):
+                faults.check_construction_failure()
+            with pytest.raises(DegradationError):
+                faults.check_greedy_failure()
+
+    def test_bound_timeout(self):
+        with inject_faults(bound_timeout=True):
+            with pytest.raises(SolverBudgetExceeded) as info:
+                faults.check_bound_timeout()
+            assert info.value.where == "fault:bound"
+
+    def test_vm_block_limit_takes_the_tighter_value(self):
+        with inject_faults(vm_max_blocks=10):
+            assert faults.vm_block_limit(1_000_000) == 10
+            assert faults.vm_block_limit(5) == 5
+
+    def test_corrupt_checkpoint_line_truncates_on_nth_write(self):
+        with inject_faults(checkpoint_corrupt_on=2) as plan:
+            line = "x" * 40
+            assert faults.corrupt_checkpoint_line(line) == line
+            assert len(faults.corrupt_checkpoint_line(line)) == 20
+            assert faults.corrupt_checkpoint_line(line) == line
+            assert plan.trips("checkpoint") == 1
+
+
+class TestVMIntegration:
+    def test_vm_runaway_fault_trips_typed_error(self, mini_module):
+        from repro.lang.vm import VMRunawayError, execute
+
+        with inject_faults(vm_max_blocks=10):
+            with pytest.raises(VMRunawayError, match="exceeded"):
+                execute(mini_module, [1, 2, 3])

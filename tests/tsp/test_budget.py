@@ -1,0 +1,148 @@
+"""Tests for solver budgets (repro.budget) and their solver integration."""
+
+import numpy as np
+import pytest
+
+from repro.budget import UNLIMITED, Budget, BudgetTimer, ensure_timer
+from repro.errors import SolverBudgetExceeded
+from repro.tsp import (
+    branch_and_bound,
+    exact_tour,
+    held_karp_bound_directed,
+    held_karp_bound_symmetric,
+    solve_dtsp,
+)
+
+
+def random_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    m = rng.uniform(1, 100, size=(n, n))
+    np.fill_diagonal(m, 0)
+    return m
+
+
+class FakeClock:
+    """Deterministic monotonic clock (seconds)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance_ms(self, ms):
+        self.now += ms / 1000.0
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(wall_ms=-1)
+        with pytest.raises(ValueError):
+            Budget(max_iterations=-5)
+
+    def test_unlimited(self):
+        assert UNLIMITED.unlimited
+        assert Budget().unlimited
+        assert not Budget(wall_ms=10).unlimited
+        assert not Budget(max_iterations=10).unlimited
+
+    def test_is_hashable_for_cache_keys(self):
+        assert len({Budget(wall_ms=10), Budget(wall_ms=10), Budget()}) == 2
+
+
+class TestBudgetTimer:
+    def test_wall_clock_expiry_with_fake_clock(self):
+        clock = FakeClock()
+        timer = Budget(wall_ms=100).start(clock=clock)
+        assert not timer.expired
+        timer.check(where="test")  # no raise before the deadline
+        clock.advance_ms(99.9)
+        assert not timer.expired
+        clock.advance_ms(0.2)
+        assert timer.expired
+        with pytest.raises(SolverBudgetExceeded) as info:
+            timer.check(where="test")
+        assert info.value.where == "test"
+        assert info.value.elapsed_ms == pytest.approx(100.1)
+
+    def test_iteration_expiry(self):
+        timer = Budget(max_iterations=3).start()
+        timer.tick(2)
+        with pytest.raises(SolverBudgetExceeded) as info:
+            timer.tick()
+        assert info.value.iterations == 3
+
+    def test_deadline_starts_at_start_not_construction(self):
+        clock = FakeClock()
+        budget = Budget(wall_ms=50)
+        clock.advance_ms(1000)  # time passes before the solve begins
+        timer = budget.start(clock=clock)
+        assert not timer.expired
+
+
+class TestEnsureTimer:
+    def test_none_and_unlimited_are_free(self):
+        assert ensure_timer(None) is None
+        assert ensure_timer(UNLIMITED) is None
+
+    def test_spec_starts_a_fresh_timer(self):
+        timer = ensure_timer(Budget(max_iterations=5))
+        assert isinstance(timer, BudgetTimer)
+        assert timer.iterations == 0
+
+    def test_running_timer_passes_through(self):
+        timer = Budget(max_iterations=5).start()
+        assert ensure_timer(timer) is timer
+
+
+class TestSolverIntegration:
+    def test_solve_dtsp_raises_on_expired_budget(self):
+        m = random_matrix(30, 0)
+        clock = FakeClock()
+        timer = Budget(wall_ms=10).start(clock=clock)
+        clock.advance_ms(11)
+        with pytest.raises(SolverBudgetExceeded):
+            solve_dtsp(m, effort="quick", seed=0, budget=timer)
+
+    def test_solve_dtsp_salvages_best_so_far_mid_run(self):
+        # Enough iterations to finish the first descent, not the whole run.
+        m = random_matrix(30, 1)
+        with pytest.raises(SolverBudgetExceeded) as info:
+            solve_dtsp(m, effort="paper", seed=0,
+                       budget=Budget(max_iterations=40))
+        tour = info.value.best_so_far
+        assert tour is not None
+        assert sorted(tour) == list(range(30))
+
+    def test_unbudgeted_solve_unchanged(self):
+        m = random_matrix(20, 2)
+        a = solve_dtsp(m, effort="quick", seed=3)
+        b = solve_dtsp(m, effort="quick", seed=3, budget=None)
+        assert a.tour == b.tour and a.cost == b.cost
+
+    def test_held_karp_returns_certified_bound_on_expiry(self):
+        m = random_matrix(12, 3)
+        sym = (m + m.T) / 2
+        full = held_karp_bound_symmetric(sym)
+        cut = held_karp_bound_symmetric(sym, budget=Budget(max_iterations=0))
+        assert cut.budget_exhausted
+        assert not full.budget_exhausted
+        # Still a valid (weaker or equal) certified bound.
+        assert cut.bound <= full.bound + 1e-9
+
+    def test_held_karp_directed_propagates_flag(self):
+        m = random_matrix(12, 4)
+        cut = held_karp_bound_directed(m, budget=Budget(max_iterations=0))
+        assert cut.budget_exhausted
+
+    def test_branch_and_bound_keeps_incumbent_on_expiry(self):
+        m = random_matrix(12, 5)
+        clock = FakeClock()
+        timer = Budget(wall_ms=10).start(clock=clock)
+        clock.advance_ms(11)
+        result = branch_and_bound(m, budget=timer)
+        assert not result.optimal
+        assert sorted(result.tour) == list(range(12))
+        _, optimal = exact_tour(m)
+        assert result.cost >= optimal - 1e-9
