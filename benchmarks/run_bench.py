@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Benchmark the staged alignment pipeline and write ``BENCH_pipeline.json``.
+
+Two measurements:
+
+* **tier1** — wall-clock of the repository's tier-1 test suite
+  (``python -m pytest -x -q``), the guardrail every PR must keep green.
+* **figure2** — a fixed sweep: every benchmark case of the paper's Figure 2
+  configuration (train = test, methods original/greedy/tsp), run once per
+  requested worker count with cold alignment caches.  Reports wall-clock,
+  aligned procedures per second, and the artifact cache's per-kind hit
+  rates (the ``instance`` rate is the cost-matrix sharing the pipeline
+  exists to provide).
+
+Profiling runs (VM execution) are warmed once before timing, so the
+figure2 numbers measure the alignment pipeline, not the interpreter.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py              # jobs 1 and 4
+    PYTHONPATH=src python benchmarks/run_bench.py --jobs 1 2 --skip-tier1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def bench_tier1() -> dict:
+    """Time the tier-1 suite in a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "tests"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - started
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    return {
+        "wall_seconds": round(elapsed, 3),
+        "exit_code": proc.returncode,
+        "summary": tail,
+    }
+
+
+def bench_figure2(jobs: int) -> dict:
+    """Time the fixed Figure-2 sweep at one worker count, caches cold."""
+    from repro.experiments.runner import (
+        DEFAULT_METHODS,
+        case_lower_bound,
+        run_case,
+    )
+    from repro.pipeline.artifacts import artifact_cache, reset_artifact_cache
+    from repro.pipeline.executor import shutdown_pool
+    from repro.workloads.suite import all_cases, compile_benchmark
+
+    reset_artifact_cache()
+    case_lower_bound.cache_clear()
+
+    procedures = 0
+    started = time.perf_counter()
+    for benchmark, dataset in all_cases():
+        run_case(benchmark, dataset, jobs=jobs)
+        procedures += len(
+            list(compile_benchmark(benchmark).program)
+        ) * len(DEFAULT_METHODS)
+    elapsed = time.perf_counter() - started
+    shutdown_pool()
+
+    stats = {
+        kind: {
+            "hits": s.hits,
+            "misses": s.misses,
+            "hit_rate": round(s.hit_rate, 4),
+        }
+        for kind, s in sorted(artifact_cache().stats_by_kind().items())
+    }
+    return {
+        "jobs": jobs,
+        "wall_seconds": round(elapsed, 3),
+        "procedures_aligned": procedures,
+        "procedures_per_second": round(procedures / elapsed, 2),
+        "cache": stats,
+    }
+
+
+def warm_profiles() -> None:
+    from repro.experiments.runner import profiled_run
+    from repro.workloads.suite import all_cases
+
+    for benchmark, dataset in all_cases():
+        profiled_run(benchmark, dataset)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 4],
+                        help="worker counts to sweep (default: 1 4)")
+    parser.add_argument("--skip-tier1", action="store_true",
+                        help="skip timing the tier-1 test suite")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output path (default: {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+    print("warming profiling runs (excluded from timings)...")
+    warm_profiles()
+
+    report["figure2"] = []
+    for jobs in args.jobs:
+        print(f"figure-2 sweep, jobs={jobs}...")
+        entry = bench_figure2(jobs)
+        report["figure2"].append(entry)
+        print(
+            f"  {entry['wall_seconds']}s, "
+            f"{entry['procedures_per_second']} procs/s, instance hit rate "
+            f"{entry['cache'].get('instance', {}).get('hit_rate', 0.0)}"
+        )
+
+    if not args.skip_tier1:
+        print("tier-1 suite...")
+        report["tier1"] = bench_tier1()
+        print(
+            f"  {report['tier1']['wall_seconds']}s "
+            f"({report['tier1']['summary']})"
+        )
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,16 +4,17 @@
     repro run FILE [--inputs 1,2,3 | --input-file F] [--profile-out P.json]
     repro align FILE [--inputs ... | --input-file F | --profile P.json]
                  [--method tsp] [--model alpha21164] [--effort default]
-                 [--bound] [--cross-profile Q.json]
+                 [--bound] [--cross-profile Q.json] [--jobs N]
     repro suite CASE [CASE ...] [--train DATASET] [--budget-ms MS]
-                 [--checkpoint P.jsonl [--resume]]
+                 [--checkpoint P.jsonl [--resume]] [--jobs N]
 
 ``repro suite com.in`` runs one benchmark case of the paper's evaluation
 (``repro suite all`` runs every case; ``--budget-ms`` bounds each
 procedure's solver, ``--checkpoint``/``--resume`` persist completed cases
-across interrupted runs); ``repro align`` is the end-user path: compile,
-profile (or load a saved profile), align, and report penalties per method
-against the certified lower bound.
+across interrupted runs, and ``--jobs N`` solves procedures in N worker
+processes without changing a byte of the output); ``repro align`` is the
+end-user path: compile, profile (or load a saved profile), align, and
+report penalties per method against the certified lower bound.
 
 Exit codes: 0 success, 1 runtime failure (compile/profile/solver), 2 usage.
 """
@@ -150,7 +151,8 @@ def cmd_align(args) -> int:
     baseline = None
     for method in methods:
         layouts = align_program(
-            program, training, method=method, model=model, effort=args.effort
+            program, training, method=method, model=model,
+            effort=args.effort, jobs=args.jobs,
         )
         penalty = evaluate_program(
             program, layouts, testing, model, predictors=predictors
@@ -163,7 +165,9 @@ def cmd_align(args) -> int:
             penalty.breakdown.jump,
         ])
     if args.bound:
-        bound = lower_bound_program(program, training, model=model)
+        bound = lower_bound_program(
+            program, training, model=model, jobs=args.jobs
+        )
         rows.append(["(lower bound)", bound.total, bound.total / baseline,
                      "", "", ""])
     print(format_table(
@@ -178,7 +182,8 @@ def cmd_align(args) -> int:
 
         method = methods[-1]
         layouts = align_program(
-            program, training, method=method, model=model, effort=args.effort
+            program, training, method=method, model=model,
+            effort=args.effort, jobs=args.jobs,
         )
         for name, report in describe_program(
             program, layouts, testing, model
@@ -240,7 +245,9 @@ def cmd_suite(args) -> int:
         else None
     )
 
-    result = run_cases(specs, budget=budget, checkpoint=checkpoint)
+    result = run_cases(
+        specs, budget=budget, checkpoint=checkpoint, jobs=args.jobs
+    )
     for case in result.cases:
         rows = []
         for method, outcome in case.methods.items():
@@ -314,6 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also compute the certified lower bound")
     p_align.add_argument("--details", action="store_true",
                          help="per-block layout report for the last method")
+    p_align.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="align procedures in N worker processes "
+                              "(default: $REPRO_JOBS or 1); results are "
+                              "identical for any N")
     p_align.set_defaults(func=cmd_align)
 
     p_suite = sub.add_parser("suite", help="run paper benchmark cases")
@@ -328,6 +339,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--resume", action="store_true",
                          help="serve cases already in --checkpoint instead of "
                               "recomputing them")
+    p_suite.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="solve procedures in N worker processes "
+                              "(default: $REPRO_JOBS or 1); output and "
+                              "checkpoints are identical for any N")
     p_suite.set_defaults(func=cmd_suite)
     return parser
 

@@ -3,6 +3,8 @@
 Public surface:
 
 * :func:`align_program` / :func:`lower_bound_program` — the top-level API,
+* the aligner registry (:func:`register_aligner` / :func:`get_aligner`;
+  ``ALIGN_METHODS`` is a live view over it),
 * the cost model and matrix construction (§2.2),
 * layout representation, materialization, and analytic evaluation,
 * the individual aligners (greedy baselines + TSP).
@@ -14,6 +16,13 @@ from repro.core.align import (
     LowerBoundReport,
     align_program,
     lower_bound_program,
+)
+from repro.pipeline.registry import (
+    AlignerSpec,
+    get_aligner,
+    normalize_method,
+    register_aligner,
+    unregister_aligner,
 )
 from repro.core.aligners import (
     alignment_lower_bound,
@@ -62,6 +71,7 @@ from repro.core.materialize import (
 
 __all__ = [
     "ALIGN_METHODS",
+    "AlignerSpec",
     "AlignmentInstance",
     "AlignmentReport",
     "CostBreakdown",
@@ -85,12 +95,15 @@ __all__ = [
     "evaluate_layout",
     "evaluate_program",
     "lower_bound_program",
+    "get_aligner",
     "materialize_procedure",
     "materialize_program",
+    "normalize_method",
     "original_layout",
     "original_program_layout",
     "pettis_hansen_layout",
     "pettis_hansen_procedure_order",
+    "register_aligner",
     "reorder_program",
     "split_hot_cold",
     "split_program_hot_cold",
@@ -98,4 +111,5 @@ __all__ = [
     "terminator_cost",
     "train_predictors",
     "tsp_align",
+    "unregister_aligner",
 ]

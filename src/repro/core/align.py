@@ -1,12 +1,21 @@
 """Top-level alignment API.
 
     profile = ...                     # ProgramProfile from a training run
-    layouts = align_program(program, profile, method="tsp")
+    layouts = align_program(program, profile, method="tsp", jobs=4)
     penalty = evaluate_program(program, layouts, profile, ALPHA_21164)
 
 Methods: ``original`` (no reordering), ``greedy`` (Pettis–Hansen frequency
 chaining — the paper's baseline), ``cost-greedy`` (Calder–Grunwald-style),
 and ``tsp`` (the paper's near-optimal DTSP alignment).
+
+Methods are *registered*, not hard-coded: each built-in below is a
+:func:`~repro.pipeline.registry.register_aligner` entry mapping a
+:class:`~repro.pipeline.task.ProcedureTask` to a
+:class:`~repro.pipeline.task.ProcedureResult`, and ``ALIGN_METHODS`` is a
+live view over the registry.  ``align_program`` itself is a thin wrapper
+around the staged pipeline (:mod:`repro.pipeline.stages`), which adds
+content-addressed caching of cost matrices / solved alignments and optional
+per-procedure parallelism (``jobs=``) on top of the same dispatch.
 """
 
 from __future__ import annotations
@@ -15,16 +24,130 @@ from dataclasses import dataclass, field
 
 from repro.budget import Budget
 from repro.cfg.graph import Program
-from repro.errors import UnknownNameError
 from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
-from repro.core.aligners.tsp_aligner import alignment_lower_bound, tsp_align
+from repro.core.aligners.tsp_aligner import tsp_align
 from repro.core.layout import ProgramLayout, original_layout
 from repro.machine.models import ALPHA_21164, PenaltyModel
-from repro.machine.predictors import StaticPredictor
-from repro.profiles.edge_profile import EdgeProfile, ProgramProfile
+from repro.pipeline.registry import (
+    MethodsView,
+    normalize_method,
+    register_aligner,
+)
+from repro.pipeline.stages import (
+    align_procedures,
+    instance_for,
+    lower_bound_procedures,
+)
+from repro.pipeline.task import ProcedureResult, ProcedureTask
+from repro.profiles.edge_profile import ProgramProfile
 from repro.tsp.solve import DEFAULT, Effort
 
-ALIGN_METHODS = ("original", "greedy", "cost-greedy", "cg-exhaustive", "tsp")
+# -- the built-in aligners ----------------------------------------------------
+
+
+@register_aligner("original", description="keep the compiler's block order")
+def _align_original(task: ProcedureTask) -> ProcedureResult:
+    return ProcedureResult(task.name, original_layout(task.cfg))
+
+
+def _priced_result(task: ProcedureTask, layout) -> ProcedureResult:
+    """Wrap a greedy-family layout, pricing it under the shared DTSP
+    instance.  The instance comes from (and feeds) the content-addressed
+    cache, so greedy / tsp / lower-bound passes over one procedure all use
+    a single cost matrix; ``cities`` stays unset so these results do not
+    populate TSP solver diagnostics in an :class:`AlignmentReport`.
+    """
+    instance = instance_for(
+        task.cfg, task.profile, task.model, predictor=task.predictor
+    )
+    return ProcedureResult(
+        name=task.name,
+        layout=layout,
+        cost=instance.layout_cost(layout),
+        instance=instance,
+    )
+
+
+@register_aligner(
+    "greedy",
+    aliases=("pettis-hansen", "ph"),
+    description="Pettis–Hansen frequency chaining (the paper's baseline)",
+    uses_instance=True,
+)
+def _align_greedy(task: ProcedureTask) -> ProcedureResult:
+    return _priced_result(
+        task, pettis_hansen_layout(task.cfg, task.profile)
+    )
+
+
+@register_aligner(
+    "cost-greedy",
+    aliases=("calder-grunwald", "cg"),
+    description="Calder–Grunwald cost-model greedy chaining",
+    uses_instance=True,
+)
+def _align_cost_greedy(task: ProcedureTask) -> ProcedureResult:
+    return _priced_result(
+        task,
+        calder_grunwald_layout(task.cfg, task.profile, task.model),
+    )
+
+
+@register_aligner(
+    "cg-exhaustive",
+    description="Calder–Grunwald plus exhaustive search over the blocks "
+    "touched by the 15 hottest edges (§5)",
+    uses_instance=True,
+)
+def _align_cg_exhaustive(task: ProcedureTask) -> ProcedureResult:
+    return _priced_result(
+        task,
+        calder_grunwald_layout(
+            task.cfg, task.profile, task.model, exhaustive_edges=15
+        ),
+    )
+
+
+@register_aligner(
+    "tsp",
+    aliases=("dtsp",),
+    description="the paper's near-optimal DTSP alignment",
+    uses_instance=True,
+)
+def _align_tsp(task: ProcedureTask) -> ProcedureResult:
+    instance = instance_for(
+        task.cfg, task.profile, task.model, predictor=task.predictor
+    )
+    alignment = tsp_align(
+        task.cfg,
+        task.profile,
+        task.model,
+        predictor=task.predictor,
+        effort=task.effort,
+        seed=task.effective_seed,
+        budget=task.budget,
+        instance=instance,
+    )
+    return ProcedureResult(
+        name=task.name,
+        layout=alignment.layout,
+        cost=alignment.cost,
+        cities=alignment.instance.n,
+        runs_finding_best=alignment.runs_finding_best,
+        runs_total=alignment.runs_total,
+        degraded=alignment.degraded,
+        warning=alignment.warning,
+        instance=alignment.instance,
+    )
+
+
+#: Live view of every registered method name, in registration order.
+#: Tuple-compatible (iteration, ``in``, indexing, ``==``), but reflects
+#: aligners registered after import as well.
+ALIGN_METHODS = MethodsView()
+
+
+# -- program-level entry points -----------------------------------------------
 
 
 @dataclass
@@ -50,6 +173,7 @@ def align_program(
     seed: int = 0,
     budget: Budget | None = None,
     report: AlignmentReport | None = None,
+    jobs: int | None = None,
 ) -> ProgramLayout:
     """Align every procedure of ``program`` using ``profile`` as training
     data; returns one layout per procedure.
@@ -58,53 +182,22 @@ def align_program(
     procedure's solve starts a fresh countdown, and a procedure that cannot
     be solved in time degrades down the aligner's ladder instead of raising
     (``report.degraded`` records which rung each such procedure used).
+
+    ``jobs`` > 1 solves procedures in parallel worker processes;
+    ``jobs=None`` reads ``REPRO_JOBS`` (default 1).  Results — layouts and
+    ``report`` contents — are identical for every worker count.
     """
-    if method not in ALIGN_METHODS:
-        raise UnknownNameError(
-            f"unknown method {method!r}; choose from {ALIGN_METHODS}"
-        )
-    layouts = ProgramLayout()
-    for index, proc in enumerate(program):
-        edge_profile = profile.procedures.get(proc.name, EdgeProfile())
-        if method == "original" or edge_profile.total() == 0:
-            layouts[proc.name] = original_layout(proc.cfg)
-        elif method == "greedy":
-            layouts[proc.name] = pettis_hansen_layout(proc.cfg, edge_profile)
-        elif method == "cost-greedy":
-            layouts[proc.name] = calder_grunwald_layout(
-                proc.cfg, edge_profile, model
-            )
-        elif method == "cg-exhaustive":
-            # Calder & Grunwald's second improvement: exhaustive search
-            # over the blocks touched by the 15 hottest edges (§5).
-            layouts[proc.name] = calder_grunwald_layout(
-                proc.cfg, edge_profile, model, exhaustive_edges=15
-            )
-        else:
-            alignment = tsp_align(
-                proc.cfg,
-                edge_profile,
-                model,
-                effort=effort,
-                seed=seed + index,
-                budget=budget,
-            )
-            layouts[proc.name] = alignment.layout
-            if report is not None:
-                report.cities[proc.name] = alignment.instance.n
-                report.costs[proc.name] = alignment.cost
-                report.runs_finding_best[proc.name] = (
-                    alignment.runs_finding_best,
-                    alignment.runs_total,
-                )
-                if alignment.degraded != "none":
-                    report.degraded[proc.name] = alignment.degraded
-                    if alignment.warning:
-                        report.warnings.append(
-                            f"{proc.name}: degraded to "
-                            f"{alignment.degraded!r} ({alignment.warning})"
-                        )
-    return layouts
+    return align_procedures(
+        program,
+        profile,
+        method=normalize_method(method),
+        model=model,
+        effort=effort,
+        seed=seed,
+        budget=budget,
+        jobs=jobs,
+        report=report,
+    )
 
 
 @dataclass
@@ -126,6 +219,7 @@ def lower_bound_program(
     iterations: int | None = None,
     upper_bounds: dict[str, float] | None = None,
     budget: Budget | None = None,
+    jobs: int | None = None,
 ) -> LowerBoundReport:
     """Held–Karp lower bound on the total control penalty of any layout.
 
@@ -133,18 +227,13 @@ def lower_bound_program(
     (e.g. from a TSP alignment) to tighten the subgradient schedule.
     """
     report = LowerBoundReport()
-    for proc in program:
-        edge_profile = profile.procedures.get(proc.name)
-        if edge_profile is None or edge_profile.total() == 0:
-            report.per_procedure[proc.name] = 0.0
-            continue
-        ub = upper_bounds.get(proc.name) if upper_bounds else None
-        report.per_procedure[proc.name] = alignment_lower_bound(
-            proc.cfg,
-            edge_profile,
-            model,
-            upper_bound=ub,
-            iterations=iterations,
-            budget=budget,
-        )
+    report.per_procedure.update(lower_bound_procedures(
+        program,
+        profile,
+        model=model,
+        iterations=iterations,
+        upper_bounds=upper_bounds,
+        budget=budget,
+        jobs=jobs,
+    ))
     return report

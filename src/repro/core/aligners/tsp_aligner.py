@@ -103,15 +103,23 @@ def tsp_align(
     effort: Effort | str = DEFAULT,
     seed: int = 0,
     budget: Budget | BudgetTimer | None = None,
+    instance: AlignmentInstance | None = None,
 ) -> TspAlignment:
     """Align one procedure, returning the layout and solver diagnostics.
 
     Never raises :class:`~repro.errors.SolverBudgetExceeded`: on budget
     expiry (or injected fault) the result comes from a cheaper rung of the
     degradation ladder, recorded in ``degraded``/``warning``.
+
+    ``instance`` optionally supplies a pre-built DTSP instance for this
+    exact (cfg, profile, model, predictor) — the pipeline's content-
+    addressed cache passes one in so repeated solves share the matrix.
     """
     effort = get_effort(effort)
-    instance = build_alignment_instance(cfg, profile, model, predictor=predictor)
+    if instance is None:
+        instance = build_alignment_instance(
+            cfg, profile, model, predictor=predictor
+        )
     if len(cfg) <= 2 or profile.total() == 0:
         layout = original_layout(cfg)
         return TspAlignment(

@@ -93,20 +93,14 @@ def evaluate_program(
     *,
     predictors: dict[str, StaticPredictor] | None = None,
 ) -> ProgramPenalty:
-    """Penalty cycles of a whole-program layout under ``profile``."""
-    if predictors is None:
-        predictors = train_predictors(program, profile)
-    result = ProgramPenalty()
-    for proc in program:
-        edge_profile = profile.procedures.get(proc.name)
-        if edge_profile is None:
-            result.per_procedure[proc.name] = CostBreakdown()
-            continue
-        result.per_procedure[proc.name] = evaluate_layout(
-            proc.cfg,
-            layouts[proc.name],
-            edge_profile,
-            model,
-            predictor=predictors[proc.name],
-        )
-    return result
+    """Penalty cycles of a whole-program layout under ``profile``.
+
+    Delegates to the pipeline's evaluate stage
+    (:func:`repro.pipeline.stages.evaluate_procedures`) — the single
+    program-level evaluation code path.
+    """
+    from repro.pipeline.stages import evaluate_procedures  # local: cycle
+
+    return evaluate_procedures(
+        program, layouts, profile, model, predictors=predictors
+    )

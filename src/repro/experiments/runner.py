@@ -24,10 +24,13 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.budget import Budget
 from repro.core.align import AlignmentReport, align_program
-from repro.core.aligners.tsp_aligner import alignment_lower_bound, tsp_align
 from repro.core.costmodel import CostBreakdown
 from repro.core.evaluate import evaluate_program, train_predictors
 from repro.core.layout import ProgramLayout
+from repro.pipeline.executor import resolve_jobs
+from repro.pipeline.registry import normalize_method
+from repro.pipeline.stages import run_align_tasks, run_bound_tasks
+from repro.pipeline.task import BoundTask, procedure_tasks
 from repro.machine.icache import DirectMappedICache
 from repro.machine.models import ALPHA_21164, PenaltyModel
 from repro.machine.timing import TimingBreakdown, simulate_timing
@@ -169,14 +172,19 @@ def run_case(
     compute_bound: bool = True,
     icache_bytes: int = 8192,
     icache_line: int = 32,
+    jobs: int | None = None,
 ) -> CaseResult:
     """Run one case: test on ``dataset``, train on ``train_dataset`` (same
     data set when omitted — the paper's §4.1 configuration).
 
     ``budget`` bounds each procedure's TSP solve; procedures that blow it
     degrade down the aligner's ladder, recorded in the method's outcome.
+    ``jobs`` > 1 aligns procedures in parallel worker processes; every
+    field of the result except the wall-clock ``align_seconds`` is
+    identical for every worker count.
     """
     train_dataset = train_dataset or dataset
+    methods = tuple(normalize_method(m) for m in methods)
     module = compile_benchmark(benchmark)
     program = module.program
     training = profiled_run(benchmark, train_dataset)
@@ -202,6 +210,7 @@ def run_case(
             seed=seed,
             budget=budget,
             report=align_report,
+            jobs=jobs,
         )
         align_seconds = time.perf_counter() - started
         penalty = evaluate_program(
@@ -235,6 +244,7 @@ def run_case(
             effort=effort,
             seed=seed,
             budget=budget,
+            jobs=jobs,
         )
     return case
 
@@ -250,6 +260,7 @@ def _run_case_cached(
     effort: Effort,
     seed: int,
     budget: Budget | None,
+    jobs: int,
 ) -> CaseResult:
     return run_case(
         benchmark,
@@ -260,6 +271,7 @@ def _run_case_cached(
         effort=effort,
         seed=seed,
         budget=budget,
+        jobs=jobs,
     )
 
 
@@ -273,22 +285,25 @@ def run_case_cached(
     effort: Effort | str = DEFAULT,
     seed: int = 0,
     budget: Budget | None = None,
+    jobs: int | None = None,
 ) -> CaseResult:
     """Memoized :func:`run_case` — figures share cases within a session.
 
     Arguments are normalized *before* the cache boundary, so the spellings
-    ``(bm, ds)``, ``(bm, ds, ds)``, and ``effort="default"`` vs the Effort
-    object all hit one entry.  Treat the result as read-only.
+    ``(bm, ds)``, ``(bm, ds, ds)``, ``effort="default"`` vs the Effort
+    object, and method aliases (``"dtsp"`` vs ``"tsp"``) all hit one
+    entry.  Treat the result as read-only.
     """
     return _run_case_cached(
         benchmark,
         dataset,
         train_dataset or dataset,
-        methods=tuple(methods),
+        methods=tuple(normalize_method(m) for m in methods),
         model=model,
         effort=get_effort(effort),
         seed=seed,
         budget=budget,
+        jobs=resolve_jobs(jobs),
     )
 
 
@@ -305,31 +320,38 @@ def _case_lower_bound(
     effort: Effort,
     seed: int,
     budget: Budget | None,
+    jobs: int,
 ) -> float:
     module = compile_benchmark(benchmark)
     run = profiled_run(benchmark, dataset)
-    total = 0.0
-    for index, proc in enumerate(module.program):
-        edge_profile = run.profile.procedures.get(proc.name)
-        if edge_profile is None or edge_profile.total() == 0:
-            continue
-        alignment = tsp_align(
-            proc.cfg,
-            edge_profile,
-            model,
-            effort=effort,
-            seed=seed + index,
+    # The TSP tours serve as the subgradient targets.  Going through the
+    # align stage means these solves are shared, via the artifact cache,
+    # with the case's own ``tsp`` method — one solve feeds both.
+    tasks = procedure_tasks(
+        module.program,
+        run.profile,
+        method="tsp",
+        model=model,
+        effort=effort,
+        seed=seed,
+        budget=budget,
+    )
+    aligned = run_align_tasks(tasks, jobs=jobs)
+    bound_tasks = [
+        BoundTask(
+            name=task.name,
+            cfg=task.cfg,
+            profile=task.profile,
+            model=task.model,
+            index=task.index,
+            upper_bound=result.cost,
             budget=budget,
+            instance=result.instance,
         )
-        total += alignment_lower_bound(
-            proc.cfg,
-            edge_profile,
-            model,
-            instance=alignment.instance,
-            upper_bound=alignment.cost,
-            budget=budget,
-        )
-    return total
+        for task, result in zip(tasks, aligned)
+        if task.profile.total()
+    ]
+    return sum(r.bound for r in run_bound_tasks(bound_tasks, jobs=jobs))
 
 
 def case_lower_bound(
@@ -340,6 +362,7 @@ def case_lower_bound(
     effort: Effort | str = DEFAULT,
     seed: int = 0,
     budget: Budget | None = None,
+    jobs: int | None = None,
 ) -> float:
     """Held–Karp lower bound for one case, with TSP tours as the subgradient
     targets (cached — every figure reuses it; arguments are normalized
@@ -351,6 +374,7 @@ def case_lower_bound(
         effort=get_effort(effort),
         seed=seed,
         budget=budget,
+        jobs=resolve_jobs(jobs),
     )
 
 
@@ -400,6 +424,7 @@ def run_case_resilient(
     compute_bound: bool = True,
     checkpoint: "ExperimentCheckpoint | None" = None,
     retries: int = 1,
+    jobs: int | None = None,
 ) -> "CaseResult | SkippedCase":
     """:func:`run_case` with checkpoint lookup, retry, and skip-on-failure.
 
@@ -408,9 +433,14 @@ def run_case_resilient(
     raises is retried ``retries`` more times; if every attempt fails the
     failure is folded into a :class:`SkippedCase` instead of propagating —
     one pathological case must not sink a whole figure run.
+
+    ``jobs`` deliberately does not participate in the checkpoint key: a
+    case's results are identical for every worker count, so a checkpoint
+    written at ``jobs=1`` resumes byte-identically at ``jobs=4``.
     """
     from repro.experiments.checkpoint import CaseKey  # local: import cycle
 
+    methods = tuple(normalize_method(m) for m in methods)
     key = None
     if checkpoint is not None:
         key = CaseKey.for_case(
@@ -440,6 +470,7 @@ def run_case_resilient(
                 seed=seed,
                 budget=budget,
                 compute_bound=compute_bound,
+                jobs=jobs,
             )
         except Exception as exc:  # noqa: BLE001 — sweep survival by design
             last_error = exc
@@ -467,15 +498,19 @@ def run_cases(
     compute_bound: bool = True,
     checkpoint: "ExperimentCheckpoint | None" = None,
     retries: int = 1,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Run a sweep of cases fault-tolerantly.
 
     ``specs`` is an iterable of ``(benchmark, dataset)`` or
     ``(benchmark, dataset, train_dataset)`` tuples.  Completed cases land
     in ``result.cases`` in spec order; failures land in ``result.skipped``.
+    ``jobs`` parallelizes the per-procedure solves *within* each case
+    (cases themselves stay sequential so checkpoints grow in spec order).
     """
     from repro.experiments.checkpoint import CaseKey  # local: import cycle
 
+    methods = tuple(normalize_method(m) for m in methods)
     result = SweepResult()
     for spec in specs:
         benchmark, dataset = spec[0], spec[1]
@@ -507,6 +542,7 @@ def run_cases(
             compute_bound=compute_bound,
             checkpoint=checkpoint,
             retries=retries,
+            jobs=jobs,
         )
         if isinstance(outcome, SkippedCase):
             result.skipped.append(outcome)

@@ -38,6 +38,7 @@ def _resilient_case(
     *,
     checkpoint: "ExperimentCheckpoint | None" = None,
     budget: Budget | None = None,
+    jobs: int | None = None,
     **case_kwargs,
 ) -> "CaseResult | SkippedCase":
     """One figure case, fault-tolerantly.
@@ -46,7 +47,8 @@ def _resilient_case(
     (checkpoint lookup → compute → persist).  Without one it uses the
     session-local memo cache, but still retries once and folds repeated
     failure into a :class:`SkippedCase` so one pathological case cannot
-    sink the whole figure.
+    sink the whole figure.  ``jobs`` parallelizes the per-procedure solves
+    without changing any figure value.
     """
     if checkpoint is not None:
         return run_case_resilient(
@@ -55,6 +57,7 @@ def _resilient_case(
             train_dataset,
             budget=budget,
             checkpoint=checkpoint,
+            jobs=jobs,
             **case_kwargs,
         )
     last_error: Exception | None = None
@@ -62,7 +65,8 @@ def _resilient_case(
         try:
             # lru_cache does not cache exceptions, so the retry recomputes.
             return run_case_cached(
-                benchmark, dataset, train_dataset, budget=budget, **case_kwargs
+                benchmark, dataset, train_dataset, budget=budget, jobs=jobs,
+                **case_kwargs,
             )
         except Exception as exc:  # noqa: BLE001 — figure survival by design
             last_error = exc
@@ -204,19 +208,22 @@ def figure2_data(
     *,
     checkpoint: "ExperimentCheckpoint | None" = None,
     budget: Budget | None = None,
+    jobs: int | None = None,
     **case_kwargs,
 ) -> Figure2Data:
     """Run every benchmark case with train = test (the paper's §4.1).
 
     Fault-tolerant: a case that fails twice becomes a ``data.skipped`` row
     instead of aborting the figure; with ``checkpoint``, completed cases
-    persist and an interrupted run resumes where it stopped.
+    persist and an interrupted run resumes where it stopped.  ``jobs``
+    parallelizes per-procedure solves; the figure is identical for every
+    worker count.
     """
     data = Figure2Data()
     for benchmark, dataset in all_cases():
         outcome = _resilient_case(
             benchmark, dataset, checkpoint=checkpoint, budget=budget,
-            **case_kwargs,
+            jobs=jobs, **case_kwargs,
         )
         if isinstance(outcome, SkippedCase):
             data.skipped.append(outcome)
@@ -302,6 +309,7 @@ def figure3_data(
     *,
     checkpoint: "ExperimentCheckpoint | None" = None,
     budget: Budget | None = None,
+    jobs: int | None = None,
     **case_kwargs,
 ) -> Figure3Data:
     """Run every case twice: train = test, and train = sibling data set.
@@ -313,11 +321,11 @@ def figure3_data(
     for benchmark, test_dataset, train_dataset in train_test_pairs():
         self_case = _resilient_case(
             benchmark, test_dataset, checkpoint=checkpoint, budget=budget,
-            **case_kwargs,
+            jobs=jobs, **case_kwargs,
         )
         cross_case = _resilient_case(
             benchmark, test_dataset, train_dataset,
-            checkpoint=checkpoint, budget=budget, **case_kwargs,
+            checkpoint=checkpoint, budget=budget, jobs=jobs, **case_kwargs,
         )
         skipped = [
             half for half in (self_case, cross_case)

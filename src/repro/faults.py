@@ -71,6 +71,33 @@ class FaultPlan:
             self._trips[site] = self._trips.get(site, 0) + 1
         return fired
 
+    def spec(self) -> dict:
+        """The plan's trigger configuration, without counter state — what a
+        parallel executor ships to worker processes so injected faults keep
+        firing inside per-procedure solves."""
+        return {
+            "solver_timeout": self.solver_timeout,
+            "construction_failure": self.construction_failure,
+            "greedy_failure": self.greedy_failure,
+            "bound_timeout": self.bound_timeout,
+            "vm_max_blocks": self.vm_max_blocks,
+            "checkpoint_corrupt_on": self.checkpoint_corrupt_on,
+        }
+
+    def counters(self) -> tuple[dict[str, int], dict[str, int]]:
+        """Snapshot of the (calls, trips) counters, for merging."""
+        return dict(self._calls), dict(self._trips)
+
+    def merge_counts(
+        self, calls: "dict[str, int]", trips: "dict[str, int]"
+    ) -> None:
+        """Fold a worker plan's counters into this one, so assertions like
+        ``plan.trips("solver") > 0`` hold regardless of worker count."""
+        for site, n in calls.items():
+            self._calls[site] = self._calls.get(site, 0) + n
+        for site, n in trips.items():
+            self._trips[site] = self._trips.get(site, 0) + n
+
 
 _ACTIVE: ContextVar[FaultPlan | None] = ContextVar("repro_faults", default=None)
 

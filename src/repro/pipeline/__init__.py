@@ -1,0 +1,88 @@
+"""The staged alignment pipeline.
+
+Decomposes program alignment into typed stages with explicit intermediate
+artifacts (see :mod:`repro.pipeline.stages` for the stage graph and
+``docs/architecture.md`` for the design):
+
+* :mod:`repro.pipeline.task` — typed work units (:class:`ProcedureTask`,
+  :class:`ProcedureResult`, :class:`BoundTask`, :class:`BoundResult`).
+* :mod:`repro.pipeline.registry` — the aligner registry;
+  ``ALIGN_METHODS`` is a live view over it.
+* :mod:`repro.pipeline.artifacts` — the content-addressed artifact cache.
+* :mod:`repro.pipeline.executor` — per-procedure parallel execution with a
+  serial fallback (``jobs=`` / ``REPRO_JOBS``).
+* :mod:`repro.pipeline.stages` — the stages themselves: cost-matrix,
+  align, evaluate, and lower-bound.
+"""
+
+from repro.pipeline.artifacts import (
+    ArtifactCache,
+    CacheStats,
+    artifact_cache,
+    reset_artifact_cache,
+)
+from repro.pipeline.executor import (
+    JOBS_ENV,
+    register_handler,
+    resolve_jobs,
+    run_tasks,
+    shutdown_pool,
+)
+from repro.pipeline.registry import (
+    AlignerSpec,
+    MethodsView,
+    aligner_names,
+    get_aligner,
+    normalize_method,
+    register_aligner,
+    unregister_aligner,
+)
+from repro.pipeline.stages import (
+    align_one,
+    align_procedures,
+    bound_one,
+    evaluate_procedures,
+    instance_for,
+    lower_bound_procedures,
+    run_align_tasks,
+    run_bound_tasks,
+)
+from repro.pipeline.task import (
+    BoundResult,
+    BoundTask,
+    ProcedureResult,
+    ProcedureTask,
+    procedure_tasks,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "artifact_cache",
+    "reset_artifact_cache",
+    "JOBS_ENV",
+    "register_handler",
+    "resolve_jobs",
+    "run_tasks",
+    "shutdown_pool",
+    "AlignerSpec",
+    "MethodsView",
+    "aligner_names",
+    "get_aligner",
+    "normalize_method",
+    "register_aligner",
+    "unregister_aligner",
+    "align_one",
+    "align_procedures",
+    "bound_one",
+    "evaluate_procedures",
+    "instance_for",
+    "lower_bound_procedures",
+    "run_align_tasks",
+    "run_bound_tasks",
+    "BoundResult",
+    "BoundTask",
+    "ProcedureResult",
+    "ProcedureTask",
+    "procedure_tasks",
+]

@@ -1,0 +1,229 @@
+"""Content-addressed artifact cache for the alignment pipeline.
+
+Every intermediate artifact of the staged pipeline (cost matrices, solved
+alignments, certified lower bounds) is a pure function of its inputs: the
+CFG, the profile slice, the machine model, the predictor, the solver effort,
+the seed, and the budget.  Fingerprinting those inputs yields a stable
+content address, so
+
+* greedy / tsp / lower-bound passes over the same procedure share one cost
+  matrix instead of rebuilding it per method,
+* cross-validation sweeps reuse alignment instances across train profiles,
+* a repeated figure case is served from memory instead of re-solving.
+
+Keys are sha256 hexdigests of a canonical JSON encoding; the first key
+component names the artifact *kind* (``instance`` / ``align`` / ``bound``)
+so hit rates can be reported per stage.
+
+The cache is deliberately bypassed while a fault-injection plan is armed:
+injected failures must reach the code under test, not be papered over by a
+clean cached artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import faults
+from repro.budget import Budget
+from repro.cfg.graph import ControlFlowGraph
+from repro.machine.models import PenaltyModel
+from repro.machine.predictors import StaticPredictor
+from repro.profiles.edge_profile import EdgeProfile
+from repro.tsp.solve import Effort
+
+# -- input fingerprints -------------------------------------------------------
+
+
+def _digest(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def fingerprint_cfg(cfg: ControlFlowGraph) -> str:
+    """Stable digest of everything about a CFG that alignment can observe:
+    block ids, sizes, and terminator shapes/targets."""
+    blocks = [
+        (
+            block.block_id,
+            block.kind.value,
+            list(block.terminator.targets),
+            block.body_words,
+        )
+        for block in sorted(cfg, key=lambda b: b.block_id)
+    ]
+    return _digest({"entry": cfg.entry, "blocks": blocks})
+
+
+def fingerprint_profile(profile: EdgeProfile) -> str:
+    triples = sorted(
+        [src, dst, n] for (src, dst), n in profile.counts.items() if n
+    )
+    return _digest(triples)
+
+
+def fingerprint_model(model: PenaltyModel) -> str:
+    return _digest({
+        "name": model.name,
+        "conditional": [
+            model.conditional.p_tt, model.conditional.p_tn,
+            model.conditional.p_nt, model.conditional.p_nn,
+        ],
+        "multiway": [
+            model.multiway.p_tt, model.multiway.p_tn,
+            model.multiway.p_nt, model.multiway.p_nn,
+        ],
+        "unconditional": model.unconditional,
+    })
+
+
+def fingerprint_predictor(predictor: StaticPredictor | None) -> str:
+    """``None`` means "train on the task's own profile" — since the profile
+    is fingerprinted separately, the derived predictor is fully determined
+    and a constant tag suffices."""
+    if predictor is None:
+        return "auto"
+    return _digest(sorted(predictor.predictions.items()))
+
+
+def fingerprint_effort(effort: Effort) -> str:
+    return _digest({
+        "name": effort.name,
+        "starts": list(effort.starts),
+        "iterations": effort.iterations,
+        "neighbors": effort.neighbors,
+        "exact_threshold": effort.exact_threshold,
+    })
+
+
+def fingerprint_budget(budget: Budget | None) -> str:
+    if budget is None or budget.unlimited:
+        return "unlimited"
+    return _digest([budget.wall_ms, budget.max_iterations])
+
+
+# -- the cache ----------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ArtifactCache:
+    """In-memory content-addressed store of pipeline artifacts.
+
+    Artifacts are treated as immutable once stored; callers must not mutate
+    a cached value.  Thread-safe: lookups and stores take a lock (the
+    artifacts themselves are computed outside it).
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        self.max_entries = max_entries
+        self._entries: dict[str, Any] = {}
+        self._stats: dict[str, CacheStats] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key(kind: str, *components: str | int | float | None) -> str:
+        return f"{kind}:{_digest([kind, *components])}"
+
+    @staticmethod
+    def _kind(key: str) -> str:
+        return key.split(":", 1)[0]
+
+    @property
+    def enabled(self) -> bool:
+        """Caching is suspended while a fault plan is armed — injected
+        failures must reach the stage code, not be served from cache."""
+        return faults.active() is None
+
+    def get(self, key: str) -> Any | None:
+        if not self.enabled:
+            return None
+        kind = self._kind(key)
+        with self._lock:
+            stats = self._stats.setdefault(kind, CacheStats())
+            if key in self._entries:
+                stats.hits += 1
+                return self._entries[key]
+            stats.misses += 1
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            if (
+                self.max_entries is not None
+                and key not in self._entries
+                and len(self._entries) >= self.max_entries
+            ):
+                # FIFO eviction: drop the oldest inserted artifact.
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = value
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        found = self.get(key)
+        if found is not None:
+            return found
+        value = builder()
+        self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def stats(self, kind: str | None = None) -> CacheStats:
+        """Counters for one artifact kind, or the aggregate when omitted."""
+        with self._lock:
+            if kind is not None:
+                return self._stats.get(kind, CacheStats())
+            total = CacheStats()
+            for stats in self._stats.values():
+                total.hits += stats.hits
+                total.misses += stats.misses
+            return total
+
+    def stats_by_kind(self) -> dict[str, CacheStats]:
+        with self._lock:
+            return {
+                kind: CacheStats(s.hits, s.misses)
+                for kind, s in self._stats.items()
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._stats.clear()
+
+
+#: The process-wide default cache all pipeline stages consult.
+_DEFAULT_CACHE = ArtifactCache()
+
+
+def artifact_cache() -> ArtifactCache:
+    return _DEFAULT_CACHE
+
+
+def reset_artifact_cache() -> None:
+    """Drop every cached artifact and all counters (tests, benchmarks)."""
+    _DEFAULT_CACHE.clear()

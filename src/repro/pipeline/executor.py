@@ -1,0 +1,144 @@
+"""Per-procedure parallel execution for pipeline stages.
+
+Procedures are aligned independently (the paper's problem is
+*intra*procedural), so the solve stage fans tasks out over a
+``ProcessPoolExecutor`` with a serial fallback.  Guarantees:
+
+* **Determinism** — results are merged in task order and every task carries
+  its own ``seed + index`` solver seed, so output is byte-identical for any
+  worker count (``jobs=1`` vs ``jobs=4`` produce the same layouts, reports,
+  checkpoints, and tables).
+* **Budgets** — a :class:`~repro.budget.Budget` is a per-procedure spec;
+  each worker starts its own countdown exactly as the serial loop does.
+* **Fault injection** — the armed :class:`~repro.faults.FaultPlan` (if any)
+  is shipped to the worker and re-armed around each task, and the worker's
+  call/trip counters are merged back into the parent plan.  ``True``-valued
+  triggers therefore behave identically at any worker count; integer
+  ("fire on the n-th call") triggers count per *task* in parallel mode
+  rather than globally.
+* **Degradation** — if the pool cannot be created or a task cannot be
+  shipped (pickling, fork failure, interpreter shutdown), execution falls
+  back to the serial path instead of failing the run.
+
+``jobs=None`` resolves through the ``REPRO_JOBS`` environment variable
+(default 1), so ``REPRO_JOBS=4 pytest`` exercises the parallel path across
+the whole suite without touching call sites.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro import faults
+
+JOBS_ENV = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Registered task-kind handlers: kind -> callable(payload) -> result.
+#: Stage modules register their handlers at import time; workers import
+#: :mod:`repro.core.align` (below) which pulls every built-in handler in.
+_HANDLERS: dict[str, Callable[[Any], Any]] = {}
+
+
+def register_handler(kind: str, fn: Callable[[Any], Any]) -> None:
+    _HANDLERS[kind] = fn
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` knob: explicit value, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    return max(1, jobs)
+
+
+# -- the worker side ----------------------------------------------------------
+
+
+def _worker(shipped: tuple[dict | None, str, Any]) -> tuple[Any, dict, dict]:
+    """Run one task in a worker process.
+
+    Re-arms the parent's fault plan (or an inert empty plan, which also
+    shadows any plan inherited across ``fork``) and returns the result
+    together with the plan's call/trip counters for merging.
+    """
+    spec, kind, payload = shipped
+    import repro.core.align  # noqa: F401 — populates registry + handlers
+
+    with faults.inject_faults(**(spec or {})) as plan:
+        result = _HANDLERS[kind](payload)
+    calls, trips = plan.counters()
+    return result, calls, trips
+
+
+# -- the pool -----------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_JOBS: int = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """A persistent pool, resized lazily (pool creation costs a fork per
+    worker; align calls are frequent and small, so the pool is shared)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS != jobs:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+# -- the parent side ----------------------------------------------------------
+
+
+def run_tasks(
+    kind: str,
+    payloads: Sequence[Any],
+    *,
+    jobs: int | None = None,
+) -> list[Any]:
+    """Execute ``payloads`` under the registered ``kind`` handler, returning
+    results in payload order.
+
+    ``jobs`` > 1 fans out over the process pool; 1 (or a single payload, or
+    a pool failure) runs the serial path in-process.
+    """
+    handler = _HANDLERS[kind]
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [handler(payload) for payload in payloads]
+
+    plan = faults.active()
+    spec = plan.spec() if plan is not None else None
+    shipped = [(spec, kind, payload) for payload in payloads]
+    try:
+        pool = _get_pool(jobs)
+        outcomes = list(pool.map(_worker, shipped))
+    except Exception:  # noqa: BLE001 — broken pool degrades to serial
+        shutdown_pool()
+        return [handler(payload) for payload in payloads]
+    results = []
+    for result, calls, trips in outcomes:
+        if plan is not None:
+            plan.merge_counts(calls, trips)
+        results.append(result)
+    return results

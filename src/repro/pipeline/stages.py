@@ -1,0 +1,389 @@
+"""The staged alignment pipeline.
+
+Decomposes ``align_program``'s historical monolithic loop into explicit,
+individually cacheable stages with typed intermediate artifacts::
+
+    ProcedureTask ──▶ AlignmentInstance ──▶ solved tour ──▶ Layout ──▶ penalty
+       (task.py)        (cost-matrix           (align           (evaluate
+                         stage, cached)         stage,            stage)
+                                                cached,
+                                                parallel)
+
+* The **cost-matrix stage** (:func:`instance_for`) builds the §2.2 DTSP
+  instance, content-addressed by (CFG, profile, model, predictor) — so
+  greedy/tsp/lower-bound passes over the same procedure share one matrix.
+* The **align stage** (:func:`align_procedures`) dispatches each task to
+  its registered aligner, fanning out over worker processes
+  (:mod:`repro.pipeline.executor`) and serving repeated tasks from the
+  artifact cache.  Results merge in program order, so layouts, reports,
+  checkpoints, and tables are identical for any worker count.
+* The **evaluate stage** (:func:`evaluate_procedures`) is the single
+  penalty-evaluation code path — ``evaluate_program`` delegates here, and
+  the DTSP tour cost of an instance provably equals this stage's control
+  penalty for the materialized layout (pinned by
+  ``tests/properties/test_property_pipeline.py``).
+* The **bound stage** (:func:`lower_bound_procedures`) computes certified
+  per-procedure Held–Karp/branch-and-bound floors, cached and parallel.
+
+Budgets stay per-procedure (each task starts its own countdown, exactly as
+the serial loop did), the degradation ladder lives untouched inside the
+aligners, and fault-injection plans are shipped to workers by the executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.budget import Budget
+from repro.cfg.graph import Program
+from repro.core.aligners.tsp_aligner import alignment_lower_bound
+from repro.core.costmatrix import AlignmentInstance, build_alignment_instance
+from repro.core.layout import ProgramLayout, original_layout
+from repro.machine.models import PenaltyModel
+from repro.machine.predictors import StaticPredictor
+from repro.pipeline.artifacts import (
+    ArtifactCache,
+    artifact_cache,
+    fingerprint_budget,
+    fingerprint_cfg,
+    fingerprint_effort,
+    fingerprint_model,
+    fingerprint_predictor,
+    fingerprint_profile,
+)
+from repro.pipeline.executor import register_handler, run_tasks
+from repro.pipeline.registry import get_aligner
+from repro.pipeline.task import (
+    BoundResult,
+    BoundTask,
+    ProcedureResult,
+    ProcedureTask,
+    procedure_tasks,
+)
+from repro.profiles.edge_profile import EdgeProfile, ProgramProfile
+from repro.tsp.solve import DEFAULT, Effort, get_effort
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle is fine at type time
+    from repro.core.evaluate import ProgramPenalty
+
+
+# -- cost-matrix stage --------------------------------------------------------
+
+
+def instance_key(
+    cfg, profile: EdgeProfile, model: PenaltyModel,
+    predictor: StaticPredictor | None,
+) -> str:
+    return ArtifactCache.key(
+        "instance",
+        fingerprint_cfg(cfg),
+        fingerprint_profile(profile),
+        fingerprint_model(model),
+        fingerprint_predictor(predictor),
+    )
+
+
+def instance_for(
+    cfg,
+    profile: EdgeProfile,
+    model: PenaltyModel,
+    *,
+    predictor: StaticPredictor | None = None,
+    cache: ArtifactCache | None = None,
+) -> AlignmentInstance:
+    """The DTSP instance for one procedure, served content-addressed.
+
+    The key covers everything the matrix depends on — effort, seed, and
+    budget deliberately excluded — so every method and every sweep over the
+    same (CFG, profile, model, predictor) shares a single build.
+    """
+    cache = cache if cache is not None else artifact_cache()
+    return cache.get_or_build(
+        instance_key(cfg, profile, model, predictor),
+        lambda: build_alignment_instance(
+            cfg, profile, model, predictor=predictor
+        ),
+    )
+
+
+# -- align stage --------------------------------------------------------------
+
+
+def align_one(task: ProcedureTask) -> ProcedureResult:
+    """Run one task through its registered aligner (no caching: pure compute;
+    this is the function worker processes execute)."""
+    if task.method != "original" and task.profile.total() == 0:
+        # No training data: every method keeps the original layout (the
+        # historical align_program behaviour).
+        return ProcedureResult(task.name, original_layout(task.cfg))
+    return get_aligner(task.method).fn(task)
+
+
+register_handler("align", align_one)
+
+
+def _is_trivial(task: ProcedureTask) -> bool:
+    return task.method == "original" or task.profile.total() == 0
+
+
+def align_key(task: ProcedureTask) -> str:
+    return ArtifactCache.key(
+        "align",
+        task.method,
+        fingerprint_cfg(task.cfg),
+        fingerprint_profile(task.profile),
+        fingerprint_model(task.model),
+        fingerprint_predictor(task.predictor),
+        fingerprint_effort(task.effort),
+        task.effective_seed,
+        fingerprint_budget(task.budget),
+    )
+
+
+def run_align_tasks(
+    tasks: list[ProcedureTask],
+    *,
+    jobs: int | None = None,
+    cache: ArtifactCache | None = None,
+) -> list[ProcedureResult]:
+    """The align stage: cache lookup → parallel solve of misses → store.
+
+    Returns one :class:`ProcedureResult` per task, in task order.  Trivial
+    tasks (method ``original`` or an empty profile slice) resolve inline;
+    cache misses fan out through the executor.
+    """
+    cache = cache if cache is not None else artifact_cache()
+    results: list[ProcedureResult | None] = [None] * len(tasks)
+    miss_indices: list[int] = []
+    for i, task in enumerate(tasks):
+        if _is_trivial(task):
+            results[i] = align_one(task)
+            continue
+        cached = cache.get(align_key(task))
+        if cached is not None:
+            results[i] = dataclasses.replace(cached, from_cache=True)
+        else:
+            miss_indices.append(i)
+
+    if miss_indices:
+        solved = run_tasks(
+            "align", [tasks[i] for i in miss_indices], jobs=jobs
+        )
+        for i, result in zip(miss_indices, solved):
+            results[i] = result
+            cache.put(align_key(tasks[i]), result)
+            if result.instance is not None:
+                # Seed the cost-matrix cache from the worker's build so the
+                # bound stage (and other methods) reuse it.
+                task = tasks[i]
+                cache.put(
+                    instance_key(
+                        task.cfg, task.profile, task.model, task.predictor
+                    ),
+                    result.instance,
+                )
+    return results  # type: ignore[return-value]
+
+
+def align_procedures(
+    program: Program,
+    profile: ProgramProfile,
+    *,
+    method: str,
+    model: PenaltyModel,
+    effort: Effort | str = DEFAULT,
+    seed: int = 0,
+    budget: Budget | None = None,
+    jobs: int | None = None,
+    cache: ArtifactCache | None = None,
+    report=None,
+) -> ProgramLayout:
+    """Align every procedure of ``program``: the full task → solve → layout
+    pipeline behind :func:`repro.core.align.align_program`.
+
+    ``report`` (an :class:`~repro.core.align.AlignmentReport`-shaped object)
+    is populated from solver diagnostics in program order, keeping its
+    contents deterministic and independent of worker count.
+    """
+    tasks = procedure_tasks(
+        program,
+        profile,
+        method=method,
+        model=model,
+        effort=get_effort(effort),
+        seed=seed,
+        budget=budget,
+    )
+    results = run_align_tasks(tasks, jobs=jobs, cache=cache)
+    layouts = ProgramLayout()
+    for result in results:
+        layouts[result.name] = result.layout
+        if report is not None and result.cities is not None:
+            report.cities[result.name] = result.cities
+            report.costs[result.name] = result.cost
+            report.runs_finding_best[result.name] = (
+                result.runs_finding_best,
+                result.runs_total,
+            )
+            if result.degraded != "none":
+                report.degraded[result.name] = result.degraded
+                if result.warning:
+                    report.warnings.append(
+                        f"{result.name}: degraded to "
+                        f"{result.degraded!r} ({result.warning})"
+                    )
+    return layouts
+
+
+# -- evaluate stage -----------------------------------------------------------
+
+
+def evaluate_procedures(
+    program: Program,
+    layouts: ProgramLayout,
+    profile: ProgramProfile,
+    model: PenaltyModel,
+    *,
+    predictors: dict[str, StaticPredictor] | None = None,
+) -> "ProgramPenalty":
+    """The single penalty-evaluation code path.
+
+    ``evaluate_program`` delegates here; per-procedure breakdowns are
+    computed by :func:`repro.core.evaluate.evaluate_layout` (the walk the
+    §2.2 matrix is built from) and merged in program order, so totals are
+    bit-stable.  Evaluation stays in-process: it is a cheap linear walk,
+    and shipping CFGs to workers would cost more than the walk itself.
+    """
+    from repro.core.evaluate import (  # local: import cycle
+        CostBreakdown,
+        ProgramPenalty,
+        evaluate_layout,
+        train_predictors,
+    )
+
+    if predictors is None:
+        predictors = train_predictors(program, profile)
+    result = ProgramPenalty()
+    for proc in program:
+        edge_profile = profile.procedures.get(proc.name)
+        if edge_profile is None:
+            result.per_procedure[proc.name] = CostBreakdown()
+            continue
+        result.per_procedure[proc.name] = evaluate_layout(
+            proc.cfg,
+            layouts[proc.name],
+            edge_profile,
+            model,
+            predictor=predictors[proc.name],
+        )
+    return result
+
+
+# -- bound stage --------------------------------------------------------------
+
+
+def bound_one(task: BoundTask) -> BoundResult:
+    """Certified lower bound for one procedure (worker-executable)."""
+    if task.profile.total() == 0:
+        return BoundResult(task.name, 0.0)
+    return BoundResult(
+        task.name,
+        alignment_lower_bound(
+            task.cfg,
+            task.profile,
+            task.model,
+            instance=task.instance,
+            upper_bound=task.upper_bound,
+            iterations=task.iterations,
+            budget=task.budget,
+        ),
+    )
+
+
+register_handler("bound", bound_one)
+
+
+def bound_key(task: BoundTask) -> str:
+    return ArtifactCache.key(
+        "bound",
+        fingerprint_cfg(task.cfg),
+        fingerprint_profile(task.profile),
+        fingerprint_model(task.model),
+        repr(task.upper_bound),
+        repr(task.iterations),
+        fingerprint_budget(task.budget),
+    )
+
+
+def run_bound_tasks(
+    tasks: list[BoundTask],
+    *,
+    jobs: int | None = None,
+    cache: ArtifactCache | None = None,
+) -> list[BoundResult]:
+    """The bound stage: cache lookup → parallel certification of misses."""
+    cache = cache if cache is not None else artifact_cache()
+    results: list[BoundResult | None] = [None] * len(tasks)
+    miss_indices: list[int] = []
+    for i, task in enumerate(tasks):
+        if task.profile.total() == 0:
+            results[i] = BoundResult(task.name, 0.0)
+            continue
+        cached = cache.get(bound_key(task))
+        if cached is not None:
+            results[i] = dataclasses.replace(cached, from_cache=True)
+        else:
+            miss_indices.append(i)
+    if miss_indices:
+        computed = run_tasks(
+            "bound", [tasks[i] for i in miss_indices], jobs=jobs
+        )
+        for i, result in zip(miss_indices, computed):
+            results[i] = result
+            cache.put(bound_key(tasks[i]), result)
+    return results  # type: ignore[return-value]
+
+
+def lower_bound_procedures(
+    program: Program,
+    profile: ProgramProfile,
+    *,
+    model: PenaltyModel,
+    iterations: int | None = None,
+    upper_bounds: dict[str, float] | None = None,
+    budget: Budget | None = None,
+    jobs: int | None = None,
+    cache: ArtifactCache | None = None,
+) -> dict[str, float]:
+    """Per-procedure certified lower bounds, in program order."""
+    tasks = []
+    for index, proc in enumerate(program):
+        edge_profile = profile.procedures.get(proc.name, EdgeProfile())
+        tasks.append(BoundTask(
+            name=proc.name,
+            cfg=proc.cfg,
+            profile=edge_profile,
+            model=model,
+            index=index,
+            upper_bound=(upper_bounds or {}).get(proc.name),
+            iterations=iterations,
+            budget=budget,
+            instance=(
+                cache_lookup_instance(proc.cfg, edge_profile, model, cache)
+                if edge_profile.total() else None
+            ),
+        ))
+    results = run_bound_tasks(tasks, jobs=jobs, cache=cache)
+    return {result.name: result.bound for result in results}
+
+
+def cache_lookup_instance(
+    cfg, profile: EdgeProfile, model: PenaltyModel,
+    cache: ArtifactCache | None = None,
+    predictor: StaticPredictor | None = None,
+) -> AlignmentInstance | None:
+    """A cached cost matrix if one exists — used to hand already-built
+    instances to bound tasks without forcing a build."""
+    cache = cache if cache is not None else artifact_cache()
+    return cache.get(instance_key(cfg, profile, model, predictor))

@@ -1,0 +1,130 @@
+"""Typed units of work flowing through the staged alignment pipeline.
+
+A :class:`ProcedureTask` is everything one procedure's alignment depends on
+— CFG, profile slice, machine model, predictor, solver effort, seed, and
+budget — detached from the surrounding :class:`~repro.cfg.graph.Program` so
+it can be fingerprinted for the artifact cache and shipped to a worker
+process.  A :class:`ProcedureResult` is the corresponding output artifact:
+the layout plus solver diagnostics.
+
+Tasks are deterministic by construction: the effective solver seed is
+``seed + index`` where ``index`` is the procedure's position in the
+program, so results are independent of which worker (or how many workers)
+executed the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.budget import Budget
+from repro.cfg.graph import ControlFlowGraph, Program
+from repro.core.layout import Layout
+from repro.machine.models import PenaltyModel
+from repro.machine.predictors import StaticPredictor
+from repro.profiles.edge_profile import EdgeProfile, ProgramProfile
+from repro.tsp.solve import Effort
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle is fine at type time
+    from repro.core.costmatrix import AlignmentInstance
+
+
+@dataclass
+class ProcedureTask:
+    """One procedure's alignment job, self-contained and picklable."""
+
+    name: str
+    cfg: ControlFlowGraph
+    profile: EdgeProfile
+    method: str
+    model: PenaltyModel
+    effort: Effort
+    #: Position of the procedure in program order; drives the per-procedure
+    #: solver seed and the deterministic merge of parallel results.
+    index: int = 0
+    seed: int = 0
+    predictor: StaticPredictor | None = None
+    budget: Budget | None = None
+
+    @property
+    def effective_seed(self) -> int:
+        """Per-procedure solver seed (matches the historical serial loop)."""
+        return self.seed + self.index
+
+
+@dataclass
+class ProcedureResult:
+    """The artifact one task produces: a layout plus solver diagnostics."""
+
+    name: str
+    layout: Layout
+    #: Tour cost under the task's DTSP instance (TSP aligner only).
+    cost: float | None = None
+    #: City count of the DTSP instance (TSP aligner only).
+    cities: int | None = None
+    runs_finding_best: int = 0
+    runs_total: int = 0
+    degraded: str = "none"
+    warning: str | None = None
+    #: The DTSP instance the solve used, carried back so the parent process
+    #: can seed its cost-matrix cache (matrices on alignment instances are
+    #: small).  ``None`` for aligners that never build one.
+    instance: "AlignmentInstance | None" = None
+    #: Whether this result was served from the artifact cache.
+    from_cache: bool = False
+
+
+@dataclass
+class BoundTask:
+    """One procedure's certified-lower-bound job."""
+
+    name: str
+    cfg: ControlFlowGraph
+    profile: EdgeProfile
+    model: PenaltyModel
+    index: int = 0
+    seed: int = 0
+    effort: Effort | None = None
+    upper_bound: float | None = None
+    iterations: int | None = None
+    budget: Budget | None = None
+    instance: "AlignmentInstance | None" = None
+
+
+@dataclass
+class BoundResult:
+    """A certified per-procedure penalty lower bound."""
+
+    name: str
+    bound: float
+    from_cache: bool = False
+
+
+def procedure_tasks(
+    program: Program,
+    profile: ProgramProfile,
+    *,
+    method: str,
+    model: PenaltyModel,
+    effort: Effort,
+    seed: int = 0,
+    predictor_for: dict[str, StaticPredictor] | None = None,
+    budget: Budget | None = None,
+) -> list[ProcedureTask]:
+    """One task per procedure, in program order."""
+    tasks = []
+    for index, proc in enumerate(program):
+        tasks.append(ProcedureTask(
+            name=proc.name,
+            cfg=proc.cfg,
+            profile=profile.procedures.get(proc.name, EdgeProfile()),
+            method=method,
+            model=model,
+            effort=effort,
+            index=index,
+            seed=seed,
+            predictor=(predictor_for or {}).get(proc.name),
+            budget=budget,
+        ))
+    return tasks

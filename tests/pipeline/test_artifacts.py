@@ -1,0 +1,125 @@
+"""The content-addressed artifact cache: fingerprints, stats, fault bypass."""
+
+from __future__ import annotations
+
+import random
+
+from repro import faults
+from repro.machine.models import ALPHA_21064, ALPHA_21164
+from repro.pipeline.artifacts import (
+    ArtifactCache,
+    artifact_cache,
+    fingerprint_cfg,
+    fingerprint_model,
+    fingerprint_profile,
+    reset_artifact_cache,
+)
+from repro.pipeline.stages import instance_for
+from repro.profiles.edge_profile import EdgeProfile
+from repro.workloads import GeneratorConfig, random_procedure
+
+
+def make_proc(seed: int = 7, blocks: int = 12):
+    rng = random.Random(seed)
+    return random_procedure("p", rng, GeneratorConfig(target_blocks=blocks))
+
+
+def make_profile(proc, seed: int = 3) -> EdgeProfile:
+    profile = EdgeProfile()
+    rng = random.Random(seed)
+    for block in proc.cfg:
+        for succ in block.successors:
+            profile.add(block.block_id, succ, rng.randrange(1, 100))
+    return profile
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def test_cfg_fingerprint_is_stable_and_content_sensitive():
+    assert fingerprint_cfg(make_proc().cfg) == fingerprint_cfg(make_proc().cfg)
+    assert fingerprint_cfg(make_proc(seed=7).cfg) != fingerprint_cfg(
+        make_proc(seed=8).cfg
+    )
+
+
+def test_profile_fingerprint_ignores_zero_counts_and_ordering():
+    a, b = EdgeProfile(), EdgeProfile()
+    a.add(1, 2, 10)
+    a.add(3, 4, 0)       # an explicit zero count changes nothing
+    b.add(3, 4, 0)
+    b.add(1, 2, 10)      # insertion order changes nothing
+    assert fingerprint_profile(a) == fingerprint_profile(b)
+    b.add(1, 2, 1)
+    assert fingerprint_profile(a) != fingerprint_profile(b)
+
+
+def test_model_fingerprint_distinguishes_models():
+    assert fingerprint_model(ALPHA_21164) != fingerprint_model(ALPHA_21064)
+
+
+# -- cache mechanics ----------------------------------------------------------
+
+
+def test_get_put_and_per_kind_stats():
+    cache = ArtifactCache()
+    key = ArtifactCache.key("instance", "abc", 1)
+    assert cache.get(key) is None               # miss
+    cache.put(key, "artifact")
+    assert cache.get(key) == "artifact"         # hit
+    stats = cache.stats("instance")
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert stats.hit_rate == 0.5
+    assert cache.stats().lookups == 2           # aggregate
+    assert cache.stats_by_kind().keys() == {"instance"}
+
+
+def test_key_separates_kinds_and_components():
+    assert ArtifactCache.key("align", "x") != ArtifactCache.key("bound", "x")
+    assert ArtifactCache.key("align", "x") != ArtifactCache.key("align", "y")
+    assert ArtifactCache.key("align", "x", None) != ArtifactCache.key(
+        "align", "x", "None"
+    )
+
+
+def test_fifo_eviction_respects_max_entries():
+    cache = ArtifactCache(max_entries=2)
+    for i in range(3):
+        cache.put(ArtifactCache.key("k", i), i)
+    assert len(cache) == 2
+    assert cache.get(ArtifactCache.key("k", 0)) is None   # oldest evicted
+    assert cache.get(ArtifactCache.key("k", 2)) == 2
+
+
+def test_get_or_build_builds_once():
+    cache = ArtifactCache()
+    calls = []
+    key = ArtifactCache.key("instance", "z")
+    for _ in range(3):
+        cache.get_or_build(key, lambda: calls.append(1) or "built")
+    assert len(calls) == 1
+    assert cache.stats("instance").hits == 2
+
+
+def test_cache_is_bypassed_while_faults_are_armed():
+    cache = ArtifactCache()
+    key = ArtifactCache.key("align", "f")
+    cache.put(key, "clean")
+    with faults.inject_faults(solver_timeout=True):
+        assert not cache.enabled
+        assert cache.get(key) is None       # a cached clean result must not
+        cache.put(key, "dirty")             # paper over the injected fault
+    assert cache.get(key) == "clean"        # and the armed block writes nothing
+
+
+def test_instance_for_shares_matrices_across_clients():
+    reset_artifact_cache()
+    proc = make_proc()
+    profile = make_profile(proc)
+    first = instance_for(proc.cfg, profile, ALPHA_21164)
+    second = instance_for(proc.cfg, profile, ALPHA_21164)
+    assert first is second                  # literally one build
+    stats = artifact_cache().stats("instance")
+    assert stats.hits >= 1
+    reset_artifact_cache()
+    assert artifact_cache().stats("instance").lookups == 0

@@ -1,0 +1,102 @@
+"""The parallel executor: jobs resolution, fan-out, fault shipping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.pipeline.executor import (
+    JOBS_ENV,
+    register_handler,
+    resolve_jobs,
+    run_tasks,
+    shutdown_pool,
+)
+
+
+def test_resolve_jobs_explicit_wins(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV, "8")
+    assert resolve_jobs(2) == 2
+    assert resolve_jobs(None) == 8
+
+
+def test_resolve_jobs_defaults_and_clamps(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(-3) == 1
+    monkeypatch.setenv(JOBS_ENV, "not-a-number")
+    assert resolve_jobs(None) == 1
+    monkeypatch.setenv(JOBS_ENV, "  ")
+    assert resolve_jobs(None) == 1
+
+
+def test_serial_path_runs_in_process():
+    seen = []
+    register_handler("test-serial", lambda x: seen.append(x) or x * 2)
+    assert run_tasks("test-serial", [1, 2, 3], jobs=1) == [2, 4, 6]
+    assert seen == [1, 2, 3]
+
+
+def test_single_payload_stays_serial_even_with_jobs():
+    # A lone task is not worth a round-trip through the pool.
+    marker = object()     # unpicklable closure result proves in-process run
+    register_handler("test-single", lambda x: (x, marker))
+    [(value, got)] = run_tasks("test-single", [5], jobs=4)
+    assert value == 5 and got is marker
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(KeyError):
+        run_tasks("test-unregistered-kind", [1], jobs=1)
+
+
+def test_parallel_matches_serial_on_real_tasks():
+    """The pool path must return exactly what the serial path returns, in
+    order — exercised on real alignment tasks (module-level handlers, so
+    they pickle into workers)."""
+    from repro.experiments.runner import profiled_run
+    from repro.pipeline.task import procedure_tasks
+    from repro.machine.models import ALPHA_21164
+    from repro.tsp.solve import get_effort
+    from repro.workloads.suite import compile_benchmark
+
+    program = compile_benchmark("com").program
+    profile = profiled_run("com", "in").profile
+    tasks = procedure_tasks(
+        program, profile, method="tsp", model=ALPHA_21164,
+        effort=get_effort("quick"),
+    )
+    serial = run_tasks("align", tasks, jobs=1)
+    parallel = run_tasks("align", tasks, jobs=2)
+    shutdown_pool()
+    assert [r.name for r in serial] == [r.name for r in parallel]
+    for a, b in zip(serial, parallel):
+        assert a.layout.order == b.layout.order
+        assert a.cost == b.cost
+        assert a.degraded == b.degraded
+
+
+def test_fault_plans_ship_to_workers_and_counters_merge():
+    """A plan armed in the parent fires inside pool workers, and the
+    workers' call/trip counters fold back into the parent plan."""
+    from repro.experiments.runner import profiled_run
+    from repro.pipeline.task import procedure_tasks
+    from repro.machine.models import ALPHA_21164
+    from repro.tsp.solve import get_effort
+    from repro.workloads.suite import compile_benchmark
+
+    program = compile_benchmark("com").program
+    profile = profiled_run("com", "in").profile
+    tasks = procedure_tasks(
+        program, profile, method="tsp", model=ALPHA_21164,
+        effort=get_effort("quick"),
+    )
+    with faults.inject_faults(solver_timeout=True) as plan:
+        results = run_tasks("align", tasks, jobs=2)
+    shutdown_pool()
+    solvable = [t for t in tasks if t.profile.total() and len(t.cfg) > 2]
+    assert plan.trips("solver") >= len(solvable) > 0
+    for task, result in zip(tasks, results):
+        if task in solvable:
+            assert result.degraded != "none"

@@ -1,0 +1,172 @@
+"""Worker-count invariance: jobs=1 and jobs=4 produce identical results.
+
+The contract: parallelism is a pure execution detail.  Layouts, alignment
+reports, case results, checkpoint payloads, and printed tables must be
+identical for every worker count — including under injected faults.
+(`align_seconds` is wall-clock and is the one field exempted.)
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.core.align import AlignmentReport, align_program
+from repro.experiments.checkpoint import ExperimentCheckpoint, case_to_state
+from repro.experiments.runner import profiled_run, run_case, run_cases
+from repro.machine.models import ALPHA_21164
+from repro.pipeline.artifacts import reset_artifact_cache
+from repro.pipeline.executor import shutdown_pool
+from repro.workloads.suite import compile_benchmark
+
+
+@pytest.fixture(autouse=True)
+def _fresh_artifacts():
+    """Each run must genuinely recompute: a warm artifact cache would let
+    the jobs=4 run serve the jobs=1 run's results and prove nothing."""
+    reset_artifact_cache()
+    yield
+    reset_artifact_cache()
+    shutdown_pool()
+
+
+def _normalized_state(case) -> dict:
+    state = case_to_state(case)
+    for payload in state["methods"].values():
+        payload["align_seconds"] = 0.0
+    return state
+
+
+def align_both_ways(*, jobs: int, **kwargs):
+    program = compile_benchmark("com").program
+    profile = profiled_run("com", "in").profile
+    report = AlignmentReport()
+    layouts = align_program(
+        program, profile, report=report, jobs=jobs, **kwargs
+    )
+    return layouts, report
+
+
+def test_align_program_identical_across_worker_counts():
+    serial_layouts, serial_report = align_both_ways(jobs=1, effort="quick")
+    reset_artifact_cache()
+    parallel_layouts, parallel_report = align_both_ways(
+        jobs=4, effort="quick"
+    )
+    assert {n: l.order for n, l in serial_layouts.items()} == {
+        n: l.order for n, l in parallel_layouts.items()
+    }
+    assert serial_report.cities == parallel_report.cities
+    assert serial_report.costs == parallel_report.costs
+    assert serial_report.runs_finding_best == parallel_report.runs_finding_best
+    assert serial_report.degraded == parallel_report.degraded
+    assert serial_report.warnings == parallel_report.warnings
+
+
+def test_align_program_identical_under_injected_faults():
+    """Degradation is deterministic too: with every solve faulted, jobs=1
+    and jobs=4 degrade the same procedures to the same rungs with the same
+    warnings, and the parent plan sees the workers' trips."""
+    with faults.inject_faults(solver_timeout=True) as serial_plan:
+        serial_layouts, serial_report = align_both_ways(
+            jobs=1, effort="quick"
+        )
+    with faults.inject_faults(solver_timeout=True) as parallel_plan:
+        parallel_layouts, parallel_report = align_both_ways(
+            jobs=4, effort="quick"
+        )
+    assert serial_plan.trips("solver") > 0
+    assert parallel_plan.trips("solver") == serial_plan.trips("solver")
+    assert serial_report.degraded == parallel_report.degraded
+    assert set(serial_report.degraded.values()) == {"construction"}
+    assert serial_report.warnings == parallel_report.warnings
+    assert {n: l.order for n, l in serial_layouts.items()} == {
+        n: l.order for n, l in parallel_layouts.items()
+    }
+
+
+def test_run_case_state_identical_across_worker_counts():
+    serial = run_case("com", "in", jobs=1, effort="quick")
+    reset_artifact_cache()
+    parallel = run_case("com", "in", jobs=4, effort="quick")
+    assert _normalized_state(serial) == _normalized_state(parallel)
+    assert serial.lower_bound == parallel.lower_bound
+
+
+def test_checkpoint_payloads_identical_across_worker_counts(tmp_path):
+    """A sweep checkpointed at jobs=1 and one at jobs=4 contain the same
+    records under the same keys — so a checkpoint written at any worker
+    count resumes at any other."""
+    specs = [("com", "in")]
+    states = {}
+    for jobs in (1, 4):
+        reset_artifact_cache()
+        path = tmp_path / f"sweep-j{jobs}.jsonl"
+        checkpoint = ExperimentCheckpoint(path)
+        result = run_cases(
+            specs, checkpoint=checkpoint, jobs=jobs, effort="quick"
+        )
+        assert result.computed == 1 and not result.skipped
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        for record in lines:
+            for payload in record["case"]["methods"].values():
+                payload["align_seconds"] = 0.0
+            record.pop("sha", None)  # covers align_seconds, re-derivable
+        states[jobs] = lines
+    assert states[1] == states[4]
+
+
+def test_checkpoint_written_serial_resumes_parallel(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    specs = [("com", "in")]
+    first = run_cases(
+        specs, checkpoint=ExperimentCheckpoint(path), jobs=1, effort="quick"
+    )
+    assert first.computed == 1
+    reset_artifact_cache()
+    resumed = run_cases(
+        specs,
+        checkpoint=ExperimentCheckpoint(path, resume=True),
+        jobs=4,
+        effort="quick",
+    )
+    assert resumed.from_checkpoint == 1 and resumed.computed == 0
+    assert _normalized_state(first.cases[0]) == _normalized_state(
+        resumed.cases[0]
+    )
+
+
+def test_suite_cli_output_identical_across_worker_counts(capsys):
+    """The printed suite table — the user-facing artifact — is identical
+    for jobs=1 and jobs=4."""
+    from repro.cli import main
+
+    outputs = {}
+    for jobs in (1, 4):
+        reset_artifact_cache()
+        assert main(["suite", "com.in", "--jobs", str(jobs)]) == 0
+        outputs[jobs] = capsys.readouterr().out
+    assert outputs[1] == outputs[4]
+
+
+def test_method_aliases_share_one_memo_entry():
+    """`run_case_cached` normalizes method spellings through the registry
+    before its cache boundary."""
+    from repro.experiments.runner import run_case_cached
+
+    run_case_cached.cache_clear()
+    a = run_case_cached(
+        "com", "in", methods=("original", "dtsp"), effort="quick"
+    )
+    b = run_case_cached(
+        "com", "in", methods=("original", "tsp"), effort="quick"
+    )
+    assert a is b
+    assert set(a.methods) == {"original", "tsp"}
+    run_case_cached.cache_clear()

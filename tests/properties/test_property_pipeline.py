@@ -1,0 +1,102 @@
+"""Property-based tests of the staged pipeline's core invariants.
+
+The central one is the paper's reduction itself: the DTSP tour cost a
+pipeline stage reports for a layout equals the control penalty the
+evaluation stage computes for that layout — for *every* registered method.
+``ProcedureResult.cost`` and ``evaluate_layout`` are two walks over the
+same model, and they must never drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate_layout
+from repro.core.align import ALIGN_METHODS
+from repro.machine import ALPHA_21164
+from repro.pipeline.stages import align_one, instance_for
+from repro.pipeline.task import ProcedureTask
+from repro.profiles import EdgeProfile
+from repro.tsp.solve import get_effort
+from repro.workloads import GeneratorConfig, random_procedure
+
+
+def make_case(cfg_seed: int, target: int, profile_seed: int):
+    rng = random.Random(cfg_seed)
+    proc = random_procedure("p", rng, GeneratorConfig(target_blocks=target))
+    profile = EdgeProfile()
+    profile_rng = random.Random(profile_seed)
+    for block in proc.cfg:
+        for succ in block.successors:
+            if profile_rng.random() < 0.85:
+                profile.add(block.block_id, succ, profile_rng.randrange(0, 300))
+    return proc, profile
+
+
+def tasks_for(proc, profile, seed: int = 0):
+    return [
+        ProcedureTask(
+            name=proc.name,
+            cfg=proc.cfg,
+            profile=profile,
+            method=method,
+            model=ALPHA_21164,
+            effort=get_effort("quick"),
+            seed=seed,
+        )
+        for method in ALIGN_METHODS
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    cfg_seed=st.integers(0, 10_000),
+    target=st.integers(5, 22),
+    profile_seed=st.integers(0, 10_000),
+)
+def test_tour_cost_equals_evaluated_penalty(cfg_seed, target, profile_seed):
+    """§2.2's reduction, end to end: every method's reported layout cost
+    (a tour cost under the DTSP instance) equals the evaluation stage's
+    control penalty for the same layout — exactly, not approximately."""
+    proc, profile = make_case(cfg_seed, target, profile_seed)
+    for task in tasks_for(proc, profile):
+        result = align_one(task)
+        result.layout.check_against(proc.cfg)
+        evaluated = evaluate_layout(
+            proc.cfg, result.layout, profile, ALPHA_21164
+        ).total
+        if result.cost is not None:
+            assert result.cost == evaluated, (
+                f"{task.method}: tour cost {result.cost} != "
+                f"evaluated penalty {evaluated}"
+            )
+        # Results without a priced cost (the trivial path) still evaluate:
+        # the layout must be the no-op one, costing the original penalty.
+        if result.cost is None:
+            assert profile.total() == 0 or task.method == "original"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    cfg_seed=st.integers(0, 10_000),
+    target=st.integers(5, 18),
+    profile_seed=st.integers(0, 10_000),
+)
+def test_layout_cost_agrees_for_any_instance_client(
+    cfg_seed, target, profile_seed
+):
+    """All instance clients price layouts identically: pricing a method's
+    layout under a freshly built instance gives the same number the
+    pipeline attached to the result (matrix construction is a pure
+    function of its fingerprinted inputs)."""
+    proc, profile = make_case(cfg_seed, target, profile_seed)
+    if profile.total() == 0:
+        return
+    instance = instance_for(proc.cfg, profile, ALPHA_21164)
+    for task in tasks_for(proc, profile):
+        result = align_one(task)
+        if result.cost is not None:
+            assert instance.layout_cost(result.layout) == result.cost
