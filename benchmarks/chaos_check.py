@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""End-to-end chaos check for the fault-tolerant pipeline.
+
+Runs the paper's benchmark sweep while ``$REPRO_CHAOS``-style sabotage is
+armed — workers crash on a schedule, store entries tear mid-write — and
+asserts the robustness contract:
+
+1. **No lost procedures** — every procedure of every benchmark appears in
+   every method's layout, chaos or not.
+2. **Clean quarantine report** — injected crashes are retried, not
+   quarantined; the sweep's quarantine count is zero.
+3. **Sabotage is invisible in the output** — layouts and penalties under
+   chaos are identical to a clean serial baseline.
+4. **The store survives** — after disarming, a warm re-run against the
+   same store serves checksum-verified hits and still matches baseline.
+5. **Worker-count invariance** — jobs=1 and jobs=N produce identical
+   results against both cold and warm stores.
+
+Exit code 0 when every assertion holds, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_check.py --jobs 4
+    PYTHONPATH=src python benchmarks/chaos_check.py --cases com.in tak.t1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+
+def case_signature(case) -> dict:
+    """Everything that must be bit-identical across runs of one case."""
+    return {
+        method: {
+            "penalty": outcome.penalty,
+            "layouts": {
+                proc: tuple(layout.order)
+                for proc, layout in outcome.layouts.items()
+            },
+            "degraded": dict(outcome.degraded),
+        }
+        for method, outcome in case.methods.items()
+    }
+
+
+def run_sweep(specs, *, jobs: int) -> tuple[dict, int, int]:
+    """One full sweep; returns (signatures, retried, quarantined)."""
+    from repro.experiments.runner import run_case
+
+    signatures, retried, quarantined = {}, 0, 0
+    for benchmark, dataset in specs:
+        case = run_case(benchmark, dataset, jobs=jobs, compute_bound=False)
+        signatures[f"{benchmark}.{dataset}"] = case_signature(case)
+        retried += case.retried
+        quarantined += case.quarantined
+    return signatures, retried, quarantined
+
+
+def check(condition: bool, message: str, failures: list[str]) -> None:
+    print(("ok:   " if condition else "FAIL: ") + message)
+    if not condition:
+        failures.append(message)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the chaos runs (default: 4)")
+    parser.add_argument("--cases", nargs="*", default=None,
+                        help="benchmark cases like com.in (default: all)")
+    parser.add_argument("--chaos", default="worker_crash=%5,store_corrupt=%3",
+                        help="REPRO_CHAOS spec to arm during the chaos runs")
+    parser.add_argument("--store", default=None,
+                        help="store directory (default: a fresh temp dir)")
+    args = parser.parse_args(argv)
+
+    from repro.faults import CHAOS_ENV
+    from repro.pipeline.artifacts import (
+        ArtifactStore,
+        reset_artifact_cache,
+        reset_default_store,
+        set_default_store,
+    )
+    from repro.pipeline.executor import shutdown_pool
+    from repro.workloads.suite import all_cases, compile_benchmark
+
+    if args.cases:
+        specs = [tuple(case.split(".", 1)) for case in args.cases]
+    else:
+        specs = list(all_cases())
+    procedures = {
+        benchmark: {proc.name for proc in compile_benchmark(benchmark).program}
+        for benchmark, _ in specs
+    }
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-chaos-store-")
+    failures: list[str] = []
+
+    # 1. Clean serial baseline: no chaos, no store, no shared state.
+    os.environ[CHAOS_ENV] = ""
+    reset_default_store()
+    reset_artifact_cache()
+    baseline, _, _ = run_sweep(specs, jobs=1)
+    print(f"baseline: {len(baseline)} case(s), serial, no store")
+
+    # 2. Chaos run, cold store, parallel.
+    os.environ[CHAOS_ENV] = args.chaos
+    set_default_store(ArtifactStore(store_dir))
+    reset_artifact_cache()
+    chaos_sig, retried, quarantined = run_sweep(specs, jobs=args.jobs)
+    shutdown_pool()
+    print(
+        f"chaos ({args.chaos!r}, jobs={args.jobs}): "
+        f"{retried} retried, {quarantined} quarantined"
+    )
+    for label, signature in chaos_sig.items():
+        benchmark = label.split(".", 1)[0]
+        for method, entry in signature.items():
+            check(
+                set(entry["layouts"]) == procedures[benchmark],
+                f"{label} [{method}]: every procedure present under chaos",
+                failures,
+            )
+    check(quarantined == 0,
+          "quarantine report is clean (crashes were retried)", failures)
+    check(chaos_sig == baseline,
+          "chaos results identical to the clean baseline", failures)
+
+    # 3. Disarm; warm re-run must be served from verified store entries.
+    os.environ[CHAOS_ENV] = ""
+    store = set_default_store(ArtifactStore(store_dir))
+    reset_artifact_cache()
+    warm_sig, _, _ = run_sweep(specs, jobs=1)
+    check(warm_sig == baseline,
+          "warm store re-run identical to baseline", failures)
+    # Entries torn by the chaos run surface in that pass as evictions +
+    # recomputes — the contract working — and the recomputed artifacts are
+    # re-published cleanly, so a second warm pass must serve verified hits.
+    evicted = store.stats.evictions
+    reset_artifact_cache()
+    rewarm_sig, _, _ = run_sweep(specs, jobs=1)
+    check(rewarm_sig == baseline,
+          "second warm pass identical to baseline", failures)
+    check(store.stats.hits > 0,
+          f"store served checksum-verified hits ({store.stats.hits} reads; "
+          f"{evicted} torn entries evicted and recomputed first)",
+          failures)
+
+    # 4. Worker-count invariance against the warm store.
+    reset_artifact_cache()
+    parallel_sig, _, _ = run_sweep(specs, jobs=args.jobs)
+    shutdown_pool()
+    check(parallel_sig == baseline,
+          f"jobs=1 and jobs={args.jobs} identical (warm store)", failures)
+
+    reset_default_store()
+    if failures:
+        print(f"{len(failures)} chaos check(s) failed", file=sys.stderr)
+        return 1
+    print("all chaos checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

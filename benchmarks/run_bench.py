@@ -15,6 +15,11 @@ Two measurements:
 Profiling runs (VM execution) are warmed once before timing, so the
 figure2 numbers measure the alignment pipeline, not the interpreter.
 
+The previous report (if any) is loaded defensively — a missing, truncated,
+or hand-mangled ``BENCH_pipeline.json`` starts a fresh history instead of
+crashing — and each run appends a compact entry to ``history`` so perf and
+robustness regressions (retries, quarantines) are visible across runs.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py              # jobs 1 and 4
@@ -72,9 +77,13 @@ def bench_figure2(jobs: int) -> dict:
     case_lower_bound.cache_clear()
 
     procedures = 0
+    retried = 0
+    quarantined = 0
     started = time.perf_counter()
     for benchmark, dataset in all_cases():
-        run_case(benchmark, dataset, jobs=jobs)
+        case = run_case(benchmark, dataset, jobs=jobs)
+        retried += case.retried
+        quarantined += case.quarantined
         procedures += len(
             list(compile_benchmark(benchmark).program)
         ) * len(DEFAULT_METHODS)
@@ -94,7 +103,42 @@ def bench_figure2(jobs: int) -> dict:
         "wall_seconds": round(elapsed, 3),
         "procedures_aligned": procedures,
         "procedures_per_second": round(procedures / elapsed, 2),
+        "retried": retried,
+        "quarantined": quarantined,
         "cache": stats,
+    }
+
+
+def load_previous_report(path: pathlib.Path) -> dict | None:
+    """Load the last report defensively: a missing file, unreadable bytes,
+    malformed JSON, or a non-object top level all mean "no history" —
+    benchmarking must never fail because the previous run was interrupted
+    mid-write or the file was hand-edited."""
+    try:
+        raw = path.read_text()
+    except OSError:
+        return None
+    try:
+        previous = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        return None
+    return previous if isinstance(previous, dict) else None
+
+
+def history_entry(report: dict) -> dict:
+    """Compact per-run summary kept across reports."""
+    figure2 = report.get("figure2") or []
+    return {
+        "when": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "wall_seconds": {
+            str(entry.get("jobs")): entry.get("wall_seconds")
+            for entry in figure2
+        },
+        "retried": sum(int(entry.get("retried", 0)) for entry in figure2),
+        "quarantined": sum(
+            int(entry.get("quarantined", 0)) for entry in figure2
+        ),
+        "tier1_seconds": (report.get("tier1") or {}).get("wall_seconds"),
     }
 
 
@@ -116,6 +160,11 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"output path (default: {DEFAULT_OUT})")
     args = parser.parse_args(argv)
 
+    previous = load_previous_report(args.out)
+    history = previous.get("history") if previous else None
+    if not isinstance(history, list):
+        history = []
+
     report: dict = {
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -133,7 +182,8 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  {entry['wall_seconds']}s, "
             f"{entry['procedures_per_second']} procs/s, instance hit rate "
-            f"{entry['cache'].get('instance', {}).get('hit_rate', 0.0)}"
+            f"{entry['cache'].get('instance', {}).get('hit_rate', 0.0)}, "
+            f"{entry['retried']} retried, {entry['quarantined']} quarantined"
         )
 
     if not args.skip_tier1:
@@ -144,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
             f"({report['tier1']['summary']})"
         )
 
+    report["history"] = (history + [history_entry(report)])[-20:]
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0

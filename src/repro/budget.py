@@ -101,6 +101,56 @@ class BudgetTimer:
             )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Supervised-execution limits for one task: how many times to retry a
+    failed attempt, how long one attempt may run, and how long to back off
+    between attempts.
+
+    Like :class:`Budget`, a policy is an immutable *spec*; the executor owns
+    the mutable attempt state.  Backoff is deterministic (pure exponential,
+    capped, no jitter) so retry schedules — and therefore logs and tests —
+    are reproducible.
+    """
+
+    #: Retry attempts after the first try (0 = fail fast).
+    retries: int = 2
+    #: Outer wall-clock guard per attempt, enforced by the executor in
+    #: parallel mode.  ``None`` = no outer deadline (cooperative budgets
+    #: still apply).
+    task_timeout_ms: float | None = None
+    #: First backoff delay; doubles per subsequent retry.
+    backoff_base_ms: float = 25.0
+    #: Ceiling on any single backoff delay.
+    backoff_cap_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.task_timeout_ms is not None and self.task_timeout_ms <= 0:
+            raise ValueError("task_timeout_ms must be positive")
+        if self.backoff_base_ms < 0 or self.backoff_cap_ms < 0:
+            raise ValueError("backoff must be non-negative")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def backoff_ms(self, retry_number: int) -> float:
+        """Delay before retry ``retry_number`` (1-based), capped exponential:
+        base, 2·base, 4·base, ... never exceeding ``backoff_cap_ms``."""
+        if retry_number <= 0:
+            return 0.0
+        return min(
+            self.backoff_cap_ms,
+            self.backoff_base_ms * (2 ** (retry_number - 1)),
+        )
+
+
+#: The default supervision policy: two retries, no outer deadline.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
 def ensure_timer(
     budget: "Budget | BudgetTimer | None",
 ) -> BudgetTimer | None:

@@ -5,8 +5,10 @@
     repro align FILE [--inputs ... | --input-file F | --profile P.json]
                  [--method tsp] [--model alpha21164] [--effort default]
                  [--bound] [--cross-profile Q.json] [--jobs N]
+                 [--retries N] [--task-timeout-ms MS] [--store PATH]
     repro suite CASE [CASE ...] [--train DATASET] [--budget-ms MS]
                  [--checkpoint P.jsonl [--resume]] [--jobs N]
+                 [--retries N] [--task-timeout-ms MS] [--store PATH]
 
 ``repro suite com.in`` runs one benchmark case of the paper's evaluation
 (``repro suite all`` runs every case; ``--budget-ms`` bounds each
@@ -25,7 +27,7 @@ import argparse
 import pathlib
 import sys
 
-from repro.cfg import cfg_to_dot, simplify_procedure, validate_program
+from repro.cfg import CFGError, cfg_to_dot, simplify_procedure, validate_program
 from repro.cfg.graph import Program
 from repro.core import (
     align_program,
@@ -70,10 +72,51 @@ def _parse_inputs(args) -> list[int]:
     return []
 
 
+def _validated_program(module) -> Program:
+    """Validate CFG invariants before anything downstream consumes the
+    program; a malformed CFG is a usage error (exit 2) naming the offending
+    procedure, never a raw traceback."""
+    program = module.program
+    try:
+        validate_program(program)
+    except CFGError as exc:
+        raise UsageError(f"invalid control-flow graph: {exc}") from None
+    return program
+
+
+def _supervision_policy(args):
+    """Build the executor's retry policy from CLI flags (``None`` defers
+    to ``$REPRO_RETRIES`` / ``$REPRO_TASK_TIMEOUT_MS``)."""
+    from repro.pipeline.executor import resolve_policy
+
+    retries = getattr(args, "retries", None)
+    if retries is not None and retries < 0:
+        raise UsageError(f"--retries must be >= 0, got {retries}")
+    timeout = getattr(args, "task_timeout_ms", None)
+    if timeout is not None and timeout <= 0:
+        raise UsageError(
+            f"--task-timeout-ms must be a positive number of milliseconds, "
+            f"got {timeout}"
+        )
+    if retries is None and timeout is None:
+        return None
+    return resolve_policy(retries=retries, task_timeout_ms=timeout)
+
+
+def _install_store(args) -> None:
+    """Install the on-disk artifact store named by ``--store`` (an
+    explicit flag wins over ``$REPRO_STORE``; no flag defers to the
+    environment)."""
+    from repro.pipeline.artifacts import resolve_store_path, set_default_store
+
+    if getattr(args, "store", None) is None:
+        return
+    set_default_store(resolve_store_path(args.store))
+
+
 def cmd_compile(args) -> int:
     module = compile_source(_read_source(args.file))
-    program = module.program
-    validate_program(program)
+    program = _validated_program(module)
     rows = []
     for proc in program:
         cfg = proc.cfg
@@ -132,8 +175,10 @@ def _load_profile(args, module) -> ProgramProfile:
 
 
 def cmd_align(args) -> int:
+    policy = _supervision_policy(args)
+    _install_store(args)
     module = compile_source(_read_source(args.file))
-    program = module.program
+    program = _validated_program(module)
     model = get_model(args.model)
     training = _load_profile(args, module)
     testing = training
@@ -152,7 +197,7 @@ def cmd_align(args) -> int:
     for method in methods:
         layouts = align_program(
             program, training, method=method, model=model,
-            effort=args.effort, jobs=args.jobs,
+            effort=args.effort, jobs=args.jobs, policy=policy,
         )
         penalty = evaluate_program(
             program, layouts, testing, model, predictors=predictors
@@ -166,7 +211,7 @@ def cmd_align(args) -> int:
         ])
     if args.bound:
         bound = lower_bound_program(
-            program, training, model=model, jobs=args.jobs
+            program, training, model=model, jobs=args.jobs, policy=policy
         )
         rows.append(["(lower bound)", bound.total, bound.total / baseline,
                      "", "", ""])
@@ -183,7 +228,7 @@ def cmd_align(args) -> int:
         method = methods[-1]
         layouts = align_program(
             program, training, method=method, model=model,
-            effort=args.effort, jobs=args.jobs,
+            effort=args.effort, jobs=args.jobs, policy=policy,
         )
         for name, report in describe_program(
             program, layouts, testing, model
@@ -229,6 +274,8 @@ def cmd_suite(args) -> int:
     from repro.experiments import ExperimentCheckpoint, run_cases
 
     specs = _suite_specs(args)
+    policy = _supervision_policy(args)
+    _install_store(args)
     if args.resume and not args.checkpoint:
         raise UsageError("--resume requires --checkpoint")
     budget = None
@@ -246,7 +293,8 @@ def cmd_suite(args) -> int:
     )
 
     result = run_cases(
-        specs, budget=budget, checkpoint=checkpoint, jobs=args.jobs
+        specs, budget=budget, checkpoint=checkpoint, jobs=args.jobs,
+        policy=policy,
     )
     for case in result.cases:
         rows = []
@@ -256,19 +304,27 @@ def cmd_suite(args) -> int:
                 outcome.cycles, case.normalized_cycles(method),
                 outcome.timing.icache_misses,
                 outcome.degraded_summary or "-",
+                outcome.retried or "-",
+                len(outcome.quarantined) or "-",
             ])
         rows.append(["(lower bound)", case.lower_bound, case.normalized_bound,
-                     "", "", "", ""])
+                     "", "", "", "", "", ""])
         title = f"{case.label} (trained on {case.train_dataset})"
         print(format_table(
             ["method", "penalty", "norm", "sim cycles", "norm", "i$ misses",
-             "degraded"],
+             "degraded", "retried", "quarantined"],
             rows, title=title,
         ))
         for line in sorted(
             {w for outcome in case.methods.values() for w in outcome.warnings}
         ):
             print(f"warning: {line}")
+        for method, outcome in case.methods.items():
+            for proc, error in sorted(outcome.quarantined.items()):
+                print(
+                    f"quarantined: {case.label} {proc} [{method}]: {error}",
+                    file=sys.stderr,
+                )
     for skip in result.skipped:
         print(
             f"skipped: {skip.label} after {skip.attempts} attempts "
@@ -281,6 +337,20 @@ def cmd_suite(args) -> int:
             f"resumed, {result.computed} computed"
         )
     return 0 if result.cases else 1
+
+
+def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry budget per procedure task before it is "
+                             "quarantined (default: $REPRO_RETRIES or 2)")
+    parser.add_argument("--task-timeout-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-task deadline; a task over it is retried, "
+                             "then quarantined with its identity layout "
+                             "(default: $REPRO_TASK_TIMEOUT_MS or none)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="on-disk artifact store ('auto' = ~/.cache/repro,"
+                             " 'off' disables; default: $REPRO_STORE)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="align procedures in N worker processes "
                               "(default: $REPRO_JOBS or 1); results are "
                               "identical for any N")
+    _add_supervision_flags(p_align)
     p_align.set_defaults(func=cmd_align)
 
     p_suite = sub.add_parser("suite", help="run paper benchmark cases")
@@ -343,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="solve procedures in N worker processes "
                               "(default: $REPRO_JOBS or 1); output and "
                               "checkpoints are identical for any N")
+    _add_supervision_flags(p_suite)
     p_suite.set_defaults(func=cmd_suite)
     return parser
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.budget import Budget
+from repro.budget import Budget, RetryPolicy
 from repro.cfg.graph import Program
 from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
 from repro.core.aligners.tsp_aligner import tsp_align
@@ -161,6 +161,11 @@ class AlignmentReport:
     degraded: dict[str, str] = field(default_factory=dict)
     #: Structured warnings explaining each degradation.
     warnings: list[str] = field(default_factory=list)
+    #: Retry attempts the supervised executor spent on this pass.
+    retried: int = 0
+    #: Procedures poisoned out of the pass (proc → final error); their
+    #: layouts are the identity stand-in.
+    quarantined: dict[str, str] = field(default_factory=dict)
 
 
 def align_program(
@@ -174,6 +179,7 @@ def align_program(
     budget: Budget | None = None,
     report: AlignmentReport | None = None,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> ProgramLayout:
     """Align every procedure of ``program`` using ``profile`` as training
     data; returns one layout per procedure.
@@ -186,6 +192,10 @@ def align_program(
     ``jobs`` > 1 solves procedures in parallel worker processes;
     ``jobs=None`` reads ``REPRO_JOBS`` (default 1).  Results — layouts and
     ``report`` contents — are identical for every worker count.
+
+    ``policy`` tunes the supervised executor (retry budget, per-task
+    deadline, backoff); failures that exhaust it quarantine the procedure
+    with its identity layout (``report.quarantined``) instead of raising.
     """
     return align_procedures(
         program,
@@ -196,6 +206,7 @@ def align_program(
         seed=seed,
         budget=budget,
         jobs=jobs,
+        policy=policy,
         report=report,
     )
 
@@ -220,6 +231,7 @@ def lower_bound_program(
     upper_bounds: dict[str, float] | None = None,
     budget: Budget | None = None,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> LowerBoundReport:
     """Held–Karp lower bound on the total control penalty of any layout.
 
@@ -235,5 +247,6 @@ def lower_bound_program(
         upper_bounds=upper_bounds,
         budget=budget,
         jobs=jobs,
+        policy=policy,
     ))
     return report

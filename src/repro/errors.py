@@ -94,6 +94,61 @@ class CheckpointCorruptError(ReproError):
         self.line_number = line_number
 
 
+class WorkerCrashError(ReproError):
+    """A worker process died mid-task (OOM, signal, ``BrokenProcessPool``).
+
+    The supervised executor converts pool breakage into this error, retries
+    the affected tasks, and rebuilds the pool — a crash costs one attempt,
+    never the sweep.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A supervised task exceeded its per-task deadline.
+
+    Distinct from :class:`SolverBudgetExceeded` (a *cooperative* deadline
+    the solver checks itself): this is the executor's outer guard for tasks
+    that stop responding entirely.
+    """
+
+    def __init__(self, message: str, *, timeout_ms: float | None = None):
+        super().__init__(message)
+        self.timeout_ms = timeout_ms
+
+
+class PoisonTaskError(ReproError):
+    """A task failed every attempt of its retry budget and was quarantined.
+
+    Carries the final underlying failure; the executor records it in the
+    quarantine report rather than raising, so callers only ever see this
+    type through :func:`repro.pipeline.executor.run_tasks` (the strict,
+    raise-on-failure wrapper).
+    """
+
+    def __init__(self, message: str, *, attempts: int = 1,
+                 last_error: str | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class ArtifactStoreError(ReproError):
+    """The on-disk artifact store could not serve a request.
+
+    Store failures are *never* fatal to a run — the store degrades to a
+    cache miss — so this class mostly appears inside the store's own
+    accounting and in strict-mode tests.
+    """
+
+
+class ArtifactIntegrityError(ArtifactStoreError):
+    """A store entry failed its sha256 checksum (torn write, bit rot).
+
+    The store evicts the entry and reports a miss; strict readers
+    (tests) can observe the eviction counters instead of the exception.
+    """
+
+
 def __getattr__(name: str):
     # Lazy re-export: VMRunawayError subclasses repro.lang.vm.VMError, and
     # vm.py imports this module, so an eager import here would cycle.
@@ -105,12 +160,17 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "ArtifactIntegrityError",
+    "ArtifactStoreError",
     "CheckpointCorruptError",
     "DegradationError",
+    "PoisonTaskError",
     "ProfileMismatchError",
     "ReproError",
     "SolverBudgetExceeded",
+    "TaskTimeoutError",
     "UnknownNameError",
     "UsageError",
     "VMRunawayError",
+    "WorkerCrashError",
 ]

@@ -145,6 +145,8 @@ def case_to_state(case: CaseResult) -> dict:
                 },
                 "degraded": dict(outcome.degraded),
                 "warnings": list(outcome.warnings),
+                "retried": outcome.retried,
+                "quarantined": dict(outcome.quarantined),
             }
             for name, outcome in case.methods.items()
         },
@@ -173,6 +175,8 @@ def case_from_state(state: dict) -> CaseResult:
             layouts=layouts,
             degraded=dict(payload.get("degraded", {})),
             warnings=list(payload.get("warnings", [])),
+            retried=int(payload.get("retried", 0)),
+            quarantined=dict(payload.get("quarantined", {})),
         )
     return case
 

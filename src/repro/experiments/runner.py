@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.budget import Budget
+from repro.budget import Budget, RetryPolicy
 from repro.core.align import AlignmentReport, align_program
 from repro.core.costmodel import CostBreakdown
 from repro.core.evaluate import evaluate_program, train_predictors
@@ -97,6 +97,11 @@ class MethodOutcome:
     degraded: dict[str, str] = field(default_factory=dict)
     #: Structured warnings explaining each degradation.
     warnings: list[str] = field(default_factory=list)
+    #: Retry attempts the supervised executor spent on this method.
+    retried: int = 0
+    #: Procedures poisoned out of the align stage (proc → final error);
+    #: they keep their identity layout.
+    quarantined: dict[str, str] = field(default_factory=dict)
 
     @property
     def cycles(self) -> float:
@@ -158,6 +163,18 @@ class CaseResult:
         """True when any method degraded any procedure."""
         return any(outcome.degraded for outcome in self.methods.values())
 
+    @property
+    def retried(self) -> int:
+        """Total supervised-executor retries across all methods."""
+        return sum(outcome.retried for outcome in self.methods.values())
+
+    @property
+    def quarantined(self) -> int:
+        """Total quarantined procedures across all methods."""
+        return sum(
+            len(outcome.quarantined) for outcome in self.methods.values()
+        )
+
 
 def run_case(
     benchmark: str,
@@ -173,6 +190,7 @@ def run_case(
     icache_bytes: int = 8192,
     icache_line: int = 32,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> CaseResult:
     """Run one case: test on ``dataset``, train on ``train_dataset`` (same
     data set when omitted — the paper's §4.1 configuration).
@@ -211,6 +229,7 @@ def run_case(
             budget=budget,
             report=align_report,
             jobs=jobs,
+            policy=policy,
         )
         align_seconds = time.perf_counter() - started
         penalty = evaluate_program(
@@ -234,6 +253,8 @@ def run_case(
             layouts=layouts,
             degraded=align_report.degraded,
             warnings=align_report.warnings,
+            retried=align_report.retried,
+            quarantined=align_report.quarantined,
         )
 
     if compute_bound:
@@ -245,6 +266,7 @@ def run_case(
             seed=seed,
             budget=budget,
             jobs=jobs,
+            policy=policy,
         )
     return case
 
@@ -261,6 +283,7 @@ def _run_case_cached(
     seed: int,
     budget: Budget | None,
     jobs: int,
+    policy: RetryPolicy | None,
 ) -> CaseResult:
     return run_case(
         benchmark,
@@ -272,6 +295,7 @@ def _run_case_cached(
         seed=seed,
         budget=budget,
         jobs=jobs,
+        policy=policy,
     )
 
 
@@ -286,6 +310,7 @@ def run_case_cached(
     seed: int = 0,
     budget: Budget | None = None,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> CaseResult:
     """Memoized :func:`run_case` — figures share cases within a session.
 
@@ -304,6 +329,7 @@ def run_case_cached(
         seed=seed,
         budget=budget,
         jobs=resolve_jobs(jobs),
+        policy=policy,
     )
 
 
@@ -321,6 +347,7 @@ def _case_lower_bound(
     seed: int,
     budget: Budget | None,
     jobs: int,
+    policy: RetryPolicy | None = None,
 ) -> float:
     module = compile_benchmark(benchmark)
     run = profiled_run(benchmark, dataset)
@@ -336,7 +363,7 @@ def _case_lower_bound(
         seed=seed,
         budget=budget,
     )
-    aligned = run_align_tasks(tasks, jobs=jobs)
+    aligned = run_align_tasks(tasks, jobs=jobs, policy=policy)
     bound_tasks = [
         BoundTask(
             name=task.name,
@@ -351,7 +378,10 @@ def _case_lower_bound(
         for task, result in zip(tasks, aligned)
         if task.profile.total()
     ]
-    return sum(r.bound for r in run_bound_tasks(bound_tasks, jobs=jobs))
+    return sum(
+        r.bound
+        for r in run_bound_tasks(bound_tasks, jobs=jobs, policy=policy)
+    )
 
 
 def case_lower_bound(
@@ -363,6 +393,7 @@ def case_lower_bound(
     seed: int = 0,
     budget: Budget | None = None,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> float:
     """Held–Karp lower bound for one case, with TSP tours as the subgradient
     targets (cached — every figure reuses it; arguments are normalized
@@ -375,6 +406,7 @@ def case_lower_bound(
         seed=seed,
         budget=budget,
         jobs=resolve_jobs(jobs),
+        policy=policy,
     )
 
 
@@ -425,6 +457,7 @@ def run_case_resilient(
     checkpoint: "ExperimentCheckpoint | None" = None,
     retries: int = 1,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> "CaseResult | SkippedCase":
     """:func:`run_case` with checkpoint lookup, retry, and skip-on-failure.
 
@@ -471,6 +504,7 @@ def run_case_resilient(
                 budget=budget,
                 compute_bound=compute_bound,
                 jobs=jobs,
+                policy=policy,
             )
         except Exception as exc:  # noqa: BLE001 — sweep survival by design
             last_error = exc
@@ -499,6 +533,7 @@ def run_cases(
     checkpoint: "ExperimentCheckpoint | None" = None,
     retries: int = 1,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> SweepResult:
     """Run a sweep of cases fault-tolerantly.
 
@@ -543,6 +578,7 @@ def run_cases(
             checkpoint=checkpoint,
             retries=retries,
             jobs=jobs,
+            policy=policy,
         )
         if isinstance(outcome, SkippedCase):
             result.skipped.append(outcome)

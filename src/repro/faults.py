@@ -2,10 +2,11 @@
 
 Lets tests (and chaos-style experiments) make the pipeline's failure paths
 *happen on demand*: solvers time out, degradation rungs break, VM runs
-exceed their step limits, checkpoint writes corrupt on the Nth call.  The
-production code consults this module at the same points where the real
-failures occur, so a test that survives injected faults exercises exactly
-the code that must survive real ones.
+exceed their step limits, checkpoint writes corrupt on the Nth call,
+workers crash mid-task, store entries tear on disk.  The production code
+consults this module at the same points where the real failures occur, so
+a test that survives injected faults exercises exactly the code that must
+survive real ones.
 
 Usage::
 
@@ -16,21 +17,51 @@ Usage::
     assert plan.trips("solver") > 0
 
 Site trigger values are ``False``/``None`` (never fire), ``True`` (fire on
-every call), or an integer ``n`` (fire on the n-th call only, 1-based —
-"corrupt the 3rd checkpoint write").  Plans nest; the innermost context
-wins.  State lives in a :class:`contextvars.ContextVar`, so plans stay
-scoped under threads and async tests.
+every call), an integer ``n`` (fire on the n-th call only, 1-based —
+"corrupt the 3rd checkpoint write"), or a string ``"%k"`` (fire on every
+k-th call — "crash every 5th worker dispatch").  Plans nest; the innermost
+context wins.  State lives in a :class:`contextvars.ContextVar`, so plans
+stay scoped under threads and async tests.
+
+Sites fall into two groups:
+
+* **pipeline sites** (``solver_timeout`` … ``task_timeout``) sabotage the
+  alignment computation itself.  The artifact cache and store refuse to
+  *serve* artifacts while any of these is armed, so injected failures
+  reach the code under test instead of being papered over by a clean
+  cached result.
+* **store sites** (``store_corrupt``, ``store_io_error``) sabotage the
+  on-disk artifact store.  A plan arming *only* store sites leaves the
+  store live — it has to, for the injected corruption to reach it.
+
+Chaos mode: setting ``REPRO_CHAOS`` (e.g.
+``REPRO_CHAOS="worker_crash=%7,store_corrupt=1"``) arms a process-wide
+plan consulted *only* by the supervised executor and the on-disk store —
+the two subsystems whose whole contract is that sabotage is invisible in
+the output.  CI runs the full test suite this way.
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 from contextvars import ContextVar
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
-from repro.errors import DegradationError, SolverBudgetExceeded
+from repro.errors import (
+    ArtifactStoreError,
+    DegradationError,
+    SolverBudgetExceeded,
+    TaskTimeoutError,
+)
 
-Trigger = "bool | int | None"
+Trigger = "bool | int | str | None"
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Sites that sabotage the on-disk artifact store rather than the
+#: alignment computation.  Plans arming only these keep caches enabled.
+STORE_SITES = frozenset({"store_corrupt", "store_io_error"})
 
 
 @dataclass
@@ -38,17 +69,26 @@ class FaultPlan:
     """One set of armed faults plus per-site call/trip counters."""
 
     #: Heuristic DTSP solves raise :class:`SolverBudgetExceeded`.
-    solver_timeout: bool | int | None = False
+    solver_timeout: bool | int | str | None = False
     #: The construction-tour fallback rung raises :class:`DegradationError`.
-    construction_failure: bool | int | None = False
+    construction_failure: bool | int | str | None = False
     #: The greedy-alignment fallback rung raises :class:`DegradationError`.
-    greedy_failure: bool | int | None = False
+    greedy_failure: bool | int | str | None = False
     #: Lower-bound computations raise :class:`SolverBudgetExceeded`.
-    bound_timeout: bool | int | None = False
+    bound_timeout: bool | int | str | None = False
     #: Override the VM's ``max_blocks`` so runs trip the runaway guard.
     vm_max_blocks: int | None = None
     #: Corrupt the n-th checkpoint line written (``True`` = every line).
-    checkpoint_corrupt_on: bool | int | None = False
+    checkpoint_corrupt_on: bool | int | str | None = False
+    #: The n-th supervised task dispatch dies: a real ``os._exit`` in pool
+    #: workers (breaking the pool), :class:`WorkerCrashError` in-process.
+    worker_crash: bool | int | str | None = False
+    #: The n-th supervised task dispatch times out before running.
+    task_timeout: bool | int | str | None = False
+    #: Torn write: the n-th store entry written is truncated on disk.
+    store_corrupt: bool | int | str | None = False
+    #: The n-th store read/write raises an I/O error inside the store.
+    store_io_error: bool | int | str | None = False
 
     _calls: dict[str, int] = field(default_factory=dict)
     _trips: dict[str, int] = field(default_factory=dict)
@@ -59,29 +99,40 @@ class FaultPlan:
     def trips(self, site: str) -> int:
         return self._trips.get(site, 0)
 
-    def fires(self, site: str, trigger: bool | int | None) -> bool:
+    def fires(self, site: str, trigger: bool | int | str | None) -> bool:
         """Count one call at ``site`` and decide whether the fault fires."""
         call = self._calls.get(site, 0) + 1
         self._calls[site] = call
         fired = trigger is True or (
             isinstance(trigger, int) and not isinstance(trigger, bool)
             and call == trigger
+        ) or (
+            isinstance(trigger, str) and trigger.startswith("%")
+            and trigger[1:].isdigit() and int(trigger[1:]) > 0
+            and call % int(trigger[1:]) == 0
         )
         if fired:
             self._trips[site] = self._trips.get(site, 0) + 1
         return fired
+
+    def arms_pipeline_sites(self) -> bool:
+        """True when any non-store site is armed — the condition under
+        which the artifact cache and store must not serve artifacts."""
+        for f in fields(self):
+            if f.name.startswith("_") or f.name in STORE_SITES:
+                continue
+            if getattr(self, f.name) not in (False, None):
+                return True
+        return False
 
     def spec(self) -> dict:
         """The plan's trigger configuration, without counter state — what a
         parallel executor ships to worker processes so injected faults keep
         firing inside per-procedure solves."""
         return {
-            "solver_timeout": self.solver_timeout,
-            "construction_failure": self.construction_failure,
-            "greedy_failure": self.greedy_failure,
-            "bound_timeout": self.bound_timeout,
-            "vm_max_blocks": self.vm_max_blocks,
-            "checkpoint_corrupt_on": self.checkpoint_corrupt_on,
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if not f.name.startswith("_")
         }
 
     def counters(self) -> tuple[dict[str, int], dict[str, int]]:
@@ -116,6 +167,70 @@ def inject_faults(**kwargs):
         yield plan
     finally:
         _ACTIVE.reset(token)
+
+
+# -- chaos mode (environment-armed, executor/store scope only) ----------------
+
+_CHAOS: FaultPlan | None = None
+_CHAOS_RAW: str | None = None
+
+
+def _parse_trigger(raw: str) -> bool | int | str:
+    raw = raw.strip()
+    if raw.lower() in ("true", "1") or raw == "":
+        # "site=1" in the env means "always" — a 1-shot trigger from the
+        # environment is near-useless across a whole process.
+        return True
+    if raw.startswith("%"):
+        return raw
+    try:
+        return int(raw)
+    except ValueError:
+        return True
+
+
+def chaos_plan() -> FaultPlan | None:
+    """The process-wide chaos plan parsed from ``$REPRO_CHAOS``, or ``None``.
+
+    Only the supervised executor (``worker_crash`` / ``task_timeout``) and
+    the on-disk store (``store_corrupt`` / ``store_io_error``) consult this
+    plan — subsystems built to absorb sabotage without changing results —
+    so arming it must keep the full test suite green.  Unknown site names
+    are ignored (forward compatibility), and the plan re-parses when the
+    variable changes (tests).
+    """
+    global _CHAOS, _CHAOS_RAW
+    raw = os.environ.get(CHAOS_ENV, "").strip()
+    if raw != _CHAOS_RAW:
+        _CHAOS_RAW = raw
+        if not raw:
+            _CHAOS = None
+        else:
+            known = {f.name for f in fields(FaultPlan)
+                     if not f.name.startswith("_")}
+            kwargs = {}
+            for item in raw.split(","):
+                if "=" not in item:
+                    continue
+                site, _, trigger = item.partition("=")
+                if site.strip() in known:
+                    kwargs[site.strip()] = _parse_trigger(trigger)
+            _CHAOS = FaultPlan(**kwargs) if kwargs else None
+    return _CHAOS
+
+
+def _plans_for(site_group: str) -> list[FaultPlan]:
+    """The plans a hook should consult: the context plan, then (for
+    executor/store sites only) the chaos plan."""
+    plans = []
+    plan = active()
+    if plan is not None:
+        plans.append(plan)
+    if site_group in ("executor", "store"):
+        chaos = chaos_plan()
+        if chaos is not None and chaos is not plan:
+            plans.append(chaos)
+    return plans
 
 
 # -- hooks called by production code ------------------------------------------
@@ -168,3 +283,58 @@ def corrupt_checkpoint_line(line: str) -> str:
     if plan is not None and plan.fires("checkpoint", plan.checkpoint_corrupt_on):
         return line[: max(1, len(line) // 2)]
     return line
+
+
+def _dispatch_site_fires(site: str, first_dispatch: bool) -> bool:
+    """Shared logic for the supervisor's parent-side dispatch sites.
+
+    Scheduled triggers (integer / ``"%k"``) are consulted only on a task's
+    *first* dispatch — never on retries or requeues — so the sabotage
+    schedule is a pure function of task order: deterministic for any
+    worker count, and a retry always gets a clean dispatch (sabotage tests
+    recovery, not quarantine).  ``True`` stays unrelenting: it fires on
+    every dispatch, retries included, which is how tests drive the
+    quarantine path itself.
+    """
+    for plan in _plans_for("executor"):
+        trigger = getattr(plan, site)
+        if trigger is not True and not first_dispatch:
+            continue
+        if plan.fires(site, trigger):
+            return True
+    return False
+
+
+def worker_crash_fires(first_dispatch: bool = True) -> bool:
+    """Consulted by the supervised executor, in the *parent*, per task
+    dispatch (see :func:`_dispatch_site_fires` for the schedule rules)."""
+    return _dispatch_site_fires("worker_crash", first_dispatch)
+
+
+def task_timeout_fires(first_dispatch: bool = True) -> bool:
+    """Consulted by the supervised executor per task dispatch: a fired
+    trigger simulates an attempt exceeding its outer deadline."""
+    return _dispatch_site_fires("task_timeout", first_dispatch)
+
+
+def corrupt_store_bytes(data: bytes) -> bytes:
+    """Return ``data`` truncated when the store-corruption fault fires —
+    the moral equivalent of a process killed mid-write."""
+    for plan in _plans_for("store"):
+        if plan.fires("store_corrupt", plan.store_corrupt):
+            return data[: max(1, len(data) // 2)]
+    return data
+
+
+def check_store_io() -> None:
+    """Called at the top of every store read/write; a fired trigger raises
+    the :class:`ArtifactStoreError` the store must absorb as a miss."""
+    for plan in _plans_for("store"):
+        if plan.fires("store_io", plan.store_io_error):
+            raise ArtifactStoreError("fault injection: store I/O error")
+
+
+def simulated_task_timeout_error() -> TaskTimeoutError:
+    return TaskTimeoutError(
+        "fault injection: task exceeded its deadline", timeout_ms=0.0
+    )

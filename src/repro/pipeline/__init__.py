@@ -8,24 +8,41 @@ artifacts (see :mod:`repro.pipeline.stages` for the stage graph and
   :class:`ProcedureResult`, :class:`BoundTask`, :class:`BoundResult`).
 * :mod:`repro.pipeline.registry` — the aligner registry;
   ``ALIGN_METHODS`` is a live view over it.
-* :mod:`repro.pipeline.artifacts` — the content-addressed artifact cache.
-* :mod:`repro.pipeline.executor` — per-procedure parallel execution with a
-  serial fallback (``jobs=`` / ``REPRO_JOBS``).
+* :mod:`repro.pipeline.artifacts` — the content-addressed artifact cache
+  (in-memory tier plus the on-disk :class:`ArtifactStore`, ``--store`` /
+  ``REPRO_STORE``).
+* :mod:`repro.pipeline.executor` — supervised per-procedure parallel
+  execution with a serial fallback (``jobs=`` / ``REPRO_JOBS``): worker
+  crashes and task timeouts are detected, retried under a
+  :class:`~repro.budget.RetryPolicy`, and poison tasks are quarantined.
 * :mod:`repro.pipeline.stages` — the stages themselves: cost-matrix,
   align, evaluate, and lower-bound.
 """
 
 from repro.pipeline.artifacts import (
+    STORE_ENV,
     ArtifactCache,
+    ArtifactStore,
     CacheStats,
+    StoreStats,
     artifact_cache,
+    default_store,
     reset_artifact_cache,
+    reset_default_store,
+    resolve_store_path,
+    set_default_store,
 )
 from repro.pipeline.executor import (
     JOBS_ENV,
+    RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
+    SupervisionReport,
+    TaskOutcome,
     register_handler,
     resolve_jobs,
+    resolve_policy,
     run_tasks,
+    run_tasks_supervised,
     shutdown_pool,
 )
 from repro.pipeline.registry import (
@@ -57,13 +74,26 @@ from repro.pipeline.task import (
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactStore",
     "CacheStats",
+    "StoreStats",
+    "STORE_ENV",
     "artifact_cache",
+    "default_store",
     "reset_artifact_cache",
+    "reset_default_store",
+    "resolve_store_path",
+    "set_default_store",
     "JOBS_ENV",
+    "RETRIES_ENV",
+    "TASK_TIMEOUT_ENV",
+    "SupervisionReport",
+    "TaskOutcome",
     "register_handler",
     "resolve_jobs",
+    "resolve_policy",
     "run_tasks",
+    "run_tasks_supervised",
     "shutdown_pool",
     "AlignerSpec",
     "MethodsView",

@@ -1,40 +1,72 @@
-"""Per-procedure parallel execution for pipeline stages.
+"""Supervised per-procedure parallel execution for pipeline stages.
 
 Procedures are aligned independently (the paper's problem is
 *intra*procedural), so the solve stage fans tasks out over a
-``ProcessPoolExecutor`` with a serial fallback.  Guarantees:
+``ProcessPoolExecutor`` with a serial fallback — under a supervisor that
+treats individual failures as routine:
 
 * **Determinism** — results are merged in task order and every task carries
   its own ``seed + index`` solver seed, so output is byte-identical for any
   worker count (``jobs=1`` vs ``jobs=4`` produce the same layouts, reports,
   checkpoints, and tables).
+* **Supervision** — a worker that dies (OOM, signal, ``BrokenProcessPool``)
+  costs the affected tasks one attempt, never the run: the pool is rebuilt
+  and the tasks resubmitted.  Each attempt may carry an outer wall-clock
+  deadline (``task_timeout_ms``); an unresponsive attempt is abandoned
+  (the pool is torn down to reclaim its workers) and retried.
+* **Retry / quarantine** — failed attempts retry with capped exponential
+  backoff under a deterministic :class:`~repro.budget.RetryPolicy` budget.
+  A task failing every attempt is *quarantined*: recorded in a structured
+  :class:`SupervisionReport` with its final error, while the rest of the
+  batch completes.  Stage code maps quarantined procedures to their
+  identity layout, so program-level results degrade gracefully.
 * **Budgets** — a :class:`~repro.budget.Budget` is a per-procedure spec;
   each worker starts its own countdown exactly as the serial loop does.
 * **Fault injection** — the armed :class:`~repro.faults.FaultPlan` (if any)
   is shipped to the worker and re-armed around each task, and the worker's
   call/trip counters are merged back into the parent plan.  ``True``-valued
   triggers therefore behave identically at any worker count; integer
-  ("fire on the n-th call") triggers count per *task* in parallel mode
-  rather than globally.
-* **Degradation** — if the pool cannot be created or a task cannot be
-  shipped (pickling, fork failure, interpreter shutdown), execution falls
-  back to the serial path instead of failing the run.
+  ("fire on the n-th call") triggers on *worker-side* sites count per task
+  in parallel mode rather than globally.  The supervisor's own sites
+  (``worker_crash``, ``task_timeout``) are counted in the parent and,
+  for scheduled triggers, sampled once per task at its first dispatch,
+  so they stay deterministic at any worker count and a sabotaged task's
+  retry is never re-targeted.
+* **Degradation** — if the pool cannot be created, a task cannot be
+  shipped (pickling, fork failure, interpreter shutdown), or a worker
+  cannot resolve what the parent dispatched (an aligner registered only
+  in the parent process after the pool forked), execution falls back to
+  the serial path instead of failing the run.
 
 ``jobs=None`` resolves through the ``REPRO_JOBS`` environment variable
 (default 1), so ``REPRO_JOBS=4 pytest`` exercises the parallel path across
-the whole suite without touching call sites.
+the whole suite without touching call sites.  ``REPRO_RETRIES`` and
+``REPRO_TASK_TIMEOUT_MS`` likewise seed the default retry policy.
 """
 
 from __future__ import annotations
 
 import atexit
+import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, TimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence, TypeVar
 
 from repro import faults
+from repro.budget import RetryPolicy
+from repro.errors import (
+    PoisonTaskError,
+    TaskTimeoutError,
+    UnknownNameError,
+    WorkerCrashError,
+)
 
 JOBS_ENV = "REPRO_JOBS"
+RETRIES_ENV = "REPRO_RETRIES"
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT_MS"
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,21 +92,153 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, jobs)
 
 
+def resolve_policy(
+    policy: RetryPolicy | None = None,
+    *,
+    retries: int | None = None,
+    task_timeout_ms: float | None = None,
+) -> RetryPolicy:
+    """Normalize supervision knobs: an explicit policy wins; individual
+    overrides apply on top of the environment-seeded default."""
+    if policy is None:
+        policy = _env_policy()
+    updates = {}
+    if retries is not None:
+        updates["retries"] = max(0, retries)
+    if task_timeout_ms is not None:
+        updates["task_timeout_ms"] = task_timeout_ms
+    if updates:
+        policy = dataclasses.replace(policy, **updates)
+    return policy
+
+
+def _env_policy() -> RetryPolicy:
+    retries = RetryPolicy.retries
+    raw = os.environ.get(RETRIES_ENV, "").strip()
+    if raw:
+        try:
+            retries = max(0, int(raw))
+        except ValueError:
+            pass
+    timeout_ms = None
+    raw = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+    if raw:
+        try:
+            timeout_ms = float(raw)
+            if timeout_ms <= 0:
+                timeout_ms = None
+        except ValueError:
+            pass
+    return RetryPolicy(retries=retries, task_timeout_ms=timeout_ms)
+
+
+# -- supervision records ------------------------------------------------------
+
+
+@dataclass
+class TaskOutcome:
+    """What supervision observed for one payload."""
+
+    index: int
+    result: Any | None = None
+    ok: bool = False
+    #: ``"ErrorType: message"`` of the final failure, for quarantined tasks.
+    error: str | None = None
+    error_type: str | None = None
+    attempts: int = 0
+    #: Attempts beyond the first (== attempts - 1 unless never started).
+    retried: int = 0
+    quarantined: bool = False
+    worker_crashes: int = 0
+    timeouts: int = 0
+    #: Supervisor bookkeeping: scheduled dispatch faults are sampled once,
+    #: at the task's first dispatch (see :func:`_dispatch_faults`).
+    fault_sampled: bool = field(default=False, repr=False, compare=False)
+
+
+@dataclass
+class SupervisionReport:
+    """Structured account of one supervised batch: per-task outcomes plus
+    batch-level counters.  ``quarantined`` tasks are *not* errors at this
+    level — stage code decides the degraded stand-in result."""
+
+    outcomes: list[TaskOutcome] = field(default_factory=list)
+    #: Times the worker pool was torn down and rebuilt.
+    pool_restarts: int = 0
+
+    @property
+    def retried(self) -> int:
+        return sum(o.retried for o in self.outcomes)
+
+    @property
+    def worker_crashes(self) -> int:
+        return sum(o.worker_crashes for o in self.outcomes)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(o.timeouts for o in self.outcomes)
+
+    @property
+    def quarantined(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.quarantined]
+
+    def quarantine_report(
+        self, labels: "Sequence[str] | None" = None
+    ) -> list[dict]:
+        """JSON-shaped quarantine entries, one per poisoned task."""
+        report = []
+        for outcome in self.quarantined:
+            label = (
+                labels[outcome.index]
+                if labels is not None and outcome.index < len(labels)
+                else str(outcome.index)
+            )
+            report.append({
+                "task": label,
+                "attempts": outcome.attempts,
+                "error": outcome.error,
+                "error_type": outcome.error_type,
+                "worker_crashes": outcome.worker_crashes,
+                "timeouts": outcome.timeouts,
+            })
+        return report
+
+    def merge_from(self, other: "SupervisionReport") -> None:
+        """Fold another batch's outcomes in (stages run several batches —
+        e.g. align then bound — against one report)."""
+        base = len(self.outcomes)
+        for outcome in other.outcomes:
+            self.outcomes.append(
+                dataclasses.replace(outcome, index=base + outcome.index)
+            )
+        self.pool_restarts += other.pool_restarts
+
+
 # -- the worker side ----------------------------------------------------------
 
 
-def _worker(shipped: tuple[dict | None, str, Any]) -> tuple[Any, dict, dict]:
+def _worker(shipped: tuple[dict | None, str, Any, bool]) -> tuple[Any, dict, dict]:
     """Run one task in a worker process.
 
     Re-arms the parent's fault plan (or an inert empty plan, which also
     shadows any plan inherited across ``fork``) and returns the result
-    together with the plan's call/trip counters for merging.
+    together with the plan's call/trip counters for merging.  ``crash``
+    (decided in the parent, so trigger counting is worker-count invariant)
+    kills the process the way a real OOM/signal would.
     """
-    spec, kind, payload = shipped
+    spec, kind, payload, crash = shipped
+    if crash:
+        os._exit(3)
     import repro.core.align  # noqa: F401 — populates registry + handlers
 
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        # The parent resolved this kind before dispatching, so it exists
+        # there but not here: signal "cannot run in this worker" (the
+        # supervisor falls back to serial) rather than a task failure.
+        raise UnknownNameError(f"task kind {kind!r} not registered in worker")
     with faults.inject_faults(**(spec or {})) as plan:
-        result = _HANDLERS[kind](payload)
+        result = handler(payload)
     calls, trips = plan.counters()
     return result, calls, trips
 
@@ -104,10 +268,254 @@ def shutdown_pool() -> None:
         _POOL_JOBS = 0
 
 
+def abandon_pool() -> None:
+    """Tear the pool down *without* waiting: kill worker processes and drop
+    the executor.  Used when a task blew its outer deadline — its worker
+    may never return, so joining it would hang the supervisor too."""
+    global _POOL, _POOL_JOBS
+    if _POOL is None:
+        return
+    pool, _POOL, _POOL_JOBS = _POOL, None, 0
+    try:
+        processes = list(getattr(pool, "_processes", {}).values())
+    except Exception:  # noqa: BLE001 — private API; best effort
+        processes = []
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 atexit.register(shutdown_pool)
 
 
-# -- the parent side ----------------------------------------------------------
+# -- the supervisor -----------------------------------------------------------
+
+
+def _record_failure(
+    outcome: TaskOutcome, exc: BaseException, policy: RetryPolicy
+) -> None:
+    outcome.error = f"{type(exc).__name__}: {exc}"
+    outcome.error_type = type(exc).__name__
+    if isinstance(exc, (WorkerCrashError, BrokenProcessPool)):
+        outcome.worker_crashes += 1
+        outcome.error_type = WorkerCrashError.__name__
+    if isinstance(exc, (TaskTimeoutError, TimeoutError)):
+        outcome.timeouts += 1
+        outcome.error_type = TaskTimeoutError.__name__
+    if outcome.attempts >= policy.max_attempts:
+        outcome.quarantined = True
+    else:
+        outcome.retried += 1
+
+
+def _dispatch_faults(outcome: TaskOutcome) -> BaseException | None:
+    """Parent-side fault decision for one dispatch: an exception to realize
+    (serially as a recorded failure, in the pool as a crash flag or a
+    pre-failed future), or ``None`` for a clean dispatch.
+
+    Scheduled (integer / periodic) triggers are consulted only on a task's
+    *first* dispatch: retries and uncharged requeues neither fire nor
+    advance the counters, so the sabotage schedule is a pure function of
+    task order — deterministic at any worker count — and a sabotaged task's
+    retry always gets a clean dispatch instead of being re-targeted until
+    its budget runs out.  ``True`` triggers stay unrelenting (they fire on
+    every dispatch), which is how tests drive the quarantine path.
+    """
+    first = not outcome.fault_sampled
+    outcome.fault_sampled = True
+    if faults.worker_crash_fires(first):
+        return WorkerCrashError("fault injection: worker crashed mid-task")
+    if faults.task_timeout_fires(first):
+        return faults.simulated_task_timeout_error()
+    return None
+
+
+def _run_serial(
+    kind: str,
+    payloads: Sequence[Any],
+    policy: RetryPolicy,
+    report: SupervisionReport,
+    sleep: Callable[[float], None],
+) -> None:
+    """The in-process path — same supervision semantics as the pool path
+    (dispatch-order fault counting, retry budget, quarantine), so results
+    are identical at any worker count."""
+    handler = _HANDLERS[kind]
+    for index, payload in enumerate(payloads):
+        outcome = report.outcomes[index]
+        while not outcome.ok and not outcome.quarantined:
+            if outcome.attempts > 0:
+                sleep(policy.backoff_ms(outcome.retried) / 1000.0)
+            outcome.attempts += 1
+            injected = _dispatch_faults(outcome)
+            if injected is not None:
+                _record_failure(outcome, injected, policy)
+                continue
+            try:
+                outcome.result = handler(payload)
+                outcome.ok = True
+            except Exception as exc:  # noqa: BLE001 — supervision boundary
+                _record_failure(outcome, exc, policy)
+
+
+def _run_parallel(
+    kind: str,
+    payloads: Sequence[Any],
+    jobs: int,
+    policy: RetryPolicy,
+    report: SupervisionReport,
+    sleep: Callable[[float], None],
+) -> bool:
+    """The pool path: submit → harvest (with outer deadlines) → retry in
+    rounds until every task succeeds or quarantines.  Returns False if the
+    pool could not be used at all (caller falls back to serial)."""
+    plan = faults.active()
+    spec = plan.spec() if plan is not None else None
+    pending = [
+        o.index for o in report.outcomes if not o.ok and not o.quarantined
+    ]
+    round_number = 0
+    while pending:
+        if round_number > 0:
+            report.pool_restarts += _POOL is None
+            sleep(policy.backoff_ms(round_number) / 1000.0)
+        round_number += 1
+        try:
+            pool = _get_pool(jobs)
+            futures: dict[int, Future] = {}
+            crashed_round: set[int] = set()
+            for index in pending:
+                injected = _dispatch_faults(report.outcomes[index])
+                report.outcomes[index].attempts += 1
+                if isinstance(injected, TaskTimeoutError):
+                    # Simulated deadline blow: fail the dispatch without
+                    # occupying a worker.
+                    failed: Future = Future()
+                    failed.set_exception(injected)
+                    futures[index] = failed
+                    continue
+                crash = injected is not None
+                if crash:
+                    crashed_round.add(index)
+                futures[index] = pool.submit(
+                    _worker, (spec, kind, payloads[index], crash)
+                )
+        except Exception:  # noqa: BLE001 — pool unusable: serial fallback
+            for index in pending:
+                # Un-count the attempt: the serial path owns it now.
+                if report.outcomes[index].attempts > 0:
+                    report.outcomes[index].attempts -= 1
+            abandon_pool()
+            return False
+
+        timeout_s = (
+            policy.task_timeout_ms / 1000.0
+            if policy.task_timeout_ms is not None
+            else None
+        )
+        killed_pool = False
+        unshippable = False
+        for index in list(futures):
+            outcome = report.outcomes[index]
+            fut = futures[index]
+            try:
+                if killed_pool and not fut.done():
+                    # We tore the pool down for an earlier timeout; this
+                    # task never got to finish — requeue without charging
+                    # an attempt.
+                    outcome.attempts -= 1
+                    continue
+                result, calls, trips = fut.result(timeout=timeout_s)
+            except TimeoutError:
+                _record_failure(
+                    outcome,
+                    TaskTimeoutError(
+                        f"task exceeded its {policy.task_timeout_ms:.0f} ms "
+                        f"deadline",
+                        timeout_ms=policy.task_timeout_ms,
+                    ),
+                    policy,
+                )
+                # The worker may never come back: reclaim its slot.
+                abandon_pool()
+                killed_pool = True
+            except (BrokenProcessPool, TaskTimeoutError, OSError) as exc:
+                if (
+                    isinstance(exc, BrokenProcessPool)
+                    and crashed_round
+                    and index not in crashed_round
+                ):
+                    # An *injected* crash took the pool down and this task
+                    # was collateral, not the culprit: requeue it without
+                    # charging an attempt, or a periodic crash schedule
+                    # over a large batch would quarantine innocents (and
+                    # make attempt counts timing-dependent).  For real
+                    # crashes the culprit is unknowable, so every affected
+                    # task is charged.
+                    outcome.attempts -= 1
+                else:
+                    _record_failure(outcome, exc, policy)
+                if isinstance(exc, BrokenProcessPool):
+                    killed_pool = True
+                    abandon_pool()
+            except UnknownNameError:
+                # The worker cannot resolve what the parent dispatched —
+                # e.g. an aligner registered only in the parent process
+                # after the pool forked.  Environmental, not a task
+                # failure: uncharge and finish the batch serially, where
+                # the parent's registry applies (a genuinely unknown name
+                # still fails — and quarantines — on the serial path).
+                outcome.attempts -= 1
+                unshippable = True
+            except Exception as exc:  # noqa: BLE001 — task raised in worker
+                _record_failure(outcome, exc, policy)
+            else:
+                if plan is not None:
+                    plan.merge_counts(calls, trips)
+                outcome.result = result
+                outcome.ok = True
+        if unshippable:
+            return False
+        pending = [
+            o.index
+            for o in report.outcomes
+            if not o.ok and not o.quarantined
+        ]
+    return True
+
+
+def run_tasks_supervised(
+    kind: str,
+    payloads: Sequence[Any],
+    *,
+    jobs: int | None = None,
+    policy: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> SupervisionReport:
+    """Execute ``payloads`` under the registered ``kind`` handler with full
+    supervision, returning a :class:`SupervisionReport` whose ``outcomes``
+    line up with ``payloads``.
+
+    Never raises for task failures: a task that exhausts its retry budget
+    is quarantined in the report (``outcome.quarantined``), and everything
+    else completes.  ``jobs`` > 1 fans out over the process pool; 1 (or a
+    single payload, or a pool failure) runs the serial path in-process.
+    ``sleep`` is injectable so tests observe backoff without waiting.
+    """
+    _ = _HANDLERS[kind]  # unknown kinds fail fast, before any dispatch
+    jobs = resolve_jobs(jobs)
+    policy = resolve_policy(policy)
+    report = SupervisionReport(
+        outcomes=[TaskOutcome(index=i) for i in range(len(payloads))]
+    )
+    if jobs > 1 and len(payloads) > 1:
+        if _run_parallel(kind, payloads, jobs, policy, report, sleep):
+            return report
+    _run_serial(kind, payloads, policy, report, sleep)
+    return report
 
 
 def run_tasks(
@@ -115,30 +523,20 @@ def run_tasks(
     payloads: Sequence[Any],
     *,
     jobs: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> list[Any]:
-    """Execute ``payloads`` under the registered ``kind`` handler, returning
-    results in payload order.
-
-    ``jobs`` > 1 fans out over the process pool; 1 (or a single payload, or
-    a pool failure) runs the serial path in-process.
+    """Strict façade over :func:`run_tasks_supervised`: returns results in
+    payload order, raising :class:`~repro.errors.PoisonTaskError` if any
+    task exhausted its retry budget.  Callers that can degrade per task
+    (the pipeline stages) use the supervised form directly.
     """
-    handler = _HANDLERS[kind]
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(payloads) <= 1:
-        return [handler(payload) for payload in payloads]
-
-    plan = faults.active()
-    spec = plan.spec() if plan is not None else None
-    shipped = [(spec, kind, payload) for payload in payloads]
-    try:
-        pool = _get_pool(jobs)
-        outcomes = list(pool.map(_worker, shipped))
-    except Exception:  # noqa: BLE001 — broken pool degrades to serial
-        shutdown_pool()
-        return [handler(payload) for payload in payloads]
-    results = []
-    for result, calls, trips in outcomes:
-        if plan is not None:
-            plan.merge_counts(calls, trips)
-        results.append(result)
-    return results
+    report = run_tasks_supervised(kind, payloads, jobs=jobs, policy=policy)
+    for outcome in report.outcomes:
+        if outcome.quarantined:
+            raise PoisonTaskError(
+                f"task {outcome.index} failed all {outcome.attempts} "
+                f"attempt(s): {outcome.error}",
+                attempts=outcome.attempts,
+                last_error=outcome.error,
+            )
+    return [outcome.result for outcome in report.outcomes]

@@ -35,7 +35,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
-from repro.budget import Budget
+from repro.budget import Budget, RetryPolicy
 from repro.cfg.graph import Program
 from repro.core.aligners.tsp_aligner import alignment_lower_bound
 from repro.core.costmatrix import AlignmentInstance, build_alignment_instance
@@ -52,7 +52,11 @@ from repro.pipeline.artifacts import (
     fingerprint_predictor,
     fingerprint_profile,
 )
-from repro.pipeline.executor import register_handler, run_tasks
+from repro.pipeline.executor import (
+    SupervisionReport,
+    register_handler,
+    run_tasks_supervised,
+)
 from repro.pipeline.registry import get_aligner
 from repro.pipeline.task import (
     BoundResult,
@@ -141,17 +145,38 @@ def align_key(task: ProcedureTask) -> str:
     )
 
 
+def quarantined_result(task: ProcedureTask, error: str | None) -> ProcedureResult:
+    """The degraded stand-in for a poisoned align task: the procedure keeps
+    its identity layout (always valid, never worse than the original under
+    the evaluation contract) and the failure is carried as a warning."""
+    return ProcedureResult(
+        name=task.name,
+        layout=original_layout(task.cfg),
+        degraded="quarantined",
+        warning=error or "task quarantined",
+        quarantined=True,
+    )
+
+
 def run_align_tasks(
     tasks: list[ProcedureTask],
     *,
     jobs: int | None = None,
     cache: ArtifactCache | None = None,
+    policy: RetryPolicy | None = None,
+    supervision: SupervisionReport | None = None,
 ) -> list[ProcedureResult]:
-    """The align stage: cache lookup → parallel solve of misses → store.
+    """The align stage: cache lookup → supervised parallel solve of misses
+    → store.
 
     Returns one :class:`ProcedureResult` per task, in task order.  Trivial
     tasks (method ``original`` or an empty profile slice) resolve inline;
-    cache misses fan out through the executor.
+    cache misses fan out through the supervised executor under ``policy``
+    (retry/backoff/quarantine — see :mod:`repro.pipeline.executor`).  A
+    task that exhausts its retry budget yields its *identity* layout,
+    flagged ``quarantined``, instead of sinking the batch.  Pass a
+    :class:`SupervisionReport` as ``supervision`` to observe retry and
+    quarantine accounting.
     """
     cache = cache if cache is not None else artifact_cache()
     results: list[ProcedureResult | None] = [None] * len(tasks)
@@ -167,10 +192,20 @@ def run_align_tasks(
             miss_indices.append(i)
 
     if miss_indices:
-        solved = run_tasks(
-            "align", [tasks[i] for i in miss_indices], jobs=jobs
+        report = run_tasks_supervised(
+            "align", [tasks[i] for i in miss_indices], jobs=jobs,
+            policy=policy,
         )
-        for i, result in zip(miss_indices, solved):
+        if supervision is not None:
+            supervision.merge_from(report)
+        for i, outcome in zip(miss_indices, report.outcomes):
+            if outcome.quarantined:
+                # Poison task: keep the procedure with its original order;
+                # deliberately NOT cached — a later run with a healthier
+                # environment should get a real solve.
+                results[i] = quarantined_result(tasks[i], outcome.error)
+                continue
+            result = outcome.result
             results[i] = result
             cache.put(align_key(tasks[i]), result)
             if result.instance is not None:
@@ -197,6 +232,7 @@ def align_procedures(
     budget: Budget | None = None,
     jobs: int | None = None,
     cache: ArtifactCache | None = None,
+    policy: RetryPolicy | None = None,
     report=None,
 ) -> ProgramLayout:
     """Align every procedure of ``program``: the full task → solve → layout
@@ -204,7 +240,8 @@ def align_procedures(
 
     ``report`` (an :class:`~repro.core.align.AlignmentReport`-shaped object)
     is populated from solver diagnostics in program order, keeping its
-    contents deterministic and independent of worker count.
+    contents deterministic and independent of worker count; it also
+    receives retry/quarantine accounting from the supervised executor.
     """
     tasks = procedure_tasks(
         program,
@@ -215,11 +252,23 @@ def align_procedures(
         seed=seed,
         budget=budget,
     )
-    results = run_align_tasks(tasks, jobs=jobs, cache=cache)
+    supervision = SupervisionReport()
+    results = run_align_tasks(
+        tasks, jobs=jobs, cache=cache, policy=policy, supervision=supervision
+    )
     layouts = ProgramLayout()
     for result in results:
         layouts[result.name] = result.layout
-        if report is not None and result.cities is not None:
+        if report is None:
+            continue
+        if result.quarantined and hasattr(report, "quarantined"):
+            report.quarantined[result.name] = result.warning or "quarantined"
+            report.warnings.append(
+                f"{result.name}: quarantined after repeated failures, "
+                f"kept identity layout ({result.warning})"
+            )
+            continue
+        if result.cities is not None:
             report.cities[result.name] = result.cities
             report.costs[result.name] = result.cost
             report.runs_finding_best[result.name] = (
@@ -233,6 +282,8 @@ def align_procedures(
                         f"{result.name}: degraded to "
                         f"{result.degraded!r} ({result.warning})"
                     )
+    if report is not None and hasattr(report, "retried"):
+        report.retried += supervision.retried
     return layouts
 
 
@@ -321,8 +372,12 @@ def run_bound_tasks(
     *,
     jobs: int | None = None,
     cache: ArtifactCache | None = None,
+    policy: RetryPolicy | None = None,
+    supervision: SupervisionReport | None = None,
 ) -> list[BoundResult]:
-    """The bound stage: cache lookup → parallel certification of misses."""
+    """The bound stage: cache lookup → supervised parallel certification of
+    misses.  A poisoned bound task degrades to 0.0 — the loosest certified
+    bound — so program totals stay well-defined (and conservative)."""
     cache = cache if cache is not None else artifact_cache()
     results: list[BoundResult | None] = [None] * len(tasks)
     miss_indices: list[int] = []
@@ -336,12 +391,20 @@ def run_bound_tasks(
         else:
             miss_indices.append(i)
     if miss_indices:
-        computed = run_tasks(
-            "bound", [tasks[i] for i in miss_indices], jobs=jobs
+        report = run_tasks_supervised(
+            "bound", [tasks[i] for i in miss_indices], jobs=jobs,
+            policy=policy,
         )
-        for i, result in zip(miss_indices, computed):
-            results[i] = result
-            cache.put(bound_key(tasks[i]), result)
+        if supervision is not None:
+            supervision.merge_from(report)
+        for i, outcome in zip(miss_indices, report.outcomes):
+            if outcome.quarantined:
+                results[i] = BoundResult(
+                    tasks[i].name, 0.0, quarantined=True
+                )
+                continue
+            results[i] = outcome.result
+            cache.put(bound_key(tasks[i]), outcome.result)
     return results  # type: ignore[return-value]
 
 
@@ -355,6 +418,7 @@ def lower_bound_procedures(
     budget: Budget | None = None,
     jobs: int | None = None,
     cache: ArtifactCache | None = None,
+    policy: RetryPolicy | None = None,
 ) -> dict[str, float]:
     """Per-procedure certified lower bounds, in program order."""
     tasks = []
@@ -374,7 +438,7 @@ def lower_bound_procedures(
                 if edge_profile.total() else None
             ),
         ))
-    results = run_bound_tasks(tasks, jobs=jobs, cache=cache)
+    results = run_bound_tasks(tasks, jobs=jobs, cache=cache, policy=policy)
     return {result.name: result.bound for result in results}
 
 

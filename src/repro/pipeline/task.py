@@ -73,6 +73,9 @@ class ProcedureResult:
     instance: "AlignmentInstance | None" = None
     #: Whether this result was served from the artifact cache.
     from_cache: bool = False
+    #: Whether the task was poisoned (failed its whole retry budget) and
+    #: this result is the identity-layout stand-in.
+    quarantined: bool = False
 
 
 @dataclass
@@ -99,6 +102,9 @@ class BoundResult:
     name: str
     bound: float
     from_cache: bool = False
+    #: Whether the bound task was poisoned; 0.0 (the loosest certified
+    #: bound) stands in, keeping program totals well-defined.
+    quarantined: bool = False
 
 
 def procedure_tasks(

@@ -108,3 +108,88 @@ class TestSuiteResilience:
             "suite", "su2.sh", "--checkpoint", str(ck), "--resume",
         ]) == 0
         assert "1 case(s) resumed, 0 computed" in capsys.readouterr().out
+
+
+class TestCFGValidation:
+    def test_invalid_cfg_is_a_usage_error_naming_the_procedure(
+        self, program_file, monkeypatch, capsys
+    ):
+        from repro.cfg import CFGError
+        import repro.cli as cli
+
+        def broken(program):
+            raise CFGError("procedure 'main': entry block has no path to exit")
+
+        monkeypatch.setattr(cli, "validate_program", broken)
+        assert main(["align", str(program_file)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: invalid control-flow graph")
+        assert "'main'" in err
+        assert "Traceback" not in err
+
+    def test_compile_validates_too(self, program_file, monkeypatch, capsys):
+        from repro.cfg import CFGError
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "validate_program",
+            lambda program: (_ for _ in ()).throw(
+                CFGError("procedure 'main': dangling edge")
+            ),
+        )
+        assert main(["compile", str(program_file)]) == 2
+        assert "'main'" in capsys.readouterr().err
+
+
+class TestSupervisionFlags:
+    @pytest.fixture(autouse=True)
+    def _reset_store(self):
+        from repro.pipeline.artifacts import reset_default_store
+
+        yield
+        reset_default_store()
+
+    def test_invalid_retries_rejected(self, program_file, capsys):
+        assert main(["align", str(program_file), "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_invalid_task_timeout_rejected(self, program_file, capsys):
+        assert main([
+            "align", str(program_file), "--task-timeout-ms", "0",
+        ]) == 2
+        assert "--task-timeout-ms" in capsys.readouterr().err
+
+    def test_align_with_store_persists_artifacts(
+        self, program_file, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        argv = [
+            "align", str(program_file), "--inputs", "1,2,3,4",
+            "--method", "tsp", "--store", str(store_dir), "--retries", "1",
+        ]
+        assert main(argv) == 0
+        entries = list(store_dir.rglob("*.art"))
+        assert entries, "the on-disk store should hold alignment artifacts"
+        # A second run against the same store is served from it.
+        assert main(argv) == 0
+        assert capsys.readouterr().out
+
+    def test_suite_reports_retried_and_quarantined_columns(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "suite", "com.in", "--retries", "2",
+            "--store", str(tmp_path / "store"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "retried" in out
+        assert "quarantined" in out
+
+    def test_store_off_disables_persistence(self, program_file, capsys):
+        from repro.pipeline.artifacts import default_store
+
+        assert main([
+            "align", str(program_file), "--inputs", "1,2",
+            "--method", "greedy", "--store", "off",
+        ]) == 0
+        assert default_store() is None

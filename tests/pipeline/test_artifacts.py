@@ -4,16 +4,31 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from repro import faults
 from repro.machine.models import ALPHA_21064, ALPHA_21164
 from repro.pipeline.artifacts import (
+    STORE_ENV,
     ArtifactCache,
     artifact_cache,
     fingerprint_cfg,
     fingerprint_model,
     fingerprint_profile,
     reset_artifact_cache,
+    reset_default_store,
 )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_store(monkeypatch):
+    """This module unit-tests the *in-memory* tier: hide any ambient
+    process-default store (e.g. ``$REPRO_STORE`` in the chaos CI job), or
+    miss/eviction assertions would be served from disk."""
+    monkeypatch.delenv(STORE_ENV, raising=False)
+    reset_default_store()
+    yield
+    reset_default_store()
 from repro.pipeline.stages import instance_for
 from repro.profiles.edge_profile import EdgeProfile
 from repro.workloads import GeneratorConfig, random_procedure

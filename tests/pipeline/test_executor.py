@@ -100,3 +100,45 @@ def test_fault_plans_ship_to_workers_and_counters_merge():
     for task, result in zip(tasks, results):
         if task in solvable:
             assert result.degraded != "none"
+
+
+def test_nested_plans_innermost_ships_to_workers():
+    """With nested ``inject_faults`` contexts, the *innermost* plan is the
+    one shipped to pool workers; its trip counters merge back into it and
+    the outer plan stays untouched."""
+    from repro.experiments.runner import profiled_run
+    from repro.pipeline.task import procedure_tasks
+    from repro.machine.models import ALPHA_21164
+    from repro.tsp.solve import get_effort
+    from repro.workloads.suite import compile_benchmark
+
+    program = compile_benchmark("com").program
+    profile = profiled_run("com", "in").profile
+    tasks = procedure_tasks(
+        program, profile, method="tsp", model=ALPHA_21164,
+        effort=get_effort("quick"),
+    )
+    with faults.inject_faults(solver_timeout=True) as outer:
+        with faults.inject_faults(solver_timeout=True) as inner:
+            run_tasks("align", tasks, jobs=2)
+    shutdown_pool()
+    assert inner.trips("solver") > 0
+    assert outer.trips("solver") == 0
+
+
+def test_caches_bypassed_while_pipeline_faults_armed(tmp_path):
+    """While a plan arms a pipeline site, neither the in-memory cache nor
+    the on-disk store may serve (or absorb) artifacts — injected failures
+    must reach the stage code under test."""
+    from repro.pipeline.artifacts import ArtifactCache, ArtifactStore
+
+    store = ArtifactStore(tmp_path / "store")
+    cache = ArtifactCache(store=store)
+    key = ArtifactCache.key("align", "bypass-probe")
+    cache.put(key, "healthy")
+    assert key in store
+    with faults.inject_faults(worker_crash=True):
+        assert cache.get(key) is None
+        cache.put(key, "poisoned")
+    assert cache.get(key) == "healthy"
+    assert store.get(key) == "healthy"

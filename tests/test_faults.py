@@ -105,3 +105,84 @@ class TestVMIntegration:
         with inject_faults(vm_max_blocks=10):
             with pytest.raises(VMRunawayError, match="exceeded"):
                 execute(mini_module, [1, 2, 3])
+
+
+class TestPeriodicTriggers:
+    def test_percent_k_fires_every_kth_call(self):
+        plan = FaultPlan()
+        assert [plan.fires("s", "%3") for _ in range(7)] == [
+            False, False, True, False, False, True, False,
+        ]
+        assert plan.trips("s") == 2
+
+    def test_malformed_periodic_strings_never_fire(self):
+        plan = FaultPlan()
+        for trigger in ("%", "%0", "%x", "three"):
+            assert not plan.fires("s", trigger)
+        assert plan.trips("s") == 0
+
+
+class TestSiteGroups:
+    def test_pipeline_sites_arm_the_cache_bypass(self):
+        assert FaultPlan(solver_timeout=True).arms_pipeline_sites()
+        assert FaultPlan(worker_crash="%5").arms_pipeline_sites()
+        assert FaultPlan(task_timeout=3).arms_pipeline_sites()
+
+    def test_store_only_plans_do_not(self):
+        assert not FaultPlan().arms_pipeline_sites()
+        assert not FaultPlan(store_corrupt=True).arms_pipeline_sites()
+        assert not FaultPlan(
+            store_corrupt="%2", store_io_error=1
+        ).arms_pipeline_sites()
+
+
+class TestSupervisionHooks:
+    def test_worker_crash_and_task_timeout_fire_from_context_plan(self):
+        with inject_faults(worker_crash=1, task_timeout=1) as plan:
+            assert faults.worker_crash_fires()
+            assert not faults.worker_crash_fires()
+            assert faults.task_timeout_fires()
+        assert plan.trips("worker_crash") == 1
+        assert plan.trips("task_timeout") == 1
+
+    def test_store_hooks(self):
+        from repro.errors import ArtifactStoreError
+
+        with inject_faults(store_corrupt=True, store_io_error=True) as plan:
+            assert faults.corrupt_store_bytes(b"x" * 40) == b"x" * 20
+            with pytest.raises(ArtifactStoreError):
+                faults.check_store_io()
+        assert plan.trips("store_corrupt") == 1
+        assert plan.trips("store_io") == 1
+        # No plan: hooks are no-ops.
+        assert faults.corrupt_store_bytes(b"abc") == b"abc"
+        faults.check_store_io()
+
+
+class TestChaosPlan:
+    def test_parses_sites_and_triggers(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.CHAOS_ENV,
+            "worker_crash=%7,store_corrupt=1,task_timeout=5,unknown=3",
+        )
+        plan = faults.chaos_plan()
+        assert plan.worker_crash == "%7"
+        assert plan.store_corrupt is True   # env "1" means "always"
+        assert plan.task_timeout == 5
+        assert not hasattr(plan, "unknown")
+
+    def test_reparses_when_the_variable_changes(self, monkeypatch):
+        monkeypatch.setenv(faults.CHAOS_ENV, "worker_crash=true")
+        assert faults.chaos_plan().worker_crash is True
+        monkeypatch.setenv(faults.CHAOS_ENV, "")
+        assert faults.chaos_plan() is None
+
+    def test_chaos_reaches_executor_sites_only(self, monkeypatch):
+        """Chaos arms only subsystems contracted to absorb sabotage: the
+        solver-facing hooks must ignore it even when the site parses."""
+        monkeypatch.setenv(
+            faults.CHAOS_ENV, "worker_crash=1,solver_timeout=1"
+        )
+        faults.check_solver_timeout()   # no raise: context plan only
+        assert faults.worker_crash_fires()
+        monkeypatch.setenv(faults.CHAOS_ENV, "")
