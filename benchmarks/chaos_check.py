@@ -15,6 +15,10 @@ asserts the robustness contract:
    same store serves checksum-verified hits and still matches baseline.
 5. **Worker-count invariance** — jobs=1 and jobs=N produce identical
    results against both cold and warm stores.
+6. **The trace tells the story** — the chaos run is traced; the JSONL
+   must be schema-valid, its ``executor.retried`` counter must equal the
+   sweep's observed retries, and ``repro trace summarize`` renders it
+   (printed at the end, so a failing run ships its own diagnosis).
 
 Exit code 0 when every assertion holds, 1 otherwise.
 
@@ -76,8 +80,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="REPRO_CHAOS spec to arm during the chaos runs")
     parser.add_argument("--store", default=None,
                         help="store directory (default: a fresh temp dir)")
+    parser.add_argument("--trace", default=None,
+                        help="trace file for the chaos run "
+                             "(default: a fresh temp file)")
     args = parser.parse_args(argv)
 
+    from repro import obs
     from repro.faults import CHAOS_ENV
     from repro.pipeline.artifacts import (
         ArtifactStore,
@@ -106,12 +114,18 @@ def main(argv: list[str] | None = None) -> int:
     baseline, _, _ = run_sweep(specs, jobs=1)
     print(f"baseline: {len(baseline)} case(s), serial, no store")
 
-    # 2. Chaos run, cold store, parallel.
+    # 2. Chaos run, cold store, parallel — traced, so the run documents
+    # exactly what the supervisor absorbed.
+    trace_path = args.trace or os.path.join(
+        tempfile.mkdtemp(prefix="repro-chaos-trace-"), "chaos.jsonl"
+    )
     os.environ[CHAOS_ENV] = args.chaos
     set_default_store(ArtifactStore(store_dir))
     reset_artifact_cache()
+    obs.start_trace(trace_path, label=f"chaos_check --chaos {args.chaos}")
     chaos_sig, retried, quarantined = run_sweep(specs, jobs=args.jobs)
     shutdown_pool()
+    obs.finish_trace()
     print(
         f"chaos ({args.chaos!r}, jobs={args.jobs}): "
         f"{retried} retried, {quarantined} quarantined"
@@ -155,6 +169,29 @@ def main(argv: list[str] | None = None) -> int:
     shutdown_pool()
     check(parallel_sig == baseline,
           f"jobs=1 and jobs={args.jobs} identical (warm store)", failures)
+
+    # 5. The chaos trace is valid, honest, and human-readable.
+    with open(trace_path) as handle:
+        problems = obs.validate_trace_lines(handle)
+    check(not problems,
+          f"chaos trace {trace_path} is schema-valid"
+          + (f" (first problem: {problems[0]})" if problems else ""),
+          failures)
+    events = obs.load_trace(trace_path)
+    traced = {
+        e["name"]: e["value"] for e in events if e["type"] == "counter"
+    }
+    check(traced.get("executor.retried") == retried,
+          f"trace counter executor.retried == {retried} observed retries",
+          failures)
+    check(traced.get("executor.quarantined") == quarantined,
+          "trace counter executor.quarantined matches the sweep", failures)
+
+    print(f"\n--- repro trace summarize {trace_path} ---")
+    from repro.cli import main as repro_main
+
+    check(repro_main(["trace", "summarize", trace_path]) == 0,
+          "repro trace summarize renders the chaos trace", failures)
 
     reset_default_store()
     if failures:

@@ -8,9 +8,12 @@ Two measurements:
 * **figure2** — a fixed sweep: every benchmark case of the paper's Figure 2
   configuration (train = test, methods original/greedy/tsp), run once per
   requested worker count with cold alignment caches.  Reports wall-clock,
-  aligned procedures per second, and the artifact cache's per-kind hit
+  aligned procedures per second, the artifact cache's per-kind hit
   rates (the ``instance`` rate is the cost-matrix sharing the pipeline
-  exists to provide).
+  exists to provide), and a snapshot of the :mod:`repro.obs` counters —
+  solver effort (``tsp.runs``/``tsp.kicks``/``tsp.improving_moves``) and
+  cache/store/executor activity — so perf deltas can be attributed
+  (e.g. "slower because 2× the kicks" vs "slower per kick").
 
 Profiling runs (VM execution) are warmed once before timing, so the
 figure2 numbers measure the alignment pipeline, not the interpreter.
@@ -64,6 +67,7 @@ def bench_tier1() -> dict:
 
 def bench_figure2(jobs: int) -> dict:
     """Time the fixed Figure-2 sweep at one worker count, caches cold."""
+    from repro import obs
     from repro.experiments.runner import (
         DEFAULT_METHODS,
         case_lower_bound,
@@ -75,6 +79,7 @@ def bench_figure2(jobs: int) -> dict:
 
     reset_artifact_cache()
     case_lower_bound.cache_clear()
+    obs.tracer().reset_counters()  # scope the snapshot to this sweep
 
     procedures = 0
     retried = 0
@@ -106,6 +111,10 @@ def bench_figure2(jobs: int) -> dict:
         "retried": retried,
         "quarantined": quarantined,
         "cache": stats,
+        # Stable counters are worker-count invariant; per-process ones
+        # (cache./store.) are honest observations of this sweep only.
+        "counters": obs.counters(),
+        "stable_counters": sorted(obs.counters(stable_only=True)),
     }
 
 
@@ -137,6 +146,12 @@ def history_entry(report: dict) -> dict:
         "retried": sum(int(entry.get("retried", 0)) for entry in figure2),
         "quarantined": sum(
             int(entry.get("quarantined", 0)) for entry in figure2
+        ),
+        # Solver effort across the sweep: a wall-clock regression with
+        # flat kicks is a per-kick slowdown; with more kicks, extra work.
+        "tsp_kicks": sum(
+            int((entry.get("counters") or {}).get("tsp.kicks", 0))
+            for entry in figure2
         ),
         "tier1_seconds": (report.get("tier1") or {}).get("wall_seconds"),
     }

@@ -23,7 +23,7 @@ def test_table2(benchmark, emit):
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1, warmup_rounds=0)
-    headers = ["benchmark", "dataset", *STAGE_NAMES]
+    headers = ["benchmark", "dataset", *STAGE_NAMES, "degraded"]
     emit("table2_compile_times", format_table(
         headers, rows,
         title="Table 2: compilation and profiling times (seconds, worst "

@@ -9,6 +9,8 @@
     repro suite CASE [CASE ...] [--train DATASET] [--budget-ms MS]
                  [--checkpoint P.jsonl [--resume]] [--jobs N]
                  [--retries N] [--task-timeout-ms MS] [--store PATH]
+    repro trace summarize T.jsonl
+    repro trace validate T.jsonl
 
 ``repro suite com.in`` runs one benchmark case of the paper's evaluation
 (``repro suite all`` runs every case; ``--budget-ms`` bounds each
@@ -17,6 +19,11 @@ across interrupted runs, and ``--jobs N`` solves procedures in N worker
 processes without changing a byte of the output); ``repro align`` is the
 end-user path: compile, profile (or load a saved profile), align, and
 report penalties per method against the certified lower bound.
+
+``--trace PATH`` (or ``$REPRO_TRACE``) on ``align``/``suite`` writes a
+JSONL observability trace — spans and counters from every pipeline layer,
+merged across worker processes — which ``repro trace summarize`` renders
+as per-stage timing, span-tree, and counter tables.
 
 Exit codes: 0 success, 1 runtime failure (compile/profile/solver), 2 usage.
 """
@@ -112,6 +119,15 @@ def _install_store(args) -> None:
     if getattr(args, "store", None) is None:
         return
     set_default_store(resolve_store_path(args.store))
+
+
+def _install_trace(args, argv: list[str] | None) -> None:
+    """Start a JSONL trace if ``--trace`` (or ``$REPRO_TRACE``) asks for
+    one.  ``main`` finalizes it — counters flush on exit, success or not."""
+    from repro import obs
+
+    label = " ".join(["repro", *(argv if argv is not None else sys.argv[1:])])
+    obs.start_trace(getattr(args, "trace", None), label=label)
 
 
 def cmd_compile(args) -> int:
@@ -339,6 +355,31 @@ def cmd_suite(args) -> int:
     return 0 if result.cases else 1
 
 
+def cmd_trace(args) -> int:
+    from repro import obs
+
+    if args.trace_command == "validate":
+        lines = pathlib.Path(args.file).read_text().splitlines()
+        problems = obs.validate_trace_lines(lines)
+        if problems:
+            for problem in problems:
+                print(f"{args.file}: {problem}", file=sys.stderr)
+            print(
+                f"{args.file}: {len(problems)} schema problem(s)",
+                file=sys.stderr,
+            )
+            return 1
+        events = sum(1 for line in lines if line.strip())
+        print(f"{args.file}: {events} event(s), schema OK")
+        return 0
+    try:
+        print(obs.summarize_trace(args.file))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=None, metavar="N",
                         help="retry budget per procedure task before it is "
@@ -351,6 +392,10 @@ def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", default=None, metavar="PATH",
                         help="on-disk artifact store ('auto' = ~/.cache/repro,"
                              " 'off' disables; default: $REPRO_STORE)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL observability trace (spans + "
+                             "counters, merged across workers; 'off' "
+                             "disables; default: $REPRO_TRACE)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -416,13 +461,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "checkpoints are identical for any N")
     _add_supervision_flags(p_suite)
     p_suite.set_defaults(func=cmd_suite)
+
+    p_trace = sub.add_parser("trace", help="inspect JSONL observability traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize",
+        help="render per-stage timing, span-tree, and counter tables",
+    )
+    p_summarize.add_argument("file", metavar="TRACE.jsonl")
+    p_summarize.set_defaults(func=cmd_trace)
+    p_validate = trace_sub.add_parser(
+        "validate", help="check every line against the event schema"
+    )
+    p_validate.add_argument("file", metavar="TRACE.jsonl")
+    p_validate.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import obs
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # Only align/suite carry --trace; commands without it (including
+        # `trace summarize` itself) never open a sink.
+        if hasattr(args, "trace"):
+            _install_trace(args, argv)
         return args.func(args)
     except UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -432,6 +497,10 @@ def main(argv: list[str] | None = None) -> int:
         # propagate as a traceback, not masquerade as a user error.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        # Counter totals flush into the trace whether the command
+        # succeeded or not; a no-op when no trace is active.
+        obs.finish_trace()
 
 
 if __name__ == "__main__":  # pragma: no cover

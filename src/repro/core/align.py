@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.budget import Budget, RetryPolicy
 from repro.cfg.graph import Program
 from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
@@ -118,16 +119,19 @@ def _align_tsp(task: ProcedureTask) -> ProcedureResult:
     instance = instance_for(
         task.cfg, task.profile, task.model, predictor=task.predictor
     )
-    alignment = tsp_align(
-        task.cfg,
-        task.profile,
-        task.model,
-        predictor=task.predictor,
-        effort=task.effort,
-        seed=task.effective_seed,
-        budget=task.budget,
-        instance=instance,
-    )
+    with obs.span("tsp_solver", proc=task.name) as sp:
+        alignment = tsp_align(
+            task.cfg,
+            task.profile,
+            task.model,
+            predictor=task.predictor,
+            effort=task.effort,
+            seed=task.effective_seed,
+            budget=task.budget,
+            instance=instance,
+        )
+        sp["cities"] = alignment.instance.n
+        sp["degraded"] = alignment.degraded
     return ProcedureResult(
         name=task.name,
         layout=alignment.layout,

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro import obs
 from repro.budget import Budget, RetryPolicy
 from repro.core.align import AlignmentReport, align_program
 from repro.core.costmodel import CostBreakdown
@@ -216,58 +217,62 @@ def run_case(
     case = CaseResult(
         benchmark=benchmark, dataset=dataset, train_dataset=train_dataset
     )
-    for method in methods:
-        started = time.perf_counter()
-        align_report = AlignmentReport()
-        layouts = align_program(
-            program,
-            training.profile,
-            method=method,
-            model=model,
-            effort=effort,
-            seed=seed,
-            budget=budget,
-            report=align_report,
-            jobs=jobs,
-            policy=policy,
-        )
-        align_seconds = time.perf_counter() - started
-        penalty = evaluate_program(
-            program, layouts, testing.profile, model, predictors=predictors
-        )
-        timing = simulate_timing(
-            program,
-            layouts,
-            testing.profile,
-            testing.trace,
-            model,
-            predictors=predictors,
-            icache=DirectMappedICache(icache_bytes, icache_line),
-        )
-        case.methods[method] = MethodOutcome(
-            method=method,
-            penalty=penalty.total,
-            breakdown=penalty.breakdown,
-            timing=timing,
-            align_seconds=align_seconds,
-            layouts=layouts,
-            degraded=align_report.degraded,
-            warnings=align_report.warnings,
-            retried=align_report.retried,
-            quarantined=align_report.quarantined,
-        )
+    with obs.span(
+        "case", benchmark=benchmark, dataset=dataset, train=train_dataset
+    ):
+        for method in methods:
+            with obs.span("method", method=method):
+                with obs.span("align", method=method) as align_span:
+                    align_report = AlignmentReport()
+                    layouts = align_program(
+                        program,
+                        training.profile,
+                        method=method,
+                        model=model,
+                        effort=effort,
+                        seed=seed,
+                        budget=budget,
+                        report=align_report,
+                        jobs=jobs,
+                        policy=policy,
+                    )
+                penalty = evaluate_program(
+                    program, layouts, testing.profile, model,
+                    predictors=predictors,
+                )
+                timing = simulate_timing(
+                    program,
+                    layouts,
+                    testing.profile,
+                    testing.trace,
+                    model,
+                    predictors=predictors,
+                    icache=DirectMappedICache(icache_bytes, icache_line),
+                )
+            case.methods[method] = MethodOutcome(
+                method=method,
+                penalty=penalty.total,
+                breakdown=penalty.breakdown,
+                timing=timing,
+                align_seconds=align_span.dur_ms / 1000.0,
+                layouts=layouts,
+                degraded=align_report.degraded,
+                warnings=align_report.warnings,
+                retried=align_report.retried,
+                quarantined=align_report.quarantined,
+            )
 
-    if compute_bound:
-        case.lower_bound = case_lower_bound(
-            benchmark,
-            dataset,
-            model=model,
-            effort=effort,
-            seed=seed,
-            budget=budget,
-            jobs=jobs,
-            policy=policy,
-        )
+        if compute_bound:
+            case.lower_bound = case_lower_bound(
+                benchmark,
+                dataset,
+                model=model,
+                effort=effort,
+                seed=seed,
+                budget=budget,
+                jobs=jobs,
+                policy=policy,
+            )
     return case
 
 

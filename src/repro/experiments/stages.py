@@ -11,13 +11,19 @@ the paper's columns:
 * TSP Solver — DTSP solving for every procedure,
 * TSP Program — tour → layout → materialization,
 * Profiling Run Time — the instrumented execution itself.
+
+Stage durations are :mod:`repro.obs` spans, not bespoke timers: each stage
+runs inside a ``table2:stage`` span and :class:`StageTimes` is a thin view
+over the span handles' measured durations.  Under an active trace the same
+run therefore yields both the Table 2 row *and* the raw span events —
+``repro trace summarize`` rebuilds this table from a JSONL file alone.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.budget import Budget
 from repro.core.align import align_program
 from repro.core.evaluate import train_predictors
@@ -28,6 +34,7 @@ from repro.lang.lower import compile_source
 from repro.lang.vm import execute
 from repro.machine.models import ALPHA_21164, PenaltyModel
 from repro.pipeline.stages import instance_for
+from repro.pipeline.task import derive_seed
 from repro.profiles.edge_profile import EdgeProfile
 from repro.profiles.trace import TraceBuilder
 from repro.tsp.construction import identity_tour
@@ -59,14 +66,18 @@ class StageTimes:
     tsp_program: float = 0.0
     profiling_run: float = 0.0
     #: Procedures whose solve blew the budget and fell back to a salvaged
-    #: or identity tour (not part of the Table 2 row shape).
+    #: or identity tour; surfaced in the row as the ``degraded`` count.
     degraded_procs: list[str] = field(default_factory=list)
+
+    #: Table 2 header: row columns in ``as_row`` order.
+    HEADERS = ("benchmark", "dataset", *STAGE_NAMES, "degraded")
 
     def as_row(self) -> list[object]:
         return [
             self.benchmark,
             self.dataset,
             *(round(getattr(self, name), 4) for name in STAGE_NAMES),
+            len(self.degraded_procs),
         ]
 
 
@@ -89,17 +100,24 @@ def time_stages(
     spec = get_benchmark(benchmark)
     inputs = spec.inputs(dataset)
 
-    started = time.perf_counter()
-    module = compile_source(spec.source)
-    times.ir = time.perf_counter() - started
+    def stage(name: str):
+        """One Table 2 column = one ``table2:stage`` span; the measured
+        duration lands on the matching :class:`StageTimes` field."""
+        return obs.span(
+            "table2:stage", stage=name, benchmark=benchmark, dataset=dataset
+        )
 
-    started = time.perf_counter()
-    builder = TraceBuilder(keep_events=False)
-    times.instrumented = time.perf_counter() - started
+    with stage("ir") as sp:
+        module = compile_source(spec.source)
+    times.ir = sp.dur_ms / 1000.0
 
-    started = time.perf_counter()
-    result = execute(module, inputs, trace=True, keep_events=False)
-    times.profiling_run = time.perf_counter() - started
+    with stage("instrumented") as sp:
+        builder = TraceBuilder(keep_events=False)
+    times.instrumented = sp.dur_ms / 1000.0
+
+    with stage("profiling_run") as sp:
+        result = execute(module, inputs, trace=True, keep_events=False)
+    times.profiling_run = sp.dur_ms / 1000.0
     assert result.trace is not None
     profile_counts = result.trace.edge_counts
     del builder
@@ -108,39 +126,49 @@ def time_stages(
     program = module.program
     predictors = train_predictors(program, profile)
 
-    started = time.perf_counter()
-    greedy_layouts = align_program(program, profile, method="greedy", model=model)
-    materialize_program(program, greedy_layouts, predictors)
-    times.greedy_program = time.perf_counter() - started
+    with stage("greedy_program") as sp:
+        greedy_layouts = align_program(
+            program, profile, method="greedy", model=model
+        )
+        materialize_program(program, greedy_layouts, predictors)
+    times.greedy_program = sp.dur_ms / 1000.0
 
-    started = time.perf_counter()
-    instances = {}
-    for proc in program:
-        edge_profile = profile.procedures.get(proc.name, EdgeProfile())
-        # Through the pipeline's content-addressed cache: a warm cache (e.g.
-        # the same case already aligned this session) serves the matrices
-        # instead of rebuilding, and a cold run seeds it for later passes.
-        instances[proc.name] = instance_for(proc.cfg, edge_profile, model)
-    times.tsp_matrix = time.perf_counter() - started
+    with stage("tsp_matrix") as sp:
+        instances = {}
+        for proc in program:
+            edge_profile = profile.procedures.get(proc.name, EdgeProfile())
+            # Through the pipeline's content-addressed cache: a warm cache
+            # (e.g. the same case already aligned this session) serves the
+            # matrices instead of rebuilding, and a cold run seeds it for
+            # later passes.
+            instances[proc.name] = instance_for(proc.cfg, edge_profile, model)
+    times.tsp_matrix = sp.dur_ms / 1000.0
 
-    started = time.perf_counter()
-    tours: dict[str, list[int]] = {}
-    for index, (name, instance) in enumerate(instances.items()):
-        try:
-            tours[name] = solve_dtsp(
-                instance.matrix, effort=effort, seed=seed + index, budget=budget
-            ).tour
-        except SolverBudgetExceeded as exc:
-            tours[name] = exc.best_so_far or identity_tour(instance.n)
-            times.degraded_procs.append(name)
-    times.tsp_solver = time.perf_counter() - started
+    with stage("tsp_solver") as sp:
+        tours: dict[str, list[int]] = {}
+        for index, (name, instance) in enumerate(instances.items()):
+            try:
+                tours[name] = solve_dtsp(
+                    instance.matrix,
+                    effort=effort,
+                    # Same per-task derivation as the pipeline's align
+                    # stage, so this standalone solver loop draws the
+                    # "tsp" method's seed stream.
+                    seed=derive_seed(seed, "tsp", index),
+                    budget=budget,
+                ).tour
+            except SolverBudgetExceeded as exc:
+                tours[name] = exc.best_so_far or identity_tour(instance.n)
+                times.degraded_procs.append(name)
+        sp["degraded"] = len(times.degraded_procs)
+    times.tsp_solver = sp.dur_ms / 1000.0
 
-    started = time.perf_counter()
-    layouts = ProgramLayout()
-    for name, instance in instances.items():
-        layouts[name] = instance.layout_from_cycle(tours[name])
-    materialize_program(program, layouts, predictors)
-    times.tsp_program = time.perf_counter() - started
+    with stage("tsp_program") as sp:
+        layouts = ProgramLayout()
+        for name, instance in instances.items():
+            layouts[name] = instance.layout_from_cycle(tours[name])
+        materialize_program(program, layouts, predictors)
+    times.tsp_program = sp.dur_ms / 1000.0
     return times
 
 

@@ -1,0 +1,66 @@
+"""``repro.obs`` — structured observability for the alignment pipeline.
+
+Spans (hierarchical monotonic timers), counters/gauges, and a JSONL trace
+sink whose events merge deterministically across worker processes.  See
+``docs/observability.md`` for the event schema and span taxonomy.
+"""
+
+from .events import (
+    IDENTITY_FIELDS,
+    SCHEMA_VERSION,
+    TIMING_FIELDS,
+    load_trace,
+    span_identity,
+    validate_event,
+    validate_trace_lines,
+)
+from .trace import (
+    TRACE_ENV,
+    Span,
+    Tracer,
+    absorb,
+    collect,
+    count,
+    counters,
+    finish_trace,
+    gauge,
+    reset_tracer,
+    span,
+    start_trace,
+    tracer,
+)
+from .summarize import (
+    counter_rollup,
+    span_rollup,
+    span_tree_rollup,
+    summarize_events,
+    summarize_trace,
+)
+
+__all__ = [
+    "IDENTITY_FIELDS",
+    "SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "TRACE_ENV",
+    "Span",
+    "Tracer",
+    "absorb",
+    "collect",
+    "count",
+    "counter_rollup",
+    "counters",
+    "finish_trace",
+    "gauge",
+    "load_trace",
+    "reset_tracer",
+    "span",
+    "span_identity",
+    "span_rollup",
+    "span_tree_rollup",
+    "start_trace",
+    "summarize_events",
+    "summarize_trace",
+    "tracer",
+    "validate_event",
+    "validate_trace_lines",
+]

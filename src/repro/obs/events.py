@@ -1,0 +1,160 @@
+"""The observability event schema.
+
+Every line of a JSONL trace is one *event* — a flat JSON object carrying a
+schema version (``v``) and a ``type``:
+
+* ``meta`` — one per trace, written when the trace starts: schema version,
+  producing process, and a free-form label (the CLI records its command).
+* ``span`` — one timed region of the pipeline: a ``name`` from the span
+  taxonomy (``docs/observability.md``), string-keyed ``attrs``, monotonic
+  ``t0_ms``/``dur_ms``, and identity fields (``pid``, ``span_id``,
+  ``parent_id``, ``seq``) that let a reader rebuild the span tree.
+* ``counter`` — one named total, written when the trace is finalized.
+  ``stable`` marks counters whose value is a pure function of the work
+  requested (retries, quarantines, solver kicks): these are identical for
+  every worker count.  Unstable counters (cache and store activity) are
+  honest observations of *this* process and may legitimately differ
+  between runs.
+
+Two comparisons are derived from the schema:
+
+* :func:`span_identity` — the timing- and identity-free view of a span
+  (``name`` + sorted ``attrs``).  The multiset of span identities is the
+  worker-count-invariant content of a trace.
+* :func:`validate_event` / :func:`validate_trace_lines` — structural
+  validation used by tests, CI's trace smoke job, and
+  ``repro trace validate``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+SCHEMA_VERSION = 1
+
+EVENT_TYPES = ("meta", "span", "counter")
+
+#: JSON-safe attribute value types (``None`` marks "absent").
+_ATTR_TYPES = (str, int, float, bool, type(None))
+
+_SPAN_FIELDS = {
+    "name": str,
+    "attrs": dict,
+    "t0_ms": (int, float),
+    "dur_ms": (int, float),
+    "pid": int,
+    "span_id": str,
+    "seq": int,
+}
+
+_COUNTER_FIELDS = {
+    "name": str,
+    "value": (int, float),
+    "stable": bool,
+}
+
+#: Fields excluded from determinism comparisons: wall-clock / monotonic
+#: timing plus process- and ordering-identity.
+TIMING_FIELDS = frozenset({"t0_ms", "dur_ms"})
+IDENTITY_FIELDS = frozenset({"pid", "span_id", "parent_id", "seq"})
+
+
+def meta_event(label: str | None = None, **extra: Any) -> dict:
+    event: dict[str, Any] = {"v": SCHEMA_VERSION, "type": "meta"}
+    if label is not None:
+        event["label"] = label
+    event.update(extra)
+    return event
+
+
+def span_identity(event: dict) -> tuple:
+    """The timing-free identity of a span event: what it measured, not
+    when, where, or how long.  Two traces of the same work agree on the
+    multiset of span identities at any worker count."""
+    attrs = event.get("attrs") or {}
+    return (event.get("name"), tuple(sorted(attrs.items())))
+
+
+def validate_event(event: object) -> list[str]:
+    """Structural problems with one event (empty list = schema-valid)."""
+    problems: list[str] = []
+    if not isinstance(event, dict):
+        return [f"event must be a JSON object, got {type(event).__name__}"]
+    if event.get("v") != SCHEMA_VERSION:
+        problems.append(f"unsupported schema version {event.get('v')!r}")
+    kind = event.get("type")
+    if kind not in EVENT_TYPES:
+        problems.append(f"unknown event type {kind!r}")
+        return problems
+    if kind == "meta":
+        return problems
+    fields = _SPAN_FIELDS if kind == "span" else _COUNTER_FIELDS
+    for name, types in fields.items():
+        if name not in event:
+            problems.append(f"{kind} event missing field {name!r}")
+            continue
+        value = event[name]
+        # bool is an int subclass: accept it only where bool is expected.
+        bad = (
+            not isinstance(value, bool)
+            if types is bool
+            else isinstance(value, bool) or not isinstance(value, types)
+        )
+        if bad:
+            problems.append(
+                f"{kind} field {name!r} has type {type(value).__name__}"
+            )
+    if kind == "span":
+        parent = event.get("parent_id")
+        if parent is not None and not isinstance(parent, str):
+            problems.append("span field 'parent_id' must be a string or null")
+        for key, value in (event.get("attrs") or {}).items():
+            if not isinstance(key, str):
+                problems.append(f"span attr key {key!r} is not a string")
+            elif not isinstance(value, _ATTR_TYPES):
+                problems.append(
+                    f"span attr {key!r} has non-scalar type "
+                    f"{type(value).__name__}"
+                )
+        if isinstance(event.get("dur_ms"), (int, float)) and event["dur_ms"] < 0:
+            problems.append("span field 'dur_ms' is negative")
+    return problems
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """Problems across a whole JSONL trace, each prefixed ``line N:``."""
+    problems: list[str] = []
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        count += 1
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {number}: not valid JSON ({exc})")
+            continue
+        for problem in validate_event(event):
+            problems.append(f"line {number}: {problem}")
+    if count == 0:
+        problems.append("trace is empty")
+    return problems
+
+
+def load_trace(path) -> list[dict]:
+    """Parse a JSONL trace into events, raising ``ValueError`` naming the
+    first malformed line (readers that want per-line diagnostics use
+    :func:`validate_trace_lines`)."""
+    import pathlib
+
+    events = []
+    text = pathlib.Path(path).read_text()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{number}: not valid JSON ({exc})") from None
+    return events

@@ -1,0 +1,161 @@
+"""Render a JSONL trace as human-readable tables.
+
+``repro trace summarize PATH`` prints three sections built from the raw
+events alone (no pipeline state is consulted):
+
+* a **span rollup** — per span name: count, total/mean/max duration.
+  Because the per-stage timers in ``experiments/stages.py`` are spans,
+  this table *is* the Table 2-style per-stage timing report.
+* a **span tree** — names aggregated along parent paths, so the report
+  shows how time nests (``case > method > stage:align > tsp_solver``)
+  without printing one line per procedure.
+* a **counter table** — final totals, with unstable (per-process
+  observational) counters marked.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from .events import load_trace, validate_event
+
+
+def split_events(events: Iterable[dict]) -> tuple[list[dict], list[dict], list[dict]]:
+    """Partition events into (meta, spans, counters)."""
+    meta: list[dict] = []
+    spans: list[dict] = []
+    counters: list[dict] = []
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            spans.append(event)
+        elif kind == "counter":
+            counters.append(event)
+        elif kind == "meta":
+            meta.append(event)
+    return meta, spans, counters
+
+
+def span_rollup(spans: Sequence[dict]) -> list[tuple[str, int, float, float, float]]:
+    """Aggregate spans by name: ``(name, count, total_ms, mean_ms, max_ms)``,
+    sorted by total duration descending."""
+    totals: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        totals[span["name"]].append(float(span.get("dur_ms", 0.0)))
+    rollup = [
+        (name, len(durs), sum(durs), sum(durs) / len(durs), max(durs))
+        for name, durs in totals.items()
+    ]
+    rollup.sort(key=lambda row: (-row[2], row[0]))
+    return rollup
+
+
+def span_tree_rollup(spans: Sequence[dict]) -> list[tuple[str, int, float]]:
+    """Aggregate spans by their *name path* from the root:
+    ``(indented name, count, total_ms)`` rows in tree order.
+
+    Spans arrive close-ordered (a parent's event is written after its
+    children's), so paths are rebuilt from ``parent_id`` links.
+    """
+    by_id = {span["span_id"]: span for span in spans if "span_id" in span}
+
+    def path_of(span: dict) -> tuple[str, ...]:
+        names: list[str] = []
+        current: dict | None = span
+        seen = set()
+        while current is not None and current.get("span_id") not in seen:
+            seen.add(current.get("span_id"))
+            names.append(current.get("name", "?"))
+            parent = current.get("parent_id")
+            current = by_id.get(parent) if parent else None
+        return tuple(reversed(names))
+
+    totals: dict[tuple[str, ...], list[float]] = defaultdict(list)
+    for span in spans:
+        totals[path_of(span)].append(float(span.get("dur_ms", 0.0)))
+
+    rows = []
+    for path in sorted(totals):
+        durs = totals[path]
+        rows.append(("  " * (len(path) - 1) + path[-1], len(durs), sum(durs)))
+    return rows
+
+
+def counter_rollup(counters: Sequence[dict]) -> list[tuple[str, float, bool]]:
+    """Merge counter events by name (a trace appended to across runs may
+    carry several totals for one name)."""
+    values: dict[str, float] = defaultdict(float)
+    stable: dict[str, bool] = {}
+    for event in counters:
+        name = event.get("name", "?")
+        values[name] += float(event.get("value", 0))
+        stable[name] = stable.get(name, True) and bool(event.get("stable", True))
+    return [(name, values[name], stable[name]) for name in sorted(values)]
+
+
+def summarize_events(events: Sequence[dict]) -> str:
+    # Local import: ``repro.experiments`` instruments itself with this
+    # package, so pulling its report module in at import time would cycle.
+    from repro.experiments.report import format_table
+
+    meta, spans, counters = split_events(events)
+    sections: list[str] = []
+
+    label = next((m.get("label") for m in meta if m.get("label")), None)
+    header = (
+        f"trace: {len(spans)} span(s), {len(counters)} counter(s)"
+        + (f", label: {label}" if label else "")
+    )
+    sections.append(header)
+
+    if spans:
+        sections.append(
+            format_table(
+                ["span", "count", "total_s", "mean_ms", "max_ms"],
+                [
+                    (name, count, round(total / 1000.0, 4), round(mean, 3), round(peak, 3))
+                    for name, count, total, mean, peak in span_rollup(spans)
+                ],
+                title="Per-stage timing (span rollup)",
+            )
+        )
+        sections.append(
+            format_table(
+                ["span tree", "count", "total_s"],
+                [
+                    (name, count, round(total / 1000.0, 4))
+                    for name, count, total in span_tree_rollup(spans)
+                ],
+                title="Span tree",
+            )
+        )
+
+    if counters:
+        sections.append(
+            format_table(
+                ["counter", "value", "scope"],
+                [
+                    (
+                        name,
+                        int(value) if value == int(value) else value,
+                        "stable" if is_stable else "per-process",
+                    )
+                    for name, value, is_stable in counter_rollup(counters)
+                ],
+                title="Counters",
+            )
+        )
+
+    return "\n\n".join(sections)
+
+
+def summarize_trace(path) -> str:
+    """Load, schema-check, and render one JSONL trace file."""
+    events = load_trace(path)
+    problems = [p for event in events for p in validate_event(event)]
+    if problems:
+        raise ValueError(
+            f"{path}: {len(problems)} schema problem(s); first: {problems[0]}"
+        )
+    return summarize_events(events)

@@ -69,6 +69,7 @@ from repro.pipeline.task import (
     BoundTask,
     ProcedureResult,
     ProcedureTask,
+    derive_seed,
     procedure_tasks,
 )
 
@@ -114,5 +115,6 @@ __all__ = [
     "BoundTask",
     "ProcedureResult",
     "ProcedureTask",
+    "derive_seed",
     "procedure_tasks",
 ]

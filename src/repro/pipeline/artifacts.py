@@ -44,7 +44,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro import faults
+from repro import faults, obs
 from repro.budget import Budget
 from repro.cfg.graph import ControlFlowGraph
 from repro.errors import ArtifactStoreError
@@ -155,7 +155,18 @@ class EntryLock:
     presumed abandoned (its writer crashed mid-publish) and stolen.  Lock
     acquisition failing within ``timeout_ms`` is *not* an error — the store
     is a cache, so the caller simply skips the write.
+
+    Lock age mixes clocks by necessity: the wait deadline is monotonic,
+    but ``st_mtime`` only compares against wall-clock ``time.time()``.  A
+    future-dated mtime (clock skew, a copied store, a stepped clock)
+    therefore yields a *negative* age — which must not be allowed to park
+    the lock forever, so beyond a small skew tolerance it is treated as
+    stale-eligible, and small negatives clamp to zero.
     """
+
+    #: Wall-clock skew we attribute to clock granularity rather than a
+    #: broken mtime (seconds).
+    SKEW_TOLERANCE_S = 1.0
 
     def __init__(
         self,
@@ -185,12 +196,27 @@ class EntryLock:
             except FileExistsError:
                 try:
                     age_s = time.time() - self.path.stat().st_mtime
-                    if age_s * 1000.0 > self.stale_ms:
-                        # The owner is presumed dead; steal the lock.
-                        self.path.unlink()
-                        continue
-                except OSError:
+                except FileNotFoundError:
                     continue  # raced: owner released or stole first
+                except OSError:
+                    # The lock exists but cannot be inspected — its age is
+                    # unknowable, so waiting on it can never terminate:
+                    # treat it as stale-eligible.
+                    age_s = float("inf")
+                if age_s < 0:
+                    # Future-dated mtime: a tiny negative is clock
+                    # granularity (clamp and keep waiting); anything
+                    # larger is skew/corruption and no amount of waiting
+                    # makes it look stale, so steal now.
+                    age_s = 0.0 if -age_s <= self.SKEW_TOLERANCE_S else float("inf")
+                if age_s * 1000.0 > self.stale_ms:
+                    # The owner is presumed dead; steal the lock.
+                    try:
+                        self.path.unlink()
+                    except OSError:
+                        continue  # raced: another waiter stole it first
+                    obs.count("store.lock_steals", stable=False)
+                    continue
                 if time.monotonic() >= deadline:
                     return False
                 self._sleep(self.poll_ms / 1000.0)
@@ -262,6 +288,10 @@ class ArtifactStore:
     def _count(self, counter: str, n: int = 1) -> None:
         with self._lock:
             setattr(self.stats, counter, getattr(self.stats, counter) + n)
+        # Mirrored into obs so a trace's store.* totals equal this store's
+        # ``stats`` by construction.  Per-process observational: a worker's
+        # store activity depends on task placement.
+        obs.count(f"store.{counter}", n, stable=False)
 
     # - the store contract: get() never raises, put() never raises -
 
@@ -503,6 +533,7 @@ class ArtifactCache:
             stats = self._stats.setdefault(kind, CacheStats())
             if key in self._entries:
                 stats.hits += 1
+                obs.count(f"cache.{kind}.hits", stable=False)
                 return self._entries[key]
         store = self.store
         if store is not None:
@@ -513,9 +544,11 @@ class ArtifactCache:
                 with self._lock:
                     self._entries[key] = value
                     stats.hits += 1
+                obs.count(f"cache.{kind}.hits", stable=False)
                 return value
         with self._lock:
             stats.misses += 1
+        obs.count(f"cache.{kind}.misses", stable=False)
         return None
 
     def put(self, key: str, value: Any) -> None:

@@ -6,9 +6,10 @@ Procedures are aligned independently (the paper's problem is
 treats individual failures as routine:
 
 * **Determinism** — results are merged in task order and every task carries
-  its own ``seed + index`` solver seed, so output is byte-identical for any
-  worker count (``jobs=1`` vs ``jobs=4`` produce the same layouts, reports,
-  checkpoints, and tables).
+  its own solver seed derived from ``(seed, method, index)`` (see
+  :func:`repro.pipeline.task.derive_seed`), so output is byte-identical for
+  any worker count (``jobs=1`` vs ``jobs=4`` produce the same layouts,
+  reports, checkpoints, and tables).
 * **Supervision** — a worker that dies (OOM, signal, ``BrokenProcessPool``)
   costs the affected tasks one attempt, never the run: the pool is rebuilt
   and the tasks resubmitted.  Each attempt may carry an outer wall-clock
@@ -55,7 +56,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence, TypeVar
 
-from repro import faults
+from repro import faults, obs
 from repro.budget import RetryPolicy
 from repro.errors import (
     PoisonTaskError,
@@ -217,14 +218,17 @@ class SupervisionReport:
 # -- the worker side ----------------------------------------------------------
 
 
-def _worker(shipped: tuple[dict | None, str, Any, bool]) -> tuple[Any, dict, dict]:
+def _worker(
+    shipped: tuple[dict | None, str, Any, bool],
+) -> tuple[Any, dict, dict, list[dict]]:
     """Run one task in a worker process.
 
     Re-arms the parent's fault plan (or an inert empty plan, which also
     shadows any plan inherited across ``fork``) and returns the result
-    together with the plan's call/trip counters for merging.  ``crash``
-    (decided in the parent, so trigger counting is worker-count invariant)
-    kills the process the way a real OOM/signal would.
+    together with the plan's call/trip counters and the task's captured
+    observability events, both merged by the parent.  ``crash`` (decided
+    in the parent, so trigger counting is worker-count invariant) kills
+    the process the way a real OOM/signal would.
     """
     spec, kind, payload, crash = shipped
     if crash:
@@ -237,10 +241,11 @@ def _worker(shipped: tuple[dict | None, str, Any, bool]) -> tuple[Any, dict, dic
         # there but not here: signal "cannot run in this worker" (the
         # supervisor falls back to serial) rather than a task failure.
         raise UnknownNameError(f"task kind {kind!r} not registered in worker")
-    with faults.inject_faults(**(spec or {})) as plan:
-        result = handler(payload)
+    with obs.collect() as events:
+        with faults.inject_faults(**(spec or {})) as plan:
+            result = handler(payload)
     calls, trips = plan.counters()
-    return result, calls, trips
+    return result, calls, trips, events
 
 
 # -- the pool -----------------------------------------------------------------
@@ -428,7 +433,7 @@ def _run_parallel(
                     # an attempt.
                     outcome.attempts -= 1
                     continue
-                result, calls, trips = fut.result(timeout=timeout_s)
+                result, calls, trips, events = fut.result(timeout=timeout_s)
             except TimeoutError:
                 _record_failure(
                     outcome,
@@ -475,6 +480,10 @@ def _run_parallel(
             else:
                 if plan is not None:
                     plan.merge_counts(calls, trips)
+                # Only successful attempts ship events back (a failed
+                # attempt's worker state is gone with its exception), so a
+                # retried task contributes one attempt's worth of events.
+                obs.absorb(events)
                 outcome.result = result
                 outcome.ok = True
         if unshippable:
@@ -511,10 +520,23 @@ def run_tasks_supervised(
     report = SupervisionReport(
         outcomes=[TaskOutcome(index=i) for i in range(len(payloads))]
     )
-    if jobs > 1 and len(payloads) > 1:
-        if _run_parallel(kind, payloads, jobs, policy, report, sleep):
-            return report
-    _run_serial(kind, payloads, policy, report, sleep)
+    with obs.span("executor:batch", kind=kind, tasks=len(payloads)) as sp:
+        if not (
+            jobs > 1
+            and len(payloads) > 1
+            and _run_parallel(kind, payloads, jobs, policy, report, sleep)
+        ):
+            _run_serial(kind, payloads, policy, report, sleep)
+        sp["retried"] = report.retried
+        sp["quarantined"] = len(report.quarantined)
+    # Counters mirror the report exactly (they are *read from* it), so the
+    # trace reconciles with SupervisionReport totals by construction.
+    obs.count("executor.retried", report.retried)
+    obs.count("executor.quarantined", len(report.quarantined))
+    obs.count("executor.worker_crashes", report.worker_crashes)
+    obs.count("executor.timeouts", report.timeouts)
+    # Pool restarts depend on process placement, not on the work requested.
+    obs.count("executor.pool_restarts", report.pool_restarts, stable=False)
     return report
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.budget import Budget, RetryPolicy
 from repro.cfg.graph import Program
 from repro.core.aligners.tsp_aligner import alignment_lower_bound
@@ -181,43 +182,54 @@ def run_align_tasks(
     cache = cache if cache is not None else artifact_cache()
     results: list[ProcedureResult | None] = [None] * len(tasks)
     miss_indices: list[int] = []
-    for i, task in enumerate(tasks):
-        if _is_trivial(task):
-            results[i] = align_one(task)
-            continue
-        cached = cache.get(align_key(task))
-        if cached is not None:
-            results[i] = dataclasses.replace(cached, from_cache=True)
-        else:
-            miss_indices.append(i)
-
-    if miss_indices:
-        report = run_tasks_supervised(
-            "align", [tasks[i] for i in miss_indices], jobs=jobs,
-            policy=policy,
-        )
-        if supervision is not None:
-            supervision.merge_from(report)
-        for i, outcome in zip(miss_indices, report.outcomes):
-            if outcome.quarantined:
-                # Poison task: keep the procedure with its original order;
-                # deliberately NOT cached — a later run with a healthier
-                # environment should get a real solve.
-                results[i] = quarantined_result(tasks[i], outcome.error)
+    with obs.span("stage:align", tasks=len(tasks)) as sp:
+        for i, task in enumerate(tasks):
+            if _is_trivial(task):
+                results[i] = align_one(task)
                 continue
-            result = outcome.result
-            results[i] = result
-            cache.put(align_key(tasks[i]), result)
-            if result.instance is not None:
-                # Seed the cost-matrix cache from the worker's build so the
-                # bound stage (and other methods) reuse it.
-                task = tasks[i]
-                cache.put(
-                    instance_key(
-                        task.cfg, task.profile, task.model, task.predictor
-                    ),
-                    result.instance,
-                )
+            cached = cache.get(align_key(task))
+            if cached is not None:
+                results[i] = dataclasses.replace(cached, from_cache=True)
+            else:
+                miss_indices.append(i)
+        # Stage-level hit/miss totals come from this parent-side scan, so
+        # (unlike the per-process cache.* counters) they are worker-count
+        # invariant.
+        hits = sum(
+            1 for r in results if r is not None and r.from_cache
+        )
+        sp["hits"] = hits
+        sp["misses"] = len(miss_indices)
+        obs.count("align.cache_hits", hits)
+        obs.count("align.cache_misses", len(miss_indices))
+
+        if miss_indices:
+            report = run_tasks_supervised(
+                "align", [tasks[i] for i in miss_indices], jobs=jobs,
+                policy=policy,
+            )
+            if supervision is not None:
+                supervision.merge_from(report)
+            for i, outcome in zip(miss_indices, report.outcomes):
+                if outcome.quarantined:
+                    # Poison task: keep the procedure with its original
+                    # order; deliberately NOT cached — a later run with a
+                    # healthier environment should get a real solve.
+                    results[i] = quarantined_result(tasks[i], outcome.error)
+                    continue
+                result = outcome.result
+                results[i] = result
+                cache.put(align_key(tasks[i]), result)
+                if result.instance is not None:
+                    # Seed the cost-matrix cache from the worker's build so
+                    # the bound stage (and other methods) reuse it.
+                    task = tasks[i]
+                    cache.put(
+                        instance_key(
+                            task.cfg, task.profile, task.model, task.predictor
+                        ),
+                        result.instance,
+                    )
     return results  # type: ignore[return-value]
 
 
@@ -313,22 +325,23 @@ def evaluate_procedures(
         train_predictors,
     )
 
-    if predictors is None:
-        predictors = train_predictors(program, profile)
-    result = ProgramPenalty()
-    for proc in program:
-        edge_profile = profile.procedures.get(proc.name)
-        if edge_profile is None:
-            result.per_procedure[proc.name] = CostBreakdown()
-            continue
-        result.per_procedure[proc.name] = evaluate_layout(
-            proc.cfg,
-            layouts[proc.name],
-            edge_profile,
-            model,
-            predictor=predictors[proc.name],
-        )
-    return result
+    with obs.span("stage:evaluate", procs=len(program.procedures)):
+        if predictors is None:
+            predictors = train_predictors(program, profile)
+        result = ProgramPenalty()
+        for proc in program:
+            edge_profile = profile.procedures.get(proc.name)
+            if edge_profile is None:
+                result.per_procedure[proc.name] = CostBreakdown()
+                continue
+            result.per_procedure[proc.name] = evaluate_layout(
+                proc.cfg,
+                layouts[proc.name],
+                edge_profile,
+                model,
+                predictor=predictors[proc.name],
+            )
+        return result
 
 
 # -- bound stage --------------------------------------------------------------
@@ -381,30 +394,36 @@ def run_bound_tasks(
     cache = cache if cache is not None else artifact_cache()
     results: list[BoundResult | None] = [None] * len(tasks)
     miss_indices: list[int] = []
-    for i, task in enumerate(tasks):
-        if task.profile.total() == 0:
-            results[i] = BoundResult(task.name, 0.0)
-            continue
-        cached = cache.get(bound_key(task))
-        if cached is not None:
-            results[i] = dataclasses.replace(cached, from_cache=True)
-        else:
-            miss_indices.append(i)
-    if miss_indices:
-        report = run_tasks_supervised(
-            "bound", [tasks[i] for i in miss_indices], jobs=jobs,
-            policy=policy,
-        )
-        if supervision is not None:
-            supervision.merge_from(report)
-        for i, outcome in zip(miss_indices, report.outcomes):
-            if outcome.quarantined:
-                results[i] = BoundResult(
-                    tasks[i].name, 0.0, quarantined=True
-                )
+    with obs.span("stage:bound", tasks=len(tasks)) as sp:
+        for i, task in enumerate(tasks):
+            if task.profile.total() == 0:
+                results[i] = BoundResult(task.name, 0.0)
                 continue
-            results[i] = outcome.result
-            cache.put(bound_key(tasks[i]), outcome.result)
+            cached = cache.get(bound_key(task))
+            if cached is not None:
+                results[i] = dataclasses.replace(cached, from_cache=True)
+            else:
+                miss_indices.append(i)
+        hits = sum(1 for r in results if r is not None and r.from_cache)
+        sp["hits"] = hits
+        sp["misses"] = len(miss_indices)
+        obs.count("bound.cache_hits", hits)
+        obs.count("bound.cache_misses", len(miss_indices))
+        if miss_indices:
+            report = run_tasks_supervised(
+                "bound", [tasks[i] for i in miss_indices], jobs=jobs,
+                policy=policy,
+            )
+            if supervision is not None:
+                supervision.merge_from(report)
+            for i, outcome in zip(miss_indices, report.outcomes):
+                if outcome.quarantined:
+                    results[i] = BoundResult(
+                        tasks[i].name, 0.0, quarantined=True
+                    )
+                    continue
+                results[i] = outcome.result
+                cache.put(bound_key(tasks[i]), outcome.result)
     return results  # type: ignore[return-value]
 
 

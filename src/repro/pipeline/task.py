@@ -8,13 +8,14 @@ process.  A :class:`ProcedureResult` is the corresponding output artifact:
 the layout plus solver diagnostics.
 
 Tasks are deterministic by construction: the effective solver seed is
-``seed + index`` where ``index`` is the procedure's position in the
-program, so results are independent of which worker (or how many workers)
-executed the task.
+:func:`derive_seed` over ``(seed, method, index)`` — a pure function of
+what the task *is*, never of which worker (or how many workers) executed
+it.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -28,6 +29,24 @@ from repro.tsp.solve import Effort
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle is fine at type time
     from repro.core.costmatrix import AlignmentInstance
+
+
+def derive_seed(seed: int, method: str, index: int) -> int:
+    """Per-task solver seed: a stable 63-bit hash of ``(seed, method, index)``.
+
+    The historical ``seed + index`` derivation made every method in a sweep
+    draw the *same* per-procedure seed stream, so methods that both use the
+    randomized solver (e.g. ``tsp`` and a future restart variant) were
+    correlated rather than independent.  Hashing the method name in
+    decorrelates them; hashing rather than offsetting also prevents
+    adjacent base seeds from producing overlapping streams.  blake2b is
+    seeded with nothing process-specific, so the derivation is stable
+    across runs, platforms, and worker counts.
+    """
+    tag = f"{seed}/{method}/{index}".encode()
+    return int.from_bytes(
+        hashlib.blake2b(tag, digest_size=8).digest(), "big"
+    ) >> 1
 
 
 @dataclass
@@ -49,8 +68,8 @@ class ProcedureTask:
 
     @property
     def effective_seed(self) -> int:
-        """Per-procedure solver seed (matches the historical serial loop)."""
-        return self.seed + self.index
+        """Per-procedure solver seed — see :func:`derive_seed`."""
+        return derive_seed(self.seed, self.method, self.index)
 
 
 @dataclass

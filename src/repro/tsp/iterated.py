@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.budget import Budget, BudgetTimer, ensure_timer
 from repro.errors import SolverBudgetExceeded
 from repro.tsp.construction import (
@@ -123,26 +124,31 @@ def iterated_three_opt(
         for start_kind in starts:
             if timer is not None:
                 timer.check(where="iterated-3opt")
-            current, _ = search.optimize(
-                _construct(start_kind, matrix, rng), budget=timer
-            )
-            current_cost = tour_cost(matrix, current)
-            if current_cost < seen_cost:
-                seen_tour, seen_cost = current, current_cost
-            run_best = current_cost
-            for _ in range(kicks):
-                if timer is not None:
-                    timer.tick(where="iterated-3opt")
-                candidate, _ = search.optimize(
-                    double_bridge(current, rng), budget=timer
+            with obs.span("tsp_run", start=start_kind):
+                obs.count("tsp.runs")
+                current, _ = search.optimize(
+                    _construct(start_kind, matrix, rng), budget=timer
                 )
-                candidate_cost = tour_cost(matrix, candidate)
-                if candidate_cost <= current_cost + 1e-9:
-                    current, current_cost = candidate, candidate_cost
-                    run_best = min(run_best, current_cost)
-                    if current_cost < seen_cost:
-                        seen_tour, seen_cost = current, current_cost
-            runs.append(RunResult(start_kind, run_best, kicks))
+                current_cost = tour_cost(matrix, current)
+                if current_cost < seen_cost:
+                    seen_tour, seen_cost = current, current_cost
+                run_best = current_cost
+                for _ in range(kicks):
+                    if timer is not None:
+                        timer.tick(where="iterated-3opt")
+                    obs.count("tsp.kicks")
+                    candidate, _ = search.optimize(
+                        double_bridge(current, rng), budget=timer
+                    )
+                    candidate_cost = tour_cost(matrix, candidate)
+                    if candidate_cost <= current_cost + 1e-9:
+                        if candidate_cost < current_cost - 1e-9:
+                            obs.count("tsp.improving_moves")
+                        current, current_cost = candidate, candidate_cost
+                        run_best = min(run_best, current_cost)
+                        if current_cost < seen_cost:
+                            seen_tour, seen_cost = current, current_cost
+                runs.append(RunResult(start_kind, run_best, kicks))
             if current_cost < best_cost:
                 best_tour, best_cost = current, current_cost
     except SolverBudgetExceeded as exc:

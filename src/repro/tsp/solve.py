@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.budget import Budget, BudgetTimer, ensure_timer
 from repro.errors import UnknownNameError
 from repro.tsp.exact import MAX_EXACT_CITIES, exact_tour
@@ -80,20 +80,22 @@ def solve_dtsp(
     timer = ensure_timer(budget)
     n = matrix.shape[0]
     if n <= min(effort.exact_threshold, MAX_EXACT_CITIES):
-        if timer is not None:
-            timer.check(where="exact")
-        tour, cost = exact_tour(matrix)
-        return SolveResult(
-            tour=tour, cost=cost, runs=[RunResult("exact", cost, 0)]
+        with obs.span("dtsp_solve", cities=n, mode="exact"):
+            if timer is not None:
+                timer.check(where="exact")
+            tour, cost = exact_tour(matrix)
+            return SolveResult(
+                tour=tour, cost=cost, runs=[RunResult("exact", cost, 0)]
+            )
+    with obs.span("dtsp_solve", cities=n, mode="3opt"):
+        return iterated_three_opt(
+            matrix,
+            starts=effort.starts,
+            iterations=effort.iterations,
+            neighbors=effort.neighbors,
+            seed=seed,
+            budget=timer,
         )
-    return iterated_three_opt(
-        matrix,
-        starts=effort.starts,
-        iterations=effort.iterations,
-        neighbors=effort.neighbors,
-        seed=seed,
-        budget=timer,
-    )
 
 
 def solution_gap(cost: float, bound: float) -> float:

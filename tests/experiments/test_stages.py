@@ -21,7 +21,10 @@ class TestStages:
         row = times.as_row()
         assert row[0] == "xli"
         assert row[1] == "ne"
-        assert len(row) == 2 + len(STAGE_NAMES)
+        # benchmark, dataset, the stage columns, and the degraded count.
+        assert len(row) == 2 + len(STAGE_NAMES) + 1
+        assert len(row) == len(times.HEADERS)
+        assert row[-1] == len(times.degraded_procs)
 
     def test_worst_dataset_picks_longer_run(self):
         assert worst_dataset("su2") == "re"

@@ -1,0 +1,140 @@
+"""The trace event schema: validation, identities, loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    IDENTITY_FIELDS,
+    SCHEMA_VERSION,
+    TIMING_FIELDS,
+    load_trace,
+    span_identity,
+    validate_event,
+    validate_trace_lines,
+)
+
+
+def make_span(**overrides) -> dict:
+    event = {
+        "v": SCHEMA_VERSION,
+        "type": "span",
+        "name": "tsp_solver",
+        "attrs": {"proc": "main", "cities": 12},
+        "t0_ms": 1.5,
+        "dur_ms": 3.25,
+        "pid": 41,
+        "span_id": "29-1",
+        "parent_id": None,
+        "seq": 2,
+    }
+    event.update(overrides)
+    return event
+
+
+def make_counter(**overrides) -> dict:
+    event = {
+        "v": SCHEMA_VERSION,
+        "type": "counter",
+        "name": "tsp.kicks",
+        "value": 42,
+        "stable": True,
+    }
+    event.update(overrides)
+    return event
+
+
+class TestValidateEvent:
+    def test_well_formed_events_pass(self):
+        assert validate_event(make_span()) == []
+        assert validate_event(make_counter()) == []
+        assert validate_event({"v": SCHEMA_VERSION, "type": "meta"}) == []
+
+    def test_non_object_and_unknown_type_rejected(self):
+        assert validate_event([1, 2]) != []
+        assert any("unknown event type" in p
+                   for p in validate_event({"v": SCHEMA_VERSION, "type": "x"}))
+
+    def test_wrong_schema_version_flagged(self):
+        problems = validate_event(make_span(v=99))
+        assert any("schema version" in p for p in problems)
+
+    def test_missing_fields_named(self):
+        event = make_span()
+        del event["dur_ms"]
+        assert any("dur_ms" in p for p in validate_event(event))
+
+    def test_field_type_errors_flagged(self):
+        assert validate_event(make_span(pid="41")) != []
+        assert validate_event(make_counter(value="42")) != []
+        # bool is an int subclass, but not an acceptable pid/value.
+        assert validate_event(make_span(pid=True)) != []
+        assert validate_event(make_counter(stable=1)) != []
+
+    def test_parent_id_must_be_string_or_null(self):
+        assert validate_event(make_span(parent_id="29-0")) == []
+        assert validate_event(make_span(parent_id=7)) != []
+
+    def test_attrs_must_be_scalar(self):
+        bad = make_span(attrs={"tour": [1, 2, 3]})
+        assert any("non-scalar" in p for p in validate_event(bad))
+
+    def test_negative_duration_rejected(self):
+        assert any("negative" in p
+                   for p in validate_event(make_span(dur_ms=-1.0)))
+
+
+class TestSpanIdentity:
+    def test_identity_ignores_timing_and_process_placement(self):
+        a = make_span(t0_ms=0.0, dur_ms=1.0, pid=1, span_id="1-1", seq=1)
+        b = make_span(t0_ms=9.9, dur_ms=5.0, pid=2, span_id="2-7", seq=9)
+        assert span_identity(a) == span_identity(b)
+
+    def test_identity_distinguishes_name_and_attrs(self):
+        assert span_identity(make_span()) != span_identity(
+            make_span(name="dtsp_solve")
+        )
+        assert span_identity(make_span()) != span_identity(
+            make_span(attrs={"proc": "other"})
+        )
+
+    def test_excluded_field_sets_cover_the_span_schema(self):
+        """Every span field is either content, timing, or identity —
+        the determinism comparison must account for all of them."""
+        content = {"v", "type", "name", "attrs"}
+        assert (
+            set(make_span()) == content | TIMING_FIELDS | IDENTITY_FIELDS
+        )
+
+
+class TestTraceLines:
+    def test_valid_trace_passes(self):
+        lines = [json.dumps(make_span()), "", json.dumps(make_counter())]
+        assert validate_trace_lines(lines) == []
+
+    def test_problems_carry_line_numbers(self):
+        lines = [json.dumps(make_span()), "{not json", json.dumps(
+            make_span(dur_ms=-2))]
+        problems = validate_trace_lines(lines)
+        assert any(p.startswith("line 2:") for p in problems)
+        assert any(p.startswith("line 3:") for p in problems)
+
+    def test_empty_trace_is_a_problem(self):
+        assert validate_trace_lines([]) == ["trace is empty"]
+        assert validate_trace_lines(["", "  "]) == ["trace is empty"]
+
+
+class TestLoadTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = [make_span(), make_counter()]
+        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        assert load_trace(path) == events
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(make_span()) + "\n{oops\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace(path)

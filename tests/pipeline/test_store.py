@@ -137,6 +137,56 @@ class TestEntryLock:
         assert lock.acquire()
         lock.release()
 
+    def test_future_dated_lock_is_stolen_not_waited_on(self, tmp_path):
+        """Regression: staleness used wall-clock mtime age against a
+        monotonic deadline, so a lock file dated in the future (clock step,
+        NFS skew, a restored backup) had *negative* age and was treated as
+        eternally fresh — every writer waited out its full timeout.  Ages
+        beyond the small skew tolerance now read as infinitely old."""
+        import time
+
+        path = tmp_path / "e.lock"
+        path.write_text("4242")
+        future = time.time() + 3600.0
+        os.utime(path, (future, future))
+        lock = EntryLock(path, timeout_ms=40, stale_ms=60_000)
+        assert lock.acquire()  # stolen immediately, not timed out
+        lock.release()
+        assert not path.exists()
+
+    def test_small_clock_skew_is_tolerated_as_fresh(self, tmp_path):
+        """Sub-second negative age (ordinary clock jitter) clamps to zero:
+        the lock still counts as freshly written, not as stale."""
+        import time
+
+        path = tmp_path / "e.lock"
+        path.write_text("4242")
+        near_future = time.time() + 0.5
+        os.utime(path, (near_future, near_future))
+        lock = EntryLock(path, timeout_ms=40, poll_ms=5, sleep=lambda s: None)
+        assert not lock.acquire()
+        assert path.exists()  # never stolen from a live owner
+
+    def test_unreadable_stat_counts_as_stale(self, tmp_path, monkeypatch):
+        """A lock whose metadata cannot be read (EACCES, EIO) cannot prove
+        it is fresh — it is treated as stale-eligible rather than blocking
+        every writer until timeout."""
+        from pathlib import Path
+
+        path = tmp_path / "e.lock"
+        path.write_text("4242")
+        real_stat = Path.stat
+
+        def broken_stat(self, **kwargs):
+            if self == path:
+                raise PermissionError("metadata unreadable")
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", broken_stat)
+        lock = EntryLock(path, timeout_ms=40, stale_ms=60_000)
+        assert lock.acquire()
+        lock.release()
+
     def test_contention_skips_the_write(self, store):
         path = store.path_for(KEY)
         path.parent.mkdir(parents=True, exist_ok=True)
