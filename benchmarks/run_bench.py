@@ -42,6 +42,23 @@ import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_pipeline.json"
+DEFAULT_SERVICE_OUT = REPO_ROOT / "BENCH_service.json"
+
+SERVICE_BENCH_SOURCE = """
+fn main() {
+  var i = 0;
+  var acc = 0;
+  var n = input_len();
+  while (i < n) {
+    var v = input(i);
+    if (v % 2 == 0) { acc = acc + v; } else { acc = acc - 1; }
+    if (v > 10) { acc = acc + 2; }
+    i = i + 1;
+  }
+  output(acc);
+  return acc;
+}
+"""
 
 
 def bench_tier1() -> dict:
@@ -118,6 +135,95 @@ def bench_figure2(jobs: int) -> dict:
     }
 
 
+def percentile(latencies: list[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty series."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return round(ordered[rank], 3)
+
+
+def bench_service(requests: int, clients: int, capacity: int) -> dict:
+    """Latency/shed/fallback profile of the in-process alignment service.
+
+    Two phases against one service instance:
+
+    * **burst** — ``requests`` submissions from ``clients`` concurrent
+      threads against a ``capacity``-bounded queue: p50/p95 of the
+      worker's per-request latency, plus how many the gate shed.
+    * **breaker** — a crash-everything fault plan drives the tsp breaker
+      open, counting how many requests the greedy fallback absorbed
+      before the service was drained.
+    """
+    import threading
+
+    from repro.errors import ServiceOverloadError
+    from repro.faults import inject_faults
+    from repro.service import AlignmentService, ServiceConfig
+
+    def payload(i: int) -> dict:
+        return {
+            "source": SERVICE_BENCH_SOURCE,
+            "inputs": list(range(12 + i % 5)),
+            "method": "tsp",
+            "seed": i,
+        }
+
+    service = AlignmentService(ServiceConfig(capacity=capacity)).start()
+    started = time.perf_counter()
+    pending, shed_lock = iter(range(requests)), threading.Lock()
+
+    def client_loop() -> None:
+        while True:
+            with shed_lock:
+                try:
+                    i = next(pending)
+                except StopIteration:
+                    return
+            try:
+                handle = service.submit(payload(i))
+            except ServiceOverloadError:
+                continue  # the gate's own counter records the shed
+            handle.result(600)
+
+    threads = [threading.Thread(target=client_loop) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    burst_seconds = time.perf_counter() - started
+
+    # Breaker phase: every align pass reports crashes, so the breaker
+    # opens after `threshold` requests and the rest ride the fallback.
+    with inject_faults(worker_crash=True):
+        for i in range(service.config.breaker_threshold + 4):
+            service.align(payload(i), timeout=600)
+    drained = service.drain(timeout=120)
+
+    latencies = list(service.stats.latencies_ms)
+    snapshot = service.snapshot()
+    return {
+        "requests": requests,
+        "clients": clients,
+        "capacity": capacity,
+        "burst_seconds": round(burst_seconds, 3),
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "max": round(max(latencies), 3) if latencies else 0.0,
+            "count": len(latencies),
+        },
+        "admitted": snapshot["gate"]["admitted"],
+        "shed": snapshot["gate"]["shed"],
+        "completed": snapshot["completed"],
+        "quarantined": snapshot["quarantined"],
+        "breaker_fallbacks": snapshot["breaker_fallbacks"],
+        "breakers": snapshot["breakers"],
+        "drained": drained,
+    }
+
+
 def load_previous_report(path: pathlib.Path) -> dict | None:
     """Load the last report defensively: a missing file, unreadable bytes,
     malformed JSON, or a non-object top level all mean "no history" —
@@ -171,8 +277,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker counts to sweep (default: 1 4)")
     parser.add_argument("--skip-tier1", action="store_true",
                         help="skip timing the tier-1 test suite")
+    parser.add_argument("--skip-service", action="store_true",
+                        help="skip the alignment service sweep")
+    parser.add_argument("--service-requests", type=int, default=40,
+                        help="requests in the service burst (default: 40)")
+    parser.add_argument("--service-clients", type=int, default=12,
+                        help="concurrent service clients (default: 12)")
+    parser.add_argument("--service-capacity", type=int, default=8,
+                        help="service admission capacity (default: 8)")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
                         help=f"output path (default: {DEFAULT_OUT})")
+    parser.add_argument("--service-out", type=pathlib.Path,
+                        default=DEFAULT_SERVICE_OUT,
+                        help="service sweep output path "
+                             f"(default: {DEFAULT_SERVICE_OUT})")
     args = parser.parse_args(argv)
 
     previous = load_previous_report(args.out)
@@ -200,6 +318,44 @@ def main(argv: list[str] | None = None) -> int:
             f"{entry['cache'].get('instance', {}).get('hit_rate', 0.0)}, "
             f"{entry['retried']} retried, {entry['quarantined']} quarantined"
         )
+
+    if not args.skip_service:
+        print(
+            f"service sweep: {args.service_requests} requests / "
+            f"{args.service_clients} clients / capacity "
+            f"{args.service_capacity}..."
+        )
+        entry = bench_service(
+            args.service_requests, args.service_clients,
+            args.service_capacity,
+        )
+        previous_service = load_previous_report(args.service_out)
+        service_history = (
+            previous_service.get("history") if previous_service else None
+        )
+        if not isinstance(service_history, list):
+            service_history = []
+        service_history.append({
+            "when": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "latency_p50_ms": entry["latency_ms"]["p50"],
+            "latency_p95_ms": entry["latency_ms"]["p95"],
+            "shed": entry["shed"],
+            "breaker_fallbacks": entry["breaker_fallbacks"],
+        })
+        args.service_out.write_text(json.dumps({
+            "python": report["python"],
+            "platform": report["platform"],
+            "cpus": report["cpus"],
+            "service": entry,
+            "history": service_history[-20:],
+        }, indent=2) + "\n")
+        print(
+            f"  p50 {entry['latency_ms']['p50']}ms, "
+            f"p95 {entry['latency_ms']['p95']}ms, "
+            f"{entry['shed']} shed, "
+            f"{entry['breaker_fallbacks']} breaker fallbacks"
+        )
+        print(f"wrote {args.service_out}")
 
     if not args.skip_tier1:
         print("tier-1 suite...")

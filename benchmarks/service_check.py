@@ -1,0 +1,294 @@
+#!/usr/bin/env python
+"""End-to-end chaos soak for the alignment service.
+
+Boots a real ``repro serve`` subprocess with ``$REPRO_CHAOS`` sabotage
+armed — pipeline workers crash and per-attempt deadlines expire on a
+schedule — then fires a concurrent request burst at it and asserts the
+serving contract:
+
+1. **Typed back-pressure** — every request is answered: 200 with a
+   response body, or a typed 429 (shed).  No connection resets, no
+   untyped 500s.
+2. **Accounting closes** — the service's own counters satisfy
+   ``admitted + shed == submitted``, and the client saw exactly the
+   same split.
+3. **No unexplained degradation** — every 200 carries either a verified
+   layout or an explicitly accounted fallback: ``degraded`` rungs
+   (including ``breaker_fallback``), a ``quarantined`` procedure map,
+   or a ``status: quarantined`` verification report.  Nothing silent.
+4. **The service stays healthy** — ``/healthz`` is green before, during,
+   and after the burst; chaos only ever degrades responses.
+5. **Graceful drain** — SIGTERM exits 0 after finishing admitted work,
+   and the post-drain trace passes ``repro trace validate``.
+
+Exit code 0 when every assertion holds, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_check.py
+    PYTHONPATH=src python benchmarks/service_check.py --requests 80 --clients 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SOAK_SOURCE = """
+fn main() {
+  var i = 0;
+  var acc = 0;
+  var n = input_len();
+  while (i < n) {
+    var v = input(i);
+    if (v % 2 == 0) { acc = acc + v; } else { acc = acc - 1; }
+    if (v > 10) { acc = acc + 2; }
+    i = i + 1;
+  }
+  output(acc);
+  return acc;
+}
+"""
+
+
+def check(condition: bool, message: str, failures: list[str]) -> None:
+    print(("ok:   " if condition else "FAIL: ") + message)
+    if not condition:
+        failures.append(message)
+
+
+def start_server(chaos: str, trace: str, capacity: int) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CHAOS"] = chaos
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--capacity", str(capacity),
+            "--jobs", "2",
+            "--trace", trace,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    announce = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", announce)
+    if not match:
+        proc.kill()
+        raise SystemExit(f"server did not announce a port: {announce!r}")
+    return proc, f"http://127.0.0.1:{match.group(1)}"
+
+
+def soak(base_url: str, requests: int, clients: int) -> dict:
+    """Fire the burst; return per-request outcomes and client-side tallies."""
+    from repro.service.client import get_json, request_alignment
+
+    lock = threading.Lock()
+    outcomes = collections.Counter()
+    problems: list[str] = []
+    health_flaps = 0
+
+    def one_request(i: int) -> None:
+        nonlocal health_flaps
+        payload = {
+            "source": SOAK_SOURCE,
+            "inputs": list(range(12 + i % 5)),
+            "method": "tsp",
+            "seed": i,
+            # Mixed deadlines keep the degradation ladder in play.
+            "deadline_ms": [None, 30_000, 50][i % 3],
+        }
+        if payload["deadline_ms"] is None:
+            del payload["deadline_ms"]
+        try:
+            status, body = request_alignment(base_url, payload, timeout=300)
+        except OSError as exc:
+            with lock:
+                outcomes["transport_error"] += 1
+                problems.append(f"request {i}: transport error {exc}")
+            return
+        with lock:
+            if status == 200 and body.get("status") == "ok":
+                if body.get("verified"):
+                    outcomes["ok_verified"] += 1
+                else:
+                    outcomes["ok_unverified"] += 1
+                    problems.append(f"request {i}: 200 without verification")
+                if body.get("degraded"):
+                    outcomes["degraded"] += 1
+                if body.get("quarantined"):
+                    outcomes["proc_quarantined"] += 1
+            elif status == 200 and body.get("status") == "quarantined":
+                outcomes["quarantined_response"] += 1
+            elif status == 429:
+                outcomes["shed"] += 1
+            elif status == 503:
+                outcomes["unavailable"] += 1
+            else:
+                outcomes[f"http_{status}"] += 1
+                problems.append(
+                    f"request {i}: unexpected {status}: "
+                    f"{body.get('error', body)}"
+                )
+        # Health must stay green while chaos rages.
+        health, _ = get_json(base_url + "/healthz", timeout=30)
+        if health != 200:
+            with lock:
+                health_flaps += 1
+
+    threads: list[threading.Thread] = []
+    ids = iter(range(requests))
+    def client_loop() -> None:
+        while True:
+            try:
+                i = next(ids)
+            except StopIteration:
+                return
+            one_request(i)
+
+    for _ in range(clients):
+        thread = threading.Thread(target=client_loop)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    return {
+        "outcomes": dict(outcomes),
+        "problems": problems,
+        "health_flaps": health_flaps,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests in the burst (default: 60)")
+    parser.add_argument("--clients", type=int, default=50,
+                        help="concurrent client threads (default: 50 — the "
+                             "first wave alone overwhelms the queue, so the "
+                             "soak proves typed shedding, not just success)")
+    parser.add_argument("--capacity", type=int, default=16,
+                        help="server admission capacity (default: 16)")
+    parser.add_argument("--chaos", default="worker_crash=%5,task_timeout=%7",
+                        help="REPRO_CHAOS spec armed in the server")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.service.client import get_json, wait_ready
+
+    trace = os.path.join(
+        tempfile.mkdtemp(prefix="repro-service-trace-"), "service.jsonl"
+    )
+    failures: list[str] = []
+    proc, base_url = start_server(args.chaos, trace, args.capacity)
+    drain_timeout = False
+    try:
+        check(wait_ready(base_url), "server became ready", failures)
+        check(get_json(base_url + "/healthz")[0] == 200,
+              "healthz green before the burst", failures)
+
+        print(f"soak: {args.requests} requests / {args.clients} clients, "
+              f"chaos {args.chaos!r} ...")
+        result = soak(base_url, args.requests, args.clients)
+        outcomes = result["outcomes"]
+        print("outcomes: " + json.dumps(outcomes, sort_keys=True))
+
+        for problem in result["problems"]:
+            check(False, problem, failures)
+        check(result["health_flaps"] == 0,
+              "healthz stayed green through the burst", failures)
+        check(outcomes.get("transport_error", 0) == 0,
+              "no dropped connections", failures)
+
+        answered = sum(
+            outcomes.get(k, 0)
+            for k in ("ok_verified", "quarantined_response", "shed",
+                      "unavailable")
+        )
+        check(answered == args.requests,
+              f"every request answered with a typed outcome "
+              f"({answered}/{args.requests})", failures)
+
+        status, counters = get_json(base_url + "/counters", timeout=30)
+        check(status == 200, "counters endpoint responds", failures)
+        gate = counters.get("gate", {})
+        check(
+            gate.get("admitted", -1) + gate.get("shed", -1)
+            == gate.get("submitted", -2),
+            f"service accounting closes: admitted {gate.get('admitted')} "
+            f"+ shed {gate.get('shed')} == submitted {gate.get('submitted')}",
+            failures,
+        )
+        served = (
+            counters.get("completed", 0) + counters.get("quarantined", 0)
+        )
+        check(served == gate.get("admitted", -1),
+              f"every admitted request served ({served} of "
+              f"{gate.get('admitted')})", failures)
+        client_accepted = (
+            outcomes.get("ok_verified", 0)
+            + outcomes.get("quarantined_response", 0)
+        )
+        check(client_accepted == gate.get("admitted", -1),
+              "client-side and server-side admission agree", failures)
+        print(
+            f"degradation: {outcomes.get('degraded', 0)} degraded, "
+            f"{outcomes.get('proc_quarantined', 0)} with quarantined "
+            f"procedures, {counters.get('breaker_fallbacks', 0)} breaker "
+            f"fallbacks"
+        )
+
+        check(get_json(base_url + "/healthz")[0] == 200,
+              "healthz green after the burst", failures)
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            exit_code = proc.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            drain_timeout = True
+            proc.kill()
+            exit_code = proc.wait()
+        check(not drain_timeout, "SIGTERM drain finished in time", failures)
+        check(exit_code == 0, f"drain exit code 0 (got {exit_code})",
+              failures)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    validate = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "validate", trace],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+    )
+    check(validate.returncode == 0,
+          f"post-drain trace validates ({trace})", failures)
+    if validate.stdout.strip():
+        print(validate.stdout.strip())
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nservice chaos soak: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,29 @@ class Budget:
         """Begin the countdown: the deadline is measured from this call."""
         return BudgetTimer(self, clock=clock)
 
+    def split(self, n: int) -> "Budget":
+        """Divide this budget across ``n`` sequential units of work.
+
+        A request-level deadline becomes a per-procedure solver budget by
+        splitting it over the procedures to align: each share gets
+        ``wall_ms / n`` and ``max_iterations / n`` (floored, minimum 1 so
+        a share can never be "free").  Unlimited dimensions stay
+        unlimited.  The split is conservative — shares never overlap, so
+        the sum of the parts respects the whole even when the parts run
+        back to back.
+        """
+        if n < 1:
+            raise ValueError("split requires n >= 1")
+        if n == 1 or self.unlimited:
+            return self
+        wall = None if self.wall_ms is None else self.wall_ms / n
+        iters = (
+            None
+            if self.max_iterations is None
+            else max(1, self.max_iterations // n)
+        )
+        return Budget(wall_ms=wall, max_iterations=iters)
+
 
 #: The default budget: no limits (the seed behaviour).
 UNLIMITED = Budget()

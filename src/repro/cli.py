@@ -9,6 +9,10 @@
     repro suite CASE [CASE ...] [--train DATASET] [--budget-ms MS]
                  [--checkpoint P.jsonl [--resume]] [--jobs N]
                  [--retries N] [--task-timeout-ms MS] [--store PATH]
+    repro serve [--host H] [--port P] [--capacity N] [--deadline-ms MS]
+                 [--breaker-threshold N] [--breaker-cooldown N] [--jobs N]
+    repro request FILE [--url URL] [--method tsp] [--deadline-ms MS]
+                 [--profile P.json | --inputs ...] [--bound] [--json]
     repro trace summarize T.jsonl
     repro trace validate T.jsonl
 
@@ -31,6 +35,7 @@ Exit codes: 0 success, 1 runtime failure (compile/profile/solver), 2 usage.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -43,7 +48,7 @@ from repro.core import (
     train_predictors,
 )
 from repro.core.align import ALIGN_METHODS
-from repro.errors import ReproError, UsageError
+from repro.errors import ProfileValidationError, ReproError, UsageError
 from repro.experiments.report import format_table
 from repro.lang import LangError, compile_source, run_and_profile
 from repro.machine.models import STANDARD_MODELS, get_model
@@ -355,6 +360,106 @@ def cmd_suite(args) -> int:
     return 0 if result.cases else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.service import AlignmentService, ServiceConfig, serve
+
+    policy = _supervision_policy(args)
+    _install_store(args)
+    if args.capacity < 1:
+        raise UsageError(f"--capacity must be >= 1, got {args.capacity}")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise UsageError(
+            f"--deadline-ms must be a positive number of milliseconds, "
+            f"got {args.deadline_ms}"
+        )
+    if args.breaker_threshold < 1:
+        raise UsageError(
+            f"--breaker-threshold must be >= 1, got {args.breaker_threshold}"
+        )
+    if args.breaker_cooldown < 1:
+        raise UsageError(
+            f"--breaker-cooldown must be >= 1, got {args.breaker_cooldown}"
+        )
+    service = AlignmentService(ServiceConfig(
+        capacity=args.capacity,
+        jobs=args.jobs,
+        policy=policy,
+        default_deadline_ms=args.deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        verify=not args.no_verify,
+    ))
+    return serve(service, host=args.host, port=args.port)
+
+
+def cmd_request(args) -> int:
+    import urllib.error
+
+    from repro.service.client import request_alignment
+
+    payload: dict = {
+        "source": _read_source(args.file),
+        "method": args.method,
+        "model": args.model,
+        "effort": args.effort,
+        "seed": args.seed,
+    }
+    inputs = _parse_inputs(args)
+    if inputs:
+        payload["inputs"] = inputs
+    if args.profile:
+        payload["profile"] = pathlib.Path(args.profile).read_text()
+    if args.deadline_ms is not None:
+        if args.deadline_ms <= 0:
+            raise UsageError(
+                f"--deadline-ms must be a positive number of milliseconds, "
+                f"got {args.deadline_ms}"
+            )
+        payload["deadline_ms"] = args.deadline_ms
+    if args.bound:
+        payload["bound"] = True
+
+    try:
+        status, response = request_alignment(
+            args.url, payload, timeout=args.timeout
+        )
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response, indent=1, sort_keys=True))
+    elif status == 200 and response.get("status") == "ok":
+        penalty = response.get("penalty", {})
+        degraded = response.get("degraded", {})
+        rows = [[
+            response.get("served_by"),
+            penalty.get("total"),
+            response.get("retried", 0) or "-",
+            len(response.get("quarantined", {})) or "-",
+            ("yes" if response.get("verified") else "no"),
+        ]]
+        print(format_table(
+            ["served by", "penalty cycles", "retried", "quarantined",
+             "verified"],
+            rows,
+            title=f"request {response.get('id')} "
+                  f"({len(response.get('layouts', {}))} procedure(s), "
+                  f"{response.get('elapsed_ms')} ms)",
+        ))
+        for proc, rung in sorted(degraded.items()):
+            print(f"degraded: {proc}: {rung}")
+    else:
+        detail = response.get("error") or response.get("violations") or response
+        print(
+            f"error: service returned {status} "
+            f"({response.get('status', 'error')}): {detail}",
+            file=sys.stderr,
+        )
+    if status == 200:
+        return 0
+    return 2 if status == 400 else 1
+
+
 def cmd_trace(args) -> int:
     from repro import obs
 
@@ -462,6 +567,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_supervision_flags(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived alignment service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8421,
+                         help="listen port (0 = ephemeral; the startup "
+                              "line prints the bound port)")
+    p_serve.add_argument("--capacity", type=int, default=16, metavar="N",
+                         help="bounded request queue size; requests beyond "
+                              "it are shed with HTTP 429 (default 16)")
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         metavar="MS",
+                         help="default per-request deadline applied to "
+                              "requests that do not carry their own; "
+                              "deadlines degrade solves down the aligner "
+                              "ladder instead of failing the request")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         metavar="N",
+                         help="consecutive infrastructure failures (worker "
+                              "crashes / task timeouts / quarantines) that "
+                              "open an aligner's circuit breaker (default 3)")
+    p_serve.add_argument("--breaker-cooldown", type=int, default=5,
+                         metavar="N",
+                         help="fallback-served requests before an open "
+                              "breaker admits a half-open probe (default 5)")
+    p_serve.add_argument("--no-verify", action="store_true",
+                         help="skip per-response layout verification "
+                              "(benchmarking only; verification is cheap)")
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes per align pass "
+                              "(default: $REPRO_JOBS or 1)")
+    _add_supervision_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_request = sub.add_parser(
+        "request", help="send one alignment request to a running service"
+    )
+    p_request.add_argument("file", help="program source to align")
+    p_request.add_argument("--url", default="http://127.0.0.1:8421",
+                           help="service base URL")
+    p_request.add_argument("--inputs")
+    p_request.add_argument("--input-file")
+    p_request.add_argument("--profile",
+                           help="training profile JSON file (else the "
+                                "service profiles the program on --inputs)")
+    p_request.add_argument("--method", default="tsp",
+                           choices=tuple(ALIGN_METHODS))
+    p_request.add_argument("--model", default="alpha21164",
+                           choices=sorted(STANDARD_MODELS))
+    p_request.add_argument("--effort", default="default",
+                           choices=sorted(EFFORTS))
+    p_request.add_argument("--seed", type=int, default=0)
+    p_request.add_argument("--deadline-ms", type=float, default=None,
+                           metavar="MS",
+                           help="per-request deadline")
+    p_request.add_argument("--bound", action="store_true",
+                           help="also certify Held–Karp floors (verified "
+                                "against the served costs)")
+    p_request.add_argument("--timeout", type=float, default=600.0,
+                           metavar="S", help="client-side wait (seconds)")
+    p_request.add_argument("--json", action="store_true",
+                           help="print the raw JSON response")
+    p_request.set_defaults(func=cmd_request)
+
     p_trace = sub.add_parser("trace", help="inspect JSONL observability traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_summarize = trace_sub.add_parser(
@@ -489,7 +658,9 @@ def main(argv: list[str] | None = None) -> int:
         if hasattr(args, "trace"):
             _install_trace(args, argv)
         return args.func(args)
-    except UsageError as exc:
+    except (UsageError, ProfileValidationError) as exc:
+        # ProfileValidationError is bad *input* (a profile no run could
+        # produce), so it exits 2 like any other malformed argument.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (LangError, ReproError, FileNotFoundError) as exc:

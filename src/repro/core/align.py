@@ -170,6 +170,11 @@ class AlignmentReport:
     #: Procedures poisoned out of the pass (proc → final error); their
     #: layouts are the identity stand-in.
     quarantined: dict[str, str] = field(default_factory=dict)
+    #: Worker deaths the supervised executor absorbed during this pass —
+    #: the circuit breaker's failure signal.
+    worker_crashes: int = 0
+    #: Per-attempt deadline expiries the executor absorbed during this pass.
+    timeouts: int = 0
 
 
 def align_program(

@@ -54,6 +54,19 @@ class ProfileMismatchError(ReproError):
     """A profile is inconsistent with the CFG/program it claims to describe."""
 
 
+class ProfileValidationError(ProfileMismatchError, ValueError):
+    """A profile carries an edge frequency no training run could produce:
+    negative, NaN, or otherwise non-finite.
+
+    Raised while *loading* a profile, naming the offending edge, so bad
+    input is rejected at the boundary instead of poisoning cost matrices
+    downstream.  The CLI reports it with exit status 2 (bad input), the
+    alignment service with a 400-equivalent response.  Subclasses
+    ``ValueError`` for call sites that historically caught that for
+    negative counts.
+    """
+
+
 class SolverBudgetExceeded(ReproError):
     """A solver hit its wall-clock or iteration budget.
 
@@ -149,6 +162,50 @@ class ArtifactIntegrityError(ArtifactStoreError):
     """
 
 
+class ServiceError(ReproError):
+    """Root of the alignment service's failure taxonomy.
+
+    Every serving-layer rejection the HTTP tier maps to a status code
+    derives from this class, so the service loop can absorb exactly the
+    failures it is designed for without masking pipeline bugs.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control shed a request: the bounded queue was full.
+
+    The 429-equivalent: the client should back off and retry.  Carries
+    the queue depth the request was shed against so operators can tell
+    "queue too small" from "traffic storm".
+    """
+
+    def __init__(self, message: str, *, queue_depth: int | None = None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining (or stopped) and no longer admits work.
+
+    The 503-equivalent: raised for requests arriving after SIGTERM began
+    a graceful drain.  In-flight requests are unaffected.
+    """
+
+
+class LayoutVerificationError(ServiceError):
+    """An emitted layout failed independent re-verification.
+
+    The response verifier checks permutation validity, aligner-vs-
+    evaluator cost agreement, and the Held–Karp floor before anything is
+    served; a violation means a pipeline bug, so the response is
+    quarantined — recorded, counted, never returned as a layout.
+    """
+
+    def __init__(self, message: str, *, violations: "list[str] | None" = None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
 def __getattr__(name: str):
     # Lazy re-export: VMRunawayError subclasses repro.lang.vm.VMError, and
     # vm.py imports this module, so an eager import here would cycle.
@@ -164,9 +221,14 @@ __all__ = [
     "ArtifactStoreError",
     "CheckpointCorruptError",
     "DegradationError",
+    "LayoutVerificationError",
     "PoisonTaskError",
     "ProfileMismatchError",
+    "ProfileValidationError",
     "ReproError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceUnavailableError",
     "SolverBudgetExceeded",
     "TaskTimeoutError",
     "UnknownNameError",

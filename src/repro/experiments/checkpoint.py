@@ -203,8 +203,22 @@ class ExperimentCheckpoint:
         self._entries: dict[CaseKey, dict] = {}
         #: 1-based line numbers that failed to parse or checksum on load.
         self.corrupt_lines: list[int] = []
-        if resume and self.path.exists():
-            self._load(strict=strict)
+        # A crash mid-write leaves a final line with no trailing newline.
+        # The loader drops the partial record (checksum fails), but the
+        # *next* append must not concatenate onto the stump — remember
+        # whether the file currently ends cleanly, resume or not.
+        self._ends_with_newline = True
+        if self.path.exists():
+            try:
+                with self.path.open("rb") as handle:
+                    handle.seek(0, 2)
+                    if handle.tell() > 0:
+                        handle.seek(-1, 2)
+                        self._ends_with_newline = handle.read(1) == b"\n"
+            except OSError:
+                pass  # unreadable tail: the append prefix is merely cosmetic
+            if resume:
+                self._load(strict=strict)
 
     def _load(self, *, strict: bool) -> None:
         for number, line in enumerate(
@@ -214,6 +228,10 @@ class ExperimentCheckpoint:
                 continue
             try:
                 record = json.loads(line)
+                if not isinstance(record, dict):
+                    # json.loads happily returns scalars/lists; a truncated
+                    # record must read as corruption, not an AttributeError.
+                    raise ValueError("checkpoint record is not an object")
                 if record.get("v") != CHECKPOINT_VERSION:
                     raise ValueError(
                         f"unsupported checkpoint version {record.get('v')!r}"
@@ -266,5 +284,10 @@ class ExperimentCheckpoint:
         line = faults.corrupt_checkpoint_line(line)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
+            if not self._ends_with_newline:
+                # Seal off a crash-truncated final record so this append
+                # starts a fresh line instead of corrupting itself too.
+                handle.write("\n")
             handle.write(line + "\n")
             handle.flush()
+        self._ends_with_newline = True

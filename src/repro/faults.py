@@ -33,12 +33,17 @@ Sites fall into two groups:
 * **store sites** (``store_corrupt``, ``store_io_error``) sabotage the
   on-disk artifact store.  A plan arming *only* store sites leaves the
   store live — it has to, for the injected corruption to reach it.
+* **service sites** (``service_overload``, ``breaker_probe_fail``)
+  sabotage the alignment service's admission gate and circuit-breaker
+  probes.  Like store sites they leave caches live: the service must
+  absorb them without changing what an admitted request computes.
 
 Chaos mode: setting ``REPRO_CHAOS`` (e.g.
 ``REPRO_CHAOS="worker_crash=%7,store_corrupt=1"``) arms a process-wide
-plan consulted *only* by the supervised executor and the on-disk store —
-the two subsystems whose whole contract is that sabotage is invisible in
-the output.  CI runs the full test suite this way.
+plan consulted *only* by the supervised executor, the on-disk store, and
+the alignment service — the subsystems whose whole contract is that
+sabotage is invisible in the output.  CI runs the full test suite this
+way.
 """
 
 from __future__ import annotations
@@ -62,6 +67,12 @@ CHAOS_ENV = "REPRO_CHAOS"
 #: Sites that sabotage the on-disk artifact store rather than the
 #: alignment computation.  Plans arming only these keep caches enabled.
 STORE_SITES = frozenset({"store_corrupt", "store_io_error"})
+
+#: Sites that sabotage the serving layer (admission, breaker probes)
+#: rather than the alignment computation.  Like store sites, they leave
+#: the caches live — the service must absorb them without changing what
+#: an admitted request computes.
+SERVICE_SITES = frozenset({"service_overload", "breaker_probe_fail"})
 
 
 @dataclass
@@ -89,6 +100,10 @@ class FaultPlan:
     store_corrupt: bool | int | str | None = False
     #: The n-th store read/write raises an I/O error inside the store.
     store_io_error: bool | int | str | None = False
+    #: The n-th admission decision sheds the request even with queue room.
+    service_overload: bool | int | str | None = False
+    #: The n-th half-open breaker probe fails, re-opening the breaker.
+    breaker_probe_fail: bool | int | str | None = False
 
     _calls: dict[str, int] = field(default_factory=dict)
     _trips: dict[str, int] = field(default_factory=dict)
@@ -119,7 +134,8 @@ class FaultPlan:
         """True when any non-store site is armed — the condition under
         which the artifact cache and store must not serve artifacts."""
         for f in fields(self):
-            if f.name.startswith("_") or f.name in STORE_SITES:
+            if (f.name.startswith("_") or f.name in STORE_SITES
+                    or f.name in SERVICE_SITES):
                 continue
             if getattr(self, f.name) not in (False, None):
                 return True
@@ -221,12 +237,12 @@ def chaos_plan() -> FaultPlan | None:
 
 def _plans_for(site_group: str) -> list[FaultPlan]:
     """The plans a hook should consult: the context plan, then (for
-    executor/store sites only) the chaos plan."""
+    executor/store/service sites only) the chaos plan."""
     plans = []
     plan = active()
     if plan is not None:
         plans.append(plan)
-    if site_group in ("executor", "store"):
+    if site_group in ("executor", "store", "service"):
         chaos = chaos_plan()
         if chaos is not None and chaos is not plan:
             plans.append(chaos)
@@ -338,3 +354,22 @@ def simulated_task_timeout_error() -> TaskTimeoutError:
     return TaskTimeoutError(
         "fault injection: task exceeded its deadline", timeout_ms=0.0
     )
+
+
+def service_overload_fires() -> bool:
+    """Consulted by the service's admission gate per submitted request: a
+    fired trigger sheds the request as if the queue were full, so chaos
+    plans exercise the 429 path without needing a real traffic storm."""
+    for plan in _plans_for("service"):
+        if plan.fires("service_overload", plan.service_overload):
+            return True
+    return False
+
+
+def breaker_probe_fails() -> bool:
+    """Consulted by a half-open circuit breaker when it admits a probe: a
+    fired trigger fails the probe, re-opening the breaker."""
+    for plan in _plans_for("service"):
+        if plan.fires("breaker_probe", plan.breaker_probe_fail):
+            return True
+    return False

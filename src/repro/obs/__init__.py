@@ -24,6 +24,7 @@ from .trace import (
     counters,
     finish_trace,
     gauge,
+    install_tracer,
     reset_tracer,
     span,
     start_trace,
@@ -51,6 +52,7 @@ __all__ = [
     "counters",
     "finish_trace",
     "gauge",
+    "install_tracer",
     "load_trace",
     "reset_tracer",
     "span",

@@ -296,6 +296,19 @@ def tracer() -> Tracer:
     return current
 
 
+def install_tracer(t: Tracer) -> None:
+    """Make ``t`` the tracer for the *current* context.
+
+    ``ContextVar`` state is per-thread: a thread spawned after a trace
+    starts would otherwise mint a fresh, sink-less tracer and silently
+    drop everything it records.  Long-lived worker threads (the alignment
+    service's request loop) call this once at startup with the tracer
+    their parent thread captured, so spans and counters from both threads
+    land in one place.
+    """
+    _TRACER.set(t)
+
+
 def reset_tracer() -> None:
     """Discard all tracer state (tests)."""
     current = _TRACER.get()

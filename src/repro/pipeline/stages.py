@@ -296,6 +296,10 @@ def align_procedures(
                     )
     if report is not None and hasattr(report, "retried"):
         report.retried += supervision.retried
+    if report is not None and hasattr(report, "worker_crashes"):
+        report.worker_crashes += supervision.worker_crashes
+    if report is not None and hasattr(report, "timeouts"):
+        report.timeouts += supervision.timeouts
     return layouts
 
 

@@ -9,16 +9,42 @@ execution trace is fixed as well").
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.cfg.blocks import TerminatorKind
 from repro.cfg.graph import ControlFlowGraph, Program
-from repro.errors import ProfileMismatchError
+from repro.errors import ProfileMismatchError, ProfileValidationError
 
 #: Historical name; the class now lives in the :mod:`repro.errors` taxonomy
 #: so tier boundaries (CLI, experiment runner) can catch it as a ReproError.
 ProfileError = ProfileMismatchError
+
+
+def _validate_count(src, dst, n, *, procedure: str | None = None):
+    """Reject counts no training run could produce — negative, NaN, or
+    otherwise non-finite — naming the offending edge.  Returns ``n`` as an
+    ``int`` (JSON hands us floats; ``int(nan)`` would raise a bare
+    ``ValueError`` deep in a loader traceback instead)."""
+    where = f"edge ({src},{dst})"
+    if procedure is not None:
+        where = f"procedure {procedure!r} {where}"
+    if isinstance(n, float) and not math.isfinite(n):
+        raise ProfileValidationError(
+            f"{where}: frequency {n!r} is not finite"
+        )
+    try:
+        value = int(n)
+    except (TypeError, ValueError) as exc:
+        raise ProfileValidationError(
+            f"{where}: frequency {n!r} is not a number"
+        ) from exc
+    if value < 0:
+        raise ProfileValidationError(
+            f"{where}: frequency {value} is negative"
+        )
+    return value
 
 
 @dataclass
@@ -31,8 +57,7 @@ class EdgeProfile:
         return self.counts.get((src, dst), 0)
 
     def add(self, src: int, dst: int, n: int = 1) -> None:
-        if n < 0:
-            raise ValueError("edge counts must be non-negative")
+        n = _validate_count(src, dst, n)
         key = (src, dst)
         self.counts[key] = self.counts.get(key, 0) + n
 
@@ -168,7 +193,11 @@ class ProgramProfile:
         for name, triples in payload.get("procedures", {}).items():
             edge_profile = profile.profile(name)
             for src, dst, n in triples:
-                edge_profile.add(int(src), int(dst), int(n))
+                # Validate before int(): json.loads accepts NaN/Infinity
+                # literals, and int(nan) raises a bare ValueError with no
+                # hint of which edge was bad.
+                n = _validate_count(src, dst, n, procedure=name)
+                edge_profile.add(int(src), int(dst), n)
         return profile
 
 

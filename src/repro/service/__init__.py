@@ -1,0 +1,63 @@
+"""``repro.service`` — the resilient alignment service.
+
+A long-running server (stdlib HTTP, no new dependencies) that accepts
+CFG+profile alignment requests and returns verified layouts, wrapping the
+staged pipeline, supervised executor, and artifact store in a
+serving-grade robustness layer:
+
+* **Admission control** (:mod:`.admission`) — a bounded request queue;
+  requests beyond capacity are *shed* with a typed
+  :class:`~repro.errors.ServiceOverloadError` (HTTP 429), never queued
+  unboundedly.
+* **Deadlines** (:mod:`.deadline`) — a per-request deadline propagates
+  into per-procedure :class:`~repro.budget.Budget` solver budgets and the
+  executor's ``task_timeout_ms``, so a tight deadline degrades the TSP
+  aligner down its existing ladder instead of blowing the request.
+* **Circuit breakers** (:mod:`.breaker`) — per-aligner, deterministic
+  (request-count based, no wall clock): repeated worker crashes or task
+  timeouts open the breaker and requests fall back to the greedy aligner
+  with ``degraded="breaker_fallback"`` accounting.
+* **Verification** (:mod:`.verify`) — every response is independently
+  re-checked (permutation validity, aligner-vs-evaluator cost agreement,
+  Held–Karp floor); violations are quarantined, never served.
+* **Graceful drain** (:mod:`.core`, :mod:`.http_server`) — SIGTERM stops
+  admission, finishes in-flight work, flushes observability state, and
+  exits 0.
+
+See ``docs/robustness.md`` ("Serving") and ``docs/architecture.md``.
+"""
+
+from .admission import AdmissionGate
+from .breaker import BreakerState, CircuitBreaker
+from .client import get_json, post_json, request_alignment, wait_ready
+from .core import (
+    AlignmentService,
+    PendingRequest,
+    ServiceConfig,
+    fallback_method,
+    parse_request,
+)
+from .deadline import DeadlinePlan, plan_deadline
+from .http_server import AlignmentHTTPServer, serve
+from .verify import verify_layouts, verify_or_raise
+
+__all__ = [
+    "AdmissionGate",
+    "AlignmentHTTPServer",
+    "AlignmentService",
+    "BreakerState",
+    "CircuitBreaker",
+    "DeadlinePlan",
+    "PendingRequest",
+    "ServiceConfig",
+    "fallback_method",
+    "get_json",
+    "parse_request",
+    "plan_deadline",
+    "post_json",
+    "request_alignment",
+    "serve",
+    "verify_layouts",
+    "verify_or_raise",
+    "wait_ready",
+]

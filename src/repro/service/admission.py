@@ -1,0 +1,111 @@
+"""Admission control: the bounded request queue and load shedding.
+
+The gate is the only way work enters the service.  Its contract:
+
+* **Bounded** — at most ``capacity`` requests wait at once.  A request
+  arriving at a full queue is *shed* with
+  :class:`~repro.errors.ServiceOverloadError` (the HTTP tier maps it to
+  429); it never blocks the submitting thread and never grows memory.
+* **Accounted** — ``submitted == admitted + shed`` holds at every
+  instant (the chaos soak asserts it), and both admissions and sheds
+  land in the stable counters ``service.admitted`` / ``service.shed``.
+* **Drainable** — after :meth:`AdmissionGate.begin_drain` every new
+  request is refused with :class:`~repro.errors.ServiceUnavailableError`
+  (HTTP 503) while already-admitted work keeps flowing to the worker.
+
+The ``service_overload`` fault site lets chaos plans shed admissions
+even with queue room, so the 429 path is exercised without needing a
+real traffic storm.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro import faults, obs
+from repro.errors import ServiceOverloadError, ServiceUnavailableError
+
+
+class AdmissionGate:
+    """Thread-safe bounded intake for the service's single worker."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("admission capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: queue.Queue = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._draining = False
+        self.submitted = 0
+        self.admitted = 0
+        self.shed = 0
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def depth(self) -> int:
+        """Requests currently waiting (approximate, as all queue sizes are)."""
+        return self._queue.qsize()
+
+    def submit(self, item) -> None:
+        """Admit ``item`` or raise a typed rejection.
+
+        Never blocks: a full queue sheds immediately (back-pressure is the
+        client's job, not a hidden stall in the accept loop).
+        """
+        with self._lock:
+            self.submitted += 1
+            if self._draining:
+                raise ServiceUnavailableError(
+                    "service is draining and no longer admits requests"
+                )
+            if faults.service_overload_fires():
+                self.shed += 1
+                obs.count("service.shed")
+                raise ServiceOverloadError(
+                    "admission shed (injected overload)",
+                    queue_depth=self._queue.qsize(),
+                )
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self.shed += 1
+                obs.count("service.shed")
+                raise ServiceOverloadError(
+                    f"request queue full (capacity {self.capacity})",
+                    queue_depth=self.capacity,
+                ) from None
+            self.admitted += 1
+            obs.count("service.admitted")
+
+    def put_control(self, item) -> None:
+        """Enqueue a control token (the drain sentinel), bypassing
+        admission accounting.  Blocks if the queue is full — control
+        tokens must arrive *after* the admitted work they terminate."""
+        self._queue.put(item)
+
+    def next_item(self, timeout: float | None = None):
+        """Dequeue the next work item for the worker loop.
+
+        Raises :class:`queue.Empty` on timeout (``timeout=None`` blocks
+        forever, which is safe: drain always enqueues a sentinel).
+        """
+        return self._queue.get(timeout=timeout)
+
+    def begin_drain(self) -> None:
+        """Stop admitting.  Idempotent; already-queued work is unaffected."""
+        with self._lock:
+            self._draining = True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "depth": self._queue.qsize(),
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "draining": self._draining,
+            }

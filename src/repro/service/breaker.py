@@ -1,0 +1,135 @@
+"""Per-aligner circuit breakers.
+
+A breaker protects the service from an aligner whose *infrastructure* is
+failing — worker processes crashing, per-attempt deadlines expiring —
+which the supervised executor absorbs per request but which, repeated,
+means every request burns its full retry budget before degrading.  The
+breaker notices the pattern and routes around it.
+
+State machine (the classic three states, but **deterministic**: every
+transition is a pure function of the observed request sequence — no wall
+clock, no randomness — so tests replay it exactly and ``--jobs 1`` and
+``--jobs 4`` runs agree)::
+
+    CLOSED ──(failure_threshold consecutive failures)──▶ OPEN
+    OPEN ──(cooldown_requests routed to fallback)──▶ HALF_OPEN (probe)
+    HALF_OPEN ──probe succeeds──▶ CLOSED
+    HALF_OPEN ──probe fails──▶ OPEN (cooldown restarts)
+
+While OPEN, requests are served by the fallback aligner with
+``degraded="breaker_fallback"`` accounting — degraded service, never an
+error.  A "failure" is a request whose supervision report shows worker
+crashes, timeouts, or quarantined procedures; a clean degraded solve
+(the solver ladder doing its job) is a *success* from the breaker's
+point of view.
+
+The ``breaker_probe_fail`` fault site lets chaos plans fail half-open
+probes on demand, exercising the re-open path.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+from repro import obs
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Routing decisions handed to the service per request.
+ROUTE_PRIMARY = "primary"
+ROUTE_FALLBACK = "fallback"
+ROUTE_PROBE = "probe"
+
+
+class CircuitBreaker:
+    """One aligner's breaker.  Thread-safe; the service holds one per
+    requested method."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        cooldown_requests: int = 5,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_requests < 1:
+            raise ValueError("cooldown_requests must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_requests = cooldown_requests
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        #: Times this breaker has tripped OPEN (probe failures included).
+        self.opened = 0
+        self._cooldown_left = 0
+        self._lock = threading.Lock()
+
+    def route(self) -> str:
+        """Decide how the next request for this aligner is served.
+
+        Returns :data:`ROUTE_PRIMARY` (run the requested aligner),
+        :data:`ROUTE_FALLBACK` (serve the fallback, breaker open), or
+        :data:`ROUTE_PROBE` (run the requested aligner as the half-open
+        probe).  Mutates the cooldown countdown — each fallback-routed
+        request brings the probe one step closer, which is what makes
+        recovery request-count deterministic.
+        """
+        with self._lock:
+            if self.state is BreakerState.CLOSED:
+                return ROUTE_PRIMARY
+            if self.state is BreakerState.OPEN:
+                if self._cooldown_left > 0:
+                    self._cooldown_left -= 1
+                    return ROUTE_FALLBACK
+                self.state = BreakerState.HALF_OPEN
+                return ROUTE_PROBE
+            # HALF_OPEN with a probe already outstanding: shed to fallback
+            # rather than stacking probes (cannot happen with the serial
+            # worker, but the machine stays correct if that ever changes).
+            return ROUTE_FALLBACK
+
+    def record(self, route: str, *, failed: bool) -> None:
+        """Fold one served request's outcome back into the machine.
+
+        Fallback-served requests carry no signal about the primary
+        aligner's health and are ignored.
+        """
+        if route == ROUTE_FALLBACK:
+            return
+        with self._lock:
+            if not failed:
+                self.state = BreakerState.CLOSED
+                self.consecutive_failures = 0
+                return
+            if route == ROUTE_PROBE or self.state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        # Caller holds the lock.
+        self.state = BreakerState.OPEN
+        self.opened += 1
+        self.consecutive_failures = 0
+        self._cooldown_left = self.cooldown_requests
+        obs.count("service.breaker_open")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self.state.value,
+                "consecutive_failures": self.consecutive_failures,
+                "opened": self.opened,
+                "cooldown_left": self._cooldown_left,
+            }

@@ -1,0 +1,78 @@
+"""Minimal stdlib HTTP client for the alignment service.
+
+Used by ``repro request``, the CI smoke job, and the bench sweep.  Kept
+deliberately dumb: JSON in, ``(status, payload)`` out, no retries — the
+service's 429 contract means back-off policy belongs to the caller.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+def _decode(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body)
+    except ValueError:
+        return {"error": body.decode("utf-8", errors="replace")}
+    return payload if isinstance(payload, dict) else {"error": repr(payload)}
+
+
+def post_json(
+    url: str, payload: dict, *, timeout: float = 600.0
+) -> tuple[int, dict]:
+    """POST ``payload`` as JSON; returns ``(status, decoded body)``.
+
+    HTTP error statuses (4xx/5xx) return normally — the status code *is*
+    the service's typed answer.  Transport failures (connection refused,
+    reset) raise ``urllib.error.URLError``/``OSError``.
+    """
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, _decode(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, _decode(exc.read())
+
+
+def get_json(url: str, *, timeout: float = 10.0) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, _decode(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, _decode(exc.read())
+
+
+def request_alignment(
+    base_url: str, payload: dict, *, timeout: float = 600.0
+) -> tuple[int, dict]:
+    """POST one alignment request to ``base_url``'s ``/align`` endpoint."""
+    return post_json(
+        base_url.rstrip("/") + "/align", payload, timeout=timeout
+    )
+
+
+def wait_ready(
+    base_url: str, *, attempts: int = 100, delay_s: float = 0.1
+) -> bool:
+    """Poll ``/readyz`` until the service admits work (or give up)."""
+    url = base_url.rstrip("/") + "/readyz"
+    for _ in range(attempts):
+        try:
+            status, _payload = get_json(url, timeout=2.0)
+        except (urllib.error.URLError, OSError):
+            status = 0
+        if status == 200:
+            return True
+        time.sleep(delay_s)
+    return False

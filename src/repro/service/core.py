@@ -1,0 +1,508 @@
+"""The alignment service core: request lifecycle and the worker loop.
+
+One :class:`AlignmentService` owns a bounded
+:class:`~repro.service.admission.AdmissionGate`, a single worker thread
+that drains it, per-aligner
+:class:`~repro.service.breaker.CircuitBreaker`\\ s, and the verification
+gate every response passes before it is served.  The HTTP tier
+(:mod:`repro.service.http_server`) and tests talk to the same object;
+nothing below this layer knows it is inside a server.
+
+Request lifecycle (see ``docs/architecture.md``)::
+
+    submit ─▶ admission (shed/503) ─▶ queue ─▶ worker:
+        parse → compile → profile → breaker route → deadline plan
+        → align (supervised pipeline) → breaker record → evaluate
+        → verify → respond (or quarantine)
+
+Thread/context notes — the two stdlib traps this layer exists to absorb:
+
+* ``ContextVar`` state is **per-thread**: the HTTP handler threads and
+  the worker thread would each mint a fresh sink-less tracer and a
+  fault-plan-free context.  Every entry point therefore installs the
+  service's captured tracer (:func:`repro.obs.install_tracer`), and each
+  request carries a ``contextvars.copy_context()`` snapshot from its
+  submitting thread, which the worker re-enters — so a caller's
+  ``inject_faults`` plan and trace scope follow the request across the
+  thread hop.
+* The worker thread is the only consumer of the process pool, so
+  pipeline state (pool, caches, store) needs no additional locking.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro import faults, obs
+from repro.budget import RetryPolicy
+from repro.cfg import CFGError, validate_program
+from repro.core import align_program, evaluate_program, lower_bound_program
+from repro.core.align import AlignmentReport
+from repro.errors import (
+    ServiceUnavailableError,
+    UnknownNameError,
+    UsageError,
+)
+from repro.lang import compile_source, run_and_profile
+from repro.machine.models import get_model
+from repro.pipeline.executor import shutdown_pool
+from repro.pipeline.registry import normalize_method
+from repro.profiles.edge_profile import ProgramProfile
+from repro.service.admission import AdmissionGate
+from repro.service.breaker import (
+    ROUTE_FALLBACK,
+    ROUTE_PROBE,
+    CircuitBreaker,
+)
+from repro.service.deadline import plan_deadline
+from repro.service.verify import verify_layouts
+from repro.tsp.solve import get_effort
+
+#: Drain sentinel; anything unique works, ``None`` would be ambiguous.
+_SENTINEL = object()
+
+
+def fallback_method(method: str) -> str:
+    """The aligner an open breaker routes to.
+
+    The greedy aligner is the designated fallback (cheap, never touches
+    the executor-heavy TSP path); when greedy *itself* is the broken
+    aligner, the only rung left is the identity layout.
+    """
+    return "original" if method in ("greedy", "original") else "greedy"
+
+
+@dataclass(frozen=True)
+class AlignmentRequest:
+    """One parsed, validated alignment request."""
+
+    source: str
+    method: str = "tsp"
+    model: str = "alpha21164"
+    effort: str = "default"
+    seed: int = 0
+    inputs: tuple[int, ...] = ()
+    #: Serialized training profile (JSON text); ``None`` = profile by
+    #: running the program on ``inputs``.
+    profile_json: str | None = None
+    deadline_ms: float | None = None
+    #: Also certify Held–Karp floors and include them in verification.
+    bound: bool = False
+
+
+def parse_request(
+    payload, *, default_deadline_ms: float | None = None
+) -> AlignmentRequest:
+    """Validate a JSON request body into an :class:`AlignmentRequest`.
+
+    Every malformation raises :class:`~repro.errors.UsageError` (the
+    400-equivalent) naming the offending field — bad input is the
+    client's problem and must never read as a server failure.
+    """
+    if not isinstance(payload, dict):
+        raise UsageError("request body must be a JSON object")
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise UsageError("request needs a non-empty 'source' program")
+    try:
+        method = normalize_method(str(payload.get("method", "tsp")))
+    except UnknownNameError as exc:
+        raise UsageError(f"unknown method: {exc}") from None
+    try:
+        model = get_model(str(payload.get("model", "alpha21164"))).name
+        effort = get_effort(str(payload.get("effort", "default"))).name
+    except UnknownNameError as exc:
+        raise UsageError(str(exc)) from None
+    try:
+        seed = int(payload.get("seed", 0))
+    except (TypeError, ValueError):
+        raise UsageError(
+            f"'seed' must be an integer, got {payload.get('seed')!r}"
+        ) from None
+    raw_inputs = payload.get("inputs", [])
+    if not isinstance(raw_inputs, (list, tuple)):
+        raise UsageError("'inputs' must be a list of integers")
+    try:
+        inputs = tuple(int(x) for x in raw_inputs)
+    except (TypeError, ValueError):
+        raise UsageError("'inputs' must be a list of integers") from None
+    profile_json = payload.get("profile")
+    if profile_json is not None and not isinstance(profile_json, str):
+        raise UsageError(
+            "'profile' must be the profile JSON as a string "
+            "(ProgramProfile.to_json output)"
+        )
+    deadline = payload.get("deadline_ms", default_deadline_ms)
+    if deadline is not None:
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            raise UsageError(
+                f"'deadline_ms' must be a number, got {deadline!r}"
+            ) from None
+        if deadline <= 0:
+            raise UsageError("'deadline_ms' must be positive")
+    return AlignmentRequest(
+        source=source,
+        method=method,
+        model=model,
+        effort=effort,
+        seed=seed,
+        inputs=inputs,
+        profile_json=profile_json,
+        deadline_ms=deadline,
+        bound=bool(payload.get("bound", False)),
+    )
+
+
+@dataclass
+class ServiceConfig:
+    """Operator knobs for one service instance."""
+
+    #: Bounded queue capacity; requests beyond it are shed (429).
+    capacity: int = 16
+    #: Worker processes per align pass (``None`` = ``$REPRO_JOBS``).
+    jobs: int | None = None
+    #: Supervision policy (``None`` = env defaults per align call).
+    policy: RetryPolicy | None = None
+    #: Deadline applied to requests that do not carry their own.
+    default_deadline_ms: float | None = None
+    #: Consecutive infrastructure failures that open a breaker.
+    breaker_threshold: int = 3
+    #: Fallback-served requests before an open breaker probes.
+    breaker_cooldown: int = 5
+    #: Run the layout verifier on every response.
+    verify: bool = True
+
+
+class PendingRequest:
+    """Caller-side handle for one admitted request."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: dict | None = None
+        self._error: BaseException | None = None
+
+    def resolve(self, response: dict) -> None:
+        self._response = response
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> dict:
+        """Block for the response; re-raises the worker's typed failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} did not complete in {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+
+@dataclass
+class ServiceStats:
+    """Mutable response accounting (admission stats live on the gate)."""
+
+    completed: int = 0
+    failed: int = 0
+    quarantined: int = 0
+    breaker_fallbacks: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+
+class AlignmentService:
+    """The long-running alignment service (transport-agnostic core)."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        # Captured in the constructing thread — the one where the CLI
+        # started the trace — and installed into every service thread.
+        self._tracer = obs.tracer()
+        self.gate = AdmissionGate(self.config.capacity)
+        self.stats = ServiceStats()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._worker: threading.Thread | None = None
+        self._drained = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AlignmentService":
+        if self._worker is not None:
+            return self
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-service-worker", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    @property
+    def healthy(self) -> bool:
+        """The worker loop is alive (or exited via a clean drain)."""
+        if self._drained:
+            return True
+        return self._worker is not None and self._worker.is_alive()
+
+    @property
+    def ready(self) -> bool:
+        """Admitting new work: started, not draining, not drained."""
+        return (
+            self._worker is not None
+            and self._worker.is_alive()
+            and not self.gate.draining
+            and not self._drained
+        )
+
+    def begin_drain(self) -> None:
+        """Stop admitting (idempotent, fast, signal-handler safe)."""
+        self.gate.begin_drain()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful drain: stop admitting, finish every admitted request,
+        stop the worker, release the process pool.  Returns True when the
+        worker exited within ``timeout``."""
+        obs.install_tracer(self._tracer)
+        if self._drained:
+            return True
+        self.gate.begin_drain()
+        if self._worker is None:
+            self._drained = True
+            return True
+        self.gate.put_control(_SENTINEL)
+        self._worker.join(timeout)
+        finished = not self._worker.is_alive()
+        if finished:
+            self._drained = True
+            shutdown_pool()
+            obs.count("service.drained")
+        return finished
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, payload) -> PendingRequest:
+        """Admit one request; raises typed admission failures.
+
+        The returned handle resolves when the worker finishes the
+        request (or fails it with a typed error).
+        """
+        obs.install_tracer(self._tracer)
+        if self._worker is None or not self._worker.is_alive():
+            raise ServiceUnavailableError("service worker is not running")
+        pending = PendingRequest(next(self._ids))
+        ctx = contextvars.copy_context()
+        self.gate.submit((pending, payload, ctx))
+        return pending
+
+    def align(self, payload, timeout: float | None = None) -> dict:
+        """Submit and wait — the convenience path for tests and the CLI."""
+        return self.submit(payload).result(timeout)
+
+    # -- the worker ----------------------------------------------------------
+
+    def breaker(self, method: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(method)
+            if breaker is None:
+                breaker = self._breakers[method] = CircuitBreaker(
+                    method,
+                    failure_threshold=self.config.breaker_threshold,
+                    cooldown_requests=self.config.breaker_cooldown,
+                )
+            return breaker
+
+    def _worker_loop(self) -> None:
+        obs.install_tracer(self._tracer)
+        while True:
+            item = self.gate.next_item()
+            if item is _SENTINEL:
+                return
+            pending, payload, ctx = item
+            try:
+                # Re-enter the submitter's context so its fault plan and
+                # trace scope apply to the work done on its behalf.
+                response = ctx.run(self._process, pending, payload)
+            except BaseException as exc:  # noqa: BLE001 — the loop survives
+                # everything; the error re-raises in the caller's thread.
+                self.stats.failed += 1
+                obs.count("service.failed")
+                pending.fail(exc)
+            else:
+                pending.resolve(response)
+
+    def _process(self, pending: PendingRequest, payload) -> dict:
+        obs.install_tracer(self._tracer)
+        start = time.monotonic()
+        with obs.span("service:request", id=pending.request_id) as sp:
+            request = parse_request(
+                payload, default_deadline_ms=self.config.default_deadline_ms
+            )
+            sp["method"] = request.method
+
+            module = compile_source(request.source)
+            program = module.program
+            try:
+                validate_program(program)
+            except CFGError as exc:
+                raise UsageError(
+                    f"invalid control-flow graph: {exc}"
+                ) from None
+            model = get_model(request.model)
+            if request.profile_json is not None:
+                profile = ProgramProfile.from_json(request.profile_json)
+                profile.check_against(program)
+            else:
+                _, profile = run_and_profile(module, list(request.inputs))
+
+            breaker = self.breaker(request.method)
+            route = breaker.route()
+            if route == ROUTE_PROBE and faults.breaker_probe_fails():
+                breaker.record(route, failed=True)
+                route = ROUTE_FALLBACK
+            method_used = (
+                fallback_method(request.method)
+                if route == ROUTE_FALLBACK
+                else request.method
+            )
+            sp["route"] = route
+
+            plan = plan_deadline(
+                request.deadline_ms,
+                len(program.procedures),
+                self.config.policy,
+            )
+            report = AlignmentReport()
+            layouts = align_program(
+                program,
+                profile,
+                method=method_used,
+                model=model,
+                effort=request.effort,
+                seed=request.seed,
+                budget=plan.budget,
+                jobs=self.config.jobs,
+                policy=plan.policy,
+                report=report,
+            )
+            infrastructure_failed = (
+                report.worker_crashes > 0
+                or report.timeouts > 0
+                or bool(report.quarantined)
+            )
+            breaker.record(route, failed=infrastructure_failed)
+
+            penalty = evaluate_program(program, layouts, profile, model)
+            bounds = None
+            if request.bound:
+                bounds = lower_bound_program(
+                    program,
+                    profile,
+                    model=model,
+                    upper_bounds=dict(report.costs),
+                    budget=plan.budget,
+                    jobs=self.config.jobs,
+                    policy=plan.policy,
+                ).per_procedure
+
+            degraded = dict(report.degraded)
+            if route == ROUTE_FALLBACK:
+                self.stats.breaker_fallbacks += 1
+                for proc in program:
+                    degraded.setdefault(proc.name, "breaker_fallback")
+
+            violations: list[str] = []
+            if self.config.verify:
+                violations = verify_layouts(
+                    program,
+                    layouts,
+                    profile,
+                    model,
+                    costs=dict(report.costs),
+                    bounds=bounds,
+                )
+            elapsed_ms = (time.monotonic() - start) * 1000.0
+            sp["degraded"] = len(degraded)
+            sp["violations"] = len(violations)
+            self.stats.latencies_ms.append(elapsed_ms)
+
+            base = {
+                "id": pending.request_id,
+                "method": request.method,
+                "served_by": method_used,
+                "breaker": breaker.snapshot(),
+                "degraded": degraded,
+                "quarantined": dict(report.quarantined),
+                "retried": report.retried,
+                "worker_crashes": report.worker_crashes,
+                "timeouts": report.timeouts,
+                "deadline_ms": request.deadline_ms,
+                "elapsed_ms": round(elapsed_ms, 3),
+            }
+            if violations:
+                # Never serve a layout that failed verification: the
+                # response carries the evidence instead of the layouts.
+                self.stats.quarantined += 1
+                obs.count("service.quarantined")
+                return {
+                    **base,
+                    "status": "quarantined",
+                    "verified": False,
+                    "violations": violations,
+                }
+            self.stats.completed += 1
+            obs.count("service.completed")
+            return {
+                **base,
+                "status": "ok",
+                "verified": bool(self.config.verify),
+                "layouts": {
+                    name: list(layout.order)
+                    for name, layout in layouts.layouts.items()
+                },
+                "costs": dict(report.costs),
+                "penalty": {
+                    "total": penalty.total,
+                    "redirect": penalty.breakdown.redirect,
+                    "mispredict": penalty.breakdown.mispredict,
+                    "jump": penalty.breakdown.jump,
+                },
+                "bounds": bounds,
+            }
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-friendly view of service state (the ``/counters``
+        endpoint and the bench sweep read this)."""
+        return {
+            "gate": self.gate.stats(),
+            "breakers": {
+                name: breaker.snapshot()
+                for name, breaker in sorted(self._breakers.items())
+            },
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+            "quarantined": self.stats.quarantined,
+            "breaker_fallbacks": self.stats.breaker_fallbacks,
+            "drained": self._drained,
+            "counters": {
+                name: value
+                for name, value in self._tracer.counters(
+                    stable_only=True
+                ).items()
+                if name.startswith("service.")
+            },
+        }

@@ -1,0 +1,81 @@
+"""Per-request deadlines → the pipeline's existing budget machinery.
+
+A service deadline is a *latency* promise, and the pipeline already
+knows how to trade quality for latency: per-procedure
+:class:`~repro.budget.Budget` countdowns degrade the TSP aligner down
+its ladder, and the executor's ``task_timeout_ms`` reclaims attempts
+that stop responding entirely.  This module is just the conversion —
+no new enforcement mechanism, so a deadline can never produce a failure
+mode the batch pipeline has not already survived.
+
+The split is conservative:
+
+* ``SOLVE_FRACTION`` of the deadline goes to solving; the rest is
+  headroom for compilation, evaluation, and verification.
+* The solve share divides across procedures with
+  :meth:`Budget.split` — shares never overlap, so the sum of the
+  parts respects the whole even run back to back.
+* The executor's outer guard is ``TIMEOUT_GRACE ×`` the cooperative
+  share: generous enough that the ladder (which checks its own timer)
+  almost always degrades first, tight enough that a hung worker cannot
+  eat the whole deadline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.budget import DEFAULT_RETRY_POLICY, Budget, RetryPolicy
+
+#: Fraction of the request deadline handed to the solvers.
+SOLVE_FRACTION = 0.8
+#: Floor on any per-procedure share — a share below this degrades every
+#: solve to the cheapest rung, which is the correct behaviour for an
+#: absurd deadline, but zero would also starve the fallback rungs' own
+#: bookkeeping.
+MIN_SHARE_MS = 5.0
+#: Outer (executor) deadline as a multiple of the cooperative share.
+TIMEOUT_GRACE = 4.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadlinePlan:
+    """How one request's deadline maps onto pipeline knobs."""
+
+    deadline_ms: float | None
+    #: Per-procedure cooperative solver budget (``None`` = unlimited).
+    budget: Budget | None
+    #: Executor policy with the outer per-attempt guard applied.
+    policy: RetryPolicy | None
+    #: The cooperative share each procedure received, for diagnostics.
+    share_ms: float | None = None
+
+
+def plan_deadline(
+    deadline_ms: float | None,
+    procedures: int,
+    policy: RetryPolicy | None = None,
+) -> DeadlinePlan:
+    """Derive the per-procedure budget and retry policy for one request.
+
+    ``deadline_ms=None`` means no deadline: the caller's policy passes
+    through untouched.  Otherwise the solve fraction of the deadline is
+    split across ``procedures`` and the policy's ``task_timeout_ms`` is
+    tightened to the graced share (never loosened — an operator-set
+    tighter guard wins).
+    """
+    if deadline_ms is None:
+        return DeadlinePlan(None, None, policy)
+    if deadline_ms <= 0:
+        raise ValueError("deadline_ms must be positive")
+    n = max(1, procedures)
+    share = max(
+        MIN_SHARE_MS,
+        Budget(wall_ms=deadline_ms * SOLVE_FRACTION).split(n).wall_ms,
+    )
+    budget = Budget(wall_ms=share)
+    outer = share * TIMEOUT_GRACE
+    base = policy if policy is not None else DEFAULT_RETRY_POLICY
+    if base.task_timeout_ms is None or outer < base.task_timeout_ms:
+        base = dataclasses.replace(base, task_timeout_ms=outer)
+    return DeadlinePlan(deadline_ms, budget, base, share_ms=share)

@@ -117,6 +117,64 @@ class TestCheckpointFile:
         assert len(fresh) == 0
 
 
+class TestTruncatedTail:
+    """A crash mid-write leaves a final line without its tail (or its
+    newline).  Resume must drop the partial record and keep going — and
+    the next append must not concatenate onto the stump."""
+
+    def _checkpoint_with_two_cases(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = ExperimentCheckpoint(path)
+        key_sh, key_re = make_key("su2", "sh"), make_key("su2", "re")
+        ck.record(key_sh, run_case("su2", "sh"))
+        ck.record(key_re, run_case("su2", "re"))
+        return path, key_sh, key_re
+
+    def test_truncated_final_record_dropped_not_raised(self, tmp_path):
+        path, key_sh, key_re = self._checkpoint_with_two_cases(tmp_path)
+        # Hand-truncate the final record mid-line, newline included —
+        # exactly what a crash during the last write leaves behind.
+        raw = path.read_bytes()
+        cut = len(raw) - (len(raw) - raw.rstrip(b"\n").rfind(b"\n")) // 2
+        path.write_bytes(raw[:cut])
+        assert not path.read_bytes().endswith(b"\n")
+
+        loaded = ExperimentCheckpoint(path)  # must not raise
+        assert loaded.corrupt_lines == [2]
+        assert key_sh in loaded and key_re not in loaded
+
+    def test_append_after_truncation_starts_a_fresh_line(self, tmp_path):
+        path, key_sh, key_re = self._checkpoint_with_two_cases(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 40])
+
+        resumed = ExperimentCheckpoint(path)
+        case_re = run_case("su2", "re")
+        resumed.record(key_re, case_re)  # recompute the lost case
+
+        # The re-recorded case must round-trip: had the append glued
+        # itself onto the stump, this load would lose it too.
+        again = ExperimentCheckpoint(path)
+        assert again.corrupt_lines == [2]
+        assert again.get(key_re).lower_bound == case_re.lower_bound
+        assert again.get(key_sh) is not None
+
+    def test_truncation_to_non_dict_json_is_corruption(self, tmp_path):
+        # A stump that still parses as JSON — just not as an object —
+        # must read as a corrupt line, not an AttributeError.
+        path = tmp_path / "ck.jsonl"
+        key = make_key()
+        case = run_case("su2", "sh")
+        ExperimentCheckpoint(path).record(key, case)
+        with path.open("a") as handle:
+            handle.write("42\n")
+        loaded = ExperimentCheckpoint(path)
+        assert loaded.corrupt_lines == [2]
+        assert key in loaded
+        with pytest.raises(CheckpointCorruptError):
+            ExperimentCheckpoint(path, strict=True)
+
+
 class TestResume:
     def test_resume_recomputes_only_unfinished_cases(
         self, tmp_path, monkeypatch

@@ -1,0 +1,124 @@
+"""Admission control: bounded queue, shedding, drain refusal, accounting."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceOverloadError, ServiceUnavailableError
+from repro.faults import inject_faults
+from repro.service import AdmissionGate, AlignmentService, ServiceConfig
+
+from .conftest import make_payload
+
+
+class TestGate:
+    def test_admits_until_capacity_then_sheds(self):
+        gate = AdmissionGate(capacity=2)
+        gate.submit("a")
+        gate.submit("b")
+        with pytest.raises(ServiceOverloadError) as info:
+            gate.submit("c")
+        assert info.value.queue_depth == 2
+        assert (gate.submitted, gate.admitted, gate.shed) == (3, 2, 1)
+
+    def test_accounting_invariant(self):
+        gate = AdmissionGate(capacity=1)
+        for _ in range(5):
+            try:
+                gate.submit("x")
+            except ServiceOverloadError:
+                pass
+        assert gate.submitted == gate.admitted + gate.shed
+
+    def test_draining_gate_refuses_with_503_type(self):
+        gate = AdmissionGate(capacity=4)
+        gate.begin_drain()
+        with pytest.raises(ServiceUnavailableError):
+            gate.submit("late")
+        # Drain refusals are not sheds: the client should not retry here.
+        assert gate.shed == 0 and gate.submitted == 1
+
+    def test_dequeue_keeps_order(self):
+        gate = AdmissionGate(capacity=3)
+        for item in ("a", "b", "c"):
+            gate.submit(item)
+        assert [gate.next_item() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(capacity=0)
+
+    def test_overload_fault_sheds_with_queue_room(self):
+        gate = AdmissionGate(capacity=8)
+        with inject_faults(service_overload=2) as plan:
+            gate.submit("first")
+            with pytest.raises(ServiceOverloadError, match="injected"):
+                gate.submit("second")
+            gate.submit("third")
+        assert plan.trips("service_overload") == 1
+        assert (gate.admitted, gate.shed) == (2, 1)
+
+
+class TestServiceAdmission:
+    def test_burst_beyond_capacity_sheds_typed(self, monkeypatch):
+        import repro.service.core as core_mod
+
+        # Stall the worker inside its first request so the queue backs up
+        # deterministically, then release and let everything finish.
+        release = threading.Event()
+        stalled = threading.Event()
+        real_compile = core_mod.compile_source
+
+        def slow_compile(source):
+            stalled.set()
+            assert release.wait(30)
+            return real_compile(source)
+
+        monkeypatch.setattr(core_mod, "compile_source", slow_compile)
+        service = AlignmentService(ServiceConfig(capacity=2)).start()
+        try:
+            first = service.submit(make_payload())
+            assert stalled.wait(30)
+            queued = [service.submit(make_payload()) for _ in range(2)]
+            with pytest.raises(ServiceOverloadError):
+                service.submit(make_payload())
+            release.set()
+            assert first.result(60)["status"] == "ok"
+            for pending in queued:
+                assert pending.result(60)["status"] == "ok"
+        finally:
+            release.set()
+            assert service.drain(timeout=30)
+        stats = service.gate.stats()
+        assert stats["submitted"] == 4
+        assert stats["admitted"] == 3 and stats["shed"] == 1
+
+    def test_draining_service_refuses_new_requests(self, service, payload):
+        assert service.align(payload, timeout=60)["status"] == "ok"
+        service.begin_drain()
+        with pytest.raises(ServiceUnavailableError):
+            service.submit(payload)
+
+    def test_admitted_work_survives_drain(self, monkeypatch):
+        import repro.service.core as core_mod
+
+        release = threading.Event()
+        stalled = threading.Event()
+        real_compile = core_mod.compile_source
+
+        def slow_compile(source):
+            stalled.set()
+            assert release.wait(30)
+            return real_compile(source)
+
+        monkeypatch.setattr(core_mod, "compile_source", slow_compile)
+        service = AlignmentService(ServiceConfig(capacity=4)).start()
+        inflight = service.submit(make_payload())
+        assert stalled.wait(30)
+        queued = service.submit(make_payload())
+        service.begin_drain()
+        release.set()
+        # Both the in-flight and the queued request complete through drain.
+        assert inflight.result(60)["status"] == "ok"
+        assert queued.result(60)["status"] == "ok"
+        assert service.drain(timeout=30)

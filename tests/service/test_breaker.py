@@ -1,0 +1,204 @@
+"""The circuit breaker state machine, unit and in-service.
+
+Every transition is request-count deterministic — no wall clock — so
+these tests replay exact sequences and assert exact states, and the
+same request stream produces the same breaker story under ``jobs=1``
+and ``jobs=4``.
+"""
+
+import pytest
+
+from repro.experiments.runner import MethodOutcome
+from repro.faults import inject_faults
+from repro.service import AlignmentService, BreakerState, ServiceConfig
+from repro.service.breaker import (
+    ROUTE_FALLBACK,
+    ROUTE_PRIMARY,
+    ROUTE_PROBE,
+    CircuitBreaker,
+)
+
+from .conftest import make_payload
+
+
+class TestStateMachine:
+    def test_closed_until_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("tsp", failure_threshold=3)
+        for _ in range(2):
+            assert breaker.route() == ROUTE_PRIMARY
+            breaker.record(ROUTE_PRIMARY, failed=True)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record(breaker.route(), failed=True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker("tsp", failure_threshold=2)
+        breaker.record(breaker.route(), failed=True)
+        breaker.record(breaker.route(), failed=False)
+        breaker.record(breaker.route(), failed=True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_routes_fallback_for_cooldown_then_probes(self):
+        breaker = CircuitBreaker(
+            "tsp", failure_threshold=1, cooldown_requests=3
+        )
+        breaker.record(breaker.route(), failed=True)
+        assert [breaker.route() for _ in range(3)] == [ROUTE_FALLBACK] * 3
+        assert breaker.route() == ROUTE_PROBE
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(
+            "tsp", failure_threshold=1, cooldown_requests=1
+        )
+        breaker.record(breaker.route(), failed=True)
+        breaker.route()  # fallback (cooldown)
+        probe = breaker.route()
+        assert probe == ROUTE_PROBE
+        breaker.record(probe, failed=False)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.route() == ROUTE_PRIMARY
+
+    def test_probe_failure_reopens_and_cooldown_restarts(self):
+        breaker = CircuitBreaker(
+            "tsp", failure_threshold=1, cooldown_requests=2
+        )
+        breaker.record(breaker.route(), failed=True)
+        assert breaker.opened == 1
+        breaker.route(), breaker.route()  # burn the cooldown
+        probe = breaker.route()
+        breaker.record(probe, failed=True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened == 2
+        # The full cooldown applies again before the next probe.
+        assert [breaker.route() for _ in range(2)] == [ROUTE_FALLBACK] * 2
+        assert breaker.route() == ROUTE_PROBE
+
+    def test_fallback_outcomes_carry_no_signal(self):
+        breaker = CircuitBreaker(
+            "tsp", failure_threshold=1, cooldown_requests=5
+        )
+        breaker.record(breaker.route(), failed=True)
+        route = breaker.route()
+        assert route == ROUTE_FALLBACK
+        breaker.record(route, failed=True)   # fallback failed: ignored
+        breaker.record(route, failed=False)  # fallback fine: ignored
+        assert breaker.state is BreakerState.OPEN
+
+    def test_deterministic_replay(self):
+        def story():
+            breaker = CircuitBreaker(
+                "tsp", failure_threshold=2, cooldown_requests=2
+            )
+            log = []
+            fail_pattern = [True, True, False, True, True, True, False]
+            for failed in fail_pattern:
+                route = breaker.route()
+                breaker.record(route, failed=failed)
+                log.append((route, breaker.state.value, breaker.opened))
+            return log
+
+        assert story() == story()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", cooldown_requests=0)
+
+
+def breaker_story(jobs: int, requests: int = 6) -> list[tuple]:
+    """Drive one service with a fixed crash-everything request stream and
+    return the observable breaker story per response."""
+    service = AlignmentService(ServiceConfig(
+        capacity=requests,
+        jobs=jobs,
+        breaker_threshold=2,
+        breaker_cooldown=2,
+    )).start()
+    story = []
+    try:
+        with inject_faults(worker_crash=True):
+            for _ in range(requests):
+                response = service.align(make_payload(), timeout=120)
+                story.append((
+                    response["served_by"],
+                    response["breaker"]["state"],
+                    response["breaker"]["opened"],
+                    sorted(set(response["degraded"].values())),
+                ))
+    finally:
+        assert service.drain(timeout=60)
+    return story
+
+
+class TestInService:
+    def test_repeated_crashes_open_breaker_and_fall_back(self):
+        story = breaker_story(jobs=1)
+        # Two crash-quarantined tsp requests open the breaker...
+        assert story[0][:2] == ("tsp", "closed")
+        assert story[1][:2] == ("tsp", "open")
+        # ...then the cooldown serves greedy with breaker_fallback rows.
+        assert story[2][0] == "greedy"
+        assert "breaker_fallback" in story[2][3]
+        assert story[3][0] == "greedy"
+        # Cooldown spent: the probe runs tsp, crashes, re-opens.
+        assert story[4][0] == "tsp"
+        assert story[4][1] == "open" and story[4][2] == 2
+
+    def test_breaker_story_is_worker_count_invariant(self):
+        assert breaker_story(jobs=1, requests=5) == breaker_story(
+            jobs=4, requests=5
+        )
+
+    def test_probe_success_restores_primary(self, service, payload):
+        breaker = service.breaker("tsp")
+        # Open the breaker with injected infrastructure failures.
+        with inject_faults(worker_crash=True):
+            for _ in range(service.config.breaker_threshold):
+                service.align(payload, timeout=120)
+        assert breaker.state is BreakerState.OPEN
+        # Clean requests: cooldown fallbacks, then a clean probe closes.
+        for _ in range(service.config.breaker_cooldown):
+            assert service.align(payload, timeout=120)["served_by"] == "greedy"
+        probe = service.align(payload, timeout=120)
+        assert probe["served_by"] == "tsp"
+        assert breaker.state is BreakerState.CLOSED
+        assert service.align(payload, timeout=120)["served_by"] == "tsp"
+
+    def test_probe_fail_fault_site_reopens(self, service, payload):
+        breaker = service.breaker("tsp")
+        with inject_faults(worker_crash=True):
+            for _ in range(service.config.breaker_threshold):
+                service.align(payload, timeout=120)
+        assert breaker.state is BreakerState.OPEN
+        for _ in range(service.config.breaker_cooldown):
+            service.align(payload, timeout=120)
+        # The probe itself is failed by the fault site: served by the
+        # fallback, breaker re-opens without running the primary at all.
+        with inject_faults(breaker_probe_fail=True) as plan:
+            probe = service.align(payload, timeout=120)
+        assert plan.trips("breaker_probe") == 1
+        assert probe["served_by"] == "greedy"
+        assert "breaker_fallback" in probe["degraded"].values()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened == 2
+
+
+class TestSuiteTableRendering:
+    def test_breaker_fallback_renders_in_degraded_summary(self):
+        from repro.core.costmodel import CostBreakdown
+        from repro.machine.timing import TimingBreakdown
+
+        outcome = MethodOutcome(
+            method="tsp",
+            penalty=0.0,
+            breakdown=CostBreakdown(),
+            timing=TimingBreakdown(),
+            align_seconds=0.0,
+            layouts={},
+            degraded={"f": "breaker_fallback", "g": "breaker_fallback",
+                      "h": "greedy"},
+        )
+        assert outcome.degraded_summary == "breaker_fallback×2,greedy"

@@ -1,0 +1,101 @@
+"""Deadline → budget/timeout conversion, and its effect on requests."""
+
+import pytest
+
+from repro.budget import DEFAULT_RETRY_POLICY, Budget, RetryPolicy
+from repro.service.deadline import (
+    MIN_SHARE_MS,
+    SOLVE_FRACTION,
+    TIMEOUT_GRACE,
+    plan_deadline,
+)
+
+
+class TestBudgetSplit:
+    def test_even_split(self):
+        parts = Budget(wall_ms=100.0).split(4)
+        assert parts.wall_ms == 25.0
+
+    def test_split_one_is_identity(self):
+        budget = Budget(wall_ms=100.0)
+        assert budget.split(1) is budget
+
+    def test_unlimited_splits_to_unlimited(self):
+        budget = Budget()
+        assert budget.split(8) is budget
+
+    def test_iteration_budget_splits_with_floor(self):
+        parts = Budget(max_iterations=10).split(40)
+        assert parts.max_iterations == 1  # never zero
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            Budget(wall_ms=10.0).split(0)
+
+
+class TestPlanDeadline:
+    def test_no_deadline_is_passthrough(self):
+        policy = RetryPolicy(retries=1)
+        plan = plan_deadline(None, 5, policy)
+        assert plan.budget is None
+        assert plan.policy is policy
+        assert plan.deadline_ms is None
+
+    def test_share_is_solve_fraction_over_procedures(self):
+        plan = plan_deadline(1000.0, 4)
+        assert plan.share_ms == 1000.0 * SOLVE_FRACTION / 4
+        assert plan.budget.wall_ms == plan.share_ms
+        assert plan.policy.task_timeout_ms == plan.share_ms * TIMEOUT_GRACE
+
+    def test_share_never_below_floor(self):
+        plan = plan_deadline(1.0, 100)
+        assert plan.share_ms == MIN_SHARE_MS
+
+    def test_zero_procedures_treated_as_one(self):
+        plan = plan_deadline(1000.0, 0)
+        assert plan.share_ms == 1000.0 * SOLVE_FRACTION
+
+    def test_existing_tighter_guard_wins(self):
+        tight = RetryPolicy(retries=0, task_timeout_ms=1.0)
+        plan = plan_deadline(10_000.0, 1, tight)
+        assert plan.policy.task_timeout_ms == 1.0
+
+    def test_looser_guard_is_tightened(self):
+        loose = RetryPolicy(retries=0, task_timeout_ms=10_000_000.0)
+        plan = plan_deadline(1000.0, 2, loose)
+        assert plan.policy.task_timeout_ms == pytest.approx(
+            plan.share_ms * TIMEOUT_GRACE
+        )
+        # Everything else about the policy is preserved.
+        assert plan.policy.retries == 0
+
+    def test_default_policy_used_when_none(self):
+        plan = plan_deadline(1000.0, 1, None)
+        assert plan.policy.retries == DEFAULT_RETRY_POLICY.retries
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            plan_deadline(0, 1)
+        with pytest.raises(ValueError):
+            plan_deadline(-5.0, 1)
+
+
+class TestDeadlineInService:
+    def test_tight_deadline_degrades_instead_of_failing(
+        self, service, payload
+    ):
+        # A 1 ms deadline cannot fit a TSP anneal; the request must still
+        # come back with a verified layout, served by a cheaper rung.
+        payload["deadline_ms"] = 1
+        response = service.align(payload, timeout=120)
+        assert response["status"] == "ok"
+        assert response["verified"] is True
+        assert response["deadline_ms"] == 1
+
+    def test_roomy_deadline_solves_at_full_quality(self, service, payload):
+        baseline = service.align(dict(payload), timeout=120)
+        payload["deadline_ms"] = 600_000
+        response = service.align(payload, timeout=120)
+        assert response["status"] == "ok"
+        assert response["degraded"] == {}
+        assert response["costs"] == baseline["costs"]

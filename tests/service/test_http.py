@@ -1,0 +1,169 @@
+"""The HTTP tier: endpoints, status mapping, drain visibility."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    ArtifactIntegrityError,
+    ProfileValidationError,
+    ServiceOverloadError,
+    ServiceUnavailableError,
+    UsageError,
+)
+from repro.lang import LangError
+from repro.service import AlignmentService, ServiceConfig
+from repro.service.client import get_json, post_json, request_alignment
+from repro.service.http_server import AlignmentHTTPServer, _status_for
+
+from .conftest import make_payload
+
+
+@pytest.fixture
+def http_service():
+    """A live HTTP server on an ephemeral port, drained at teardown."""
+    service = AlignmentService(ServiceConfig(capacity=4))
+    server = AlignmentHTTPServer(("127.0.0.1", 0), service)
+    service.start()
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service, server
+    service.begin_drain()
+    server.shutdown()
+    assert service.drain(timeout=30)
+    server.server_close()
+    accept.join(10)
+
+
+class TestStatusMapping:
+    def test_taxonomy_is_the_status_code(self):
+        assert _status_for(ServiceOverloadError("shed")) == 429
+        assert _status_for(ServiceUnavailableError("draining")) == 503
+        assert _status_for(UsageError("bad field")) == 400
+        assert _status_for(LangError("parse error")) == 400
+        assert _status_for(ProfileValidationError("NaN count")) == 400
+        assert _status_for(ArtifactIntegrityError("checksum")) == 500
+        assert _status_for(RuntimeError("boom")) == 500
+
+
+class TestEndpoints:
+    def test_healthz_and_readyz_green(self, http_service):
+        base, _, _ = http_service
+        assert get_json(base + "/healthz") == (200, {"status": "ok"})
+        assert get_json(base + "/readyz") == (200, {"ready": True})
+
+    def test_counters_reports_snapshot(self, http_service):
+        base, _, _ = http_service
+        status, body = get_json(base + "/counters")
+        assert status == 200
+        assert body["gate"]["capacity"] == 4
+        assert body["drained"] is False
+
+    def test_unknown_paths_404(self, http_service):
+        base, _, _ = http_service
+        assert get_json(base + "/nope")[0] == 404
+        assert post_json(base + "/nope", {})[0] == 404
+
+    def test_align_round_trip(self, http_service):
+        base, _, _ = http_service
+        status, body = request_alignment(base, make_payload(), timeout=120)
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["verified"] is True
+        assert body["layouts"]["main"]
+
+    def test_malformed_json_body_is_400(self, http_service):
+        base, _, _ = http_service
+        import urllib.request
+
+        request = urllib.request.Request(
+            base + "/align",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                status = reply.status
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+        assert status == 400
+
+    def test_client_errors_are_400_with_type(self, http_service):
+        base, _, _ = http_service
+        status, body = request_alignment(
+            base, make_payload(source="proc main() {}"), timeout=60
+        )
+        assert status == 400
+        assert body["type"] == "LangError"
+        status, body = request_alignment(
+            base, make_payload(method="quantum"), timeout=60
+        )
+        assert status == 400 and body["type"] == "UsageError"
+
+    def test_shed_maps_to_429(self, http_service, monkeypatch):
+        base, service, _ = http_service
+        def always_shed(item):
+            raise ServiceOverloadError("admission shed", queue_depth=4)
+
+        monkeypatch.setattr(service.gate, "submit", always_shed)
+        status, body = request_alignment(base, make_payload(), timeout=60)
+        assert status == 429
+        assert body["type"] == "ServiceOverloadError"
+
+
+class TestRequestCLI:
+    def test_round_trip_renders_a_table(self, http_service, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        from .conftest import SERVICE_SOURCE
+
+        base, _, _ = http_service
+        source = tmp_path / "prog.mini"
+        source.write_text(SERVICE_SOURCE)
+        code = cli_main([
+            "request", str(source), "--url", base,
+            "--inputs", "1,2,3,4,5,6,7,8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served by" in out and "verified" in out
+
+    def test_json_output_and_client_error_exit_codes(
+        self, http_service, tmp_path, capsys
+    ):
+        from repro.cli import main as cli_main
+
+        base, _, _ = http_service
+        source = tmp_path / "bad.mini"
+        source.write_text("proc main() {}")
+        code = cli_main(["request", str(source), "--url", base])
+        captured = capsys.readouterr()
+        assert code == 2  # 400-class: the request is wrong
+        assert "LangError" in captured.err or "error" in captured.err
+
+    def test_unreachable_server_is_a_runtime_error(self, tmp_path, capsys):
+        from .conftest import SERVICE_SOURCE
+        from repro.cli import main as cli_main
+
+        source = tmp_path / "prog.mini"
+        source.write_text(SERVICE_SOURCE)
+        code = cli_main([
+            "request", str(source), "--url", "http://127.0.0.1:9",
+            "--timeout", "5",
+        ])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestDrainOverHTTP:
+    def test_drain_flips_readyz_keeps_healthz(self, http_service):
+        base, service, _ = http_service
+        assert request_alignment(base, make_payload(), timeout=120)[0] == 200
+        service.begin_drain()
+        assert get_json(base + "/readyz")[0] == 503
+        assert get_json(base + "/healthz")[0] == 200
+        status, body = request_alignment(base, make_payload(), timeout=60)
+        assert status == 503
+        assert body["type"] == "ServiceUnavailableError"

@@ -1,0 +1,116 @@
+"""The per-response layout verifier: every way a response can lie."""
+
+import pytest
+
+from repro.core import align_program
+from repro.core.align import AlignmentReport
+from repro.core.layout import Layout, ProgramLayout
+from repro.errors import LayoutVerificationError
+from repro.lang import compile_source, run_and_profile
+from repro.machine.models import get_model
+from repro.service import verify_layouts, verify_or_raise
+
+from .conftest import SERVICE_SOURCE
+
+
+@pytest.fixture(scope="module")
+def aligned():
+    """One real aligned program shared by every test in this module."""
+    module = compile_source(SERVICE_SOURCE)
+    _, profile = run_and_profile(module, list(range(20)))
+    model = get_model("alpha21164")
+    report = AlignmentReport()
+    layouts = align_program(
+        module.program, profile, method="tsp", model=model, seed=0,
+        report=report,
+    )
+    return module.program, layouts, profile, model, report
+
+
+def copy_layouts(layouts: ProgramLayout) -> ProgramLayout:
+    return ProgramLayout(layouts=dict(layouts.items()))
+
+
+class TestVerifyLayouts:
+    def test_clean_alignment_has_no_violations(self, aligned):
+        program, layouts, profile, model, report = aligned
+        assert verify_layouts(
+            program, layouts, profile, model, costs=report.costs
+        ) == []
+
+    def test_missing_layout_reported(self, aligned):
+        program, layouts, profile, model, report = aligned
+        broken = copy_layouts(layouts)
+        del broken.layouts["main"]
+        violations = verify_layouts(program, broken, profile, model)
+        assert violations == ["main: no layout in response"]
+
+    def test_non_permutation_reported(self, aligned):
+        program, layouts, profile, model, report = aligned
+        broken = copy_layouts(layouts)
+        order = list(broken["main"].order)
+        # Duplicate one block in place of another: same length, not a
+        # permutation.  Bypass Layout's own constructor check to model a
+        # corrupt artifact.
+        corrupt = object.__new__(Layout)
+        object.__setattr__(corrupt, "order", (*order[:-1], order[0]))
+        broken.layouts["main"] = corrupt
+        (violation,) = verify_layouts(program, broken, profile, model)
+        assert violation.startswith("main: invalid layout")
+
+    def test_entry_block_must_lead(self, aligned):
+        program, layouts, profile, model, report = aligned
+        broken = copy_layouts(layouts)
+        order = list(broken["main"].order)
+        broken.layouts["main"] = Layout(order=(*order[1:], order[0]))
+        (violation,) = verify_layouts(program, broken, profile, model)
+        assert "invalid layout" in violation
+
+    def test_cost_disagreement_reported(self, aligned):
+        program, layouts, profile, model, report = aligned
+        lying = {name: cost + 1.0 for name, cost in report.costs.items()}
+        violations = verify_layouts(
+            program, layouts, profile, model, costs=lying
+        )
+        assert violations and "!=" in violations[0]
+
+    def test_cost_below_bound_reported(self, aligned):
+        program, layouts, profile, model, report = aligned
+        impossible = {name: cost + 5.0 for name, cost in report.costs.items()}
+        violations = verify_layouts(
+            program, layouts, profile, model,
+            costs=report.costs, bounds=impossible,
+        )
+        assert violations
+        assert any("below certified lower bound" in v for v in violations)
+
+    def test_consistent_bound_passes(self, aligned):
+        program, layouts, profile, model, report = aligned
+        at_cost = dict(report.costs)  # bound == cost is legitimate
+        assert verify_layouts(
+            program, layouts, profile, model,
+            costs=report.costs, bounds=at_cost,
+        ) == []
+
+    def test_stale_cost_entry_ignored(self, aligned):
+        program, layouts, profile, model, report = aligned
+        costs = dict(report.costs)
+        costs["ghost_procedure"] = 123.0
+        assert verify_layouts(
+            program, layouts, profile, model, costs=costs
+        ) == []
+
+
+class TestVerifyOrRaise:
+    def test_raises_typed_error_carrying_violations(self, aligned):
+        program, layouts, profile, model, report = aligned
+        broken = copy_layouts(layouts)
+        del broken.layouts["main"]
+        with pytest.raises(LayoutVerificationError) as info:
+            verify_or_raise(program, broken, profile, model)
+        assert info.value.violations == ["main: no layout in response"]
+        assert "1 layout verification violation" in str(info.value)
+
+    def test_clean_does_not_raise(self, aligned):
+        program, layouts, profile, model, report = aligned
+        verify_or_raise(program, layouts, profile, model, costs=report.costs)
