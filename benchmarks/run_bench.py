@@ -10,7 +10,10 @@ Two measurements:
   requested worker count with cold alignment caches.  Reports wall-clock,
   aligned procedures per second, the artifact cache's per-kind hit
   rates (the ``instance`` rate is the cost-matrix sharing the pipeline
-  exists to provide), and a snapshot of the :mod:`repro.obs` counters —
+  exists to provide), a ``bound_reseed`` check — the Held–Karp bounds
+  re-derived under a different seed must be served entirely from the
+  cache, since the upper-bound hint is not part of a bound's identity —
+  and a snapshot of the :mod:`repro.obs` counters —
   solver effort (``tsp.runs``/``tsp.kicks``/``tsp.improving_moves``) and
   cache/store/executor activity — so perf deltas can be attributed
   (e.g. "slower because 2× the kicks" vs "slower per kick").
@@ -110,6 +113,22 @@ def bench_figure2(jobs: int) -> dict:
             list(compile_benchmark(benchmark).program)
         ) * len(DEFAULT_METHODS)
     elapsed = time.perf_counter() - started
+
+    # Bound-keying check (untimed): re-derive every case's Held–Karp
+    # bound under a different base seed.  The re-run's TSP tours — the
+    # upper-bound *hints* — differ, but the bound artifact's identity
+    # (cfg, profile, model, iterations, budget) does not, so the cache
+    # must serve every request.  The hint used to be part of the key,
+    # which made repeated runs miss 100% of the time.
+    before = artifact_cache().stats_by_kind().get("bound")
+    before_hits = before.hits if before else 0
+    before_misses = before.misses if before else 0
+    case_lower_bound.cache_clear()
+    for benchmark, dataset in all_cases():
+        case_lower_bound(benchmark, dataset, seed=1, jobs=jobs)
+    after = artifact_cache().stats_by_kind()["bound"]
+    reseed_hits = after.hits - before_hits
+    reseed_misses = after.misses - before_misses
     shutdown_pool()
 
     stats = {
@@ -128,6 +147,13 @@ def bench_figure2(jobs: int) -> dict:
         "retried": retried,
         "quarantined": quarantined,
         "cache": stats,
+        "bound_reseed": {
+            "hits": reseed_hits,
+            "misses": reseed_misses,
+            "hit_rate": round(
+                reseed_hits / max(1, reseed_hits + reseed_misses), 4
+            ),
+        },
         # Stable counters are worker-count invariant; per-process ones
         # (cache./store.) are honest observations of this sweep only.
         "counters": obs.counters(),
@@ -147,16 +173,24 @@ def percentile(latencies: list[float], q: float) -> float:
 def bench_service(requests: int, clients: int, capacity: int) -> dict:
     """Latency/shed/fallback profile of the in-process alignment service.
 
-    Two phases against one service instance:
+    Three phases, journaled throughout:
 
     * **burst** — ``requests`` submissions from ``clients`` concurrent
       threads against a ``capacity``-bounded queue: p50/p95 of the
       worker's per-request latency, plus how many the gate shed.
     * **breaker** — a crash-everything fault plan drives the tsp breaker
       open, counting how many requests the greedy fallback absorbed
-      before the service was drained.
+      before the service was drained.  Breaker payloads use a +10_000
+      seed offset so the journal's idempotent coalescing cannot serve
+      them from the burst phase's cache (a deduped request never reaches
+      the solver, so the breaker would never trip).
+    * **recovery replay** — a second service instance replays the same
+      journal: ``replay_ms`` is the cost of re-admitting every completed
+      response, including its Held–Karp re-verification.
     """
+    import tempfile
     import threading
+    import time as time_mod
 
     from repro.errors import ServiceOverloadError
     from repro.faults import inject_faults
@@ -170,7 +204,12 @@ def bench_service(requests: int, clients: int, capacity: int) -> dict:
             "seed": i,
         }
 
-    service = AlignmentService(ServiceConfig(capacity=capacity)).start()
+    journal_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-bench-journal-"), "journal.jsonl"
+    )
+    service = AlignmentService(
+        ServiceConfig(capacity=capacity, journal_path=journal_path)
+    ).start()
     started = time.perf_counter()
     pending, shed_lock = iter(range(requests)), threading.Lock()
 
@@ -196,13 +235,26 @@ def bench_service(requests: int, clients: int, capacity: int) -> dict:
 
     # Breaker phase: every align pass reports crashes, so the breaker
     # opens after `threshold` requests and the rest ride the fallback.
+    # Seeds are offset so these are fresh keys, never deduped replays.
     with inject_faults(worker_crash=True):
         for i in range(service.config.breaker_threshold + 4):
-            service.align(payload(i), timeout=600)
+            service.align(payload(10_000 + i), timeout=600)
     drained = service.drain(timeout=120)
 
     latencies = list(service.stats.latencies_ms)
     snapshot = service.snapshot()
+
+    # Recovery replay: restart on the journal the drained life wrote and
+    # time the replay (re-verification included, no re-solving).
+    replayer = AlignmentService(
+        ServiceConfig(capacity=capacity, journal_path=journal_path)
+    ).start()
+    replay_deadline = time_mod.monotonic() + 300
+    while replayer.recovering and time_mod.monotonic() < replay_deadline:
+        time_mod.sleep(0.01)
+    recovery = replayer.snapshot()["recovery"] or {}
+    replayer.drain(timeout=120)
+
     return {
         "requests": requests,
         "clients": clients,
@@ -218,8 +270,16 @@ def bench_service(requests: int, clients: int, capacity: int) -> dict:
         "shed": snapshot["gate"]["shed"],
         "completed": snapshot["completed"],
         "quarantined": snapshot["quarantined"],
+        "deduped": snapshot["deduped"],
         "breaker_fallbacks": snapshot["breaker_fallbacks"],
         "breakers": snapshot["breakers"],
+        "journal": snapshot["journal"],
+        "recovery_replay": {
+            "replay_ms": recovery.get("replay_ms"),
+            "replayed_completed": recovery.get("replayed_completed"),
+            "reverify_failed": recovery.get("reverify_failed"),
+            "reenqueued": recovery.get("reenqueued"),
+        },
         "drained": drained,
     }
 
@@ -316,6 +376,8 @@ def main(argv: list[str] | None = None) -> int:
             f"  {entry['wall_seconds']}s, "
             f"{entry['procedures_per_second']} procs/s, instance hit rate "
             f"{entry['cache'].get('instance', {}).get('hit_rate', 0.0)}, "
+            f"bound reseed hit rate "
+            f"{entry['bound_reseed']['hit_rate']}, "
             f"{entry['retried']} retried, {entry['quarantined']} quarantined"
         )
 
@@ -341,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
             "latency_p95_ms": entry["latency_ms"]["p95"],
             "shed": entry["shed"],
             "breaker_fallbacks": entry["breaker_fallbacks"],
+            "replay_ms": entry["recovery_replay"]["replay_ms"],
         })
         args.service_out.write_text(json.dumps({
             "python": report["python"],
@@ -353,7 +416,8 @@ def main(argv: list[str] | None = None) -> int:
             f"  p50 {entry['latency_ms']['p50']}ms, "
             f"p95 {entry['latency_ms']['p95']}ms, "
             f"{entry['shed']} shed, "
-            f"{entry['breaker_fallbacks']} breaker fallbacks"
+            f"{entry['breaker_fallbacks']} breaker fallbacks, "
+            f"replay {entry['recovery_replay']['replay_ms']}ms"
         )
         print(f"wrote {args.service_out}")
 

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""End-to-end chaos soak for the alignment service.
+"""End-to-end chaos scenarios for the alignment service.
 
-Boots a real ``repro serve`` subprocess with ``$REPRO_CHAOS`` sabotage
-armed — pipeline workers crash and per-attempt deadlines expire on a
-schedule — then fires a concurrent request burst at it and asserts the
-serving contract:
+Two scenarios, selected with ``--scenario`` (default ``soak``):
+
+**soak** — boots a real ``repro serve`` subprocess with ``$REPRO_CHAOS``
+sabotage armed — pipeline workers crash and per-attempt deadlines expire
+on a schedule — then fires a concurrent request burst at it and asserts
+the serving contract:
 
 1. **Typed back-pressure** — every request is answered: 200 with a
    response body, or a typed 429 (shed).  No connection resets, no
@@ -21,12 +23,32 @@ serving contract:
 5. **Graceful drain** — SIGTERM exits 0 after finishing admitted work,
    and the post-drain trace passes ``repro trace validate``.
 
-Exit code 0 when every assertion holds, 1 otherwise.
+**recovery** — boots a journaled server, SIGKILLs it mid-burst, restarts
+it on the same journal, and asserts the crash-consistency contract:
+
+1. **No admitted request lost** — every journal-visible ``admitted``
+   record without a terminal record before the kill has a ``completed``
+   or ``failed`` record after recovery drains.
+2. **No completed request recomputed** — every request the first life
+   completed is re-served from the journal (``served_from: "journal"``,
+   byte-identical layouts), after re-verification against a freshly
+   computed Held–Karp floor; the second life's worker computes only the
+   re-enqueued orphans.
+3. **Accounting closes across the crash** — replayed ⊆ admitted, the
+   restarted gate's ``submitted == admitted + shed`` holds, and zero
+   replayed responses fail re-verification.
+4. **Graceful end state** — ``/readyz`` reports ``durability: on``, the
+   final SIGTERM drain exits 0, and the recovered journal + trace
+   validate (saved under ``--artifacts`` for CI upload).
+
+``--scenario all`` runs both.  Exit code 0 when every assertion holds,
+1 otherwise.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/service_check.py
     PYTHONPATH=src python benchmarks/service_check.py --requests 80 --clients 8
+    PYTHONPATH=src python benchmarks/service_check.py --scenario recovery --jobs 4
 """
 
 from __future__ import annotations
@@ -68,18 +90,29 @@ def check(condition: bool, message: str, failures: list[str]) -> None:
         failures.append(message)
 
 
-def start_server(chaos: str, trace: str, capacity: int) -> tuple:
+def start_server(
+    chaos: str,
+    trace: str,
+    capacity: int,
+    *,
+    jobs: int = 2,
+    journal: str | None = None,
+    port: int = 0,
+) -> tuple:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env["REPRO_CHAOS"] = chaos
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", str(port),
+        "--capacity", str(capacity),
+        "--jobs", str(jobs),
+        "--trace", trace,
+    ]
+    if journal:
+        argv += ["--journal", journal]
     proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "serve",
-            "--port", "0",
-            "--capacity", str(capacity),
-            "--jobs", "2",
-            "--trace", trace,
-        ],
+        argv,
         cwd=REPO_ROOT,
         env=env,
         stdout=subprocess.PIPE,
@@ -174,28 +207,16 @@ def soak(base_url: str, requests: int, clients: int) -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--requests", type=int, default=60,
-                        help="requests in the burst (default: 60)")
-    parser.add_argument("--clients", type=int, default=50,
-                        help="concurrent client threads (default: 50 — the "
-                             "first wave alone overwhelms the queue, so the "
-                             "soak proves typed shedding, not just success)")
-    parser.add_argument("--capacity", type=int, default=16,
-                        help="server admission capacity (default: 16)")
-    parser.add_argument("--chaos", default="worker_crash=%5,task_timeout=%7",
-                        help="REPRO_CHAOS spec armed in the server")
-    args = parser.parse_args(argv)
-
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+def run_soak(args) -> int:
     from repro.service.client import get_json, wait_ready
 
     trace = os.path.join(
         tempfile.mkdtemp(prefix="repro-service-trace-"), "service.jsonl"
     )
     failures: list[str] = []
-    proc, base_url = start_server(args.chaos, trace, args.capacity)
+    proc, base_url = start_server(
+        args.chaos, trace, args.capacity, jobs=args.jobs
+    )
     drain_timeout = False
     try:
         check(wait_ready(base_url), "server became ready", failures)
@@ -288,6 +309,249 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print("\nservice chaos soak: all checks passed")
     return 0
+
+
+# Recovery sizing: requests stay small because the second life re-solves
+# every orphan.  All requests launch at once so the journal holds many
+# ``admitted`` records when the kill lands after KILL_AFTER completions.
+RECOVERY_REQUESTS = 10
+RECOVERY_KILL_AFTER = 3
+
+
+def run_recovery(args) -> int:
+    import shutil
+    import time
+
+    from repro.service.client import get_json, request_alignment, wait_ready
+    from repro.service.journal import RequestJournal
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-recovery-"))
+    journal = workdir / "journal.jsonl"
+    trace1 = workdir / "trace-life1.jsonl"
+    trace2 = workdir / "trace-life2.jsonl"
+    failures: list[str] = []
+
+    print(f"recovery: {RECOVERY_REQUESTS} requests, SIGKILL after "
+          f"{RECOVERY_KILL_AFTER} completions, --jobs {args.jobs} ...")
+    proc, base_url = start_server(
+        "", str(trace1), args.capacity, jobs=args.jobs, journal=str(journal)
+    )
+    outcomes = collections.Counter()
+    lock = threading.Lock()
+
+    def one_request(i: int) -> None:
+        payload = {
+            "source": SOAK_SOURCE,
+            "inputs": list(range(14 + i % 3)),
+            "method": "tsp",
+            "seed": 40_000 + i,
+        }
+        try:
+            status, _ = request_alignment(base_url, payload, timeout=300)
+            with lock:
+                outcomes[f"http_{status}"] += 1
+        except OSError:
+            # Expected once the SIGKILL lands mid-request.
+            with lock:
+                outcomes["transport_error"] += 1
+
+    try:
+        check(wait_ready(base_url), "first life became ready", failures)
+        threads = [
+            threading.Thread(target=one_request, args=(i,))
+            for i in range(RECOVERY_REQUESTS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Watch the journal from outside the process — exactly what a
+        # supervisor could see — and kill without warning.
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if len(RequestJournal(journal).load().completed) \
+                    >= RECOVERY_KILL_AFTER:
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        print("killed first life; client outcomes so far: "
+              + json.dumps(dict(outcomes), sort_keys=True))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    pre = RequestJournal(journal).load()
+    print(f"journal after kill: {pre.records.get('admitted', 0)} admitted, "
+          f"{len(pre.completed)} completed, {len(pre.orphans)} orphaned, "
+          f"torn_tail={pre.torn_tail}")
+    check(len(pre.completed) >= RECOVERY_KILL_AFTER,
+          f"kill landed after >= {RECOVERY_KILL_AFTER} completions "
+          f"({len(pre.completed)})", failures)
+    check(len(pre.orphans) >= 1,
+          f"kill landed mid-burst: {len(pre.orphans)} admitted requests "
+          f"were still in flight", failures)
+
+    proc2, base2 = start_server(
+        "", str(trace2), args.capacity, jobs=args.jobs, journal=str(journal)
+    )
+    drain_timeout = False
+    recovery = {}
+    try:
+        check(wait_ready(base2, attempts=600),
+              "second life replayed the journal and became ready", failures)
+
+        # Wait for every re-enqueued orphan to reach a terminal record.
+        deadline = time.monotonic() + 300
+        counters: dict = {}
+        while time.monotonic() < deadline:
+            status, counters = get_json(base2 + "/counters", timeout=30)
+            recovery = counters.get("recovery") or {}
+            terminal = (
+                counters.get("completed", 0)
+                + counters.get("failed", 0)
+                + counters.get("quarantined", 0)
+            )
+            if status == 200 and terminal >= recovery.get("reenqueued", -1):
+                break
+            time.sleep(0.2)
+        print("recovery counters: " + json.dumps(recovery, sort_keys=True))
+
+        check(recovery.get("replayed_completed") == len(pre.completed),
+              f"every pre-kill completion replayed from the journal "
+              f"({recovery.get('replayed_completed')} of "
+              f"{len(pre.completed)})", failures)
+        check(recovery.get("reverify_failed") == 0,
+              "zero replayed responses failed re-verification", failures)
+        check(recovery.get("reenqueued") == len(pre.orphans),
+              f"every orphan re-enqueued ({recovery.get('reenqueued')} of "
+              f"{len(pre.orphans)})", failures)
+
+        # No completed request recomputed: resending a pre-kill payload
+        # is served from the journal with byte-identical layouts.
+        replayed_ok = 0
+        for key, response in pre.completed.items():
+            status, body = request_alignment(
+                base2, pre.payloads[key], timeout=300
+            )
+            if (status == 200 and body.get("served_from") == "journal"
+                    and body.get("layouts") == response.get("layouts")):
+                replayed_ok += 1
+            else:
+                check(False,
+                      f"resent {key[:12]} not served from journal "
+                      f"(status {status})", failures)
+        check(replayed_ok == len(pre.completed),
+              f"resent completions served from the journal, byte-identical "
+              f"({replayed_ok}/{len(pre.completed)})", failures)
+
+        # No admitted request lost: every pre-kill orphan now has a
+        # terminal record in the journal.
+        final = RequestJournal(journal).load()
+        resolved = sum(
+            1 for key in pre.orphans
+            if key in final.completed or key in final.failed
+        )
+        check(resolved == len(pre.orphans),
+              f"every orphaned admission reached a terminal record "
+              f"({resolved}/{len(pre.orphans)})", failures)
+
+        status, counters = get_json(base2 + "/counters", timeout=30)
+        gate = counters.get("gate", {})
+        check(
+            gate.get("admitted", -1) + gate.get("shed", -1)
+            == gate.get("submitted", -2),
+            "second life's admission accounting closes", failures,
+        )
+        status, ready = get_json(base2 + "/readyz", timeout=30)
+        check(status == 200 and ready.get("durability") == "on",
+              "readyz reports durability on after recovery", failures)
+
+        proc2.send_signal(signal.SIGTERM)
+        try:
+            exit_code = proc2.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            drain_timeout = True
+            proc2.kill()
+            exit_code = proc2.wait()
+        check(not drain_timeout, "SIGTERM drain finished in time", failures)
+        check(exit_code == 0, f"drain exit code 0 (got {exit_code})",
+              failures)
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+            proc2.wait()
+
+    validate = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "validate", str(trace2)],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+    )
+    check(validate.returncode == 0,
+          f"second life's trace validates ({trace2})", failures)
+
+    if args.artifacts:
+        artifacts = pathlib.Path(args.artifacts)
+        artifacts.mkdir(parents=True, exist_ok=True)
+        for source in (journal, trace1, trace2):
+            if source.exists():
+                shutil.copy2(source, artifacts / source.name)
+        summary = {
+            "pre_kill": {
+                "admitted": pre.records.get("admitted", 0),
+                "completed": len(pre.completed),
+                "orphans": len(pre.orphans),
+                "torn_tail": pre.torn_tail,
+            },
+            "recovery": recovery,
+            "client_outcomes": dict(outcomes),
+            "failures": failures,
+        }
+        (artifacts / "recovery-summary.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"artifacts saved under {artifacts}")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nservice crash recovery: all checks passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=["soak", "recovery", "all"],
+                        default="soak",
+                        help="which contract to exercise (default: soak)")
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests in the soak burst (default: 60)")
+    parser.add_argument("--clients", type=int, default=50,
+                        help="concurrent client threads (default: 50 — the "
+                             "first wave alone overwhelms the queue, so the "
+                             "soak proves typed shedding, not just success)")
+    parser.add_argument("--capacity", type=int, default=16,
+                        help="server admission capacity (default: 16)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="server-side pipeline workers (default: 2)")
+    parser.add_argument("--chaos", default="worker_crash=%5,task_timeout=%7",
+                        help="REPRO_CHAOS spec armed in the soak server")
+    parser.add_argument("--artifacts", default=None,
+                        help="directory to copy the journal, traces, and a "
+                             "summary into (recovery scenario)")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    exit_code = 0
+    if args.scenario in ("soak", "all"):
+        exit_code |= run_soak(args)
+    if args.scenario in ("recovery", "all"):
+        exit_code |= run_recovery(args)
+    return exit_code
 
 
 if __name__ == "__main__":

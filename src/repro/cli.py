@@ -388,6 +388,7 @@ def cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         verify=not args.no_verify,
+        journal_path=args.journal,
     ))
     return serve(service, host=args.host, port=args.port)
 
@@ -395,7 +396,12 @@ def cmd_serve(args) -> int:
 def cmd_request(args) -> int:
     import urllib.error
 
-    from repro.service.client import request_alignment
+    from repro.errors import ServiceRetryExhaustedError
+    from repro.service.client import (
+        RetryPolicy as ClientRetryPolicy,
+        request_alignment,
+        request_with_retry,
+    )
 
     payload: dict = {
         "source": _read_source(args.file),
@@ -419,10 +425,33 @@ def cmd_request(args) -> int:
     if args.bound:
         payload["bound"] = True
 
-    try:
-        status, response = request_alignment(
-            args.url, payload, timeout=args.timeout
+    if args.retries < 0:
+        raise UsageError(f"--retries must be >= 0, got {args.retries}")
+    if args.retry_delay_ms < 0:
+        raise UsageError(
+            f"--retry-delay-ms must be >= 0, got {args.retry_delay_ms}"
         )
+    try:
+        if args.retries:
+            # Retries ride the server's idempotency keys: resending the
+            # same payload across a restart is answered from the journal,
+            # never solved twice.
+            status, response = request_with_retry(
+                args.url,
+                payload,
+                policy=ClientRetryPolicy(
+                    attempts=args.retries + 1,
+                    base_delay_s=args.retry_delay_ms / 1000.0,
+                ),
+                timeout=args.timeout,
+            )
+        else:
+            status, response = request_alignment(
+                args.url, payload, timeout=args.timeout
+            )
+    except ServiceRetryExhaustedError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
     except (urllib.error.URLError, OSError) as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
         return 1
@@ -595,6 +624,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-verify", action="store_true",
                          help="skip per-response layout verification "
                               "(benchmarking only; verification is cheap)")
+    p_serve.add_argument("--journal", default=None, metavar="PATH",
+                         help="write-ahead request journal (JSONL): makes "
+                              "SIGKILL survivable — completed requests are "
+                              "replayed from the journal on restart, "
+                              "orphaned admissions re-enqueued, duplicate "
+                              "payloads coalesced by idempotency key")
     p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
                          help="worker processes per align pass "
                               "(default: $REPRO_JOBS or 1)")
@@ -627,6 +662,16 @@ def build_parser() -> argparse.ArgumentParser:
                                 "against the served costs)")
     p_request.add_argument("--timeout", type=float, default=600.0,
                            metavar="S", help="client-side wait (seconds)")
+    p_request.add_argument("--retries", type=int, default=0, metavar="N",
+                           help="retry shed/unready/unreachable answers up "
+                                "to N times with capped exponential "
+                                "backoff — enough to ride through a server "
+                                "restart (default 0: fail fast)")
+    p_request.add_argument("--retry-delay-ms", type=float, default=100.0,
+                           metavar="MS",
+                           help="base backoff before the first retry; "
+                                "doubles per attempt, capped at 2s "
+                                "(default 100)")
     p_request.add_argument("--json", action="store_true",
                            help="print the raw JSON response")
     p_request.set_defaults(func=cmd_request)

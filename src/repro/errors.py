@@ -206,6 +206,39 @@ class LayoutVerificationError(ServiceError):
         self.violations = list(violations or [])
 
 
+class JournalError(ServiceError):
+    """The write-ahead request journal could not append a record.
+
+    The journal absorbs this into degraded-durability mode (the server
+    keeps serving, ``/readyz`` reports ``durability: off``) rather than
+    letting a disk fault kill serving; the class exists so the fault
+    harness and the journal speak a typed failure.
+    """
+
+
+class ServiceRetryExhaustedError(ServiceError):
+    """A client retry policy gave up.
+
+    The typed give-up of :class:`repro.service.client.RetryPolicy`:
+    every attempt was answered with a retryable status (429/503) or a
+    transport failure.  Carries the attempt count and the last outcome
+    so callers can report *why* the request was abandoned.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        last_status: "int | None" = None,
+        last_error: "BaseException | None" = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_status = last_status
+        self.last_error = last_error
+
+
 def __getattr__(name: str):
     # Lazy re-export: VMRunawayError subclasses repro.lang.vm.VMError, and
     # vm.py imports this module, so an eager import here would cycle.
@@ -221,6 +254,7 @@ __all__ = [
     "ArtifactStoreError",
     "CheckpointCorruptError",
     "DegradationError",
+    "JournalError",
     "LayoutVerificationError",
     "PoisonTaskError",
     "ProfileMismatchError",
@@ -228,6 +262,7 @@ __all__ = [
     "ReproError",
     "ServiceError",
     "ServiceOverloadError",
+    "ServiceRetryExhaustedError",
     "ServiceUnavailableError",
     "SolverBudgetExceeded",
     "TaskTimeoutError",

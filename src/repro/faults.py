@@ -33,10 +33,11 @@ Sites fall into two groups:
 * **store sites** (``store_corrupt``, ``store_io_error``) sabotage the
   on-disk artifact store.  A plan arming *only* store sites leaves the
   store live — it has to, for the injected corruption to reach it.
-* **service sites** (``service_overload``, ``breaker_probe_fail``)
-  sabotage the alignment service's admission gate and circuit-breaker
-  probes.  Like store sites they leave caches live: the service must
-  absorb them without changing what an admitted request computes.
+* **service sites** (``service_overload``, ``breaker_probe_fail``,
+  ``journal_torn_tail``, ``journal_io_error``) sabotage the alignment
+  service's admission gate, circuit-breaker probes, and write-ahead
+  request journal.  Like store sites they leave caches live: the service
+  must absorb them without changing what an admitted request computes.
 
 Chaos mode: setting ``REPRO_CHAOS`` (e.g.
 ``REPRO_CHAOS="worker_crash=%7,store_corrupt=1"``) arms a process-wide
@@ -56,6 +57,7 @@ from dataclasses import dataclass, field, fields
 from repro.errors import (
     ArtifactStoreError,
     DegradationError,
+    JournalError,
     SolverBudgetExceeded,
     TaskTimeoutError,
 )
@@ -68,11 +70,16 @@ CHAOS_ENV = "REPRO_CHAOS"
 #: alignment computation.  Plans arming only these keep caches enabled.
 STORE_SITES = frozenset({"store_corrupt", "store_io_error"})
 
-#: Sites that sabotage the serving layer (admission, breaker probes)
-#: rather than the alignment computation.  Like store sites, they leave
-#: the caches live — the service must absorb them without changing what
-#: an admitted request computes.
-SERVICE_SITES = frozenset({"service_overload", "breaker_probe_fail"})
+#: Sites that sabotage the serving layer (admission, breaker probes, the
+#: write-ahead request journal) rather than the alignment computation.
+#: Like store sites, they leave the caches live — the service must absorb
+#: them without changing what an admitted request computes.
+SERVICE_SITES = frozenset({
+    "service_overload",
+    "breaker_probe_fail",
+    "journal_torn_tail",
+    "journal_io_error",
+})
 
 
 @dataclass
@@ -104,6 +111,12 @@ class FaultPlan:
     service_overload: bool | int | str | None = False
     #: The n-th half-open breaker probe fails, re-opening the breaker.
     breaker_probe_fail: bool | int | str | None = False
+    #: Torn write: the n-th journal record appended is truncated on disk,
+    #: as a SIGKILL/power loss mid-append would leave it.
+    journal_torn_tail: bool | int | str | None = False
+    #: The n-th journal append raises an I/O error; the journal must
+    #: absorb it into degraded-durability mode, never kill the server.
+    journal_io_error: bool | int | str | None = False
 
     _calls: dict[str, int] = field(default_factory=dict)
     _trips: dict[str, int] = field(default_factory=dict)
@@ -373,3 +386,21 @@ def breaker_probe_fails() -> bool:
         if plan.fires("breaker_probe", plan.breaker_probe_fail):
             return True
     return False
+
+
+def corrupt_journal_line(line: str) -> str:
+    """Return ``line`` truncated when the journal torn-tail fault fires —
+    what a SIGKILL between ``write`` and the final newline leaves behind."""
+    for plan in _plans_for("service"):
+        if plan.fires("journal_torn", plan.journal_torn_tail):
+            return line[: max(1, len(line) // 2)]
+    return line
+
+
+def check_journal_io() -> None:
+    """Called at the top of every journal append; a fired trigger raises
+    the :class:`JournalError` the journal must absorb into
+    degraded-durability mode."""
+    for plan in _plans_for("service"):
+        if plan.fires("journal_io", plan.journal_io_error):
+            raise JournalError("fault injection: journal I/O error")

@@ -373,12 +373,18 @@ register_handler("bound", bound_one)
 
 
 def bound_key(task: BoundTask) -> str:
+    # ``upper_bound`` is deliberately NOT part of the key: it only tightens
+    # the subgradient schedule (a warm-start hint), and any certified floor
+    # is valid for the (cfg, profile, model) instance regardless of which
+    # hint produced it.  Keying on it split identical artifacts — an
+    # align-then-bound run (hint = tour cost) could never hit the entry a
+    # bound-only run (hint = None) had written, pinning the bound stage's
+    # cross-run hit rate at zero.
     return ArtifactCache.key(
         "bound",
         fingerprint_cfg(task.cfg),
         fingerprint_profile(task.profile),
         fingerprint_model(task.model),
-        repr(task.upper_bound),
         repr(task.iterations),
         fingerprint_budget(task.budget),
     )

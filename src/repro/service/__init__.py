@@ -23,13 +23,29 @@ serving-grade robustness layer:
 * **Graceful drain** (:mod:`.core`, :mod:`.http_server`) — SIGTERM stops
   admission, finishes in-flight work, flushes observability state, and
   exits 0.
+* **Crash safety** (:mod:`.journal`) — a write-ahead request journal
+  (fsynced JSONL, content-addressed idempotency keys, torn-tail
+  tolerant) makes SIGKILL survivable: on restart the service replays the
+  journal, re-verifies and serves completed responses without
+  re-solving, and re-enqueues orphaned admissions.  Duplicate payloads
+  coalesce onto one unit of work (exactly-once), and
+  :class:`~.client.RetryPolicy` gives clients a deterministic backoff
+  that rides through the restart.
 
-See ``docs/robustness.md`` ("Serving") and ``docs/architecture.md``.
+See ``docs/robustness.md`` ("Serving", "Crash recovery") and
+``docs/architecture.md``.
 """
 
 from .admission import AdmissionGate
 from .breaker import BreakerState, CircuitBreaker
-from .client import get_json, post_json, request_alignment, wait_ready
+from .client import (
+    RetryPolicy,
+    get_json,
+    post_json,
+    request_alignment,
+    request_with_retry,
+    wait_ready,
+)
 from .core import (
     AlignmentService,
     PendingRequest,
@@ -39,6 +55,7 @@ from .core import (
 )
 from .deadline import DeadlinePlan, plan_deadline
 from .http_server import AlignmentHTTPServer, serve
+from .journal import JournalReplay, RequestJournal, request_key
 from .verify import verify_layouts, verify_or_raise
 
 __all__ = [
@@ -48,7 +65,10 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "DeadlinePlan",
+    "JournalReplay",
     "PendingRequest",
+    "RequestJournal",
+    "RetryPolicy",
     "ServiceConfig",
     "fallback_method",
     "get_json",
@@ -56,6 +76,8 @@ __all__ = [
     "plan_deadline",
     "post_json",
     "request_alignment",
+    "request_key",
+    "request_with_retry",
     "serve",
     "verify_layouts",
     "verify_or_raise",

@@ -80,6 +80,24 @@ class AdmissionGate:
             self.admitted += 1
             obs.count("service.admitted")
 
+    def requeue(self, item) -> bool:
+        """Re-enqueue recovered work, bypassing admission accounting.
+
+        Used only by journal replay: an orphaned ``admitted`` record was
+        already submitted *and* admitted in a previous process life, so
+        counting it again would break ``submitted == admitted + shed``
+        for the restarted server's own traffic.  Never blocks — recovery
+        runs on the worker thread before its drain loop, so waiting on a
+        full queue would deadlock; returns ``False`` and the recoverer
+        processes the orphan inline instead.
+        """
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            return False
+        obs.count("service.replayed")
+        return True
+
     def put_control(self, item) -> None:
         """Enqueue a control token (the drain sentinel), bypassing
         admission accounting.  Blocks if the queue is full — control

@@ -1,8 +1,16 @@
 """Minimal stdlib HTTP client for the alignment service.
 
-Used by ``repro request``, the CI smoke job, and the bench sweep.  Kept
-deliberately dumb: JSON in, ``(status, payload)`` out, no retries — the
-service's 429 contract means back-off policy belongs to the caller.
+Used by ``repro request``, the CI smoke job, and the bench sweep.  The
+primitive layer is deliberately dumb: JSON in, ``(status, payload)``
+out, no retries.  On top of it, :class:`RetryPolicy` +
+:func:`request_with_retry` give callers the one retry loop worth
+standardizing: deterministic capped exponential backoff over the
+service's *retryable* answers (429 shed, 503 drain/replay, transport
+failures — exactly the states a restarting server passes through), with
+a typed give-up.  Retrying is safe because the server coalesces
+duplicates by content-addressed idempotency key: a retried payload maps
+to the same key, so the worst case is a journal/cache hit, never double
+work.
 """
 
 from __future__ import annotations
@@ -11,6 +19,13 @@ import json
 import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
+
+from repro.errors import ServiceRetryExhaustedError
+
+#: HTTP statuses a retry can fix: shed (429) and not-ready (503).  Any
+#: other status is the service's final, typed answer.
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 def _decode(body: bytes) -> dict:
@@ -59,6 +74,87 @@ def request_alignment(
     """POST one alignment request to ``base_url``'s ``/align`` endpoint."""
     return post_json(
         base_url.rstrip("/") + "/align", payload, timeout=timeout
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic capped exponential backoff for alignment requests.
+
+    No jitter by design: the repo's reproducibility bar extends to its
+    failure handling, so two identical runs retry at identical offsets.
+    Delays follow ``base_delay_s * multiplier**attempt`` capped at
+    ``max_delay_s``; ``attempts`` counts tries, not retries (``attempts=1``
+    means no retry at all).
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.1
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("retry attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("retry delays must be >= 0")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt`` (1-based; attempt 0 is
+        immediate)."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+
+
+def request_with_retry(
+    base_url: str,
+    payload: dict,
+    *,
+    policy: RetryPolicy | None = None,
+    timeout: float = 600.0,
+    sleep=time.sleep,
+) -> tuple[int, dict]:
+    """POST ``payload`` to ``/align``, retrying retryable outcomes.
+
+    Retries 429/503 answers and transport failures (connection refused or
+    reset — what a client sees across a server restart); the same payload
+    is resent verbatim, so the server derives the same idempotency key
+    and a request completed before the crash is answered from the journal
+    instead of re-solved.  Returns the first non-retryable
+    ``(status, body)``; raises
+    :class:`~repro.errors.ServiceRetryExhaustedError` once the policy's
+    attempts are spent.
+    """
+    policy = policy or RetryPolicy()
+    last_status: int | None = None
+    last_error: BaseException | None = None
+    for attempt in range(policy.attempts):
+        if attempt:
+            sleep(policy.delay_s(attempt))
+        try:
+            status, body = request_alignment(
+                base_url, payload, timeout=timeout
+            )
+        except (urllib.error.URLError, OSError) as exc:
+            last_status, last_error = None, exc
+            continue
+        if status not in RETRYABLE_STATUSES:
+            return status, body
+        last_status, last_error = status, None
+    detail = (
+        f"status {last_status}" if last_status is not None
+        else f"transport failure ({last_error})"
+    )
+    raise ServiceRetryExhaustedError(
+        f"request abandoned after {policy.attempts} attempt(s); "
+        f"last outcome: {detail}",
+        attempts=policy.attempts,
+        last_status=last_status,
+        last_error=last_error,
     )
 
 

@@ -58,7 +58,9 @@ from repro.service.breaker import (
     ROUTE_PROBE,
     CircuitBreaker,
 )
+from repro.core.layout import Layout, ProgramLayout
 from repro.service.deadline import plan_deadline
+from repro.service.journal import RequestJournal, request_key
 from repro.service.verify import verify_layouts
 from repro.tsp.solve import get_effort
 
@@ -177,6 +179,10 @@ class ServiceConfig:
     breaker_cooldown: int = 5
     #: Run the layout verifier on every response.
     verify: bool = True
+    #: Write-ahead request journal path; ``None`` = no durability (and no
+    #: idempotent coalescing — dedup semantics exist only when the journal
+    #: gives duplicate payloads a persistent identity).
+    journal_path: str | None = None
 
 
 class PendingRequest:
@@ -220,6 +226,11 @@ class ServiceStats:
     failed: int = 0
     quarantined: int = 0
     breaker_fallbacks: int = 0
+    #: Requests answered without new work: journal replay or an identical
+    #: payload already cached/in flight (idempotency-key coalescing).
+    deduped: int = 0
+    #: Completed journal entries re-verified and served after a restart.
+    recovered: int = 0
     latencies_ms: list[float] = field(default_factory=list)
 
 
@@ -238,12 +249,33 @@ class AlignmentService:
         self._lock = threading.Lock()
         self._worker: threading.Thread | None = None
         self._drained = False
+        self.journal: RequestJournal | None = (
+            RequestJournal(self.config.journal_path)
+            if self.config.journal_path
+            else None
+        )
+        #: Idempotency-key → completed response (exactly-once cache).
+        self._dedup: dict[str, dict] = {}
+        #: Idempotency-key → the in-flight handle duplicates coalesce onto.
+        self._inflight: dict[str, PendingRequest] = {}
+        #: True from start() until journal replay finishes (``/readyz``
+        #: reports ``replaying`` and 503s while this holds).
+        self._recovering = False
+        #: Set once replay finishes (immediately when no journal):
+        #: submit() waits on it so an early request can never race the
+        #: replay into re-solving work the journal already holds.
+        self._recovery_done = threading.Event()
+        #: Summary of the last journal replay (``/counters`` exposes it).
+        self._recovery: dict | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "AlignmentService":
         if self._worker is not None:
             return self
+        # Flag recovery *before* the worker exists so /readyz can never
+        # race a green "ready" between thread start and replay.
+        self._recovering = self.journal is not None
         self._worker = threading.Thread(
             target=self._worker_loop, name="repro-service-worker", daemon=True
         )
@@ -258,11 +290,17 @@ class AlignmentService:
         return self._worker is not None and self._worker.is_alive()
 
     @property
+    def recovering(self) -> bool:
+        """Journal replay is still running; the service is not yet ready."""
+        return self._recovering
+
+    @property
     def ready(self) -> bool:
-        """Admitting new work: started, not draining, not drained."""
+        """Admitting new work: started, replay done, not draining/drained."""
         return (
             self._worker is not None
             and self._worker.is_alive()
+            and not self._recovering
             and not self.gate.draining
             and not self._drained
         )
@@ -298,13 +336,62 @@ class AlignmentService:
 
         The returned handle resolves when the worker finishes the
         request (or fails it with a typed error).
+
+        With a journal configured the request is first resolved against
+        its content-addressed idempotency key: a payload identical to a
+        completed one is answered from the exactly-once cache, and one
+        identical to an in-flight request returns *that* request's
+        handle — both count ``service.deduped``, neither does new work
+        or re-enters the admission gate.  A genuinely new request is
+        journaled (``admitted``) before it is queued, so a crash after
+        this point can re-enqueue it instead of losing it.
         """
         obs.install_tracer(self._tracer)
         if self._worker is None or not self._worker.is_alive():
             raise ServiceUnavailableError("service worker is not running")
-        pending = PendingRequest(next(self._ids))
+        # Admitting before replay finishes could re-solve a request the
+        # journal already holds, so wait out the replay (finite: it only
+        # reads the journal and re-verifies).  /readyz reports the
+        # replaying state; direct submitters just block briefly.
+        while not self._recovery_done.wait(timeout=0.1):
+            if self._worker is None or not self._worker.is_alive():
+                raise ServiceUnavailableError(
+                    "service worker died during journal replay"
+                )
+        key: str | None = None
+        if self.journal is not None:
+            key = request_key(payload)
+            with self._lock:
+                cached = self._dedup.get(key)
+                if cached is not None:
+                    self.stats.deduped += 1
+                    obs.count("service.deduped")
+                    pending = PendingRequest(next(self._ids))
+                    pending.resolve(dict(cached))
+                    return pending
+                waiting = self._inflight.get(key)
+                if waiting is not None:
+                    self.stats.deduped += 1
+                    obs.count("service.deduped")
+                    return waiting
+                pending = PendingRequest(next(self._ids))
+                self._inflight[key] = pending
+            self.journal.admitted(
+                key, payload if isinstance(payload, dict) else {"raw": payload}
+            )
+        else:
+            pending = PendingRequest(next(self._ids))
         ctx = contextvars.copy_context()
-        self.gate.submit((pending, payload, ctx))
+        try:
+            self.gate.submit((pending, payload, ctx, key))
+        except Exception as exc:
+            if key is not None:
+                # The journal must not replay a request the gate refused
+                # (the client saw 429/503 and owns the retry).
+                with self._lock:
+                    self._inflight.pop(key, None)
+                self.journal.failed(key, exc)
+            raise
         return pending
 
     def align(self, payload, timeout: float | None = None) -> dict:
@@ -326,22 +413,160 @@ class AlignmentService:
 
     def _worker_loop(self) -> None:
         obs.install_tracer(self._tracer)
+        try:
+            if self.journal is not None:
+                self._recover()
+        finally:
+            # Even a failed replay must not wedge /readyz at 503 forever:
+            # the journal is an availability feature, never a jailer.
+            self._recovering = False
+            self._recovery_done.set()
         while True:
             item = self.gate.next_item()
             if item is _SENTINEL:
                 return
-            pending, payload, ctx = item
-            try:
-                # Re-enter the submitter's context so its fault plan and
-                # trace scope apply to the work done on its behalf.
-                response = ctx.run(self._process, pending, payload)
-            except BaseException as exc:  # noqa: BLE001 — the loop survives
-                # everything; the error re-raises in the caller's thread.
-                self.stats.failed += 1
-                obs.count("service.failed")
-                pending.fail(exc)
+            self._resolve(item)
+
+    def _resolve(self, item) -> None:
+        """Process one queued request and settle its handle, journal, and
+        idempotency caches.  Runs only on the worker thread."""
+        pending, payload, ctx, key = item
+        try:
+            # Re-enter the submitter's context so its fault plan and
+            # trace scope apply to the work done on its behalf.
+            response = ctx.run(self._process, pending, payload)
+        except BaseException as exc:  # noqa: BLE001 — the loop survives
+            # everything; the error re-raises in the caller's thread.
+            self.stats.failed += 1
+            obs.count("service.failed")
+            if key is not None and self.journal is not None:
+                self.journal.failed(key, exc)
+                with self._lock:
+                    self._inflight.pop(key, None)
+            pending.fail(exc)
+        else:
+            if key is not None and self.journal is not None:
+                if response.get("status") == "ok":
+                    # Terminal record first, cache second: a crash between
+                    # the two re-serves from the journal, never re-solves.
+                    self.journal.completed(key, response)
+                    with self._lock:
+                        self._dedup[key] = response
+                        self._inflight.pop(key, None)
+                else:
+                    # Quarantined responses are terminal (the evidence is
+                    # in the record) but never cached: a retry deserves a
+                    # fresh attempt, not replayed violations.
+                    self.journal.failed(
+                        key,
+                        "quarantined: "
+                        + "; ".join(response.get("violations", [])),
+                    )
+                    with self._lock:
+                        self._inflight.pop(key, None)
+            pending.resolve(response)
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal on startup: serve completed entries from the
+        record (after re-verification), re-enqueue orphaned admissions.
+
+        Runs on the worker thread before the drain loop, so the HTTP tier
+        can already answer ``/readyz`` with ``recovering: true`` while
+        replay makes progress.
+        """
+        assert self.journal is not None
+        start = time.monotonic()
+        with obs.span("service:recover") as sp:
+            replay = self.journal.load()
+            reverify_failed = 0
+            orphans = dict(replay.orphans)
+            for key, response in replay.completed.items():
+                payload = replay.payloads.get(key, {})
+                violations = self._verify_replayed(payload, response)
+                if violations is None or violations:
+                    # A replayed layout that cannot be re-proved against
+                    # the Held–Karp floor is never served from the
+                    # journal: fall back to re-solving it.
+                    reverify_failed += 1
+                    obs.count("service.replay_rejected")
+                    orphans[key] = payload
+                    continue
+                with self._lock:
+                    self._dedup[key] = {**response, "served_from": "journal"}
+                self.stats.recovered += 1
+                obs.count("service.recovered")
+            requeued = 0
+            for key, payload in orphans.items():
+                pending = PendingRequest(next(self._ids))
+                with self._lock:
+                    self._inflight[key] = pending
+                item = (pending, payload, contextvars.copy_context(), key)
+                # requeue() bypasses admission accounting (these requests
+                # were admitted in a previous life); a full queue falls
+                # back to processing the orphan inline, right now.
+                if not self.gate.requeue(item):
+                    self._resolve(item)
+                requeued += 1
+            replay_ms = round((time.monotonic() - start) * 1000.0, 3)
+            sp["replayed"] = len(replay.completed)
+            sp["requeued"] = requeued
+            sp["rejected"] = reverify_failed
+            self._recovery = {
+                "replayed_completed": self.stats.recovered,
+                "reverify_failed": reverify_failed,
+                "reenqueued": requeued,
+                "failed_terminal": len(replay.failed),
+                "corrupt_lines": len(replay.corrupt_lines),
+                "torn_tail": replay.torn_tail,
+                "replay_ms": replay_ms,
+            }
+
+    def _verify_replayed(self, payload, response) -> list[str] | None:
+        """Re-prove a journaled response before it may be served again.
+
+        Recomputes the request's program, profile, and Held–Karp floors
+        from scratch and runs the full response verifier over the
+        recorded layouts and costs — the journal is treated as untrusted
+        bytes, exactly like a solver's output.  Returns the violation
+        list (empty = serve), or ``None`` when the record cannot even be
+        reconstructed (missing payload, unparseable program).
+        """
+        if response.get("status") != "ok":
+            return None
+        try:
+            request = parse_request(
+                payload, default_deadline_ms=self.config.default_deadline_ms
+            )
+            module = compile_source(request.source)
+            program = module.program
+            validate_program(program)
+            model = get_model(request.model)
+            if request.profile_json is not None:
+                profile = ProgramProfile.from_json(request.profile_json)
+                profile.check_against(program)
             else:
-                pending.resolve(response)
+                _, profile = run_and_profile(module, list(request.inputs))
+            raw = response.get("layouts")
+            if not isinstance(raw, dict):
+                return None
+            layouts = ProgramLayout()
+            for name, order in raw.items():
+                layouts[str(name)] = Layout(tuple(int(b) for b in order))
+            floors = lower_bound_program(
+                program, profile, model=model, jobs=self.config.jobs
+            ).per_procedure
+            costs = {
+                str(name): float(cost)
+                for name, cost in (response.get("costs") or {}).items()
+            }
+            return verify_layouts(
+                program, layouts, profile, model, costs=costs, bounds=floors
+            )
+        except Exception:  # noqa: BLE001 — an unverifiable record is
+            # rejected (re-solved), never a startup crash.
+            return None
 
     def _process(self, pending: PendingRequest, payload) -> dict:
         obs.install_tracer(self._tracer)
@@ -497,6 +722,11 @@ class AlignmentService:
             "failed": self.stats.failed,
             "quarantined": self.stats.quarantined,
             "breaker_fallbacks": self.stats.breaker_fallbacks,
+            "deduped": self.stats.deduped,
+            "recovered": self.stats.recovered,
+            "journal": self.journal.snapshot() if self.journal else None,
+            "recovery": self._recovery,
+            "recovering": self._recovering,
             "drained": self._drained,
             "counters": {
                 name: value

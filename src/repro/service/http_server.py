@@ -3,8 +3,11 @@
 Endpoints::
 
     GET  /healthz    200 while the worker loop lives (green through drain)
-    GET  /readyz     200 while admitting; 503 once drain begins
-    GET  /counters   service snapshot (admission, breakers, counters)
+    GET  /readyz     200 while admitting; 503 during journal replay
+                     (``recovering: true``) and once drain begins; the
+                     body also reports ``durability`` ("on"/"off"/null)
+    GET  /counters   service snapshot (admission, breakers, journal,
+                     recovery, counters)
     POST /align      one alignment request (JSON body) → JSON response
 
 Status mapping — the service's error taxonomy *is* the status code::
@@ -86,10 +89,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             else:
                 self._send(500, {"status": "worker dead"})
         elif self.path == "/readyz":
-            if service.ready:
-                self._send(200, {"ready": True})
-            else:
-                self._send(503, {"ready": False})
+            journal = service.journal
+            body = {
+                "ready": service.ready,
+                "recovering": service.recovering,
+                # null = no journal configured; "off" = a disk fault
+                # flipped the journal into degraded-durability mode.
+                "durability": (
+                    None if journal is None
+                    else ("off" if journal.degraded else "on")
+                ),
+            }
+            self._send(200 if service.ready else 503, body)
         elif self.path == "/counters":
             self._send(200, service.snapshot())
         else:

@@ -1,0 +1,350 @@
+"""The write-ahead request journal: crash-safe serving's source of truth.
+
+The alignment service's premise — alignment is a deterministic function
+of (CFG, profile, method, seed) — makes exactly-once recovery cheap: two
+requests that normalize to the same inputs *are* the same request, so a
+content-addressed **idempotency key** both names a journal record and
+coalesces duplicates.  The journal is an fsynced append-only JSONL file
+the server writes at two points of the request lifecycle::
+
+    {"v": 1, "type": "admitted",  "key": K, "sha": ..., "payload": {...}}
+    {"v": 1, "type": "completed", "key": K, "sha": ..., "response": {...}}
+    {"v": 1, "type": "failed",    "key": K, "sha": ..., "error": "...",
+     "error_type": "..."}
+
+``admitted`` is appended *before* the request enters the worker queue;
+``completed``/``failed`` when the worker resolves it.  After a SIGKILL or
+power loss, :meth:`RequestJournal.load` replays the file: a key whose
+last record is ``completed`` is served straight from the journal (after
+re-verification — see :mod:`repro.service.core`); an ``admitted`` key
+with no terminal record is an **orphan** the restarted server re-enqueues;
+a ``failed`` key is left to the client's retry.
+
+Durability discipline (the same one the ArtifactStore and experiment
+checkpoints already prove):
+
+* every append is flushed and ``fsync``\\ ed before the admission/response
+  proceeds, so an acknowledged record survives the process;
+* every record carries a sha256 of its payload, so a torn final record
+  (the process died mid-append) fails its checksum and is *skipped*, not
+  fatal, and the next append seals the stump with a newline first;
+* an append that raises (disk full, injected ``journal_io_error``) flips
+  the journal into **degraded-durability mode**: serving continues, the
+  ``service.journal_degraded`` counter and ``/readyz``'s ``durability:
+  off`` record the loss of crash-safety, and no further writes are
+  attempted until restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import threading
+from dataclasses import dataclass, field
+
+from repro import faults, obs
+from repro.errors import JournalError
+
+JOURNAL_VERSION = 1
+
+#: Record types a journal line may carry, in lifecycle order.
+RECORD_TYPES = ("admitted", "completed", "failed")
+
+
+# -- idempotency keys ---------------------------------------------------------
+
+
+def _digest(payload: object) -> str:
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def request_key(payload: object) -> str:
+    """Content-addressed idempotency key for one request payload.
+
+    Two payloads that normalize to the same alignment inputs — compiled
+    CFGs, profile (explicit JSON or the inputs that generate one), method
+    alias, model, effort, seed, bound flag, deadline — map to the same
+    key, so a client retry or a duplicate submission coalesces onto one
+    unit of work and one journal history.
+
+    A payload that cannot be normalized (unparseable source, unknown
+    method — anything the worker would reject with a typed 400) falls
+    back to a digest of the canonical payload itself: still stable for a
+    byte-identical retry, never an exception at admission time.
+    """
+    try:
+        from repro.lang import compile_source
+        from repro.pipeline.artifacts import (
+            fingerprint_cfg,
+            fingerprint_profile,
+        )
+        from repro.pipeline.registry import normalize_method
+        from repro.profiles.edge_profile import ProgramProfile
+
+        if not isinstance(payload, dict):
+            raise ValueError("payload is not an object")
+        module = compile_source(str(payload["source"]))
+        cfgs = [
+            (proc.name, fingerprint_cfg(proc.cfg))
+            for proc in module.program
+        ]
+        profile_json = payload.get("profile")
+        if profile_json is not None:
+            profile = ProgramProfile.from_json(str(profile_json))
+            profile_fp = sorted(
+                (name, fingerprint_profile(edge))
+                for name, edge in profile.procedures.items()
+            )
+        else:
+            # No explicit profile: it is produced by running the program
+            # on ``inputs``, a deterministic function of (CFG, inputs).
+            profile_fp = ["inputs", [int(x) for x in payload.get("inputs", [])]]
+        deadline = payload.get("deadline_ms")
+        return _digest({
+            "cfgs": cfgs,
+            "profile": profile_fp,
+            "method": normalize_method(str(payload.get("method", "tsp"))),
+            "model": str(payload.get("model", "alpha21164")),
+            "effort": str(payload.get("effort", "default")),
+            "seed": int(payload.get("seed", 0)),
+            "bound": bool(payload.get("bound", False)),
+            "deadline_ms": None if deadline is None else float(deadline),
+        })
+    except Exception:  # noqa: BLE001 — malformed payloads still get keys
+        return _digest({"raw": payload})
+
+
+# -- replay results -----------------------------------------------------------
+
+
+@dataclass
+class JournalReplay:
+    """What one :meth:`RequestJournal.load` pass recovered.
+
+    ``completed`` maps keys to their recorded responses; ``failed`` to
+    their recorded ``(error_type, error)``; ``orphans`` to the payloads
+    of admitted requests with no terminal record, in admission order —
+    the work a crash interrupted.  ``payloads`` keeps every admitted
+    payload (terminal or not) so completed entries can be re-verified
+    against freshly compiled inputs.
+    """
+
+    completed: dict[str, dict] = field(default_factory=dict)
+    failed: dict[str, tuple[str, str]] = field(default_factory=dict)
+    orphans: dict[str, dict] = field(default_factory=dict)
+    payloads: dict[str, dict] = field(default_factory=dict)
+    #: Total well-formed records read, by type.
+    records: dict[str, int] = field(default_factory=dict)
+    #: 1-based line numbers that failed to parse or checksum.
+    corrupt_lines: list[int] = field(default_factory=list)
+    #: The final line was corrupt — the torn-tail signature of a crash
+    #: mid-append (any other corrupt line is bit rot or tampering).
+    torn_tail: bool = False
+
+
+@dataclass
+class JournalStats:
+    """Mutable accounting for one :class:`RequestJournal`."""
+
+    appended: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Appends dropped because the journal is in degraded mode.
+    dropped: int = 0
+    io_errors: int = 0
+
+
+# -- the journal --------------------------------------------------------------
+
+
+def _record_sha(record: dict) -> str:
+    body = {k: v for k, v in record.items() if k != "sha"}
+    return _digest(body)
+
+
+class RequestJournal:
+    """Append-only, fsynced, torn-tail-tolerant request journal."""
+
+    def __init__(self, path: "str | os.PathLike[str]"):
+        self.path = pathlib.Path(path).expanduser()
+        self.stats = JournalStats()
+        #: Degraded-durability mode: an append failed, serving continues
+        #: without crash-safety until restart.  Sticky by design — a disk
+        #: that failed once cannot be trusted to have kept earlier
+        #: records reachable, so flapping back to "durable" would lie.
+        self.degraded = False
+        self._lock = threading.Lock()
+        # A crash mid-append leaves a final line without its newline; the
+        # next append must seal the stump so it does not corrupt itself.
+        self._ends_with_newline = True
+        if self.path.exists():
+            try:
+                with self.path.open("rb") as handle:
+                    handle.seek(0, 2)
+                    if handle.tell() > 0:
+                        handle.seek(-1, 2)
+                        self._ends_with_newline = handle.read(1) == b"\n"
+            except OSError:
+                pass  # unreadable tail: the sealing newline is harmless
+
+    # - append side -
+
+    def admitted(self, key: str, payload: dict) -> bool:
+        """Record one admission (before the request enters the queue)."""
+        ok = self._append({
+            "v": JOURNAL_VERSION, "type": "admitted",
+            "key": key, "payload": payload,
+        })
+        if ok:
+            self.stats.admitted += 1
+        return ok
+
+    def completed(self, key: str, response: dict) -> bool:
+        """Record one served response (the exactly-once side of recovery)."""
+        ok = self._append({
+            "v": JOURNAL_VERSION, "type": "completed",
+            "key": key, "response": response,
+        })
+        if ok:
+            self.stats.completed += 1
+        return ok
+
+    def failed(self, key: str, error: BaseException | str) -> bool:
+        """Record one terminal failure, so recovery does not re-enqueue it
+        (the client's retry policy owns failed requests)."""
+        ok = self._append({
+            "v": JOURNAL_VERSION, "type": "failed",
+            "key": key, "error": str(error),
+            "error_type": type(error).__name__
+            if isinstance(error, BaseException) else "error",
+        })
+        if ok:
+            self.stats.failed += 1
+        return ok
+
+    def _append(self, record: dict) -> bool:
+        """Serialize, checksum, append, flush, fsync — or degrade.
+
+        Returns whether the record was durably written.  Failures are
+        absorbed: the journal flips to degraded mode, counts the fault,
+        and the service keeps serving (durability off beats down).
+        """
+        with self._lock:
+            if self.degraded:
+                self.stats.dropped += 1
+                return False
+            record = dict(record)
+            record["sha"] = _record_sha(record)
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            # The torn-tail fault truncates what lands on disk, exactly as
+            # a SIGKILL between write() and the trailing newline would.
+            line = faults.corrupt_journal_line(line)
+            try:
+                faults.check_journal_io()
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with self.path.open("a") as handle:
+                    if not self._ends_with_newline:
+                        handle.write("\n")
+                    handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except (JournalError, OSError):
+                self.stats.io_errors += 1
+                self.degraded = True
+                obs.count("service.journal_degraded")
+                return False
+            self._ends_with_newline = True
+            self.stats.appended += 1
+            return True
+
+    # - replay side -
+
+    def load(self) -> JournalReplay:
+        """Replay the journal into a :class:`JournalReplay`.
+
+        Later records win per key (an ``admitted`` followed by
+        ``completed`` is completed; a key re-admitted after a failure is
+        an orphan again).  Corrupt lines are skipped and counted; only a
+        corrupt *final* line reads as a torn tail.  A missing or
+        unreadable journal replays empty — recovery from nothing is a
+        cold start, not an error.
+        """
+        replay = JournalReplay()
+        try:
+            lines = self.path.read_text().splitlines()
+        except FileNotFoundError:
+            return replay
+        except OSError:
+            self.stats.io_errors += 1
+            self.degraded = True
+            obs.count("service.journal_degraded")
+            return replay
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("journal record is not an object")
+                if record.get("v") != JOURNAL_VERSION:
+                    raise ValueError(
+                        f"unsupported journal version {record.get('v')!r}"
+                    )
+                kind = record.get("type")
+                if kind not in RECORD_TYPES:
+                    raise ValueError(f"unknown record type {kind!r}")
+                key = record["key"]
+                if not isinstance(key, str) or not key:
+                    raise ValueError("record has no idempotency key")
+                if _record_sha(record) != record.get("sha"):
+                    raise ValueError("checksum mismatch")
+            except (ValueError, KeyError, TypeError):
+                replay.corrupt_lines.append(number)
+                continue
+            replay.records[kind] = replay.records.get(kind, 0) + 1
+            if kind == "admitted":
+                payload = record.get("payload")
+                payload = payload if isinstance(payload, dict) else {}
+                replay.payloads[key] = payload
+                replay.orphans[key] = payload
+                replay.completed.pop(key, None)
+                replay.failed.pop(key, None)
+            elif kind == "completed":
+                response = record.get("response")
+                replay.completed[key] = (
+                    response if isinstance(response, dict) else {}
+                )
+                replay.orphans.pop(key, None)
+                replay.failed.pop(key, None)
+            else:  # failed
+                replay.failed[key] = (
+                    str(record.get("error_type", "error")),
+                    str(record.get("error", "")),
+                )
+                replay.orphans.pop(key, None)
+                replay.completed.pop(key, None)
+        replay.torn_tail = bool(
+            replay.corrupt_lines and replay.corrupt_lines[-1] == len(lines)
+        )
+        return replay
+
+    # - introspection -
+
+    def snapshot(self) -> dict:
+        """JSON-friendly journal health for ``/counters``."""
+        return {
+            "path": str(self.path),
+            "degraded": self.degraded,
+            "appended": self.stats.appended,
+            "admitted": self.stats.admitted,
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+            "dropped": self.stats.dropped,
+            "io_errors": self.stats.io_errors,
+        }

@@ -138,3 +138,57 @@ def test_instance_for_shares_matrices_across_clients():
     assert stats.hits >= 1
     reset_artifact_cache()
     assert artifact_cache().stats("instance").lookups == 0
+
+
+# -- bound keying -------------------------------------------------------------
+
+
+def test_bound_key_ignores_the_upper_bound_hint():
+    """A certified floor is valid for (cfg, profile, model) no matter which
+    warm-start hint tightened the subgradient schedule, so the hint must
+    not split cache entries: an align-then-bound run (hint = tour cost)
+    has to hit what a bound-only run (hint = None) wrote, and vice versa.
+    Keying on the hint pinned the bound stage's cross-run hit rate at 0."""
+    from repro.pipeline.stages import bound_key
+    from repro.pipeline.task import BoundTask
+
+    proc = make_proc()
+    profile = make_profile(proc)
+
+    def task(**overrides):
+        kwargs = dict(
+            name="p", cfg=proc.cfg, profile=profile, model=ALPHA_21164
+        )
+        kwargs.update(overrides)
+        return BoundTask(**kwargs)
+
+    base = bound_key(task(upper_bound=None))
+    assert bound_key(task(upper_bound=123.5)) == base
+    assert bound_key(task(upper_bound=99.0)) == base
+    # Everything that *does* change the certified artifact still splits.
+    assert bound_key(task(iterations=3)) != base
+    assert bound_key(task(model=ALPHA_21064)) != base
+    other = make_proc(seed=9)
+    assert bound_key(task(cfg=other.cfg)) != base
+
+
+def test_bound_stage_hits_across_hinted_and_unhinted_runs():
+    from repro.pipeline.stages import run_bound_tasks
+    from repro.pipeline.task import BoundTask
+
+    reset_artifact_cache()
+    proc = make_proc()
+    profile = make_profile(proc)
+    hinted = BoundTask(
+        name="p", cfg=proc.cfg, profile=profile, model=ALPHA_21164,
+        upper_bound=500.0,
+    )
+    unhinted = BoundTask(
+        name="p", cfg=proc.cfg, profile=profile, model=ALPHA_21164,
+    )
+    first = run_bound_tasks([hinted], jobs=1)
+    second = run_bound_tasks([unhinted], jobs=1)
+    assert second[0].from_cache
+    assert second[0].bound == first[0].bound
+    assert artifact_cache().stats("bound").hits == 1
+    reset_artifact_cache()

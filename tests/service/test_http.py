@@ -51,7 +51,11 @@ class TestEndpoints:
     def test_healthz_and_readyz_green(self, http_service):
         base, _, _ = http_service
         assert get_json(base + "/healthz") == (200, {"status": "ok"})
-        assert get_json(base + "/readyz") == (200, {"ready": True})
+        status, body = get_json(base + "/readyz")
+        assert status == 200
+        assert body["ready"] is True
+        assert body["recovering"] is False
+        assert body["durability"] is None  # no journal configured
 
     def test_counters_reports_snapshot(self, http_service):
         base, _, _ = http_service
@@ -155,6 +159,60 @@ class TestRequestCLI:
         ])
         assert code == 1
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestJournalOverHTTP:
+    @pytest.fixture
+    def journaled_http_service(self, tmp_path):
+        """Like ``http_service`` but with a write-ahead journal armed."""
+        service = AlignmentService(ServiceConfig(
+            capacity=4, journal_path=str(tmp_path / "journal.jsonl")
+        ))
+        server = AlignmentHTTPServer(("127.0.0.1", 0), service)
+        service.start()
+        accept = threading.Thread(target=server.serve_forever, daemon=True)
+        accept.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}", service, server
+        service.begin_drain()
+        server.shutdown()
+        assert service.drain(timeout=30)
+        server.server_close()
+        accept.join(10)
+
+    def test_readyz_reports_durability_on(self, journaled_http_service):
+        base, _, _ = journaled_http_service
+        from repro.service.client import wait_ready
+
+        assert wait_ready(base)
+        status, body = get_json(base + "/readyz")
+        assert status == 200
+        assert body == {
+            "ready": True, "recovering": False, "durability": "on"
+        }
+
+    def test_counters_exposes_journal_health(self, journaled_http_service):
+        base, _, _ = journaled_http_service
+        assert request_alignment(base, make_payload(), timeout=120)[0] == 200
+        status, body = get_json(base + "/counters")
+        assert status == 200
+        journal = body["journal"]
+        assert journal["degraded"] is False
+        assert journal["admitted"] == 1
+        assert journal["completed"] == 1
+        assert body["recovery"] is not None  # replay ran (empty journal)
+        assert body["deduped"] == 0
+
+    def test_duplicate_request_dedups_over_http(self, journaled_http_service):
+        base, service, _ = journaled_http_service
+        first = request_alignment(base, make_payload(), timeout=120)
+        second = request_alignment(base, make_payload(), timeout=120)
+        assert first[0] == second[0] == 200
+        assert first[1]["layouts"] == second[1]["layouts"]
+        assert service.stats.deduped == 1
+        # The journal holds one admitted/completed pair, not two.
+        assert service.journal.stats.admitted == 1
+        assert service.journal.stats.completed == 1
 
 
 class TestDrainOverHTTP:
