@@ -85,8 +85,74 @@ def bench_tier1() -> dict:
     }
 
 
+def bench_solver_microbench(
+    n: int = 100, kicks: int = 60, seed: int = 7
+) -> dict:
+    """Raw kernel throughput on a seeded instance, per mode.
+
+    Times the descend/kick loop directly (no pipeline, no caches):
+    ``moves_per_second`` is accepted improving moves (3-opt + or-opt) and
+    ``descents_per_second`` counts drained wake queues — the two rates the
+    figure2 wall-clock decomposes into, so a pipeline regression can be
+    attributed to the solver or to everything around it.
+    """
+    import random
+
+    import numpy as np
+
+    from repro.tsp.kernel import KernelStats, SolverKernel
+
+    out: dict = {"n": n, "kicks": kicks, "seed": seed, "modes": {}}
+    for mode in ("guarded", "turbo"):
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(1.0, 100.0, size=(n, n))
+        np.fill_diagonal(matrix, 0.0)
+        or_opt = mode == "turbo"
+        kick_rng = random.Random(seed)
+        kernel = SolverKernel(matrix, neighbors=12)
+        state = kernel.state_from(list(range(n)))
+        stats = KernelStats()
+        started = time.perf_counter()
+        kernel.descend(state, stats=stats, or_opt=or_opt)
+        for _ in range(kicks):
+            kernel.kick(state, kick_rng)
+            kernel.descend(state, stats=stats, or_opt=or_opt)
+        elapsed = time.perf_counter() - started
+        descents = kicks + 1
+        moves = stats.moves + stats.or_opt_moves
+        out["modes"][mode] = {
+            "wall_seconds": round(elapsed, 4),
+            "moves": moves,
+            "or_opt_moves": stats.or_opt_moves,
+            "scans": stats.scans,
+            "final_cost": round(state.cost, 3),
+            "moves_per_second": round(moves / elapsed, 1),
+            "descents_per_second": round(descents / elapsed, 1),
+        }
+    return out
+
+
 def bench_figure2(jobs: int) -> dict:
     """Time the fixed Figure-2 sweep at one worker count, caches cold."""
+    return bench_figure2_sweep([jobs])[0]
+
+
+def bench_figure2_sweep(jobs_list: list[int], passes: int = 3) -> list[dict]:
+    """Time the fixed Figure-2 sweep at each worker count, caches cold.
+
+    One untimed sweep runs first per worker count: it warms the
+    interpreter's code paths and (for ``jobs > 1``) the worker pool, so
+    the timed passes measure steady-state pipeline throughput — the same
+    reason profiling runs are warmed before any timing.  Each worker
+    count is then timed ``passes`` times (caches reset before each pass,
+    so the alignment work is fully recomputed every time) and the
+    fastest pass is reported: single-pass wall-clock on a shared box
+    jitters by more than the worker-count deltas being tracked.  The
+    timed passes are *interleaved* round-robin across worker counts —
+    running all of jobs=1 before any of jobs=4 would let slow drift over
+    the process lifetime (allocator growth, box contention) bias
+    whichever count runs last.
+    """
     from repro import obs
     from repro.experiments.runner import (
         DEFAULT_METHODS,
@@ -97,68 +163,92 @@ def bench_figure2(jobs: int) -> dict:
     from repro.pipeline.executor import shutdown_pool
     from repro.workloads.suite import all_cases, compile_benchmark
 
-    reset_artifact_cache()
-    case_lower_bound.cache_clear()
-    obs.tracer().reset_counters()  # scope the snapshot to this sweep
+    for jobs in jobs_list:  # untimed warmup sweep per worker count
+        for benchmark, dataset in all_cases():
+            run_case(benchmark, dataset, jobs=jobs)
 
-    procedures = 0
-    retried = 0
-    quarantined = 0
-    started = time.perf_counter()
-    for benchmark, dataset in all_cases():
-        case = run_case(benchmark, dataset, jobs=jobs)
-        retried += case.retried
-        quarantined += case.quarantined
-        procedures += len(
-            list(compile_benchmark(benchmark).program)
-        ) * len(DEFAULT_METHODS)
-    elapsed = time.perf_counter() - started
+    best: dict[int, tuple[float, int, int, int]] = {}
+    finals: dict[int, dict] = {}
+    for round_no in range(passes):
+        for jobs in jobs_list:
+            reset_artifact_cache()
+            case_lower_bound.cache_clear()
+            obs.tracer().reset_counters()  # scope the snapshot to this pass
+            pass_procedures = pass_retried = pass_quarantined = 0
+            started = time.perf_counter()
+            for benchmark, dataset in all_cases():
+                case = run_case(benchmark, dataset, jobs=jobs)
+                pass_retried += case.retried
+                pass_quarantined += case.quarantined
+                pass_procedures += len(
+                    list(compile_benchmark(benchmark).program)
+                ) * len(DEFAULT_METHODS)
+            pass_elapsed = time.perf_counter() - started
+            if jobs not in best or pass_elapsed < best[jobs][0]:
+                best[jobs] = (
+                    pass_elapsed, pass_procedures,
+                    pass_retried, pass_quarantined,
+                )
+            if round_no != passes - 1:
+                continue
 
-    # Bound-keying check (untimed): re-derive every case's Held–Karp
-    # bound under a different base seed.  The re-run's TSP tours — the
-    # upper-bound *hints* — differ, but the bound artifact's identity
-    # (cfg, profile, model, iterations, budget) does not, so the cache
-    # must serve every request.  The hint used to be part of the key,
-    # which made repeated runs miss 100% of the time.
-    before = artifact_cache().stats_by_kind().get("bound")
-    before_hits = before.hits if before else 0
-    before_misses = before.misses if before else 0
-    case_lower_bound.cache_clear()
-    for benchmark, dataset in all_cases():
-        case_lower_bound(benchmark, dataset, seed=1, jobs=jobs)
-    after = artifact_cache().stats_by_kind()["bound"]
-    reseed_hits = after.hits - before_hits
-    reseed_misses = after.misses - before_misses
-    shutdown_pool()
+            # Bound-keying check (untimed, after this worker count's
+            # final pass while its cache is still populated): re-derive
+            # every case's Held–Karp bound under a different base seed.
+            # The re-run's TSP tours — the upper-bound *hints* — differ,
+            # but the bound artifact's identity (cfg, profile, model,
+            # iterations, budget) does not, so the cache must serve
+            # every request.  The hint used to be part of the key, which
+            # made repeated runs miss 100% of the time.
+            before = artifact_cache().stats_by_kind().get("bound")
+            before_hits = before.hits if before else 0
+            before_misses = before.misses if before else 0
+            case_lower_bound.cache_clear()
+            for benchmark, dataset in all_cases():
+                case_lower_bound(benchmark, dataset, seed=1, jobs=jobs)
+            after = artifact_cache().stats_by_kind()["bound"]
+            reseed_hits = after.hits - before_hits
+            reseed_misses = after.misses - before_misses
+            shutdown_pool()
 
-    stats = {
-        kind: {
-            "hits": s.hits,
-            "misses": s.misses,
-            "hit_rate": round(s.hit_rate, 4),
-        }
-        for kind, s in sorted(artifact_cache().stats_by_kind().items())
-    }
-    return {
-        "jobs": jobs,
-        "wall_seconds": round(elapsed, 3),
-        "procedures_aligned": procedures,
-        "procedures_per_second": round(procedures / elapsed, 2),
-        "retried": retried,
-        "quarantined": quarantined,
-        "cache": stats,
-        "bound_reseed": {
-            "hits": reseed_hits,
-            "misses": reseed_misses,
-            "hit_rate": round(
-                reseed_hits / max(1, reseed_hits + reseed_misses), 4
-            ),
-        },
-        # Stable counters are worker-count invariant; per-process ones
-        # (cache./store.) are honest observations of this sweep only.
-        "counters": obs.counters(),
-        "stable_counters": sorted(obs.counters(stable_only=True)),
-    }
+            finals[jobs] = {
+                "cache": {
+                    kind: {
+                        "hits": s.hits,
+                        "misses": s.misses,
+                        "hit_rate": round(s.hit_rate, 4),
+                    }
+                    for kind, s in sorted(
+                        artifact_cache().stats_by_kind().items()
+                    )
+                },
+                "bound_reseed": {
+                    "hits": reseed_hits,
+                    "misses": reseed_misses,
+                    "hit_rate": round(
+                        reseed_hits / max(1, reseed_hits + reseed_misses), 4
+                    ),
+                },
+                # Stable counters are worker-count invariant;
+                # per-process ones (cache./store.) are honest
+                # observations of this sweep only.
+                "counters": obs.counters(),
+                "stable_counters": sorted(obs.counters(stable_only=True)),
+            }
+
+    entries = []
+    for jobs in jobs_list:
+        elapsed, procedures, retried, quarantined = best[jobs]
+        entries.append({
+            "jobs": jobs,
+            "wall_seconds": round(elapsed, 3),
+            "procedures_aligned": procedures,
+            "procedures_per_second": round(procedures / elapsed, 2),
+            "retried": retried,
+            "quarantined": quarantined,
+            **finals[jobs],
+        })
+    return entries
 
 
 def percentile(latencies: list[float], q: float) -> float:
@@ -309,6 +399,12 @@ def history_entry(report: dict) -> dict:
             str(entry.get("jobs")): entry.get("wall_seconds")
             for entry in figure2
         },
+        # The headline rate the solver-kernel work moves: alignments
+        # delivered per second of sweep wall-clock, per worker count.
+        "procedures_per_second": {
+            str(entry.get("jobs")): entry.get("procedures_per_second")
+            for entry in figure2
+        },
         "retried": sum(int(entry.get("retried", 0)) for entry in figure2),
         "quarantined": sum(
             int(entry.get("quarantined", 0)) for entry in figure2
@@ -320,6 +416,12 @@ def history_entry(report: dict) -> dict:
             for entry in figure2
         ),
         "tier1_seconds": (report.get("tier1") or {}).get("wall_seconds"),
+        "solver_moves_per_second": {
+            mode: entry.get("moves_per_second")
+            for mode, entry in (
+                (report.get("solver") or {}).get("modes") or {}
+            ).items()
+        },
     }
 
 
@@ -364,16 +466,24 @@ def main(argv: list[str] | None = None) -> int:
         "cpus": os.cpu_count(),
     }
 
+    print("solver microbench...")
+    report["solver"] = bench_solver_microbench()
+    for mode, entry in report["solver"]["modes"].items():
+        print(
+            f"  {mode}: {entry['moves_per_second']} moves/s, "
+            f"{entry['descents_per_second']} descents/s "
+            f"({entry['moves']} moves in {entry['wall_seconds']}s)"
+        )
+
     print("warming profiling runs (excluded from timings)...")
     warm_profiles()
 
-    report["figure2"] = []
-    for jobs in args.jobs:
-        print(f"figure-2 sweep, jobs={jobs}...")
-        entry = bench_figure2(jobs)
-        report["figure2"].append(entry)
+    jobs_label = ", ".join(str(j) for j in args.jobs)
+    print(f"figure-2 sweep, jobs={jobs_label} (passes interleaved)...")
+    report["figure2"] = bench_figure2_sweep(list(args.jobs))
+    for entry in report["figure2"]:
         print(
-            f"  {entry['wall_seconds']}s, "
+            f"  jobs={entry['jobs']}: {entry['wall_seconds']}s, "
             f"{entry['procedures_per_second']} procs/s, instance hit rate "
             f"{entry['cache'].get('instance', {}).get('hit_rate', 0.0)}, "
             f"bound reseed hit rate "

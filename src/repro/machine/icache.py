@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 WORD_BYTES = 4
 
 
@@ -71,6 +73,77 @@ class DirectMappedICache:
                 misses += 1
         self.stats.accesses += last_line - first_line + 1
         self.stats.misses += misses
+        return misses
+
+    def replay(self, addresses: np.ndarray, words: np.ndarray) -> int:
+        """Batch-:meth:`fetch` a whole address stream, vectorized.
+
+        Exactly equivalent to calling ``fetch(a, w)`` per event (same
+        stats, same final tags — pinned by a differential test), but
+        computed with array ops:
+
+        * the per-event line ranges are expanded into one flat line
+          sequence with repeat/cumsum arithmetic;
+        * consecutive duplicate lines are compressed away (a re-access of
+          the line just fetched is a guaranteed hit and cannot change any
+          tag, so this preserves exactness while shrinking the sequence —
+          fall-through fetch streams are mostly such runs);
+        * a stable argsort groups the sequence by cache slot, within which
+          an access misses iff its line differs from the *previous* access
+          to the same slot (the group's first access compares against the
+          tag the cache held on entry).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        words = np.asarray(words, dtype=np.int64)
+        live = words > 0
+        if not live.all():
+            addresses, words = addresses[live], words[live]
+        if addresses.size == 0:
+            return 0
+        # Line sizes are powers of two, so address//line_bytes is a shift.
+        shift = self.line_bytes.bit_length() - 1
+        first = addresses >> shift
+        count = ((addresses + words * WORD_BYTES - 1) >> shift) - first + 1
+        total = int(count.sum())
+        self.stats.accesses += total
+        starts = np.cumsum(count) - count
+        # One repeat instead of two: repeat(first) - repeat(starts) is
+        # repeat(first - starts); the ramp is added in place.
+        lines = np.repeat(first - starts, count)
+        lines += np.arange(total, dtype=np.int64)
+        if lines.size > 1:
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+            lines = lines[keep]
+        # Slots fit in uint16 (cache geometry is power-of-two, lines are
+        # few), where numpy's stable argsort is an O(n) radix sort instead
+        # of a mergesort over int64 keys.
+        slots = (lines & (self.num_lines - 1)).astype(np.uint16)
+        order = np.argsort(slots, kind="stable")
+        slot_seq = slots[order]
+        line_seq = lines[order]
+        tags = np.array(
+            [-1 if t is None else t for t in self._tags], dtype=np.int64
+        )
+        # There are at most num_lines slot groups, so group boundaries are
+        # manipulated as short index arrays, not full-length boolean masks.
+        diff = line_seq[1:] != line_seq[:-1]
+        starts_idx = np.flatnonzero(slot_seq[1:] != slot_seq[:-1]) + 1
+        # Count misses without materializing the "previous access" array:
+        # start from the adjacent-difference count, then swap each group's
+        # first comparison (meaningless across the boundary) for the real
+        # one against the tag the cache held on entry.
+        misses = int(np.count_nonzero(diff))
+        misses -= int(np.count_nonzero(diff[starts_idx - 1]))
+        misses += int(
+            np.count_nonzero(line_seq[starts_idx] != tags[slot_seq[starts_idx]])
+        )
+        misses += int(line_seq[0] != tags[slot_seq[0]])
+        self.stats.misses += misses
+        ends_idx = np.concatenate((starts_idx - 1, [slot_seq.size - 1]))
+        tags[slot_seq[ends_idx]] = line_seq[ends_idx]
+        self._tags = [None if t < 0 else int(t) for t in tags.tolist()]
         return misses
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.cfg.graph import Program
 from repro.core.costmodel import successor_counts, terminator_cost
 from repro.core.evaluate import train_predictors
@@ -36,6 +38,7 @@ from repro.machine.predictors import StaticPredictor
 from typing import Iterable
 
 from repro.profiles.edge_profile import ProgramProfile
+from repro.profiles.trace import CompactTrace
 
 
 @dataclass
@@ -129,20 +132,106 @@ def simulate_timing(
     # Instruction-cache replay over the flat fetch stream.  Fixup jumps are
     # fetched inline: when block b1 is followed (same procedure) by its
     # fixup's target, the fall-through ran through the fixup block first.
-    last: tuple[str, int] | None = None
-    for proc_name, block_id in trace:
-        physical = materialized[proc_name]
-        if last is not None and last[0] == proc_name:
-            previous = physical.block_for(last[1])
-            if previous.fixup_target == block_id:
-                fixup = physical.fixup_after(last[1])
-                if fixup is not None:
-                    icache.fetch(fixup.address, fixup.words)
-        physical_block = physical.block_for(block_id)
-        icache.fetch(physical_block.address, physical_block.words)
-        last = (proc_name, block_id)
+    stream = None
+    if isinstance(trace, CompactTrace) and type(icache) is DirectMappedICache:
+        stream = _fetch_stream(materialized, trace)
+    if stream is not None:
+        icache.replay(*stream)
+    else:
+        last: tuple[str, int] | None = None
+        for proc_name, block_id in trace:
+            physical = materialized[proc_name]
+            if last is not None and last[0] == proc_name:
+                previous = physical.block_for(last[1])
+                if previous.fixup_target == block_id:
+                    fixup = physical.fixup_after(last[1])
+                    if fixup is not None:
+                        icache.fetch(fixup.address, fixup.words)
+            physical_block = physical.block_for(block_id)
+            icache.fetch(physical_block.address, physical_block.words)
+            last = (proc_name, block_id)
 
     breakdown.icache_accesses = icache.stats.accesses
     breakdown.icache_misses = icache.stats.misses
     breakdown.icache_stall_cycles = icache.stats.misses * model.icache_miss_cycles
     return breakdown
+
+
+def _fetch_stream(
+    materialized: MaterializedProgram, trace: CompactTrace
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """The trace's fetch stream as (addresses, words) arrays.
+
+    Builds flat per-(procedure, block) lookup tables — address, words, and
+    the inline-fixup triple — then resolves every trace event with one
+    gather, splicing fixup fetches in front of the event that revealed
+    them (same semantics as the scalar loop in :func:`simulate_timing`).
+    Returns ``None`` when a trace event falls outside the tables (the
+    scalar path then reports the usual ``KeyError``).
+    """
+    if trace.block_ids.size == 0:
+        empty = trace.block_ids.astype(np.int64)
+        return empty, empty
+    procs = [materialized[name] for name in trace.proc_names]
+    sizes = np.array(
+        [max(p._by_source, default=-1) + 1 for p in procs], dtype=np.int64
+    )
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    total = int(offsets[-1])
+    # The event -> table-slot mapping depends only on the trace and the
+    # per-procedure block-id ranges — not on the layout — so it is shared
+    # by every method timed over the same trace.  Memoize it on the trace.
+    cache_key = sizes.tobytes()
+    cached = getattr(trace, "_fetch_gid_cache", None)
+    if cached is not None and cached[0] == cache_key:
+        _, block_ids, gids, same_proc = cached
+    else:
+        proc_indices = trace.proc_indices.astype(np.int64)
+        block_ids = trace.block_ids.astype(np.int64)
+        if not np.all(block_ids < sizes[proc_indices]):
+            return None
+        gids = offsets[proc_indices] + block_ids
+        same_proc = proc_indices[1:] == proc_indices[:-1]
+        trace._fetch_gid_cache = (cache_key, block_ids, gids, same_proc)
+    table_addr = np.zeros(total, dtype=np.int64)
+    table_words = np.zeros(total, dtype=np.int64)
+    table_fix_target = np.full(total, -1, dtype=np.int64)
+    table_fix_addr = np.zeros(total, dtype=np.int64)
+    table_fix_words = np.zeros(total, dtype=np.int64)
+    known = np.zeros(total, dtype=bool)
+    for index, proc in enumerate(procs):
+        base = int(offsets[index])
+        for block_id, block in proc._by_source.items():
+            at = base + block_id
+            known[at] = True
+            table_addr[at] = block.address
+            table_words[at] = block.words
+            if block.fixup_target is not None:
+                fixup = proc.fixup_after(block_id)
+                if fixup is not None:
+                    table_fix_target[at] = block.fixup_target
+                    table_fix_addr[at] = fixup.address
+                    table_fix_words[at] = fixup.words
+    # Dense block numbering (the common case) makes the per-event known
+    # check a free table-level reduction instead of a million-row gather.
+    if not known.all() and not known[gids].all():
+        return None
+    # A fixup is fetched between events i and i+1 when both are in the same
+    # procedure and event i's fixup jumps to event i+1's block.
+    prev_gids = gids[:-1]
+    inline = same_proc & (table_fix_target[prev_gids] == block_ids[1:])
+    fixup_count = int(np.count_nonzero(inline))
+    if not fixup_count:
+        return table_addr[gids], table_words[gids]
+    n = gids.size
+    event_pos = np.arange(n, dtype=np.int64)
+    event_pos[1:] += np.cumsum(inline)
+    addresses = np.empty(n + fixup_count, dtype=np.int64)
+    words = np.empty(n + fixup_count, dtype=np.int64)
+    addresses[event_pos] = table_addr[gids]
+    words[event_pos] = table_words[gids]
+    fix_pos = event_pos[1:][inline] - 1
+    fix_gids = prev_gids[inline]
+    addresses[fix_pos] = table_fix_addr[fix_gids]
+    words[fix_pos] = table_fix_words[fix_gids]
+    return addresses, words

@@ -10,6 +10,15 @@ treats individual failures as routine:
   :func:`repro.pipeline.task.derive_seed`), so output is byte-identical for
   any worker count (``jobs=1`` vs ``jobs=4`` produce the same layouts,
   reports, checkpoints, and tables).
+* **Chunking** — alignment tasks are small (most procedures solve in
+  milliseconds), so the supervisor batches several payloads into one pool
+  task (:func:`_chunk_size` — deterministic in task count and worker
+  count), amortizing submit/pickle/IPC overhead.  Inside a chunk every
+  payload still runs under its own fault plan and event capture, and
+  sabotaged dispatches go out as singleton chunks, so supervision
+  semantics are chunking-invariant.  Chunking is disabled whenever an
+  outer per-task deadline is configured (the deadline binds per pool
+  task).
 * **Supervision** — a worker that dies (OOM, signal, ``BrokenProcessPool``)
   costs the affected tasks one attempt, never the run: the pool is rebuilt
   and the tasks resubmitted.  Each attempt may carry an outer wall-clock
@@ -218,21 +227,23 @@ class SupervisionReport:
 # -- the worker side ----------------------------------------------------------
 
 
-def _worker(
-    shipped: tuple[dict | None, str, Any, bool],
-) -> tuple[Any, dict, dict, list[dict]]:
-    """Run one task in a worker process.
+def _worker_chunk(
+    shipped: tuple[dict | None, str, list[tuple[Any, bool]]],
+) -> list[tuple[bool, Any, dict, dict, list[dict]]]:
+    """Run a chunk of tasks in one worker process.
 
-    Re-arms the parent's fault plan (or an inert empty plan, which also
-    shadows any plan inherited across ``fork``) and returns the result
-    together with the plan's call/trip counters and the task's captured
-    observability events, both merged by the parent.  ``crash`` (decided
-    in the parent, so trigger counting is worker-count invariant) kills
-    the process the way a real OOM/signal would.
+    Each payload is executed under its *own* re-armed fault plan (or an
+    inert empty plan, which also shadows any plan inherited across
+    ``fork``) and its own observability capture, so per-task fault-trigger
+    and event semantics are identical whether the chunk holds one payload
+    or twenty.  Returns one ``(ok, result-or-exception, calls, trips,
+    events)`` entry per payload — a payload that raises costs only itself,
+    not its chunk-mates.  A ``crash`` flag (decided in the parent, so
+    trigger counting is worker-count invariant) kills the process the way
+    a real OOM/signal would, losing the chunk's earlier results with it —
+    exactly what a real mid-batch crash does.
     """
-    spec, kind, payload, crash = shipped
-    if crash:
-        os._exit(3)
+    spec, kind, entries = shipped
     import repro.core.align  # noqa: F401 — populates registry + handlers
 
     handler = _HANDLERS.get(kind)
@@ -241,11 +252,19 @@ def _worker(
         # there but not here: signal "cannot run in this worker" (the
         # supervisor falls back to serial) rather than a task failure.
         raise UnknownNameError(f"task kind {kind!r} not registered in worker")
-    with obs.collect() as events:
-        with faults.inject_faults(**(spec or {})) as plan:
-            result = handler(payload)
-    calls, trips = plan.counters()
-    return result, calls, trips, events
+    out: list[tuple[bool, Any, dict, dict, list[dict]]] = []
+    for payload, crash in entries:
+        if crash:
+            os._exit(3)
+        with obs.collect() as events:
+            with faults.inject_faults(**(spec or {})) as plan:
+                try:
+                    ok, value = True, handler(payload)
+                except Exception as exc:  # noqa: BLE001 — shipped to parent
+                    ok, value = False, exc
+        calls, trips = plan.counters()
+        out.append((ok, value, calls, trips, events))
+    return out
 
 
 # -- the pool -----------------------------------------------------------------
@@ -297,6 +316,36 @@ atexit.register(shutdown_pool)
 
 
 # -- the supervisor -----------------------------------------------------------
+
+#: Target dispatch waves per worker: chunks are sized so each worker sees
+#: about this many pool tasks per round, amortizing per-task IPC while
+#: keeping enough chunks in flight to balance uneven task costs.
+_CHUNK_WAVES = 4
+#: Hard cap on payloads per pool task, bounding the work lost to one crash.
+_MAX_CHUNK = 16
+
+
+def _chunk_size(task_count: int, jobs: int, policy: RetryPolicy) -> int:
+    """Payloads per pool task — a pure function of the round's task count,
+    the worker count, and the machine's core count, so dispatch is
+    deterministic.  Forced to 1 when an outer per-task deadline is set:
+    the deadline is enforced per pool task, and batching would silently
+    stretch it by the chunk width.
+
+    Chunks are sized for ``_CHUNK_WAVES`` waves per *usable* worker
+    (``min(jobs, cores)``) — oversubscribed workers add no parallelism,
+    so spreading a small batch across them just multiplies dispatch
+    overhead.  Results are chunking-invariant regardless (pinned by the
+    determinism suite), so this only shifts wall-clock."""
+    if policy.task_timeout_ms is not None:
+        return 1
+    workers = max(1, min(jobs, os.cpu_count() or 1))
+    # Waves exist to rebalance uneven chunks across workers; with a single
+    # usable worker there is nothing to balance, so take the whole round
+    # in one wave of maximal chunks.
+    waves = _CHUNK_WAVES if workers > 1 else 1
+    per_wave = waves * workers
+    return max(1, min(_MAX_CHUNK, -(-task_count // per_wave)))
 
 
 def _record_failure(
@@ -374,9 +423,17 @@ def _run_parallel(
     report: SupervisionReport,
     sleep: Callable[[float], None],
 ) -> bool:
-    """The pool path: submit → harvest (with outer deadlines) → retry in
-    rounds until every task succeeds or quarantines.  Returns False if the
-    pool could not be used at all (caller falls back to serial)."""
+    """The pool path: chunk → submit → harvest (with outer deadlines) →
+    retry in rounds until every task succeeds or quarantines.  Returns
+    False if the pool could not be used at all (caller falls back to
+    serial).
+
+    Tasks are batched into chunks of :func:`_chunk_size` payloads per pool
+    task, amortizing submit/pickle/IPC overhead over small payloads; fault
+    sampling stays strictly per task in pending order (so the sabotage
+    schedule is chunking-invariant) and sabotaged tasks are dispatched as
+    singleton chunks so a crash's blast radius matches the un-chunked
+    supervisor's."""
     plan = faults.active()
     spec = plan.spec() if plan is not None else None
     pending = [
@@ -388,26 +445,49 @@ def _run_parallel(
             report.pool_restarts += _POOL is None
             sleep(policy.backoff_ms(round_number) / 1000.0)
         round_number += 1
+        chunk_cap = _chunk_size(len(pending), jobs, policy)
         try:
             pool = _get_pool(jobs)
-            futures: dict[int, Future] = {}
+            #: (chunk member indices, future) in ascending-index order.
+            futures: list[tuple[tuple[int, ...], Future]] = []
             crashed_round: set[int] = set()
+            batch: list[int] = []
+
+            def _flush() -> None:
+                if batch:
+                    entries = [(payloads[i], False) for i in batch]
+                    futures.append((
+                        tuple(batch),
+                        pool.submit(_worker_chunk, (spec, kind, entries)),
+                    ))
+                    batch.clear()
+
             for index in pending:
                 injected = _dispatch_faults(report.outcomes[index])
                 report.outcomes[index].attempts += 1
                 if isinstance(injected, TaskTimeoutError):
                     # Simulated deadline blow: fail the dispatch without
                     # occupying a worker.
+                    _flush()
                     failed: Future = Future()
                     failed.set_exception(injected)
-                    futures[index] = failed
+                    futures.append(((index,), failed))
                     continue
-                crash = injected is not None
-                if crash:
+                if injected is not None:
+                    # Sabotaged dispatch: a singleton chunk, so the crash
+                    # takes down exactly one charged task (everything else
+                    # broken with the pool is collateral, see below).
                     crashed_round.add(index)
-                futures[index] = pool.submit(
-                    _worker, (spec, kind, payloads[index], crash)
-                )
+                    _flush()
+                    futures.append(((index,), pool.submit(
+                        _worker_chunk,
+                        (spec, kind, [(payloads[index], True)]),
+                    )))
+                    continue
+                batch.append(index)
+                if len(batch) >= chunk_cap:
+                    _flush()
+            _flush()
         except Exception:  # noqa: BLE001 — pool unusable: serial fallback
             for index in pending:
                 # Un-count the attempt: the serial path owns it now.
@@ -423,27 +503,29 @@ def _run_parallel(
         )
         killed_pool = False
         unshippable = False
-        for index in list(futures):
-            outcome = report.outcomes[index]
-            fut = futures[index]
+        for indices, fut in futures:
             try:
                 if killed_pool and not fut.done():
-                    # We tore the pool down for an earlier timeout; this
-                    # task never got to finish — requeue without charging
+                    # We tore the pool down for an earlier timeout; these
+                    # tasks never got to finish — requeue without charging
                     # an attempt.
-                    outcome.attempts -= 1
+                    for index in indices:
+                        report.outcomes[index].attempts -= 1
                     continue
-                result, calls, trips, events = fut.result(timeout=timeout_s)
+                entries = fut.result(timeout=timeout_s)
             except TimeoutError:
-                _record_failure(
-                    outcome,
-                    TaskTimeoutError(
-                        f"task exceeded its {policy.task_timeout_ms:.0f} ms "
-                        f"deadline",
-                        timeout_ms=policy.task_timeout_ms,
-                    ),
-                    policy,
-                )
+                # Outer deadlines force singleton chunks, so this charges
+                # exactly the task that blew its deadline.
+                for index in indices:
+                    _record_failure(
+                        report.outcomes[index],
+                        TaskTimeoutError(
+                            f"task exceeded its "
+                            f"{policy.task_timeout_ms:.0f} ms deadline",
+                            timeout_ms=policy.task_timeout_ms,
+                        ),
+                        policy,
+                    )
                 # The worker may never come back: reclaim its slot.
                 abandon_pool()
                 killed_pool = True
@@ -451,18 +533,20 @@ def _run_parallel(
                 if (
                     isinstance(exc, BrokenProcessPool)
                     and crashed_round
-                    and index not in crashed_round
+                    and not crashed_round.intersection(indices)
                 ):
-                    # An *injected* crash took the pool down and this task
+                    # An *injected* crash took the pool down and this chunk
                     # was collateral, not the culprit: requeue it without
-                    # charging an attempt, or a periodic crash schedule
+                    # charging attempts, or a periodic crash schedule
                     # over a large batch would quarantine innocents (and
                     # make attempt counts timing-dependent).  For real
                     # crashes the culprit is unknowable, so every affected
                     # task is charged.
-                    outcome.attempts -= 1
+                    for index in indices:
+                        report.outcomes[index].attempts -= 1
                 else:
-                    _record_failure(outcome, exc, policy)
+                    for index in indices:
+                        _record_failure(report.outcomes[index], exc, policy)
                 if isinstance(exc, BrokenProcessPool):
                     killed_pool = True
                     abandon_pool()
@@ -473,19 +557,33 @@ def _run_parallel(
                 # failure: uncharge and finish the batch serially, where
                 # the parent's registry applies (a genuinely unknown name
                 # still fails — and quarantines — on the serial path).
-                outcome.attempts -= 1
+                for index in indices:
+                    report.outcomes[index].attempts -= 1
                 unshippable = True
-            except Exception as exc:  # noqa: BLE001 — task raised in worker
-                _record_failure(outcome, exc, policy)
+            except Exception as exc:  # noqa: BLE001 — chunk infrastructure
+                # (e.g. result unpicklable) failed; task-level exceptions
+                # come back *inside* entries, not here.
+                for index in indices:
+                    _record_failure(report.outcomes[index], exc, policy)
             else:
-                if plan is not None:
-                    plan.merge_counts(calls, trips)
-                # Only successful attempts ship events back (a failed
-                # attempt's worker state is gone with its exception), so a
-                # retried task contributes one attempt's worth of events.
-                obs.absorb(events)
-                outcome.result = result
-                outcome.ok = True
+                for index, entry in zip(indices, entries):
+                    ok, value, calls, trips, events = entry
+                    outcome = report.outcomes[index]
+                    if not ok:
+                        # The payload raised in the worker.  Counters and
+                        # events of failed attempts are dropped, matching
+                        # the un-chunked contract ("only successful
+                        # attempts ship events back").
+                        _record_failure(outcome, value, policy)
+                        continue
+                    if plan is not None:
+                        plan.merge_counts(calls, trips)
+                    # Only successful attempts ship events back, so a
+                    # retried task contributes one attempt's worth of
+                    # events.
+                    obs.absorb(events)
+                    outcome.result = value
+                    outcome.ok = True
         if unshippable:
             return False
         pending = [
@@ -520,10 +618,23 @@ def run_tasks_supervised(
     report = SupervisionReport(
         outcomes=[TaskOutcome(index=i) for i in range(len(payloads))]
     )
+    # Fanning out needs a reason: a second usable core, process isolation
+    # for an active fault plan (injected crashes must kill a *worker*),
+    # or an enforceable per-task deadline (future.result(timeout)).  With
+    # none of those the pool only adds IPC latency — results are
+    # worker-count invariant either way (pinned by the determinism suite).
+    want_pool = (
+        jobs > 1
+        and len(payloads) > 1
+        and (
+            (os.cpu_count() or 1) > 1
+            or faults.active() is not None
+            or policy.task_timeout_ms is not None
+        )
+    )
     with obs.span("executor:batch", kind=kind, tasks=len(payloads)) as sp:
         if not (
-            jobs > 1
-            and len(payloads) > 1
+            want_pool
             and _run_parallel(kind, payloads, jobs, policy, report, sleep)
         ):
             _run_serial(kind, payloads, policy, report, sleep)

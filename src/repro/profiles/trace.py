@@ -94,6 +94,24 @@ class CompactTrace:
     def procedures(self) -> set[str]:
         return set(self._proc_names)
 
+    # Array views for vectorized consumers (the icache replay fast path).
+    # Callers must not mutate them.
+
+    @property
+    def proc_names(self) -> list[str]:
+        """Interned procedure names; index with :attr:`proc_indices`."""
+        return self._proc_names
+
+    @property
+    def proc_indices(self) -> np.ndarray:
+        """uint16 (events,) index into :attr:`proc_names` per event."""
+        return self._proc_indices
+
+    @property
+    def block_ids(self) -> np.ndarray:
+        """uint32 (events,) executed block id per event."""
+        return self._block_ids
+
 
 class TraceBuilder:
     """Builds an :class:`ExecutionTrace` plus *exact* per-procedure edge

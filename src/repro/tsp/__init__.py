@@ -4,9 +4,11 @@ exact DP for small instances."""
 
 from repro.tsp.branch_and_bound import BnBResult, branch_and_bound
 from repro.tsp.assignment import (
+    ASSIGNMENT_BACKENDS,
     CycleCover,
     assignment_bound,
     assignment_cycle_cover,
+    resolve_assignment_backend,
     solve_assignment,
 )
 from repro.tsp.construction import (
@@ -30,13 +32,32 @@ from repro.tsp.instance import (
     tour_cost,
 )
 from repro.tsp.iterated import SolveResult, double_bridge, iterated_three_opt
+from repro.tsp.kernel import (
+    KERNEL_MODES,
+    KernelState,
+    KernelStats,
+    SolverKernel,
+    kernel_iterated_three_opt,
+)
 from repro.tsp.local_search import ThreeOptSearch, three_opt
 from repro.tsp.or_opt import or_opt
 from repro.tsp.patching import patched_tour
-from repro.tsp.solve import DEFAULT, EFFORTS, PAPER, QUICK, Effort, get_effort, solution_gap, solve_dtsp
+from repro.tsp.solve import (
+    DEFAULT,
+    EFFORTS,
+    PAPER,
+    QUICK,
+    SOLVER_ENGINES,
+    Effort,
+    get_effort,
+    resolve_solver_engine,
+    solution_gap,
+    solve_dtsp,
+)
 from repro.tsp.symmetrize import SymmetrizedInstance, directed_tour_to_sym, symmetrize
 
 __all__ = [
+    "ASSIGNMENT_BACKENDS",
     "BnBResult",
     "BoundResult",
     "branch_and_bound",
@@ -44,9 +65,14 @@ __all__ = [
     "DEFAULT",
     "EFFORTS",
     "Effort",
+    "KERNEL_MODES",
+    "KernelState",
+    "KernelStats",
     "PAPER",
     "QUICK",
+    "SOLVER_ENGINES",
     "SolveResult",
+    "SolverKernel",
     "SymmetrizedInstance",
     "ThreeOptSearch",
     "TSPError",
@@ -64,7 +90,10 @@ __all__ = [
     "held_karp_bound_symmetric",
     "identity_tour",
     "iterated_three_opt",
+    "kernel_iterated_three_opt",
     "minimum_one_tree",
+    "resolve_assignment_backend",
+    "resolve_solver_engine",
     "nearest_neighbor_tour",
     "or_opt",
     "out_neighbor_lists",

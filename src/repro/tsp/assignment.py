@@ -8,9 +8,14 @@ on the esp.tl procedures where they differ), which is why the Held–Karp
 bound and iterated 3-Opt are needed; the A2/appendix benches reproduce that
 comparison with this module.
 
-The solver is the O(n³) shortest-augmenting-path Hungarian algorithm with
-row/column potentials (the same scheme as Jonker–Volgenant), implemented
-from scratch with numpy inner loops.
+The from-scratch solver is the O(n³) shortest-augmenting-path Hungarian
+algorithm with row/column potentials (the same scheme as Jonker–Volgenant),
+implemented with numpy inner loops.  When SciPy is importable its C
+``linear_sum_assignment`` is used instead for the *value*-consuming callers
+(bounds, branch and bound); both backends find a minimum-cost matching, so
+the optimal total is identical, but tie-broken matchings may differ — code
+whose *output structure* feeds deterministic downstream results (patching)
+pins ``backend="pure"``.
 """
 
 from __future__ import annotations
@@ -19,16 +24,59 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import UnknownNameError
 from repro.tsp.instance import check_matrix
 
+try:  # SciPy is optional: CI images carry only numpy + pytest.
+    from scipy.optimize import linear_sum_assignment as _scipy_assignment
+except ImportError:  # pragma: no cover - exercised on scipy-less installs
+    _scipy_assignment = None
 
-def solve_assignment(cost: np.ndarray) -> tuple[np.ndarray, float]:
+#: Backend choices for :func:`solve_assignment`.
+ASSIGNMENT_BACKENDS = ("auto", "scipy", "pure")
+
+
+def resolve_assignment_backend(backend: str | None = None) -> str:
+    """Resolve an assignment backend name to a concrete implementation.
+
+    ``auto`` (the default) picks SciPy's C solver when importable, else the
+    pure-python Hungarian; asking for ``scipy`` without scipy installed is
+    an error rather than a silent fallback.
+    """
+    choice = backend or "auto"
+    if choice not in ASSIGNMENT_BACKENDS:
+        known = ", ".join(ASSIGNMENT_BACKENDS)
+        raise UnknownNameError(
+            f"unknown assignment backend {choice!r} (known: {known})"
+        )
+    if choice == "scipy" and _scipy_assignment is None:
+        raise UnknownNameError(
+            "assignment backend 'scipy' requested but scipy is not installed"
+        )
+    if choice == "auto":
+        return "scipy" if _scipy_assignment is not None else "pure"
+    return choice
+
+
+def solve_assignment(
+    cost: np.ndarray, *, backend: str | None = None
+) -> tuple[np.ndarray, float]:
     """Minimum-cost perfect matching rows→columns.
 
     Returns ``(match, total)`` where ``match[i]`` is the column assigned to
-    row ``i``.
+    row ``i``.  The minimum *total* is backend-independent; the matching
+    itself is only guaranteed identical across environments with
+    ``backend="pure"``.
     """
     cost = check_matrix(cost)
+    if resolve_assignment_backend(backend) == "scipy":
+        rows, cols = _scipy_assignment(cost)
+        match = np.asarray(cols, dtype=np.int64)
+        return match, float(cost[rows, cols].sum())
+    return _solve_assignment_pure(cost)
+
+
+def _solve_assignment_pure(cost: np.ndarray) -> tuple[np.ndarray, float]:
     n = cost.shape[0]
     inf = float("inf")
     # 1-based arrays; p[j] = row matched to column j (0 = none).
@@ -105,14 +153,16 @@ class CycleCover:
         return len(self.cycles()) == 1
 
 
-def assignment_cycle_cover(matrix: np.ndarray) -> CycleCover:
+def assignment_cycle_cover(
+    matrix: np.ndarray, *, backend: str | None = None
+) -> CycleCover:
     """Solve the AP relaxation of the DTSP (self-edges forbidden)."""
     matrix = check_matrix(matrix)
     n = matrix.shape[0]
     forbid = float(np.abs(matrix).max()) * n * 4.0 + 1.0
     work = matrix.copy()
     np.fill_diagonal(work, forbid)
-    match, total = solve_assignment(work)
+    match, total = solve_assignment(work, backend=backend)
     return CycleCover(successor=match, cost=total)
 
 

@@ -18,7 +18,7 @@ import numpy as np
 from repro.budget import Budget, BudgetTimer, ensure_timer
 from repro.tsp.assignment import CycleCover, solve_assignment
 from repro.tsp.instance import check_matrix, tour_cost, tour_from_successors
-from repro.tsp.iterated import iterated_three_opt
+from repro.tsp.kernel import kernel_iterated_three_opt
 
 
 @dataclass
@@ -60,7 +60,9 @@ def branch_and_bound(
     forbid = float(np.abs(matrix).max()) * n * 4.0 + 1.0
 
     if initial_tour is None:
-        heur = iterated_three_opt(
+        # Guarded kernel: same-or-better incumbent than the legacy solver
+        # for the same seed, so the node count can only shrink.
+        heur = kernel_iterated_three_opt(
             matrix, starts=("greedy", "identity"), iterations=n, seed=seed
         )
         best_tour, best_cost = heur.tour, heur.cost

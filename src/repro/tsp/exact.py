@@ -29,27 +29,40 @@ def exact_tour(matrix: np.ndarray) -> tuple[list[int], float]:
     if n == 2:
         return [0, 1], float(matrix[0, 1] + matrix[1, 0])
 
-    size = 1 << (n - 1)  # subsets of cities 1..n-1
+    m = n - 1  # cities 1..n-1
+    size = 1 << m
     inf = float("inf")
-    dp = np.full((size, n - 1), inf)
-    parent = np.full((size, n - 1), -1, dtype=np.int64)
-    for j in range(n - 1):
+    dp = np.full((size, m), inf)
+    parent = np.full((size, m), -1, dtype=np.int64)
+    for j in range(m):
         dp[1 << j, j] = matrix[0, j + 1]
 
-    for mask in range(1, size):
-        row = dp[mask]
-        for j in range(n - 1):
-            cost = row[j]
-            if cost == inf or not (mask >> j) & 1:
+    # Layered vectorized Held–Karp: every transition grows the subset by
+    # one city, so masks can be processed popcount-layer by layer with the
+    # whole layer's relaxation done in array ops.  dp[mask | bit_k, k] has
+    # exactly one predecessor mask (mask itself), so the min over j is a
+    # plain row-wise argmin — no scatter conflicts.
+    masks = np.arange(size, dtype=np.int64)
+    popcount = np.zeros(size, dtype=np.int64)
+    for j in range(m):
+        popcount += (masks >> j) & 1
+    inner = matrix[1:, 1:]
+    for layer in range(1, m):
+        layer_masks = masks[popcount == layer]
+        for k in range(m):
+            bit = 1 << k
+            sources = layer_masks[(layer_masks & bit) == 0]
+            if sources.size == 0:
                 continue
-            for k in range(n - 1):
-                if (mask >> k) & 1:
-                    continue
-                next_mask = mask | (1 << k)
-                candidate = cost + matrix[j + 1, k + 1]
-                if candidate < dp[next_mask, k]:
-                    dp[next_mask, k] = candidate
-                    parent[next_mask, k] = j
+            # dp[mask, j] is inf whenever j is outside mask (never
+            # written), so unreachable predecessors exclude themselves.
+            cand = dp[sources] + inner[:, k]
+            arg = np.argmin(cand, axis=1)
+            best = cand[np.arange(sources.size), arg]
+            ok = best < inf
+            targets = sources[ok] | bit
+            dp[targets, k] = best[ok]
+            parent[targets, k] = arg[ok]
 
     full = size - 1
     closing = dp[full] + matrix[1:, 0]

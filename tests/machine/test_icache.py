@@ -1,5 +1,8 @@
 """Tests for the instruction-cache simulators."""
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.machine import DirectMappedICache, SetAssociativeICache, WORD_BYTES
@@ -83,3 +86,64 @@ class TestSetAssociative:
 
     def test_word_bytes_constant(self):
         assert WORD_BYTES == 4
+
+
+class TestReplayEquivalence:
+    """``replay`` must be bit-equivalent to event-by-event ``fetch``."""
+
+    @staticmethod
+    def _random_stream(seed, events=400):
+        rng = random.Random(seed)
+        addresses, words = [], []
+        addr = 0
+        for _ in range(events):
+            if rng.random() < 0.25:  # branch away
+                addr = rng.randrange(0, 4096) * WORD_BYTES
+            count = rng.choice([0, 1, 1, 2, 3, 5, 12])
+            addresses.append(addr)
+            words.append(count)
+            addr += count * WORD_BYTES  # fall through
+        return np.array(addresses), np.array(words)
+
+    @pytest.mark.parametrize("size,line", [(8192, 32), (256, 32), (64, 32)])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_replay_matches_fetch(self, size, line, seed):
+        addresses, words = self._random_stream(seed)
+        scalar = DirectMappedICache(size, line)
+        fast = DirectMappedICache(size, line)
+        for addr, count in zip(addresses.tolist(), words.tolist()):
+            scalar.fetch(addr, count)
+        fast.replay(addresses, words)
+        assert fast.stats.accesses == scalar.stats.accesses
+        assert fast.stats.misses == scalar.stats.misses
+        assert fast._tags == scalar._tags
+
+    def test_replay_on_warm_cache(self):
+        """Group-first accesses must compare against pre-existing tags."""
+        warm_a, warm_w = self._random_stream(7)
+        addresses, words = self._random_stream(8)
+        scalar = DirectMappedICache(256, 32)
+        fast = DirectMappedICache(256, 32)
+        for cache in (scalar, fast):
+            for addr, count in zip(warm_a.tolist(), warm_w.tolist()):
+                cache.fetch(addr, count)
+        for addr, count in zip(addresses.tolist(), words.tolist()):
+            scalar.fetch(addr, count)
+        fast.replay(addresses, words)
+        assert fast.stats.accesses == scalar.stats.accesses
+        assert fast.stats.misses == scalar.stats.misses
+        assert fast._tags == scalar._tags
+
+    def test_replay_empty_and_zero_word_streams(self):
+        cache = DirectMappedICache(256, 32)
+        assert cache.replay(np.array([], dtype=int), np.array([], dtype=int)) == 0
+        assert cache.replay(np.array([0, 64]), np.array([0, 0])) == 0
+        assert cache.stats.accesses == 0
+
+    def test_replay_accumulates_like_fetch(self):
+        cache = DirectMappedICache(1024, 32)
+        first = cache.replay(np.array([0]), np.array([8]))
+        second = cache.replay(np.array([0]), np.array([8]))
+        assert (first, second) == (1, 0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1

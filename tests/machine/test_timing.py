@@ -4,7 +4,13 @@ import pytest
 
 from repro.core import align_program, evaluate_program, original_program_layout, train_predictors
 from repro.machine import ALPHA_21164, DirectMappedICache
-from repro.machine.timing import TimingBreakdown, simulate_timing
+from repro.core.materialize import materialize_program
+from repro.machine.timing import (
+    TimingBreakdown,
+    _fetch_stream,
+    simulate_timing,
+)
+from repro.profiles.trace import CompactTrace, ExecutionTrace
 
 
 @pytest.fixture(scope="module")
@@ -79,3 +85,70 @@ class TestTiming:
             predictors=predictors, icache=DirectMappedICache(256, 32),
         )
         assert small.icache_misses >= big.icache_misses
+
+
+class TestFetchStreamFastPath:
+    """The vectorized CompactTrace icache replay must match the scalar
+    event loop exactly — same breakdown, same cache state."""
+
+    @pytest.mark.parametrize("method", ["original", "greedy", "tsp"])
+    def test_compact_trace_matches_event_loop(
+        self, mini_module, mini_run, method
+    ):
+        result, profile = mini_run
+        program = mini_module.program
+        layouts = align_program(program, profile, method=method)
+        predictors = train_predictors(program, profile)
+        trace = result.trace.trace
+        compact = CompactTrace(trace)
+        scalar_cache = DirectMappedICache(8192, 32)
+        fast_cache = DirectMappedICache(8192, 32)
+        scalar = simulate_timing(
+            program, layouts, profile, trace, ALPHA_21164,
+            predictors=predictors, icache=scalar_cache,
+        )
+        fast = simulate_timing(
+            program, layouts, profile, compact, ALPHA_21164,
+            predictors=predictors, icache=fast_cache,
+        )
+        assert fast == scalar
+        assert fast_cache._tags == scalar_cache._tags
+
+    def test_fetch_stream_matches_scalar_order(self, mini_module, mini_run):
+        """_fetch_stream splices inline fixup fetches exactly where the
+        scalar loop issues them."""
+        result, profile = mini_run
+        program = mini_module.program
+        layouts = align_program(program, profile, method="original")
+        predictors = train_predictors(program, profile)
+        materialized = materialize_program(program, layouts, predictors)
+        trace = result.trace.trace
+        expected = []
+        last = None
+        for proc_name, block_id in trace:
+            physical = materialized[proc_name]
+            if last is not None and last[0] == proc_name:
+                previous = physical.block_for(last[1])
+                if previous.fixup_target == block_id:
+                    fixup = physical.fixup_after(last[1])
+                    if fixup is not None:
+                        expected.append((fixup.address, fixup.words))
+            physical_block = physical.block_for(block_id)
+            expected.append((physical_block.address, physical_block.words))
+            last = (proc_name, block_id)
+        stream = _fetch_stream(materialized, CompactTrace(trace))
+        assert stream is not None
+        addresses, words = stream
+        assert list(zip(addresses.tolist(), words.tolist())) == expected
+
+    def test_unknown_block_falls_back_to_scalar(self, mini_module, mini_run):
+        result, profile = mini_run
+        program = mini_module.program
+        layouts = align_program(program, profile, method="original")
+        predictors = train_predictors(program, profile)
+        materialized = materialize_program(program, layouts, predictors)
+        trace = ExecutionTrace()
+        for event in mini_run[0].trace.trace:
+            trace.append(*event)
+        trace.append(next(iter(trace))[0], 10_000)  # block id out of range
+        assert _fetch_stream(materialized, CompactTrace(trace)) is None

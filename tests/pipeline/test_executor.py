@@ -142,3 +142,80 @@ def test_caches_bypassed_while_pipeline_faults_armed(tmp_path):
         cache.put(key, "poisoned")
     assert cache.get(key) == "healthy"
     assert store.get(key) == "healthy"
+
+
+def test_chunk_size_is_deterministic_and_capped(monkeypatch):
+    from repro.budget import RetryPolicy
+    from repro.pipeline import executor
+    from repro.pipeline.executor import _CHUNK_WAVES, _MAX_CHUNK, _chunk_size
+
+    free = RetryPolicy()
+    assert free.task_timeout_ms is None
+    # ~_CHUNK_WAVES dispatch waves per *usable* worker: pin the core count
+    # so the assertions hold on any machine.
+    monkeypatch.setattr(executor.os, "cpu_count", lambda: 4)
+    assert _chunk_size(36, 4, free) == 3
+    assert _chunk_size(16, 4, free) == 1
+    assert _chunk_size(65, 4, free) == 5
+    # Bounded blast radius for one lost worker.
+    assert _chunk_size(10_000, 1, free) == _MAX_CHUNK
+    # Oversubscription (jobs beyond cores) adds no parallelism, so it must
+    # not shrink chunks below the core-limited size.
+    monkeypatch.setattr(executor.os, "cpu_count", lambda: 1)
+    assert _chunk_size(16, 4, free) == _MAX_CHUNK
+    assert _chunk_size(10_000, 4, free) == _MAX_CHUNK
+    # Pure function of (count, jobs, cores): same inputs, same chunks.
+    assert _chunk_size(100, 2, free) == _chunk_size(100, 2, free)
+    assert _CHUNK_WAVES > 1
+    # An outer per-task deadline forces singleton chunks (the deadline is
+    # enforced per pool task).
+    deadline = RetryPolicy(task_timeout_ms=50.0)
+    assert _chunk_size(10_000, 4, deadline) == 1
+
+
+def test_worker_chunk_isolates_payload_failures():
+    """Inside one chunk each payload gets its own outcome entry: a raising
+    payload ships its exception back without poisoning its chunk-mates."""
+    from repro.pipeline.executor import _worker_chunk, register_handler
+
+    def fussy(x):
+        if x == 2:
+            raise ValueError("payload 2 is cursed")
+        return x * 10
+
+    register_handler("test-chunk-fussy", fussy)
+    entries = [(x, False) for x in (1, 2, 3)]
+    out = _worker_chunk((None, "test-chunk-fussy", entries))
+    assert [ok for ok, *_ in out] == [True, False, True]
+    assert out[0][1] == 10 and out[2][1] == 30
+    assert isinstance(out[1][1], ValueError)
+    # Per-payload event capture: each entry carries its own events list.
+    assert all(isinstance(entry[4], list) for entry in out)
+
+
+def test_chunked_pool_matches_serial_on_large_batches():
+    """Enough tasks that jobs=2 genuinely groups several payloads per pool
+    task: results must still come back in payload order, equal to serial."""
+    from repro.budget import RetryPolicy
+    from repro.experiments.runner import profiled_run
+    from repro.machine.models import ALPHA_21164
+    from repro.pipeline.executor import _chunk_size
+    from repro.pipeline.task import procedure_tasks
+    from repro.tsp.solve import get_effort
+    from repro.workloads.suite import compile_benchmark
+
+    program = compile_benchmark("com").program
+    profile = profiled_run("com", "in").profile
+    tasks = procedure_tasks(
+        program, profile, method="tsp", model=ALPHA_21164,
+        effort=get_effort("quick"),
+    )
+    tasks = (tasks * 4)[:20]  # force multi-payload chunks
+    assert _chunk_size(len(tasks), 2, RetryPolicy()) > 1
+    serial = run_tasks("align", tasks, jobs=1)
+    parallel = run_tasks("align", tasks, jobs=2)
+    shutdown_pool()
+    assert [r.name for r in serial] == [r.name for r in parallel]
+    for a, b in zip(serial, parallel):
+        assert a.layout.order == b.layout.order
+        assert a.cost == b.cost

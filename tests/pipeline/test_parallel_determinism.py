@@ -200,3 +200,25 @@ def test_method_aliases_share_one_memo_entry():
     assert a is b
     assert set(a.methods) == {"original", "tsp"}
     run_case_cached.cache_clear()
+
+
+@pytest.mark.parametrize("engine", ["guarded", "turbo"])
+def test_align_program_identical_across_worker_counts_kernel_engines(
+    monkeypatch, engine
+):
+    """The kernel engines (including turbo's kick-local wake) are pure
+    functions of (instance, effort, seed), so worker count must not leak
+    into layouts whichever engine REPRO_TSP_SOLVER selects."""
+    monkeypatch.setenv("REPRO_TSP_SOLVER", engine)
+    shutdown_pool()  # workers must fork with the engine override in place
+    serial_layouts, serial_report = align_both_ways(jobs=1, effort="quick")
+    reset_artifact_cache()
+    shutdown_pool()
+    parallel_layouts, parallel_report = align_both_ways(
+        jobs=4, effort="quick"
+    )
+    assert {n: l.order for n, l in serial_layouts.items()} == {
+        n: l.order for n, l in parallel_layouts.items()
+    }
+    assert serial_report.costs == parallel_report.costs
+    assert serial_report.runs_finding_best == parallel_report.runs_finding_best

@@ -81,3 +81,38 @@ def test_cost_scaling_invariance(matrix, scale):
     _, optimal = exact_tour(matrix)
     _, scaled = exact_tour(matrix * scale)
     assert abs(scaled - optimal * scale) <= 1e-6 * max(1.0, scaled)
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrix=matrix_strategy(min_n=13, max_n=20), seed=st.integers(0, 50))
+def test_kernel_engines_output_valid_exact_cost_tours(matrix, seed):
+    """Every kernel engine returns a permutation whose reported cost is the
+    recomputed tour cost (delta evaluation never drifts), and the guarded
+    engine never costs more than the legacy solver."""
+    n = matrix.shape[0]
+    costs = {}
+    for engine in ("legacy", "guarded", "turbo"):
+        result = solve_dtsp(matrix, effort="quick", seed=seed, engine=engine)
+        check_tour(result.tour, n)
+        assert abs(result.cost - tour_cost(matrix, result.tour)) <= 1e-6
+        costs[engine] = result.cost
+    assert costs["guarded"] <= costs["legacy"] + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(matrix=matrix_strategy(min_n=14, max_n=20), seed=st.integers(0, 50))
+def test_budget_expiry_salvage_is_complete(matrix, seed):
+    """However early the budget trips, a salvaged best-so-far is a complete
+    permutation — even when the kernel is mid-descent."""
+    from repro.budget import Budget
+    from repro.errors import SolverBudgetExceeded
+
+    n = matrix.shape[0]
+    try:
+        solve_dtsp(matrix, effort="paper", seed=seed,
+                   budget=Budget(max_iterations=3))
+    except SolverBudgetExceeded as exc:
+        if exc.best_so_far is not None:
+            assert sorted(exc.best_so_far) == list(range(n))
+    else:  # tiny instances may finish inside the budget
+        pass

@@ -10,6 +10,7 @@ from repro.tsp import (
     held_karp_bound_directed,
     held_karp_bound_symmetric,
     minimum_one_tree,
+    resolve_assignment_backend,
     solve_assignment,
 )
 
@@ -112,3 +113,53 @@ class TestAssignment:
             m[i, (i + 1) % 4] = 1.0
         match, total = solve_assignment(m)
         assert total == pytest.approx(4.0)
+
+
+class TestAssignmentBackends:
+    def test_resolution(self):
+        from repro.tsp.assignment import _scipy_assignment
+
+        assert resolve_assignment_backend("pure") == "pure"
+        expected = "scipy" if _scipy_assignment is not None else "pure"
+        assert resolve_assignment_backend() == expected
+        assert resolve_assignment_backend("auto") == expected
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="assignment backend"):
+            solve_assignment(random_matrix(5, 0), backend="gpu")
+
+    def test_backends_agree_on_the_optimal_total(self):
+        pytest.importorskip("scipy")
+        for n in (2, 3, 6, 15, 40):
+            for seed in (0, 1):
+                m = random_matrix(n, seed)
+                match_pure, total_pure = solve_assignment(m, backend="pure")
+                match_sp, total_sp = solve_assignment(m, backend="scipy")
+                assert total_sp == pytest.approx(total_pure)
+                # Both are true matchings achieving their reported totals.
+                for match in (match_pure, match_sp):
+                    assert sorted(match.tolist()) == list(range(n))
+                assert m[np.arange(n), match_sp].sum() == pytest.approx(
+                    total_sp
+                )
+
+    def test_cycle_cover_pure_backend_is_environment_invariant(self):
+        """The pure matching (what patching consumes) is a deterministic
+        function of the matrix alone."""
+        m = random_matrix(12, 3)
+        a = assignment_cycle_cover(m, backend="pure")
+        b = assignment_cycle_cover(m, backend="pure")
+        assert a.successor.tolist() == b.successor.tolist()
+        assert a.cost == b.cost
+
+    def test_scipy_backend_explicitly_requested_without_scipy(self):
+        from repro.tsp import assignment as mod
+
+        original = mod._scipy_assignment
+        mod._scipy_assignment = None
+        try:
+            assert resolve_assignment_backend() == "pure"
+            with pytest.raises(KeyError, match="not installed"):
+                resolve_assignment_backend("scipy")
+        finally:
+            mod._scipy_assignment = original
