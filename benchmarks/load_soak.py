@@ -1,0 +1,497 @@
+#!/usr/bin/env python
+"""Zipf load soak for the sharded serving tier.
+
+Drives a large request stream (default 100k) through an in-process
+:class:`~repro.service.shard.ShardSupervisor` with Zipf-distributed
+procedure popularity — the realistic shape where a hot head of payloads
+dominates and a long tail stays cold — plus scheduled shard-kill /
+shard-wedge chaos, and asserts the tier's serving contract:
+
+1. **Every request gets a typed outcome** — a response, a typed shed
+   (429-class), or a typed unavailability.  Nothing hangs, nothing
+   raises untyped.
+2. **Zero lost admissions** — after the soak drains, no shard journal
+   holds an orphaned ``admitted`` record: everything admitted anywhere
+   (including work stranded by a mid-soak shard kill) was completed or
+   typed-failed.
+3. **Accounting closes across all shards and all shard lives** —
+   lifetime ``submitted == admitted + shed`` over live gates plus the
+   retired ledger of killed lives.
+4. **Hedging rescues stranded work** — with ``--kill-shard`` the kill
+   strands in-flight requests on the dead shard; their callers hedge to
+   the sibling and at least one hedge win is observed.
+
+Metrics (latency p50/p95/max, shed/dedup/hedge rates, per-restart
+recovery replay latency) land in ``BENCH_service.json`` under
+``load_soak`` plus a history entry.
+
+The soak submits in-process rather than over HTTP: the tier's routing,
+admission, journaling, hedging, and restart machinery is identical, and
+10^5 requests stay fast enough for CI.  Exit 0 when every assertion
+holds, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/load_soak.py --requests 100000 \\
+        --shards 4 --kill-shard
+    PYTHONPATH=src python benchmarks/load_soak.py --requests 3000 \\
+        --shards 2 --jobs 1 --kill-shard --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import random
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.errors import (  # noqa: E402
+    ServiceOverloadError,
+    ServiceUnavailableError,
+    ShardFailoverError,
+)
+from repro.service import (  # noqa: E402
+    ServiceConfig,
+    ShardSupervisor,
+    ShardTierConfig,
+    request_key,
+    route_shard,
+)
+
+SOAK_SOURCE = """
+fn main() {
+  var i = 0;
+  var acc = 0;
+  var n = input_len();
+  while (i < n) {
+    var v = input(i);
+    if (v % 2 == 0) { acc = acc + v; } else { acc = acc - 1; }
+    if (v > 10) { acc = acc + 2; }
+    i = i + 1;
+  }
+  output(acc);
+  return acc;
+}
+"""
+
+
+def make_payload(seed: int, deadline_ms: float | None = None) -> dict:
+    payload = {
+        "source": SOAK_SOURCE,
+        "inputs": list(range(12)),
+        "method": "greedy",
+        "seed": seed,
+    }
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
+
+
+def zipf_sequence(
+    count: int, population: int, s: float, rng: random.Random
+) -> list[int]:
+    """``count`` draws from a Zipf(s) distribution over ``population``
+    ranks via inverse CDF — deterministic for a seeded ``rng``."""
+    weights = [1.0 / (rank**s) for rank in range(1, population + 1)]
+    total = sum(weights)
+    cumulative, acc = [], 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    draws = []
+    for _ in range(count):
+        u = rng.random()
+        lo, hi = 0, population - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        draws.append(lo)
+    return draws
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+class SoakState:
+    """Shared, locked accounting for the client worker threads."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.latencies_ms: list[float] = []
+        self.outcomes: dict[str, int] = {}
+        self.submitted = 0
+        self.kill_trigger = threading.Event()
+
+    def record(self, outcome: str, elapsed_ms: float | None = None) -> None:
+        with self.lock:
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+            if elapsed_ms is not None:
+                self.latencies_ms.append(elapsed_ms)
+
+    def bump_submitted(self, threshold: int) -> None:
+        with self.lock:
+            self.submitted += 1
+            if self.submitted >= threshold:
+                self.kill_trigger.set()
+
+
+def run_one(sup: ShardSupervisor, payload: dict, state: SoakState) -> None:
+    started = time.monotonic()
+    try:
+        request = sup.submit(payload)
+        response = request.result(timeout=180.0)
+    except ServiceOverloadError:
+        state.record("shed")
+        return
+    except (ServiceUnavailableError, ShardFailoverError):
+        state.record("unavailable")
+        return
+    except TimeoutError:
+        state.record("timeout")
+        return
+    elapsed_ms = (time.monotonic() - started) * 1000.0
+    status = response.get("status") if isinstance(response, dict) else None
+    state.record(status or "malformed", elapsed_ms)
+
+
+def client_worker(
+    sup: ShardSupervisor,
+    sequence: list[int],
+    deadline_every: int,
+    kill_threshold: int,
+    state: SoakState,
+) -> None:
+    for position, rank in enumerate(sequence):
+        deadline = 50.0 if deadline_every and position % deadline_every == 0 \
+            else None
+        run_one(sup, make_payload(rank, deadline), state)
+        state.bump_submitted(kill_threshold)
+
+
+def chaos_kill(
+    sup: ShardSupervisor, victim: int, state: SoakState, fresh_seeds: list[int]
+) -> dict:
+    """Wedge then kill one shard mid-soak, with fresh (never-seen) keys
+    stranded on it so their callers must hedge to the sibling.
+
+    The wedge guarantees the fresh admissions sit unprocessed when the
+    kill lands; the kill strands them; hedging answers them from the
+    sibling while the probe loop restarts the victim and journal
+    recovery re-plays the stranded admissions.
+    """
+    state.kill_trigger.wait(timeout=600.0)
+    # Stop the victim's worker at its next item boundary, with a wedge
+    # long enough that nothing drains before the kill.
+    sup.wedge_shard(victim, seconds=30.0)
+    time.sleep(0.05)
+    stranded = []
+    for seed in fresh_seeds:
+        try:
+            stranded.append(sup.submit(make_payload(seed)))
+        except (ServiceOverloadError, ServiceUnavailableError,
+                ShardFailoverError):
+            pass
+    epoch_before = sup._workers[victim].epoch
+    sup.kill_shard(victim)
+    waiters = []
+    for request in stranded:
+        waiter = threading.Thread(target=run_one_handle,
+                                  args=(request, state))
+        waiter.start()
+        waiters.append(waiter)
+    for waiter in waiters:
+        waiter.join(timeout=240.0)
+    deadline = time.monotonic() + 120.0
+    while (sup._workers[victim].epoch == epoch_before
+           and time.monotonic() < deadline):
+        time.sleep(0.01)
+    return {
+        "victim": victim,
+        "stranded": len(stranded),
+        "restarted": sup._workers[victim].epoch > epoch_before,
+    }
+
+
+def run_one_handle(request, state: SoakState) -> None:
+    started = time.monotonic()
+    try:
+        response = request.result(timeout=180.0)
+    except Exception:  # noqa: BLE001 — typed either way, counted below
+        state.record("stranded_failed")
+        return
+    elapsed_ms = (time.monotonic() - started) * 1000.0
+    status = response.get("status") if isinstance(response, dict) else None
+    state.record(status or "malformed", elapsed_ms)
+
+
+def fresh_seeds_for_shard(
+    victim: int, shards: int, start: int, count: int
+) -> list[int]:
+    """Seeds outside the Zipf population whose keys route to ``victim``."""
+    seeds = []
+    seed = start
+    while len(seeds) < count and seed < start + 100_000:
+        if route_shard(request_key(make_payload(seed)), shards) == victim:
+            seeds.append(seed)
+        seed += 1
+    return seeds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=100_000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--population", type=int, default=48,
+                        help="distinct payloads behind the Zipf draw")
+    parser.add_argument("--zipf-s", type=float, default=1.2,
+                        help="Zipf exponent (higher = hotter head)")
+    parser.add_argument("--capacity", type=int, default=32,
+                        help="per-shard admission capacity")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="align worker processes per shard (jobs > 1 "
+                             "serializes the align stage across shards)")
+    parser.add_argument("--hedge-ms", type=float, default=75.0,
+                        help="hedge threshold (ms)")
+    parser.add_argument("--deadline-every", type=int, default=20,
+                        help="every Nth request per client carries a 50ms "
+                             "deadline (0 = never) to exercise "
+                             "deadline-aware shedding")
+    parser.add_argument("--kill-shard", action="store_true",
+                        help="wedge+kill one shard mid-soak and require "
+                             "a hedge win plus full recovery")
+    parser.add_argument("--kill-at", type=float, default=0.4,
+                        help="kill once this fraction of requests is in")
+    parser.add_argument("--journal-compact-bytes", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_service.json"))
+    parser.add_argument("--trace", default=None,
+                        help="write the observability trace here")
+    args = parser.parse_args(argv)
+    if args.shards < 2 and args.kill_shard:
+        parser.error("--kill-shard needs --shards >= 2 (hedging and "
+                     "failover need a sibling)")
+
+    if args.trace:
+        obs.start_trace(args.trace)
+    journal_dir = tempfile.mkdtemp(prefix="repro-load-soak-")
+    sup = ShardSupervisor(ShardTierConfig(
+        shards=args.shards,
+        journal_dir=journal_dir,
+        journal_compact_bytes=args.journal_compact_bytes,
+        hedge_after_ms=args.hedge_ms,
+        # Realistic detection latency: the probe notices a dead shard in
+        # ~1s, so hedging (75ms) is what actually rescues stranded
+        # callers; the restart + journal replay heal the shard behind it.
+        probe_interval_s=1.0,
+        wedge_timeout_s=120.0,  # chaos kills explicitly; no surprise restarts
+        service=ServiceConfig(capacity=args.capacity, jobs=args.jobs),
+    )).start()
+
+    rng = random.Random(args.seed)
+    sequence = zipf_sequence(args.requests, args.population, args.zipf_s, rng)
+    per_client = [sequence[i::args.clients] for i in range(args.clients)]
+    state = SoakState()
+    kill_threshold = max(1, int(args.requests * args.kill_at))
+    if not args.kill_shard:
+        kill_threshold = args.requests + 1  # never trips
+
+    chaos_result: dict = {}
+    chaos_thread = None
+    if args.kill_shard:
+        victim = 0
+        fresh = fresh_seeds_for_shard(
+            victim, args.shards, start=args.population + 1000, count=6
+        )
+
+        def chaos():
+            chaos_result.update(chaos_kill(sup, victim, state, fresh))
+
+        chaos_thread = threading.Thread(target=chaos)
+        chaos_thread.start()
+
+    started = time.monotonic()
+    clients = [
+        threading.Thread(
+            target=client_worker,
+            args=(sup, chunk, args.deadline_every, kill_threshold, state),
+        )
+        for chunk in per_client
+    ]
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join()
+    if chaos_thread is not None:
+        state.kill_trigger.set()  # in case the soak was too small to trip
+        chaos_thread.join(timeout=600.0)
+    soak_seconds = time.monotonic() - started
+
+    # Let a mid-soak restart finish its journal replay before draining.
+    # A drain that lands mid-replay *cleanly abandons* un-replayed
+    # orphans for the next start (that contract has its own tests); the
+    # soak asserts the stronger end state — a settled tier owes a
+    # terminal journal record for every admission it ever made.
+    settle_deadline = time.monotonic() + 300.0
+    while sup.recovering and time.monotonic() < settle_deadline:
+        time.sleep(0.05)
+
+    snapshot_before_drain = sup.snapshot()
+    drained = sup.drain(timeout=300.0)
+    snapshot = sup.snapshot()
+    totals = snapshot["totals"]
+    tier = snapshot["tier"]
+
+    # Per-restart journal recovery latency, from each restarted life.
+    replay_ms = [
+        shard["service"]["recovery"]["replay_ms"]
+        for shard in snapshot["shards"]
+        if shard["service"] and shard["service"].get("recovery")
+    ]
+
+    failures: list[str] = []
+
+    def check(ok: bool, message: str) -> None:
+        print(("PASS " if ok else "FAIL ") + message)
+        if not ok:
+            failures.append(message)
+
+    total_outcomes = sum(state.outcomes.values())
+    expected = args.requests + chaos_result.get("stranded", 0)
+    check(total_outcomes == expected,
+          f"every request has a typed outcome "
+          f"({total_outcomes}/{expected}: {state.outcomes})")
+    untyped = {
+        k: v for k, v in state.outcomes.items()
+        if k not in ("ok", "shed", "unavailable", "quarantined", "degraded")
+    }
+    check(not untyped, f"no untyped/hung outcomes (got {untyped or 'none'})")
+    check(drained, "tier drained cleanly")
+    check(totals["submitted"] == totals["admitted"] + totals["shed"],
+          f"accounting closed across shards and lives "
+          f"(submitted={totals['submitted']} admitted={totals['admitted']} "
+          f"shed={totals['shed']})")
+
+    orphan_counts = {}
+    for index in range(args.shards):
+        path = pathlib.Path(journal_dir) / f"shard-{index}.jsonl"
+        if path.exists():
+            from repro.service.journal import RequestJournal
+
+            orphan_counts[index] = len(RequestJournal(path).load().orphans)
+    check(sum(orphan_counts.values()) == 0,
+          f"zero lost admissions: no journal orphans after drain "
+          f"({orphan_counts})")
+
+    if args.kill_shard:
+        check(chaos_result.get("restarted", False),
+              f"killed shard was restarted (epoch "
+              f"{sup._workers[chaos_result.get('victim', 0)].epoch})")
+        check(tier["hedge_wins"] >= 1,
+              f"at least one hedge win observed "
+              f"(hedged={tier['hedged']} wins={tier['hedge_wins']})")
+        check(len(replay_ms) >= 1,
+              f"recovery replay ran on the restarted shard ({replay_ms})")
+
+    latencies = state.latencies_ms
+    report = {
+        "requests": args.requests,
+        "shards": args.shards,
+        "clients": args.clients,
+        "jobs": args.jobs,
+        "population": args.population,
+        "zipf_s": args.zipf_s,
+        "capacity": args.capacity,
+        "hedge_after_ms": args.hedge_ms,
+        "kill_shard": bool(args.kill_shard),
+        "soak_seconds": round(soak_seconds, 3),
+        "throughput_rps": round(args.requests / max(soak_seconds, 1e-9), 1),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p95": round(percentile(latencies, 0.95), 3),
+            "max": round(max(latencies), 3) if latencies else 0.0,
+            "mean": round(statistics.fmean(latencies), 3)
+            if latencies else 0.0,
+            "count": len(latencies),
+        },
+        "outcomes": dict(sorted(state.outcomes.items())),
+        "totals": totals,
+        "shed_rate": round(totals["shed"] / max(1, totals["submitted"]), 6),
+        "deadline_shed": totals["deadline_shed"],
+        "dedup": totals["deduped"],
+        "hedged": tier["hedged"],
+        "hedge_wins": tier["hedge_wins"],
+        "hedge_rate": round(
+            tier["hedged"] / max(1, tier["routed"]), 6
+        ),
+        "deaths": tier["deaths"],
+        "wedges": tier["wedges"],
+        "restarts": tier["restarts"],
+        "recovery_replay_ms": replay_ms,
+        "chaos": chaos_result or None,
+        "in_flight_at_drain": snapshot_before_drain["totals"]["admitted"]
+        - snapshot_before_drain["totals"]["completed"]
+        - snapshot_before_drain["totals"]["failed"]
+        - snapshot_before_drain["totals"]["quarantined"],
+        "drained": drained,
+        "passed": not failures,
+    }
+
+    out_path = pathlib.Path(args.out)
+    try:
+        bench = json.loads(out_path.read_text())
+    except (OSError, ValueError):
+        bench = {}
+    bench.setdefault("python", platform.python_version())
+    bench.setdefault("platform", platform.platform())
+    bench["load_soak"] = report
+    bench.setdefault("history", []).append({
+        "when": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "scenario": "load_soak",
+        "requests": args.requests,
+        "shards": args.shards,
+        "latency_p50_ms": report["latency_ms"]["p50"],
+        "latency_p95_ms": report["latency_ms"]["p95"],
+        "shed_rate": report["shed_rate"],
+        "hedge_rate": report["hedge_rate"],
+        "hedge_wins": report["hedge_wins"],
+        "replay_ms": replay_ms[0] if replay_ms else None,
+    })
+    out_path.write_text(json.dumps(bench, indent=1) + "\n")
+    print(f"wrote {out_path}")
+
+    if failures:
+        print(f"\n{len(failures)} assertion(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nload soak passed: {args.requests} requests over "
+          f"{args.shards} shard(s) in {soak_seconds:.1f}s "
+          f"(p50 {report['latency_ms']['p50']}ms, "
+          f"p95 {report['latency_ms']['p95']}ms, "
+          f"shed rate {report['shed_rate']}, "
+          f"hedge wins {report['hedge_wins']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -362,6 +362,7 @@ def cmd_suite(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.service import AlignmentService, ServiceConfig, serve
+    from repro.service.shard import ShardSupervisor, ShardTierConfig
 
     policy = _supervision_policy(args)
     _install_store(args)
@@ -380,7 +381,18 @@ def cmd_serve(args) -> int:
         raise UsageError(
             f"--breaker-cooldown must be >= 1, got {args.breaker_cooldown}"
         )
-    service = AlignmentService(ServiceConfig(
+    if args.shards < 1:
+        raise UsageError(f"--shards must be >= 1, got {args.shards}")
+    if args.hedge_after_ms is not None and args.hedge_after_ms < 0:
+        raise UsageError(
+            f"--hedge-after-ms must be >= 0, got {args.hedge_after_ms}"
+        )
+    if args.journal_compact_bytes is not None and args.journal_compact_bytes < 1:
+        raise UsageError(
+            f"--journal-compact-bytes must be >= 1, "
+            f"got {args.journal_compact_bytes}"
+        )
+    service_config = ServiceConfig(
         capacity=args.capacity,
         jobs=args.jobs,
         policy=policy,
@@ -389,8 +401,26 @@ def cmd_serve(args) -> int:
         breaker_cooldown=args.breaker_cooldown,
         verify=not args.no_verify,
         journal_path=args.journal,
+        journal_compact_bytes=args.journal_compact_bytes,
+    )
+    if args.shards == 1 and args.journal_dir is None:
+        service = AlignmentService(service_config)
+        return serve(service, host=args.host, port=args.port)
+    # Shard tier: sharding needs one journal per shard, so the single
+    # --journal path cannot express durability for shards > 1.
+    if args.journal is not None and args.shards > 1:
+        raise UsageError(
+            "--journal names one file but each shard needs its own "
+            "journal; use --journal-dir with --shards"
+        )
+    tier = ShardSupervisor(ShardTierConfig(
+        shards=args.shards,
+        journal_dir=args.journal_dir,
+        journal_compact_bytes=args.journal_compact_bytes,
+        hedge_after_ms=args.hedge_after_ms,
+        service=service_config,
     ))
-    return serve(service, host=args.host, port=args.port)
+    return serve(tier, host=args.host, port=args.port)
 
 
 def cmd_request(args) -> int:
@@ -633,6 +663,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
                          help="worker processes per align pass "
                               "(default: $REPRO_JOBS or 1)")
+    p_serve.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="run N service workers behind an idempotency-"
+                              "key-hash router with per-shard failure "
+                              "isolation and automatic restart "
+                              "(default 1: single service)")
+    p_serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                         help="directory for per-shard write-ahead journals "
+                              "(shard-<i>.jsonl); required instead of "
+                              "--journal when --shards > 1")
+    p_serve.add_argument("--journal-compact-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="compact a journal in place once it grows "
+                              "past BYTES, rewriting only live records "
+                              "(orphans + recent completions)")
+    p_serve.add_argument("--hedge-after-ms", type=float, default=None,
+                         metavar="MS",
+                         help="duplicate a still-unanswered request to its "
+                              "sibling shard after MS; first response wins "
+                              "(needs --shards >= 2; default: off)")
     _add_supervision_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 

@@ -176,12 +176,48 @@ class ServiceOverloadError(ServiceError):
 
     The 429-equivalent: the client should back off and retry.  Carries
     the queue depth the request was shed against so operators can tell
-    "queue too small" from "traffic storm".
+    "queue too small" from "traffic storm", and optionally the server's
+    backoff hint (``retry_after_s``), which the HTTP tier emits as a
+    ``Retry-After`` header.
     """
 
-    def __init__(self, message: str, *, queue_depth: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int | None = None,
+        retry_after_s: float | None = None,
+    ):
         super().__init__(message)
         self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineShedError(ServiceOverloadError):
+    """Adaptive admission shed a request that could not meet its deadline.
+
+    The queue-deadline-aware gate estimates how long a request would wait
+    behind the current backlog; one whose deadline would expire *in the
+    queue* is shed immediately with this typed 429 instead of being
+    admitted only to time out downstream.  Subclasses
+    :class:`ServiceOverloadError` so every existing 429 path (status
+    mapping, client retries, accounting) applies unchanged.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int | None = None,
+        retry_after_s: float | None = None,
+        expected_wait_ms: float | None = None,
+        deadline_ms: float | None = None,
+    ):
+        super().__init__(
+            message, queue_depth=queue_depth, retry_after_s=retry_after_s
+        )
+        self.expected_wait_ms = expected_wait_ms
+        self.deadline_ms = deadline_ms
 
 
 class ServiceUnavailableError(ServiceError):
@@ -189,6 +225,15 @@ class ServiceUnavailableError(ServiceError):
 
     The 503-equivalent: raised for requests arriving after SIGTERM began
     a graceful drain.  In-flight requests are unaffected.
+    """
+
+
+class ShardFailoverError(ServiceError):
+    """The shard tier could not land a request on any live shard.
+
+    Raised by the supervisor when a request's primary shard (and, where
+    hedging applies, its sibling) stayed dead or unreachable through the
+    failover budget.  Clients treat it like a 503: back off and retry.
     """
 
 

@@ -79,6 +79,8 @@ SERVICE_SITES = frozenset({
     "breaker_probe_fail",
     "journal_torn_tail",
     "journal_io_error",
+    "shard_death",
+    "shard_wedge",
 })
 
 
@@ -117,6 +119,16 @@ class FaultPlan:
     #: The n-th journal append raises an I/O error; the journal must
     #: absorb it into degraded-durability mode, never kill the server.
     journal_io_error: bool | int | str | None = False
+    #: The n-th request routed by the shard supervisor kills its target
+    #: shard right after the hand-off — a worker loop dying mid-queue,
+    #: as SIGKILL on a shard process would.  The supervisor's health
+    #: probes must detect it, restart the shard with journal recovery,
+    #: and fail over the stranded in-flight work.
+    shard_death: bool | int | str | None = False
+    #: The n-th routed request wedges its target shard: the worker loop
+    #: stops making progress without dying, the straggler shape hedged
+    #: requests and the wedge detector exist for.
+    shard_wedge: bool | int | str | None = False
 
     _calls: dict[str, int] = field(default_factory=dict)
     _trips: dict[str, int] = field(default_factory=dict)
@@ -404,3 +416,24 @@ def check_journal_io() -> None:
     for plan in _plans_for("service"):
         if plan.fires("journal_io", plan.journal_io_error):
             raise JournalError("fault injection: journal I/O error")
+
+
+def shard_death_fires() -> bool:
+    """Consulted by the shard supervisor once per routed request: a fired
+    trigger kills the request's target shard immediately after the
+    hand-off, so the stranded work exercises probe-detect → restart →
+    journal recovery → failover."""
+    for plan in _plans_for("service"):
+        if plan.fires("shard_death", plan.shard_death):
+            return True
+    return False
+
+
+def shard_wedge_fires() -> bool:
+    """Consulted by the shard supervisor once per routed request: a fired
+    trigger wedges the target shard (alive but making no progress), the
+    straggler shape the wedge detector and hedged requests must cover."""
+    for plan in _plans_for("service"):
+        if plan.fires("shard_wedge", plan.shard_wedge):
+            return True
+    return False

@@ -25,15 +25,25 @@ serving-grade robustness layer:
   exits 0.
 * **Crash safety** (:mod:`.journal`) — a write-ahead request journal
   (fsynced JSONL, content-addressed idempotency keys, torn-tail
-  tolerant) makes SIGKILL survivable: on restart the service replays the
-  journal, re-verifies and serves completed responses without
-  re-solving, and re-enqueues orphaned admissions.  Duplicate payloads
-  coalesce onto one unit of work (exactly-once), and
-  :class:`~.client.RetryPolicy` gives clients a deterministic backoff
-  that rides through the restart.
+  tolerant, size-triggered compaction) makes SIGKILL survivable: on
+  restart the service replays the journal, re-verifies and serves
+  completed responses without re-solving, and re-enqueues orphaned
+  admissions.  Duplicate payloads coalesce onto one unit of work
+  (exactly-once), and :class:`~.client.RetryPolicy` gives clients a
+  deterministic backoff that rides through the restart (honoring the
+  server's ``Retry-After`` drain estimate under its cap).
+* **Horizontal scale** (:mod:`.shard`) — ``--shards N`` runs N services
+  behind a :class:`~.shard.ShardSupervisor`: idempotency-key-hash
+  routing (each key's dedup/journal history lives on exactly one
+  shard), health-probe failure isolation (dead or wedged shards are
+  restarted on their journal and stranded requests re-land via
+  replay + coalescing), and deterministic hedged requests
+  (``hedge_after_ms`` duplicates a slow request to the sibling shard;
+  first response wins, and idempotency keys guarantee hedging never
+  double-computes journaled work).
 
-See ``docs/robustness.md`` ("Serving", "Crash recovery") and
-``docs/architecture.md``.
+See ``docs/robustness.md`` ("Serving", "Crash recovery", "Serving at
+scale") and ``docs/architecture.md``.
 """
 
 from .admission import AdmissionGate
@@ -56,6 +66,13 @@ from .core import (
 from .deadline import DeadlinePlan, plan_deadline
 from .http_server import AlignmentHTTPServer, serve
 from .journal import JournalReplay, RequestJournal, request_key
+from .shard import (
+    ShardRequest,
+    ShardSupervisor,
+    ShardTierConfig,
+    hedge_sibling,
+    route_shard,
+)
 from .verify import verify_layouts, verify_or_raise
 
 __all__ = [
@@ -70,14 +87,19 @@ __all__ = [
     "RequestJournal",
     "RetryPolicy",
     "ServiceConfig",
+    "ShardRequest",
+    "ShardSupervisor",
+    "ShardTierConfig",
     "fallback_method",
     "get_json",
+    "hedge_sibling",
     "parse_request",
     "plan_deadline",
     "post_json",
     "request_alignment",
     "request_key",
     "request_with_retry",
+    "route_shard",
     "serve",
     "verify_layouts",
     "verify_or_raise",

@@ -1,4 +1,4 @@
-"""Admission control: the bounded request queue and load shedding.
+"""Admission control: the bounded request queue and adaptive load shedding.
 
 The gate is the only way work enters the service.  Its contract:
 
@@ -6,12 +6,24 @@ The gate is the only way work enters the service.  Its contract:
   arriving at a full queue is *shed* with
   :class:`~repro.errors.ServiceOverloadError` (the HTTP tier maps it to
   429); it never blocks the submitting thread and never grows memory.
+* **Deadline-aware** — the gate keeps an EWMA of observed service times
+  (the worker reports each completion); a request carrying a deadline
+  that would expire *while waiting behind the current backlog* is shed
+  immediately with the typed
+  :class:`~repro.errors.DeadlineShedError` (still a 429) instead of
+  being admitted only to time out downstream.
 * **Accounted** — ``submitted == admitted + shed`` holds at every
   instant (the chaos soak asserts it), and both admissions and sheds
-  land in the stable counters ``service.admitted`` / ``service.shed``.
+  land in the stable counters ``service.admitted`` / ``service.shed``
+  (deadline sheds additionally count ``service.deadline_shed``).
 * **Drainable** — after :meth:`AdmissionGate.begin_drain` every new
   request is refused with :class:`~repro.errors.ServiceUnavailableError`
   (HTTP 503) while already-admitted work keeps flowing to the worker.
+
+Shed errors carry ``retry_after_s`` — the gate's own estimate of when
+room will exist — which the HTTP tier surfaces as a ``Retry-After``
+header and :class:`~repro.service.client.RetryPolicy` honors under its
+deterministic cap.
 
 The ``service_overload`` fault site lets chaos plans shed admissions
 even with queue room, so the 429 path is exercised without needing a
@@ -24,7 +36,14 @@ import queue
 import threading
 
 from repro import faults, obs
-from repro.errors import ServiceOverloadError, ServiceUnavailableError
+from repro.errors import (
+    DeadlineShedError,
+    ServiceOverloadError,
+    ServiceUnavailableError,
+)
+
+#: EWMA smoothing factor for the observed per-request service time.
+SERVICE_TIME_ALPHA = 0.2
 
 
 class AdmissionGate:
@@ -40,6 +59,10 @@ class AdmissionGate:
         self.submitted = 0
         self.admitted = 0
         self.shed = 0
+        self.deadline_shed = 0
+        #: EWMA of observed service time (ms); ``None`` until the first
+        #: completion — the gate never sheds on a guess it has not made.
+        self._est_service_ms: float | None = None
 
     @property
     def draining(self) -> bool:
@@ -49,11 +72,55 @@ class AdmissionGate:
         """Requests currently waiting (approximate, as all queue sizes are)."""
         return self._queue.qsize()
 
-    def submit(self, item) -> None:
+    def observe_service_time(self, elapsed_ms: float) -> None:
+        """Fold one completed request's wall time into the wait estimate.
+
+        Called by the worker after every processed request; the EWMA
+        favours recent behaviour so a shard that slows down starts
+        shedding deadline-doomed requests within a few completions.
+        """
+        if elapsed_ms < 0:
+            return
+        with self._lock:
+            if self._est_service_ms is None:
+                self._est_service_ms = elapsed_ms
+            else:
+                self._est_service_ms += SERVICE_TIME_ALPHA * (
+                    elapsed_ms - self._est_service_ms
+                )
+
+    def estimated_service_ms(self) -> float | None:
+        with self._lock:
+            return self._est_service_ms
+
+    def expected_wait_ms(self) -> float:
+        """How long a request admitted *now* would wait before its turn.
+
+        Zero until the first completion seeds the estimate — an
+        uncalibrated gate admits optimistically rather than shedding on
+        fiction.
+        """
+        with self._lock:
+            return self._expected_wait_ms_locked()
+
+    def _expected_wait_ms_locked(self) -> float:
+        if self._est_service_ms is None:
+            return 0.0
+        return self._queue.qsize() * self._est_service_ms
+
+    def _retry_after_s_locked(self) -> float:
+        """The backoff hint a shed response carries: roughly one queue
+        drain (floored so a client never busy-spins on zero)."""
+        est = self._est_service_ms or 0.0
+        return max(0.05, (max(1, self._queue.qsize()) * est) / 1000.0)
+
+    def submit(self, item, *, deadline_ms: float | None = None) -> None:
         """Admit ``item`` or raise a typed rejection.
 
         Never blocks: a full queue sheds immediately (back-pressure is the
-        client's job, not a hidden stall in the accept loop).
+        client's job, not a hidden stall in the accept loop), and a
+        ``deadline_ms`` that would expire behind the current backlog is
+        shed immediately too.
         """
         with self._lock:
             self.submitted += 1
@@ -67,6 +134,22 @@ class AdmissionGate:
                 raise ServiceOverloadError(
                     "admission shed (injected overload)",
                     queue_depth=self._queue.qsize(),
+                    retry_after_s=self._retry_after_s_locked(),
+                )
+            expected_wait = self._expected_wait_ms_locked()
+            if deadline_ms is not None and expected_wait > deadline_ms:
+                self.shed += 1
+                self.deadline_shed += 1
+                obs.count("service.shed")
+                obs.count("service.deadline_shed")
+                raise DeadlineShedError(
+                    f"deadline {deadline_ms:.0f}ms would expire in the "
+                    f"queue (expected wait {expected_wait:.0f}ms behind "
+                    f"{self._queue.qsize()} request(s))",
+                    queue_depth=self._queue.qsize(),
+                    retry_after_s=self._retry_after_s_locked(),
+                    expected_wait_ms=expected_wait,
+                    deadline_ms=deadline_ms,
                 )
             try:
                 self._queue.put_nowait(item)
@@ -76,6 +159,7 @@ class AdmissionGate:
                 raise ServiceOverloadError(
                     f"request queue full (capacity {self.capacity})",
                     queue_depth=self.capacity,
+                    retry_after_s=self._retry_after_s_locked(),
                 ) from None
             self.admitted += 1
             obs.count("service.admitted")
@@ -119,11 +203,14 @@ class AdmissionGate:
 
     def stats(self) -> dict:
         with self._lock:
+            est = self._est_service_ms
             return {
                 "capacity": self.capacity,
                 "depth": self._queue.qsize(),
                 "submitted": self.submitted,
                 "admitted": self.admitted,
                 "shed": self.shed,
+                "deadline_shed": self.deadline_shed,
+                "est_service_ms": None if est is None else round(est, 3),
                 "draining": self._draining,
             }

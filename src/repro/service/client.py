@@ -7,7 +7,9 @@ out, no retries.  On top of it, :class:`RetryPolicy` +
 standardizing: deterministic capped exponential backoff over the
 service's *retryable* answers (429 shed, 503 drain/replay, transport
 failures — exactly the states a restarting server passes through), with
-a typed give-up.  Retrying is safe because the server coalesces
+a typed give-up.  A ``Retry-After`` header on a 429/503 — the admission
+gate's own drain estimate — replaces the schedule's next delay, still
+capped at ``max_delay_s``.  Retrying is safe because the server coalesces
 duplicates by content-addressed idempotency key: a retried payload maps
 to the same key, so the worst case is a journal/cache hit, never double
 work.
@@ -38,14 +40,15 @@ def _decode(body: bytes) -> dict:
     return payload if isinstance(payload, dict) else {"error": repr(payload)}
 
 
-def post_json(
+def post_json_full(
     url: str, payload: dict, *, timeout: float = 600.0
-) -> tuple[int, dict]:
-    """POST ``payload`` as JSON; returns ``(status, decoded body)``.
+) -> tuple[int, dict, dict]:
+    """POST ``payload`` as JSON; returns ``(status, body, headers)``.
 
     HTTP error statuses (4xx/5xx) return normally — the status code *is*
     the service's typed answer.  Transport failures (connection refused,
-    reset) raise ``urllib.error.URLError``/``OSError``.
+    reset) raise ``urllib.error.URLError``/``OSError``.  Header names in
+    the returned dict are lower-cased.
     """
     request = urllib.request.Request(
         url,
@@ -55,9 +58,25 @@ def post_json(
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, _decode(response.read())
+            return (
+                response.status,
+                _decode(response.read()),
+                {k.lower(): v for k, v in response.headers.items()},
+            )
     except urllib.error.HTTPError as exc:
-        return exc.code, _decode(exc.read())
+        return (
+            exc.code,
+            _decode(exc.read()),
+            {k.lower(): v for k, v in (exc.headers or {}).items()},
+        )
+
+
+def post_json(
+    url: str, payload: dict, *, timeout: float = 600.0
+) -> tuple[int, dict]:
+    """POST ``payload`` as JSON; returns ``(status, decoded body)``."""
+    status, body, _headers = post_json_full(url, payload, timeout=timeout)
+    return status, body
 
 
 def get_json(url: str, *, timeout: float = 10.0) -> tuple[int, dict]:
@@ -109,6 +128,24 @@ class RetryPolicy:
             self.max_delay_s,
         )
 
+    def honor_retry_after(self, header: str | None, attempt: int) -> float:
+        """Backoff before ``attempt``, honoring a server ``Retry-After``.
+
+        The server's hint (integer seconds per RFC 9110; we accept any
+        non-negative number) replaces the schedule's delay but stays
+        capped at ``max_delay_s`` — a confused or hostile server must
+        never stretch the deterministic schedule.  A missing or
+        malformed header falls back to :meth:`delay_s`.
+        """
+        if header is not None:
+            try:
+                hint = float(header)
+            except ValueError:
+                hint = -1.0
+            if hint >= 0:
+                return min(hint, self.max_delay_s)
+        return self.delay_s(attempt)
+
 
 def request_with_retry(
     base_url: str,
@@ -130,21 +167,24 @@ def request_with_retry(
     attempts are spent.
     """
     policy = policy or RetryPolicy()
+    url = base_url.rstrip("/") + "/align"
     last_status: int | None = None
     last_error: BaseException | None = None
+    retry_after: str | None = None
     for attempt in range(policy.attempts):
         if attempt:
-            sleep(policy.delay_s(attempt))
+            sleep(policy.honor_retry_after(retry_after, attempt))
         try:
-            status, body = request_alignment(
-                base_url, payload, timeout=timeout
+            status, body, headers = post_json_full(
+                url, payload, timeout=timeout
             )
         except (urllib.error.URLError, OSError) as exc:
-            last_status, last_error = None, exc
+            last_status, last_error, retry_after = None, exc, None
             continue
         if status not in RETRYABLE_STATUSES:
             return status, body
         last_status, last_error = status, None
+        retry_after = headers.get("retry-after")
     detail = (
         f"status {last_status}" if last_status is not None
         else f"transport failure ({last_error})"

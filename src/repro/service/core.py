@@ -31,8 +31,10 @@ Thread/context notes — the two stdlib traps this layer exists to absorb:
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import itertools
+import queue
 import threading
 import time
 from dataclasses import dataclass, field
@@ -66,6 +68,24 @@ from repro.tsp.solve import get_effort
 
 #: Drain sentinel; anything unique works, ``None`` would be ambiguous.
 _SENTINEL = object()
+
+#: Kill wake-up token (see :meth:`AlignmentService.kill`): dropped on the
+#: floor by the worker loop, which re-checks the kill flag per item.
+_KILL = object()
+
+
+class _WedgeToken:
+    """Control token that wedges the worker loop: alive, not progressing.
+
+    The moral equivalent of a shard stuck in a pathological solve — the
+    thread keeps running (``/healthz`` stays green) but the heartbeat
+    goes stale and queued work stops draining, which is exactly the
+    signature the shard supervisor's wedge detector keys on.  The wedge
+    releases when its duration elapses or the service is killed.
+    """
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
 
 
 def fallback_method(method: str) -> str:
@@ -183,6 +203,18 @@ class ServiceConfig:
     #: idempotent coalescing — dedup semantics exist only when the journal
     #: gives duplicate payloads a persistent identity).
     journal_path: str | None = None
+    #: Size (bytes) past which the journal compacts itself down to its
+    #: live records; ``None`` = never compact (the pre-compaction
+    #: behaviour: the journal grows without bound across restarts).
+    journal_compact_bytes: int | None = None
+    #: Shared lock serializing pipeline (align/bound) calls across
+    #: services in one process.  The shard supervisor sets this when
+    #: shards run with ``jobs > 1``: the process pool and artifact
+    #: caches are module-global, so concurrent multi-worker align calls
+    #: from several shard threads must take turns.  ``None`` (the
+    #: default, and always the right choice for ``jobs=1``) runs
+    #: lock-free.
+    pipeline_lock: "threading.Lock | None" = None
 
 
 class PendingRequest:
@@ -250,7 +282,10 @@ class AlignmentService:
         self._worker: threading.Thread | None = None
         self._drained = False
         self.journal: RequestJournal | None = (
-            RequestJournal(self.config.journal_path)
+            RequestJournal(
+                self.config.journal_path,
+                compact_bytes=self.config.journal_compact_bytes,
+            )
             if self.config.journal_path
             else None
         )
@@ -267,6 +302,15 @@ class AlignmentService:
         self._recovery_done = threading.Event()
         #: Summary of the last journal replay (``/counters`` exposes it).
         self._recovery: dict | None = None
+        #: Chaos/kill state (see :meth:`kill`): once set, the worker loop
+        #: exits at the next item boundary, stranding queued work — the
+        #: in-process equivalent of SIGKILLing a shard.
+        self._killed = False
+        #: Liveness heartbeat: bumped every time the worker dequeues or
+        #: finishes an item.  A busy worker whose heartbeat goes stale is
+        #: *wedged* — the shard supervisor's restart trigger.
+        self._last_beat = time.monotonic()
+        self._busy = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -288,6 +332,41 @@ class AlignmentService:
         if self._drained:
             return True
         return self._worker is not None and self._worker.is_alive()
+
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
+    @property
+    def busy(self) -> bool:
+        """The worker is mid-item (processing or wedged)."""
+        return self._busy
+
+    def heartbeat_age_s(self) -> float:
+        """Seconds since the worker last made visible progress."""
+        return time.monotonic() - self._last_beat
+
+    def kill(self) -> None:
+        """Die abruptly: the in-process equivalent of SIGKILL on a shard.
+
+        The worker loop exits at its next item boundary without draining
+        — queued requests strand, in-flight handles never resolve, and
+        the journal keeps only what was already fsynced.  Exists for the
+        shard supervisor's ``shard_death`` chaos and for tests; a killed
+        service reports ``healthy == False`` and refuses new submissions,
+        exactly like a dead process behind a load balancer.
+        """
+        self._killed = True
+        try:
+            # Wake a worker blocked on an empty queue; if the queue is
+            # full the worker is busy and will see the flag on its own.
+            self.gate._queue.put_nowait(_KILL)
+        except queue.Full:
+            pass
+
+    def wedge(self, seconds: float) -> None:
+        """Chaos hook: enqueue a wedge token (see :class:`_WedgeToken`)."""
+        self.gate.put_control(_WedgeToken(seconds))
 
     @property
     def recovering(self) -> bool:
@@ -383,7 +462,10 @@ class AlignmentService:
             pending = PendingRequest(next(self._ids))
         ctx = contextvars.copy_context()
         try:
-            self.gate.submit((pending, payload, ctx, key))
+            self.gate.submit(
+                (pending, payload, ctx, key),
+                deadline_ms=self._payload_deadline(payload),
+            )
         except Exception as exc:
             if key is not None:
                 # The journal must not replay a request the gate refused
@@ -397,6 +479,25 @@ class AlignmentService:
     def align(self, payload, timeout: float | None = None) -> dict:
         """Submit and wait — the convenience path for tests and the CLI."""
         return self.submit(payload).result(timeout)
+
+    def _payload_deadline(self, payload) -> float | None:
+        """The request's deadline, for the gate's queue-wait estimate.
+
+        Best-effort and forgiving: a malformed deadline returns ``None``
+        here (the gate admits) and is rejected with a typed 400 by
+        ``parse_request`` on the worker — admission must never throw a
+        different error than the worker would.
+        """
+        if not isinstance(payload, dict):
+            return self.config.default_deadline_ms
+        raw = payload.get("deadline_ms", self.config.default_deadline_ms)
+        if raw is None:
+            return None
+        try:
+            deadline = float(raw)
+        except (TypeError, ValueError):
+            return None
+        return deadline if deadline > 0 else None
 
     # -- the worker ----------------------------------------------------------
 
@@ -421,16 +522,34 @@ class AlignmentService:
             # the journal is an availability feature, never a jailer.
             self._recovering = False
             self._recovery_done.set()
-        while True:
+        while not self._killed:
             item = self.gate.next_item()
-            if item is _SENTINEL:
+            if self._killed or item is _SENTINEL:
                 return
-            self._resolve(item)
+            if item is _KILL:
+                continue  # stale wake-up from an un-killed race; ignore
+            self._last_beat = time.monotonic()
+            if isinstance(item, _WedgeToken):
+                self._busy = True
+                start = time.monotonic()
+                while (not self._killed
+                       and time.monotonic() - start < item.seconds):
+                    time.sleep(0.005)
+                self._busy = False
+                self._last_beat = time.monotonic()
+                continue
+            self._busy = True
+            try:
+                self._resolve(item)
+            finally:
+                self._busy = False
+                self._last_beat = time.monotonic()
 
     def _resolve(self, item) -> None:
         """Process one queued request and settle its handle, journal, and
         idempotency caches.  Runs only on the worker thread."""
         pending, payload, ctx, key = item
+        started = time.monotonic()
         try:
             # Re-enter the submitter's context so its fault plan and
             # trace scope apply to the work done on its behalf.
@@ -465,6 +584,12 @@ class AlignmentService:
                     with self._lock:
                         self._inflight.pop(key, None)
             pending.resolve(response)
+        finally:
+            # Feed the gate's queue-wait estimate with the *observed*
+            # wall time — failures included, they occupy the worker too.
+            self.gate.observe_service_time(
+                (time.monotonic() - started) * 1000.0
+            )
 
     # -- crash recovery ------------------------------------------------------
 
@@ -498,7 +623,16 @@ class AlignmentService:
                 self.stats.recovered += 1
                 obs.count("service.recovered")
             requeued = 0
+            abandoned = 0
             for key, payload in orphans.items():
+                if self.gate.draining or self._killed:
+                    # SIGTERM (or a shard kill) landed mid-replay: abandon
+                    # the rest cleanly.  Un-requeued orphans stay exactly
+                    # as they are in the journal — admitted, no terminal
+                    # record — so the *next* start recovers them; drain
+                    # only has to finish what was already re-enqueued.
+                    abandoned += 1
+                    continue
                 pending = PendingRequest(next(self._ids))
                 with self._lock:
                     self._inflight[key] = pending
@@ -517,11 +651,14 @@ class AlignmentService:
                 "replayed_completed": self.stats.recovered,
                 "reverify_failed": reverify_failed,
                 "reenqueued": requeued,
+                "abandoned": abandoned,
                 "failed_terminal": len(replay.failed),
                 "corrupt_lines": len(replay.corrupt_lines),
                 "torn_tail": replay.torn_tail,
                 "replay_ms": replay_ms,
             }
+            if abandoned:
+                obs.count("service.replay_abandoned", abandoned)
 
     def _verify_replayed(self, payload, response) -> list[str] | None:
         """Re-prove a journaled response before it may be served again.
@@ -554,9 +691,15 @@ class AlignmentService:
             layouts = ProgramLayout()
             for name, order in raw.items():
                 layouts[str(name)] = Layout(tuple(int(b) for b in order))
-            floors = lower_bound_program(
-                program, profile, model=model, jobs=self.config.jobs
-            ).per_procedure
+            pipeline_guard = (
+                self.config.pipeline_lock
+                if self.config.pipeline_lock is not None
+                else contextlib.nullcontext()
+            )
+            with pipeline_guard:
+                floors = lower_bound_program(
+                    program, profile, model=model, jobs=self.config.jobs
+                ).per_procedure
             costs = {
                 str(name): float(cost)
                 for name, cost in (response.get("costs") or {}).items()
@@ -609,19 +752,29 @@ class AlignmentService:
                 len(program.procedures),
                 self.config.policy,
             )
-            report = AlignmentReport()
-            layouts = align_program(
-                program,
-                profile,
-                method=method_used,
-                model=model,
-                effort=request.effort,
-                seed=request.seed,
-                budget=plan.budget,
-                jobs=self.config.jobs,
-                policy=plan.policy,
-                report=report,
+            # With several shard workers in one process, multi-worker
+            # align calls share the module-global pool and caches and
+            # must take turns; jobs=1 shards pass a null context and run
+            # fully in parallel.
+            pipeline_guard = (
+                self.config.pipeline_lock
+                if self.config.pipeline_lock is not None
+                else contextlib.nullcontext()
             )
+            report = AlignmentReport()
+            with pipeline_guard:
+                layouts = align_program(
+                    program,
+                    profile,
+                    method=method_used,
+                    model=model,
+                    effort=request.effort,
+                    seed=request.seed,
+                    budget=plan.budget,
+                    jobs=self.config.jobs,
+                    policy=plan.policy,
+                    report=report,
+                )
             infrastructure_failed = (
                 report.worker_crashes > 0
                 or report.timeouts > 0
@@ -632,15 +785,16 @@ class AlignmentService:
             penalty = evaluate_program(program, layouts, profile, model)
             bounds = None
             if request.bound:
-                bounds = lower_bound_program(
-                    program,
-                    profile,
-                    model=model,
-                    upper_bounds=dict(report.costs),
-                    budget=plan.budget,
-                    jobs=self.config.jobs,
-                    policy=plan.policy,
-                ).per_procedure
+                with pipeline_guard:
+                    bounds = lower_bound_program(
+                        program,
+                        profile,
+                        model=model,
+                        upper_bounds=dict(report.costs),
+                        budget=plan.budget,
+                        jobs=self.config.jobs,
+                        policy=plan.policy,
+                    ).per_procedure
 
             degraded = dict(report.degraded)
             if route == ROUTE_FALLBACK:

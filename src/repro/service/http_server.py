@@ -14,10 +14,21 @@ Status mapping — the service's error taxonomy *is* the status code::
 
     ServiceOverloadError            429  (shed: back off and retry)
     ServiceUnavailableError         503  (draining / worker down)
+    ShardFailoverError              503  (no live shard; tier healing)
     UsageError / LangError /
       ProfileValidationError /
       ProfileMismatchError          400  (the request is wrong)
     any other ReproError            500  (ours; typed, but a failure)
+
+429/503 responses carry a ``Retry-After`` header: the admission gate's
+own drain estimate when the shed error provides one, else a 1-second
+floor.  :class:`~repro.service.client.RetryPolicy` honors it under its
+deterministic cap.
+
+The same server fronts either one :class:`AlignmentService` or a
+:class:`~repro.service.shard.ShardSupervisor` — both expose
+``submit``/``healthy``/``ready``/``recovering``/``journal``/
+``snapshot``/``begin_drain``/``drain``, which is all this module uses.
 
 Graceful drain: SIGTERM (and SIGINT) stops admission *first* — new
 requests get 503 while in-flight handlers keep their connections — then
@@ -39,6 +50,7 @@ from repro.errors import (
     ReproError,
     ServiceOverloadError,
     ServiceUnavailableError,
+    ShardFailoverError,
     UsageError,
 )
 from repro.lang import LangError
@@ -53,13 +65,23 @@ DEFAULT_REQUEST_TIMEOUT_S = 600.0
 def _status_for(exc: BaseException) -> int:
     if isinstance(exc, ServiceOverloadError):
         return 429
-    if isinstance(exc, ServiceUnavailableError):
+    if isinstance(exc, (ServiceUnavailableError, ShardFailoverError)):
         return 503
     if isinstance(exc, (UsageError, LangError, ProfileMismatchError)):
         # ProfileValidationError subclasses ProfileMismatchError: both a
         # malformed profile and a mismatched one are the client's input.
         return 400
     return 500
+
+
+def _retry_after_header(exc: BaseException | None) -> str:
+    """``Retry-After`` value for a 429/503: the gate's own drain estimate
+    when the shed error carries one, else a 1-second floor (the header is
+    integer seconds, and "0" invites a busy-loop)."""
+    hint = getattr(exc, "retry_after_s", None)
+    if not isinstance(hint, (int, float)) or hint <= 0:
+        return "1"
+    return str(max(1, int(round(hint))))
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -70,11 +92,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # the trace/counters carry the signal; stderr stays clean
 
-    def _send(self, code: int, payload: dict) -> None:
+    def _send(
+        self, code: int, payload: dict, *, retry_after: str | None = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is None and code in (429, 503):
+            retry_after = _retry_after_header(None)
+        if retry_after is not None:
+            self.send_header("Retry-After", retry_after)
         self.end_headers()
         try:
             self.wfile.write(body)
@@ -128,13 +156,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except TimeoutError as exc:
             self._send(500, {"status": "error", "error": str(exc)})
         except BaseException as exc:  # noqa: BLE001 — typed mapping below
+            status = _status_for(exc)
             self._send(
-                _status_for(exc),
+                status,
                 {
                     "status": "error",
                     "error": str(exc),
                     "type": type(exc).__name__,
                 },
+                retry_after=(
+                    _retry_after_header(exc)
+                    if status in (429, 503) else None
+                ),
             )
         else:
             self._send(200, response)
@@ -154,17 +187,19 @@ class AlignmentHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: tuple[str, int],
-        service: AlignmentService,
+        service: "AlignmentService | object",
         *,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
     ):
+        # ``service`` may also be a ShardSupervisor — anything exposing
+        # the submit/healthy/ready/recovering/journal/snapshot surface.
         super().__init__(address, ServiceRequestHandler)
         self.service = service
         self.request_timeout_s = request_timeout_s
 
 
 def serve(
-    service: AlignmentService,
+    service: "AlignmentService | object",
     *,
     host: str = "127.0.0.1",
     port: int = 8421,
@@ -197,9 +232,15 @@ def serve(
         signal.signal(signal.SIGINT, trigger_drain)
 
     bound_host, bound_port = server.server_address[:2]
+    config = service.config
+    capacity = getattr(config, "capacity", None)
+    if capacity is None:
+        # A shard tier: per-shard capacity times the shard count.
+        shards = getattr(config, "shards", 1)
+        capacity = f"{shards}x{config.service.capacity}"
     announce(
         f"repro service listening on http://{bound_host}:{bound_port} "
-        f"(capacity {service.config.capacity})",
+        f"(capacity {capacity})",
     )
     try:
         server.serve_forever()

@@ -63,6 +63,15 @@ def _digest(payload: object) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+#: Raw-payload digest → computed key.  Keying compiles the request's
+#: source, which is far too expensive to repeat for every duplicate of a
+#: hot payload under Zipf traffic; the memo makes re-keying a duplicate a
+#: dict hit.  Bounded (FIFO eviction) so a key-diverse client cannot grow
+#: it without limit.
+_KEY_MEMO: dict[str, str] = {}
+_KEY_MEMO_MAX = 4096
+
+
 def request_key(payload: object) -> str:
     """Content-addressed idempotency key for one request payload.
 
@@ -77,6 +86,22 @@ def request_key(payload: object) -> str:
     back to a digest of the canonical payload itself: still stable for a
     byte-identical retry, never an exception at admission time.
     """
+    try:
+        raw_digest = _digest(payload)
+        memoized = _KEY_MEMO.get(raw_digest)
+        if memoized is not None:
+            return memoized
+    except Exception:  # noqa: BLE001 — unserializable payloads skip the memo
+        raw_digest = None
+    key = _compute_request_key(payload)
+    if raw_digest is not None:
+        if len(_KEY_MEMO) >= _KEY_MEMO_MAX:
+            _KEY_MEMO.pop(next(iter(_KEY_MEMO)))
+        _KEY_MEMO[raw_digest] = key
+    return key
+
+
+def _compute_request_key(payload: object) -> str:
     try:
         from repro.lang import compile_source
         from repro.pipeline.artifacts import (
@@ -158,6 +183,10 @@ class JournalStats:
     #: Appends dropped because the journal is in degraded mode.
     dropped: int = 0
     io_errors: int = 0
+    #: Size-triggered compactions that rewrote the file.
+    compactions: int = 0
+    #: Bytes reclaimed across all compactions.
+    compacted_bytes: int = 0
 
 
 # -- the journal --------------------------------------------------------------
@@ -168,11 +197,33 @@ def _record_sha(record: dict) -> str:
     return _digest(body)
 
 
-class RequestJournal:
-    """Append-only, fsynced, torn-tail-tolerant request journal."""
+#: Completions a compaction keeps (most recent first to go stale last).
+DEFAULT_KEEP_COMPLETED = 256
 
-    def __init__(self, path: "str | os.PathLike[str]"):
+
+class RequestJournal:
+    """Append-only, fsynced, torn-tail-tolerant request journal.
+
+    With ``compact_bytes`` set, the journal rewrites itself whenever an
+    append pushes the file past that size, keeping only the *live*
+    records: every orphaned admission (work a crash would need to
+    replay) and the most recent ``keep_completed`` completions together
+    with their admitted payloads (so recovery can still re-verify them).
+    Terminal failures and superseded history are dropped — the client's
+    retry policy owns failed requests, and a bounded journal is the
+    price of surviving unbounded uptime.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        *,
+        compact_bytes: int | None = None,
+        keep_completed: int = DEFAULT_KEEP_COMPLETED,
+    ):
         self.path = pathlib.Path(path).expanduser()
+        self.compact_bytes = compact_bytes
+        self.keep_completed = max(0, keep_completed)
         self.stats = JournalStats()
         #: Degraded-durability mode: an append failed, serving continues
         #: without crash-safety until restart.  Sticky by design — a disk
@@ -261,7 +312,96 @@ class RequestJournal:
                 return False
             self._ends_with_newline = True
             self.stats.appended += 1
+            self._maybe_compact_locked()
             return True
+
+    # - compaction -
+
+    def _maybe_compact_locked(self) -> None:
+        if self.compact_bytes is None:
+            return
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size > self.compact_bytes:
+            self._compact_locked(size)
+
+    def compact(self) -> bool:
+        """Force one compaction pass (the size trigger calls this form
+        automatically via ``_append``).  Returns whether a rewrite
+        happened."""
+        with self._lock:
+            if self.degraded:
+                return False
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                return False
+            return self._compact_locked(size)
+
+    def _compact_locked(self, old_size: int) -> bool:
+        """Rewrite the journal with only its live records.
+
+        Live = every orphaned admission, plus the most recent
+        ``keep_completed`` completions *with* their admitted payload
+        records (recovery re-verifies a completion against its payload;
+        a completion whose payload is gone is dropped rather than kept
+        unverifiable).  Records are re-checksummed, written to a
+        temporary file, fsynced, and atomically swapped in — a crash
+        mid-compaction leaves the old journal untouched, and the
+        replaced file starts newline-clean so torn-tail tolerance is
+        unaffected.
+        """
+        replay = self.load()
+        lines: list[str] = []
+
+        def emit(record: dict) -> None:
+            record = dict(record)
+            record["sha"] = _record_sha(record)
+            lines.append(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+            )
+
+        kept_completed = list(replay.completed.items())[-self.keep_completed:]
+        for key, response in kept_completed:
+            payload = replay.payloads.get(key)
+            if payload is None:
+                continue
+            emit({"v": JOURNAL_VERSION, "type": "admitted",
+                  "key": key, "payload": payload})
+            emit({"v": JOURNAL_VERSION, "type": "completed",
+                  "key": key, "response": response})
+        for key, payload in replay.orphans.items():
+            emit({"v": JOURNAL_VERSION, "type": "admitted",
+                  "key": key, "payload": payload})
+
+        tmp = self.path.with_name(self.path.name + ".compact")
+        try:
+            with tmp.open("w") as handle:
+                handle.write("".join(line + "\n" for line in lines))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            # A failed compaction is not a failed journal: the original
+            # file is intact, so serving (and the next trigger) continue.
+            self.stats.io_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self._ends_with_newline = True
+        self.stats.compactions += 1
+        try:
+            self.stats.compacted_bytes += max(
+                0, old_size - self.path.stat().st_size
+            )
+        except OSError:
+            pass
+        obs.count("service.journal_compacted")
+        return True
 
     # - replay side -
 
@@ -347,4 +487,6 @@ class RequestJournal:
             "failed": self.stats.failed,
             "dropped": self.stats.dropped,
             "io_errors": self.stats.io_errors,
+            "compactions": self.stats.compactions,
+            "compacted_bytes": self.stats.compacted_bytes,
         }

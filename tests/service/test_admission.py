@@ -4,9 +4,14 @@ import threading
 
 import pytest
 
-from repro.errors import ServiceOverloadError, ServiceUnavailableError
+from repro.errors import (
+    DeadlineShedError,
+    ServiceOverloadError,
+    ServiceUnavailableError,
+)
 from repro.faults import inject_faults
 from repro.service import AdmissionGate, AlignmentService, ServiceConfig
+from repro.service.admission import SERVICE_TIME_ALPHA
 
 from .conftest import make_payload
 
@@ -57,6 +62,76 @@ class TestGate:
             gate.submit("third")
         assert plan.trips("service_overload") == 1
         assert (gate.admitted, gate.shed) == (2, 1)
+
+
+class TestAdaptiveAdmission:
+    def test_estimate_starts_unseeded_and_tracks_ewma(self):
+        gate = AdmissionGate(capacity=4)
+        assert gate.estimated_service_ms() is None
+        assert gate.expected_wait_ms() == 0.0
+        gate.observe_service_time(100.0)
+        assert gate.estimated_service_ms() == 100.0
+        gate.observe_service_time(200.0)
+        expected = 100.0 + SERVICE_TIME_ALPHA * 100.0
+        assert gate.estimated_service_ms() == pytest.approx(expected)
+
+    def test_negative_observation_is_ignored(self):
+        gate = AdmissionGate(capacity=4)
+        gate.observe_service_time(-5.0)
+        assert gate.estimated_service_ms() is None
+
+    def test_expected_wait_scales_with_backlog(self):
+        gate = AdmissionGate(capacity=8)
+        gate.observe_service_time(50.0)
+        assert gate.expected_wait_ms() == 0.0
+        gate.submit("a")
+        gate.submit("b")
+        assert gate.expected_wait_ms() == pytest.approx(100.0)
+
+    def test_doomed_deadline_is_shed_typed(self):
+        gate = AdmissionGate(capacity=8)
+        gate.observe_service_time(100.0)
+        gate.submit("a")
+        gate.submit("b")  # expected wait now 200ms
+        with pytest.raises(DeadlineShedError) as info:
+            gate.submit("c", deadline_ms=50.0)
+        exc = info.value
+        # Still a 429: DeadlineShedError subclasses ServiceOverloadError.
+        assert isinstance(exc, ServiceOverloadError)
+        assert exc.expected_wait_ms == pytest.approx(200.0)
+        assert exc.deadline_ms == 50.0
+        assert exc.retry_after_s > 0
+        # A deadline the backlog can meet is admitted.
+        gate.next_item()
+        gate.next_item()
+        gate.submit("d", deadline_ms=50.0)
+        assert gate.deadline_shed == 1
+        assert gate.submitted == gate.admitted + gate.shed
+
+    def test_uncalibrated_gate_never_deadline_sheds(self):
+        gate = AdmissionGate(capacity=2)
+        gate.submit("a", deadline_ms=0.001)
+        gate.submit("b", deadline_ms=0.001)
+        assert gate.deadline_shed == 0
+
+    def test_shed_errors_carry_retry_after(self):
+        gate = AdmissionGate(capacity=1)
+        gate.observe_service_time(500.0)
+        gate.submit("a")
+        with pytest.raises(ServiceOverloadError) as info:
+            gate.submit("b")
+        assert info.value.retry_after_s == pytest.approx(0.5)
+
+    def test_stats_expose_estimate_and_deadline_sheds(self):
+        gate = AdmissionGate(capacity=4)
+        gate.observe_service_time(10.0)
+        stats = gate.stats()
+        assert stats["est_service_ms"] == 10.0
+        assert stats["deadline_shed"] == 0
+
+    def test_service_worker_feeds_the_estimate(self, service, payload):
+        assert service.align(payload, timeout=60)["status"] == "ok"
+        assert service.gate.estimated_service_ms() is not None
 
 
 class TestServiceAdmission:

@@ -108,7 +108,7 @@ class TestEndpoints:
 
     def test_shed_maps_to_429(self, http_service, monkeypatch):
         base, service, _ = http_service
-        def always_shed(item):
+        def always_shed(item, **kwargs):
             raise ServiceOverloadError("admission shed", queue_depth=4)
 
         monkeypatch.setattr(service.gate, "submit", always_shed)
@@ -225,3 +225,81 @@ class TestDrainOverHTTP:
         status, body = request_alignment(base, make_payload(), timeout=60)
         assert status == 503
         assert body["type"] == "ServiceUnavailableError"
+
+
+class TestRetryAfter:
+    def test_shed_429_carries_the_gate_estimate(self, http_service, monkeypatch):
+        from repro.errors import ServiceOverloadError as Overload
+        from repro.service.client import post_json_full
+
+        base, service, _ = http_service
+
+        def always_shed(item, **kwargs):
+            raise Overload("admission shed", queue_depth=4, retry_after_s=2.4)
+
+        monkeypatch.setattr(service.gate, "submit", always_shed)
+        status, _body, headers = post_json_full(
+            base + "/align", make_payload(), timeout=60
+        )
+        assert status == 429
+        assert headers["retry-after"] == "2"
+
+    def test_draining_503_defaults_to_one_second(self, http_service):
+        from repro.service.client import post_json_full
+
+        base, service, _ = http_service
+        assert request_alignment(base, make_payload(), timeout=120)[0] == 200
+        service.begin_drain()
+        status, _body, headers = post_json_full(
+            base + "/align", make_payload(), timeout=60
+        )
+        assert status == 503
+        assert headers["retry-after"] == "1"
+
+    def test_success_has_no_retry_after(self, http_service):
+        from repro.service.client import post_json_full
+
+        base, _, _ = http_service
+        status, _body, headers = post_json_full(
+            base + "/align", make_payload(), timeout=120
+        )
+        assert status == 200
+        assert "retry-after" not in headers
+
+
+class TestClientHonorsRetryAfter:
+    def test_header_replaces_the_schedule_delay(self):
+        from repro.service.client import RetryPolicy as Policy
+
+        policy = Policy(attempts=5, base_delay_s=0.1, max_delay_s=2.0)
+        assert policy.honor_retry_after("1.5", attempt=1) == 1.5
+        # Capped: a server hint never stretches the deterministic cap.
+        assert policy.honor_retry_after("30", attempt=1) == 2.0
+        # Missing or malformed header falls back to the schedule.
+        assert policy.honor_retry_after(None, attempt=2) == policy.delay_s(2)
+        assert policy.honor_retry_after("soon", attempt=2) == policy.delay_s(2)
+        assert policy.honor_retry_after("-3", attempt=3) == policy.delay_s(3)
+
+    def test_retry_loop_sleeps_the_server_hint(self, monkeypatch):
+        import repro.service.client as client_mod
+        from repro.service.client import RetryPolicy as Policy
+
+        answers = iter([
+            (429, {"type": "ServiceOverloadError"}, {"retry-after": "0.7"}),
+            (429, {"type": "ServiceOverloadError"}, {}),
+            (200, {"status": "ok"}, {}),
+        ])
+        monkeypatch.setattr(
+            client_mod, "post_json_full",
+            lambda url, payload, timeout: next(answers),
+        )
+        slept = []
+        status, body = client_mod.request_with_retry(
+            "http://example.invalid", {"x": 1},
+            policy=Policy(attempts=5, base_delay_s=0.1, max_delay_s=2.0),
+            sleep=slept.append,
+        )
+        assert status == 200 and body == {"status": "ok"}
+        # First retry slept the header (0.7, not the schedule's 0.1);
+        # second fell back to the deterministic schedule (0.2).
+        assert slept == [0.7, 0.2]

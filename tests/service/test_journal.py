@@ -167,3 +167,104 @@ class TestDegradedDurability:
             "service.journal_degraded", 0
         )
         assert after == before + 1
+
+
+class TestCompaction:
+    def test_appends_below_threshold_never_compact(self, tmp_path):
+        journal = RequestJournal(
+            tmp_path / "journal.jsonl", compact_bytes=1_000_000
+        )
+        for i in range(10):
+            journal.admitted(f"k{i}", make_payload(seed=i))
+        assert journal.stats.compactions == 0
+
+    def test_size_trigger_rewrites_only_live_records(self, tmp_path):
+        journal = RequestJournal(
+            tmp_path / "journal.jsonl", compact_bytes=4096, keep_completed=2
+        )
+        # Lots of superseded history: completions beyond keep_completed,
+        # terminal failures, and two orphans that must survive verbatim.
+        for i in range(20):
+            journal.admitted(f"done{i}", make_payload(seed=i))
+            journal.completed(f"done{i}", {"status": "ok", "seed": i})
+        journal.admitted("orphan-a", make_payload(seed=100))
+        journal.failed("gone", RuntimeError("boom"))
+        journal.admitted("orphan-b", make_payload(seed=101))
+        journal.compact()
+        assert journal.stats.compactions >= 1
+        assert journal.stats.compacted_bytes > 0
+
+        replay = RequestJournal(journal.path).load()
+        # Orphans preserved with their payloads, in place.
+        assert set(replay.orphans) == {"orphan-a", "orphan-b"}
+        assert replay.orphans["orphan-a"] == make_payload(seed=100)
+        # Only the most recent completions survive, re-verifiable
+        # (payload retained alongside the response).
+        assert set(replay.completed) == {"done18", "done19"}
+        assert replay.completed["done19"] == {"status": "ok", "seed": 19}
+        assert replay.payloads["done19"] == make_payload(seed=19)
+        # Terminal failures are dropped: the retry policy owns those.
+        assert replay.failed == {}
+        assert replay.corrupt_lines == []
+
+    def test_automatic_trigger_fires_past_threshold(self, tmp_path):
+        journal = RequestJournal(
+            tmp_path / "journal.jsonl", compact_bytes=2048, keep_completed=1
+        )
+        for i in range(30):
+            journal.admitted(f"k{i}", make_payload(seed=i))
+            journal.completed(f"k{i}", {"status": "ok"})
+        assert journal.stats.compactions >= 1
+        assert journal.path.stat().st_size < 2048 + 4096
+
+    def test_compacted_journal_stays_torn_tail_tolerant(self, tmp_path):
+        journal = RequestJournal(
+            tmp_path / "journal.jsonl", compact_bytes=4096, keep_completed=4
+        )
+        for i in range(8):
+            journal.admitted(f"k{i}", make_payload(seed=i))
+            journal.completed(f"k{i}", {"status": "ok"})
+        journal.admitted("orphan", make_payload(seed=50))
+        journal.compact()
+        # A crash mid-append after compaction tears the last line.
+        with journal.path.open("a") as handle:
+            handle.write('{"v": 1, "type": "admitted", "key": "torn')
+        replay = RequestJournal(journal.path).load()
+        assert replay.torn_tail
+        assert "orphan" in replay.orphans
+        # And the journal keeps appending cleanly past the stump.
+        journal2 = RequestJournal(journal.path)
+        journal2.admitted("after", make_payload(seed=51))
+        replay2 = RequestJournal(journal.path).load()
+        assert "after" in replay2.orphans
+
+    def test_compaction_counts_the_stable_counter(self, tmp_path):
+        from repro import obs
+
+        before = obs.counters(stable_only=True).get(
+            "service.journal_compacted", 0
+        )
+        journal = RequestJournal(tmp_path / "journal.jsonl", compact_bytes=64)
+        journal.admitted("k", make_payload())
+        journal.completed("k", {"status": "ok"})
+        after = obs.counters(stable_only=True).get(
+            "service.journal_compacted", 0
+        )
+        assert journal.stats.compactions >= 1
+        assert after > before
+
+    def test_degraded_journal_never_compacts(self, tmp_path):
+        journal = RequestJournal(tmp_path / "journal.jsonl", compact_bytes=64)
+        journal.degraded = True
+        journal.admitted("k", make_payload())
+        assert journal.compact() is False
+        assert journal.stats.compactions == 0
+
+    def test_snapshot_reports_compaction_stats(self, tmp_path):
+        journal = RequestJournal(tmp_path / "journal.jsonl", compact_bytes=64)
+        journal.admitted("k", make_payload())
+        journal.completed("k", {"status": "ok"})
+        snap = journal.snapshot()
+        assert snap["compactions"] == journal.stats.compactions >= 1
+        # Everything was live, so little to reclaim — but it's reported.
+        assert snap["compacted_bytes"] == journal.stats.compacted_bytes

@@ -321,3 +321,109 @@ class TestClientRetry:
             assert service.drain(timeout=30)
             server.server_close()
             accept.join(10)
+
+
+class TestDrainDuringReplay:
+    """SIGTERM arriving while recovery replay is still running: the
+    drain must finish promptly with un-replayed orphans *cleanly
+    abandoned* — left in the journal, byte-for-byte, for the next start
+    — never half-processed.  (``serve()`` maps a clean drain to exit 0;
+    the real-signal version lives in ``benchmarks/service_check.py``.)
+    """
+
+    def _journal_with_orphans(self, tmp_path, count=3):
+        journal_path = tmp_path / "journal.jsonl"
+        journal = RequestJournal(journal_path)
+        for seed in range(count):
+            payload = make_payload(seed=seed)
+            journal.admitted(request_key(payload), payload)
+        return journal_path
+
+    def test_drain_before_replay_abandons_orphans_untouched(self, tmp_path):
+        journal_path = self._journal_with_orphans(tmp_path)
+        before = journal_path.read_bytes()
+
+        service = AlignmentService(
+            ServiceConfig(capacity=4, journal_path=str(journal_path))
+        )
+        # SIGTERM raced the start: admission is already closed when the
+        # worker begins its replay.
+        service.begin_drain()
+        service.start()
+        assert service.drain(timeout=30)  # == exit 0 in serve()
+        recovery = service.snapshot()["recovery"]
+        assert recovery["abandoned"] == 3
+        assert recovery["reenqueued"] == 0
+        # Abandoned means untouched: the journal is byte-for-byte the
+        # crash state, so nothing was lost.
+        assert journal_path.read_bytes() == before
+
+    def test_next_start_recovers_abandoned_orphans(self, tmp_path):
+        journal_path = self._journal_with_orphans(tmp_path, count=2)
+        first = AlignmentService(
+            ServiceConfig(capacity=4, journal_path=str(journal_path))
+        )
+        first.begin_drain()
+        first.start()
+        assert first.drain(timeout=30)
+
+        second = start_and_await(
+            ServiceConfig(capacity=4, journal_path=str(journal_path))
+        )
+        try:
+            recovery = second.snapshot()["recovery"]
+            assert recovery["reenqueued"] == 2
+            assert recovery["abandoned"] == 0
+            assert second.drain(timeout=60)
+            replay = RequestJournal(journal_path).load()
+            assert not replay.orphans  # all solved and journaled
+        except BaseException:
+            second.drain(timeout=30)
+            raise
+
+    def test_sigterm_mid_replay_finishes_clean_and_loses_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        """Drain lands *during* the replay: whatever was already
+        re-enqueued completes, the rest stays journaled for next time."""
+        import repro.service.core as core_mod
+
+        journal_path = tmp_path / "journal.jsonl"
+        journal = RequestJournal(journal_path)
+        completed_payload = make_payload(seed=90)
+        journal.admitted(request_key(completed_payload), completed_payload)
+        orphans = [make_payload(seed=91), make_payload(seed=92)]
+        for payload in orphans:
+            journal.admitted(request_key(payload), payload)
+
+        replaying = threading.Event()
+        proceed = threading.Event()
+        real_requeue = core_mod.AdmissionGate.requeue
+
+        def gated_requeue(self, item):
+            replaying.set()
+            assert proceed.wait(30)
+            return real_requeue(self, item)
+
+        monkeypatch.setattr(core_mod.AdmissionGate, "requeue", gated_requeue)
+        service = AlignmentService(
+            ServiceConfig(capacity=4, journal_path=str(journal_path))
+        ).start()
+        assert replaying.wait(30)  # the first orphan is mid-requeue
+        service.begin_drain()      # SIGTERM lands here
+        proceed.set()
+        assert service.drain(timeout=60)
+        recovery = service.snapshot()["recovery"]
+        assert recovery["reenqueued"] + recovery["abandoned"] == 3
+        assert recovery["abandoned"] >= 1
+        # Nothing is lost, whichever side of the drain each orphan
+        # landed on: every admitted key is either completed in the
+        # journal or still an orphan awaiting the next start.  (A
+        # re-enqueued orphan the drain sentinel outraced stays an
+        # orphan — abandoned in effect, never half-processed.)
+        replay = RequestJournal(journal_path).load()
+        keys = {
+            request_key(p) for p in [completed_payload, *orphans]
+        }
+        assert set(replay.orphans) | set(replay.completed) == keys
+        assert len(replay.orphans) >= recovery["abandoned"]

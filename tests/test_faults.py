@@ -186,3 +186,24 @@ class TestChaosPlan:
         faults.check_solver_timeout()   # no raise: context plan only
         assert faults.worker_crash_fires()
         monkeypatch.setenv(faults.CHAOS_ENV, "")
+
+
+class TestShardSites:
+    def test_shard_death_and_wedge_fire_from_context_plan(self):
+        with inject_faults(shard_death=1, shard_wedge=1) as plan:
+            assert faults.shard_death_fires()
+            assert not faults.shard_death_fires()
+            assert faults.shard_wedge_fires()
+            assert not faults.shard_wedge_fires()
+        assert plan.trips("shard_death") == 1
+        assert plan.trips("shard_wedge") == 1
+
+    def test_chaos_env_reaches_shard_sites(self, monkeypatch):
+        monkeypatch.setenv(faults.CHAOS_ENV, "shard_death=1")
+        assert faults.shard_death_fires()
+        assert not faults.shard_wedge_fires()
+        monkeypatch.setenv(faults.CHAOS_ENV, "")
+
+    def test_no_plan_is_a_no_op(self):
+        assert not faults.shard_death_fires()
+        assert not faults.shard_wedge_fires()
