@@ -43,6 +43,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import math
 import pathlib
 import platform
 import random
@@ -124,10 +125,23 @@ def zipf_sequence(
 
 
 def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (no interpolation): the smallest observed
+    value such that at least ``fraction`` of the sample is <= it —
+    ``ordered[ceil(fraction * n) - 1]``, clamped into the sample.
+
+    Degenerate inputs have a defined, stable answer so a fully-shed soak
+    still produces a valid BENCH_service.json: an empty sample reports
+    0.0 (there were no latencies, not an index error) and a singleton
+    reports its only element for every fraction.  Nearest-rank — rather
+    than linear interpolation — always returns a latency that actually
+    occurred, and two runs over identical samples report identical
+    p50/p95 regardless of sample size parity.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    rank = math.ceil(fraction * len(ordered))
+    index = min(len(ordered) - 1, max(0, rank - 1))
     return ordered[index]
 
 

@@ -6,7 +6,8 @@ Two measurements:
 * **tier1** — wall-clock of the repository's tier-1 test suite
   (``python -m pytest -x -q``), the guardrail every PR must keep green.
 * **figure2** — a fixed sweep: every benchmark case of the paper's Figure 2
-  configuration (train = test, methods original/greedy/tsp), run once per
+  configuration (train = test, the runner's default method set — both
+  greedy baselines, TSP, and the Ext-TSP chain-merge pair), run once per
   requested worker count with cold alignment caches.  Reports wall-clock,
   aligned procedures per second, the artifact cache's per-kind hit
   rates (the ``instance`` rate is the cost-matrix sharing the pipeline

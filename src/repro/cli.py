@@ -48,6 +48,7 @@ from repro.core import (
     train_predictors,
 )
 from repro.core.align import ALIGN_METHODS
+from repro.core.exttsp import exttsp_program_score
 from repro.errors import ProfileValidationError, ReproError, UsageError
 from repro.experiments.report import format_table
 from repro.lang import LangError, compile_source, run_and_profile
@@ -215,6 +216,7 @@ def cmd_align(args) -> int:
         methods.insert(0, "original")
     rows = []
     baseline = None
+    score_baseline = None
     for method in methods:
         layouts = align_program(
             program, training, method=method, model=model,
@@ -223,10 +225,13 @@ def cmd_align(args) -> int:
         penalty = evaluate_program(
             program, layouts, testing, model, predictors=predictors
         )
+        score = exttsp_program_score(program, layouts, testing)
         if baseline is None:
             baseline = penalty.total or 1.0
+            score_baseline = score or 1.0
         rows.append([
             method, penalty.total, penalty.total / baseline,
+            score, score / score_baseline,
             penalty.breakdown.redirect, penalty.breakdown.mispredict,
             penalty.breakdown.jump,
         ])
@@ -235,10 +240,10 @@ def cmd_align(args) -> int:
             program, training, model=model, jobs=args.jobs, policy=policy
         )
         rows.append(["(lower bound)", bound.total, bound.total / baseline,
-                     "", "", ""])
+                     "", "", "", "", ""])
     print(format_table(
-        ["method", "penalty cycles", "normalized", "redirect",
-         "mispredict", "jump"],
+        ["method", "penalty cycles", "normalized", "ext-tsp score",
+         "norm", "redirect", "mispredict", "jump"],
         rows,
         title=f"branch alignment under {model.name}"
         + (" (cross-validated)" if args.cross_profile else ""),
@@ -322,6 +327,7 @@ def cmd_suite(args) -> int:
         for method, outcome in case.methods.items():
             rows.append([
                 method, outcome.penalty, case.normalized_penalty(method),
+                outcome.exttsp, case.normalized_exttsp(method),
                 outcome.cycles, case.normalized_cycles(method),
                 outcome.timing.icache_misses,
                 outcome.degraded_summary or "-",
@@ -329,11 +335,11 @@ def cmd_suite(args) -> int:
                 len(outcome.quarantined) or "-",
             ])
         rows.append(["(lower bound)", case.lower_bound, case.normalized_bound,
-                     "", "", "", "", "", ""])
+                     "", "", "", "", "", "", "", ""])
         title = f"{case.label} (trained on {case.train_dataset})"
         print(format_table(
-            ["method", "penalty", "norm", "sim cycles", "norm", "i$ misses",
-             "degraded", "retried", "quarantined"],
+            ["method", "penalty", "norm", "ext-tsp", "norm", "sim cycles",
+             "norm", "i$ misses", "degraded", "retried", "quarantined"],
             rows, title=title,
         ))
         for line in sorted(

@@ -27,8 +27,17 @@ from repro.pipeline.registry import (
 from repro.core.aligners import (
     alignment_lower_bound,
     calder_grunwald_layout,
+    chain_merge_layout,
+    exttsp_layout,
     pettis_hansen_layout,
     tsp_align,
+)
+from repro.core.exttsp import (
+    DEFAULT_PARAMS,
+    ExtTSPParams,
+    exttsp_max_score,
+    exttsp_program_score,
+    exttsp_score,
 )
 from repro.core.costmatrix import (
     DUMMY_CITY,
@@ -87,13 +96,20 @@ __all__ = [
     "ProgramPenalty",
     "align_program",
     "alignment_lower_bound",
+    "DEFAULT_PARAMS",
+    "ExtTSPParams",
     "build_alignment_instance",
     "calder_grunwald_layout",
+    "chain_merge_layout",
     "describe_layout",
     "describe_program",
     "effective_kind",
     "evaluate_layout",
     "evaluate_program",
+    "exttsp_layout",
+    "exttsp_max_score",
+    "exttsp_program_score",
+    "exttsp_score",
     "lower_bound_program",
     "get_aligner",
     "materialize_procedure",

@@ -6,7 +6,13 @@
 
 Methods: ``original`` (no reordering), ``greedy`` (Pettis–Hansen frequency
 chaining — the paper's baseline), ``cost-greedy`` (Calder–Grunwald-style),
-and ``tsp`` (the paper's near-optimal DTSP alignment).
+``tsp`` (the paper's near-optimal DTSP alignment), and the modern
+Ext-TSP pair — ``chain-merge`` (greedy chain splits/merges maximizing the
+Ext-TSP gain, à la Newell–Pupyrev) and ``exttsp`` (chain-merge plus a
+single-block hill climb).  Every aligner's layout is priced both ways:
+the paper's control penalty and the Ext-TSP score
+(:mod:`repro.core.exttsp`) travel together on each
+:class:`~repro.pipeline.task.ProcedureResult`.
 
 Methods are *registered*, not hard-coded: each built-in below is a
 :func:`~repro.pipeline.registry.register_aligner` entry mapping a
@@ -25,8 +31,10 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.budget import Budget, RetryPolicy
 from repro.cfg.graph import Program
+from repro.core.aligners.exttsp_merge import MergeStats, exttsp_layout
 from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
 from repro.core.aligners.tsp_aligner import tsp_align
+from repro.core.exttsp import exttsp_score
 from repro.core.layout import ProgramLayout, original_layout
 from repro.machine.models import ALPHA_21164, PenaltyModel
 from repro.pipeline.registry import (
@@ -48,15 +56,21 @@ from repro.tsp.solve import DEFAULT, Effort
 
 @register_aligner("original", description="keep the compiler's block order")
 def _align_original(task: ProcedureTask) -> ProcedureResult:
-    return ProcedureResult(task.name, original_layout(task.cfg))
+    layout = original_layout(task.cfg)
+    return ProcedureResult(
+        task.name,
+        layout,
+        exttsp_score=exttsp_score(task.cfg, layout, task.profile),
+    )
 
 
 def _priced_result(task: ProcedureTask, layout) -> ProcedureResult:
-    """Wrap a greedy-family layout, pricing it under the shared DTSP
-    instance.  The instance comes from (and feeds) the content-addressed
-    cache, so greedy / tsp / lower-bound passes over one procedure all use
-    a single cost matrix; ``cities`` stays unset so these results do not
-    populate TSP solver diagnostics in an :class:`AlignmentReport`.
+    """Wrap a heuristic layout, pricing it both ways: the paper's penalty
+    (the tour cost under the shared DTSP instance) and the Ext-TSP score.
+    The instance comes from (and feeds) the content-addressed cache, so
+    greedy / tsp / lower-bound passes over one procedure all use a single
+    cost matrix; ``cities`` stays unset so these results do not populate
+    TSP solver diagnostics in an :class:`AlignmentReport`.
     """
     instance = instance_for(
         task.cfg, task.profile, task.model, predictor=task.predictor
@@ -65,6 +79,7 @@ def _priced_result(task: ProcedureTask, layout) -> ProcedureResult:
         name=task.name,
         layout=layout,
         cost=instance.layout_cost(layout),
+        exttsp_score=exttsp_score(task.cfg, layout, task.profile),
         instance=instance,
     )
 
@@ -136,6 +151,7 @@ def _align_tsp(task: ProcedureTask) -> ProcedureResult:
         name=task.name,
         layout=alignment.layout,
         cost=alignment.cost,
+        exttsp_score=exttsp_score(task.cfg, alignment.layout, task.profile),
         cities=alignment.instance.n,
         runs_finding_best=alignment.runs_finding_best,
         runs_total=alignment.runs_total,
@@ -143,6 +159,49 @@ def _align_tsp(task: ProcedureTask) -> ProcedureResult:
         warning=alignment.warning,
         instance=alignment.instance,
     )
+
+
+def _exttsp_result(task: ProcedureTask, *, refine: bool) -> ProcedureResult:
+    """Run the chain-merging Ext-TSP heuristic and dual-price the layout."""
+    stats = MergeStats()
+    with obs.span(
+        "exttsp_solver", proc=task.name, refine=refine
+    ) as sp:
+        layout = exttsp_layout(
+            task.cfg, task.profile, refine=refine, stats=stats
+        )
+        sp["merges"] = stats.merges
+        sp["splits"] = stats.splits
+        sp["refine_moves"] = stats.refine_moves
+        sp["score"] = stats.score
+    # Deterministic per-task work, so these counters are stable (identical
+    # for every worker count), like tsp.runs.
+    obs.count("exttsp.merges", stats.merges)
+    obs.count("exttsp.splits", stats.splits)
+    obs.count("exttsp.refine_moves", stats.refine_moves)
+    return _priced_result(task, layout)
+
+
+@register_aligner(
+    "exttsp",
+    aliases=("ext-tsp", "bolt"),
+    description="Ext-TSP chain merging plus single-block hill climb "
+    "(Newell–Pupyrev's improved basic block reordering)",
+    uses_instance=True,
+)
+def _align_exttsp(task: ProcedureTask) -> ProcedureResult:
+    return _exttsp_result(task, refine=True)
+
+
+@register_aligner(
+    "chain-merge",
+    aliases=("newell-pupyrev", "np"),
+    description="greedy chain splits/merges maximizing the Ext-TSP gain "
+    "(the BOLT-style merge phase, without refinement)",
+    uses_instance=True,
+)
+def _align_chain_merge(task: ProcedureTask) -> ProcedureResult:
+    return _exttsp_result(task, refine=False)
 
 
 #: Live view of every registered method name, in registration order.
@@ -160,6 +219,9 @@ class AlignmentReport:
 
     cities: dict[str, int] = field(default_factory=dict)
     costs: dict[str, float] = field(default_factory=dict)
+    #: Per-procedure Ext-TSP scores of the emitted layouts (dual pricing;
+    #: every aligner fills this, including ``original``).
+    exttsp_scores: dict[str, float] = field(default_factory=dict)
     runs_finding_best: dict[str, tuple[int, int]] = field(default_factory=dict)
     #: Procedures whose layout came from a fallback rung (proc → rung name).
     degraded: dict[str, str] = field(default_factory=dict)

@@ -1,6 +1,12 @@
-"""Branch-alignment algorithms: greedy baselines and the TSP aligner."""
+"""Branch-alignment algorithms: greedy baselines, the TSP aligner, and
+the Ext-TSP chain-merge heuristics."""
 
 from repro.core.aligners.chains import ChainSet, greedy_chain_layout
+from repro.core.aligners.exttsp_merge import (
+    MergeStats,
+    chain_merge_layout,
+    exttsp_layout,
+)
 from repro.core.aligners.greedy import calder_grunwald_layout, pettis_hansen_layout
 from repro.core.aligners.tsp_aligner import (
     TspAlignment,
@@ -10,9 +16,12 @@ from repro.core.aligners.tsp_aligner import (
 
 __all__ = [
     "ChainSet",
+    "MergeStats",
     "TspAlignment",
     "alignment_lower_bound",
     "calder_grunwald_layout",
+    "chain_merge_layout",
+    "exttsp_layout",
     "greedy_chain_layout",
     "pettis_hansen_layout",
     "tsp_align",

@@ -139,6 +139,7 @@ def case_to_state(case: CaseResult) -> dict:
                     "icache_misses": outcome.timing.icache_misses,
                 },
                 "align_seconds": outcome.align_seconds,
+                "exttsp": outcome.exttsp,
                 "layouts": {
                     proc: list(layout.order)
                     for proc, layout in outcome.layouts.items()
@@ -173,6 +174,9 @@ def case_from_state(state: dict) -> CaseResult:
             timing=TimingBreakdown(**payload["timing"]),
             align_seconds=payload["align_seconds"],
             layouts=layouts,
+            # Tolerant default: records written before dual pricing load
+            # with a zero score rather than failing the whole checkpoint.
+            exttsp=float(payload.get("exttsp", 0.0)),
             degraded=dict(payload.get("degraded", {})),
             warnings=list(payload.get("warnings", [])),
             retried=int(payload.get("retried", 0)),

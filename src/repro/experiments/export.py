@@ -27,6 +27,8 @@ def case_to_dict(case: CaseResult) -> dict:
             name: {
                 "penalty": outcome.penalty,
                 "normalized_penalty": case.normalized_penalty(name),
+                "exttsp_score": outcome.exttsp,
+                "normalized_exttsp": case.normalized_exttsp(name),
                 "cycles": outcome.cycles,
                 "normalized_cycles": case.normalized_cycles(name),
                 "redirect": outcome.breakdown.redirect,
@@ -70,6 +72,16 @@ def figure2_to_json(data: Figure2Data, *, indent: int = 1) -> str:
             "greedy_speedup": data.mean_greedy_speedup,
             "tsp_speedup": data.mean_tsp_speedup,
         },
+        # Method-generic dual pricing: one block per method, penalty model
+        # and Ext-TSP score side by side.
+        "per_method": {
+            method: {
+                "removal": data.mean_removal(method),
+                "speedup": data.mean_speedup(method),
+                "exttsp": data.mean_exttsp(method),
+            }
+            for method in data.method_columns
+        },
         "skipped": [skipped_to_dict(skip) for skip in data.skipped],
     }
     return json.dumps(payload, indent=indent, sort_keys=True)
@@ -88,7 +100,14 @@ def figure3_to_json(data: Figure3Data, *, indent: int = 1) -> str:
         "means": {
             side: {
                 method: data.mean_removal(method, cross=(side == "cross"))
-                for method in ("greedy", "tsp")
+                for method in data.method_columns
+            }
+            for side in ("self", "cross")
+        },
+        "exttsp_means": {
+            side: {
+                method: data.mean_exttsp(method, cross=(side == "cross"))
+                for method in data.method_columns
             }
             for side in ("self", "cross")
         },

@@ -27,6 +27,7 @@ from repro.budget import Budget, RetryPolicy
 from repro.core.align import AlignmentReport, align_program
 from repro.core.costmodel import CostBreakdown
 from repro.core.evaluate import evaluate_program, train_predictors
+from repro.core.exttsp import exttsp_program_score
 from repro.core.layout import ProgramLayout
 from repro.pipeline.executor import resolve_jobs
 from repro.pipeline.registry import normalize_method
@@ -44,7 +45,10 @@ from repro.workloads.suite import compile_benchmark, get_benchmark
 if TYPE_CHECKING:  # pragma: no cover — import cycle is fine at type time
     from repro.experiments.checkpoint import ExperimentCheckpoint
 
-DEFAULT_METHODS = ("original", "greedy", "tsp")
+#: The sweep default: the paper's three methods plus the modern Ext-TSP
+#: pair, so the 1997 near-optimal alignment and the 2020 BOLT-style
+#: heuristics face off on every figure (both are cheap next to ``tsp``).
+DEFAULT_METHODS = ("original", "greedy", "tsp", "exttsp", "chain-merge")
 
 
 @dataclass
@@ -93,6 +97,10 @@ class MethodOutcome:
     timing: TimingBreakdown
     align_seconds: float
     layouts: ProgramLayout
+    #: The layouts' Ext-TSP score on the *testing* profile (dual pricing:
+    #: every method is priced under the paper's penalty model and the
+    #: Ext-TSP objective; higher is better here).
+    exttsp: float = 0.0
     #: Procedures laid out by a fallback rung (proc → rung name); empty when
     #: every procedure got the full solve.
     degraded: dict[str, str] = field(default_factory=dict)
@@ -151,6 +159,14 @@ class CaseResult:
         if original == 0:
             return 1.0
         return self.methods[method].cycles / original
+
+    def normalized_exttsp(self, method: str) -> float:
+        """Ext-TSP score relative to the original layout (> 1 is better —
+        the objective is a reward, not a penalty)."""
+        original = self.methods["original"].exttsp
+        if original == 0:
+            return 1.0
+        return self.methods[method].exttsp / original
 
     @property
     def normalized_bound(self) -> float:
@@ -256,6 +272,9 @@ def run_case(
                 timing=timing,
                 align_seconds=align_span.dur_ms / 1000.0,
                 layouts=layouts,
+                exttsp=exttsp_program_score(
+                    program, layouts, testing.profile
+                ),
                 degraded=align_report.degraded,
                 warnings=align_report.warnings,
                 retried=align_report.retried,

@@ -131,23 +131,49 @@ def table4_rows(
 
 @dataclass
 class Figure2Data:
-    """Normalized control penalties and run times, train = test."""
+    """Normalized control penalties and run times, train = test.
+
+    Rows are *method-dynamic*: whatever methods the cases were run with
+    (by default the paper's three plus the Ext-TSP pair) become columns,
+    priced under the paper's penalty model (``penalty_rows``), simulated
+    run time (``runtime_rows``), and the Ext-TSP score (``exttsp_rows``)
+    — the dual-pricing head-to-head.
+    """
 
     cases: dict[str, CaseResult] = field(default_factory=dict)
     #: Cases that failed every attempt (excluded from the means).
     skipped: list[SkippedCase] = field(default_factory=list)
 
     @property
-    def mean_greedy_removal(self) -> float:
+    def method_columns(self) -> tuple[str, ...]:
+        """The non-baseline methods present, in case method order."""
+        for case in self.cases.values():
+            return tuple(m for m in case.methods if m != "original")
+        return ("greedy", "tsp")
+
+    def mean_removal(self, method: str) -> float:
         return arithmetic_mean(
-            [1.0 - c.normalized_penalty("greedy") for c in self.cases.values()]
+            [1.0 - c.normalized_penalty(method) for c in self.cases.values()]
+        )
+
+    def mean_speedup(self, method: str) -> float:
+        return arithmetic_mean(
+            [1.0 - c.normalized_cycles(method) for c in self.cases.values()]
+        )
+
+    def mean_exttsp(self, method: str) -> float:
+        """Mean normalized Ext-TSP score (> 1 beats the original layout)."""
+        return arithmetic_mean(
+            [c.normalized_exttsp(method) for c in self.cases.values()]
         )
 
     @property
+    def mean_greedy_removal(self) -> float:
+        return self.mean_removal("greedy")
+
+    @property
     def mean_tsp_removal(self) -> float:
-        return arithmetic_mean(
-            [1.0 - c.normalized_penalty("tsp") for c in self.cases.values()]
-        )
+        return self.mean_removal("tsp")
 
     @property
     def mean_bound_removal(self) -> float:
@@ -157,50 +183,51 @@ class Figure2Data:
 
     @property
     def mean_greedy_speedup(self) -> float:
-        return arithmetic_mean(
-            [1.0 - c.normalized_cycles("greedy") for c in self.cases.values()]
-        )
+        return self.mean_speedup("greedy")
 
     @property
     def mean_tsp_speedup(self) -> float:
-        return arithmetic_mean(
-            [1.0 - c.normalized_cycles("tsp") for c in self.cases.values()]
-        )
+        return self.mean_speedup("tsp")
 
     def penalty_rows(self) -> tuple[list[str], list[list[object]]]:
-        headers = ["case", "greedy", "tsp", "lower bound"]
+        methods = self.method_columns
+        headers = ["case", *methods, "lower bound"]
         rows = [
             [
                 label,
-                case.normalized_penalty("greedy"),
-                case.normalized_penalty("tsp"),
+                *[case.normalized_penalty(m) for m in methods],
                 case.normalized_bound,
             ]
             for label, case in self.cases.items()
         ]
         rows.append([
             "MEAN",
-            1.0 - self.mean_greedy_removal,
-            1.0 - self.mean_tsp_removal,
+            *[1.0 - self.mean_removal(m) for m in methods],
             1.0 - self.mean_bound_removal,
         ])
         return headers, rows
 
     def runtime_rows(self) -> tuple[list[str], list[list[object]]]:
-        headers = ["case", "greedy", "tsp"]
+        methods = self.method_columns
+        headers = ["case", *methods]
         rows = [
-            [
-                label,
-                case.normalized_cycles("greedy"),
-                case.normalized_cycles("tsp"),
-            ]
+            [label, *[case.normalized_cycles(m) for m in methods]]
             for label, case in self.cases.items()
         ]
         rows.append([
-            "MEAN",
-            1.0 - self.mean_greedy_speedup,
-            1.0 - self.mean_tsp_speedup,
+            "MEAN", *[1.0 - self.mean_speedup(m) for m in methods],
         ])
+        return headers, rows
+
+    def exttsp_rows(self) -> tuple[list[str], list[list[object]]]:
+        """Normalized Ext-TSP scores (score / original layout's score)."""
+        methods = self.method_columns
+        headers = ["case", *methods]
+        rows = [
+            [label, *[case.normalized_exttsp(m) for m in methods]]
+            for label, case in self.cases.items()
+        ]
+        rows.append(["MEAN", *[self.mean_exttsp(m) for m in methods]])
         return headers, rows
 
 
@@ -244,6 +271,13 @@ class Figure3Data:
     #: Cases where either half of the pair failed every attempt.
     skipped: list[SkippedCase] = field(default_factory=list)
 
+    @property
+    def method_columns(self) -> tuple[str, ...]:
+        """The non-baseline methods present, in case method order."""
+        for case in self.self_cases.values():
+            return tuple(m for m in case.methods if m != "original")
+        return ("greedy", "tsp")
+
     def mean_removal(self, method: str, *, cross: bool) -> float:
         cases = self.cross_cases if cross else self.self_cases
         return arithmetic_mean(
@@ -256,53 +290,49 @@ class Figure3Data:
             [1.0 - c.normalized_cycles(method) for c in cases.values()]
         )
 
-    def penalty_rows(self) -> tuple[list[str], list[list[object]]]:
-        headers = [
-            "case", "greedy self", "greedy cross", "tsp self", "tsp cross",
-        ]
+    def mean_exttsp(self, method: str, *, cross: bool) -> float:
+        cases = self.cross_cases if cross else self.self_cases
+        return arithmetic_mean(
+            [c.normalized_exttsp(method) for c in cases.values()]
+        )
+
+    def _paired_rows(self, value, mean) -> tuple[list[str], list[list[object]]]:
+        methods = self.method_columns
+        headers = ["case"]
+        for method in methods:
+            headers += [f"{method} self", f"{method} cross"]
         rows = []
         for label in self.self_cases:
             self_case = self.self_cases[label]
             cross_case = self.cross_cases[label]
-            rows.append([
-                label,
-                self_case.normalized_penalty("greedy"),
-                cross_case.normalized_penalty("greedy"),
-                self_case.normalized_penalty("tsp"),
-                cross_case.normalized_penalty("tsp"),
-            ])
-        rows.append([
-            "MEAN",
-            1.0 - self.mean_removal("greedy", cross=False),
-            1.0 - self.mean_removal("greedy", cross=True),
-            1.0 - self.mean_removal("tsp", cross=False),
-            1.0 - self.mean_removal("tsp", cross=True),
-        ])
+            row: list[object] = [label]
+            for method in methods:
+                row += [value(self_case, method), value(cross_case, method)]
+            rows.append(row)
+        mean_row: list[object] = ["MEAN"]
+        for method in methods:
+            mean_row += [mean(method, False), mean(method, True)]
+        rows.append(mean_row)
         return headers, rows
 
+    def penalty_rows(self) -> tuple[list[str], list[list[object]]]:
+        return self._paired_rows(
+            lambda case, m: case.normalized_penalty(m),
+            lambda m, cross: 1.0 - self.mean_removal(m, cross=cross),
+        )
+
     def runtime_rows(self) -> tuple[list[str], list[list[object]]]:
-        headers = [
-            "case", "greedy self", "greedy cross", "tsp self", "tsp cross",
-        ]
-        rows = []
-        for label in self.self_cases:
-            self_case = self.self_cases[label]
-            cross_case = self.cross_cases[label]
-            rows.append([
-                label,
-                self_case.normalized_cycles("greedy"),
-                cross_case.normalized_cycles("greedy"),
-                self_case.normalized_cycles("tsp"),
-                cross_case.normalized_cycles("tsp"),
-            ])
-        rows.append([
-            "MEAN",
-            1.0 - self.mean_speedup("greedy", cross=False),
-            1.0 - self.mean_speedup("greedy", cross=True),
-            1.0 - self.mean_speedup("tsp", cross=False),
-            1.0 - self.mean_speedup("tsp", cross=True),
-        ])
-        return headers, rows
+        return self._paired_rows(
+            lambda case, m: case.normalized_cycles(m),
+            lambda m, cross: 1.0 - self.mean_speedup(m, cross=cross),
+        )
+
+    def exttsp_rows(self) -> tuple[list[str], list[list[object]]]:
+        """Normalized Ext-TSP scores, self-trained vs cross-validated."""
+        return self._paired_rows(
+            lambda case, m: case.normalized_exttsp(m),
+            lambda m, cross: self.mean_exttsp(m, cross=cross),
+        )
 
 
 def figure3_data(

@@ -93,6 +93,13 @@ def register_aligner(
         description=description,
         uses_instance=uses_instance,
     )
+    # Replacing must be symmetric with unregistering: purge the replaced
+    # spec's aliases first, or a stale alias keeps resolving to a canonical
+    # name whose spec was swapped in with a *different* alias set.
+    replaced = _REGISTRY.get(canonical)
+    if replaced is not None:
+        for alias in replaced.aliases:
+            _ALIASES.pop(alias, None)
     _REGISTRY[canonical] = spec
     for alias in spec.aliases:
         _ALIASES[alias] = canonical

@@ -40,6 +40,7 @@ from repro.budget import Budget, RetryPolicy
 from repro.cfg.graph import Program
 from repro.core.aligners.tsp_aligner import alignment_lower_bound
 from repro.core.costmatrix import AlignmentInstance, build_alignment_instance
+from repro.core.exttsp import DEFAULT_PARAMS
 from repro.core.layout import ProgramLayout, original_layout
 from repro.machine.models import PenaltyModel
 from repro.machine.predictors import StaticPredictor
@@ -120,8 +121,11 @@ def align_one(task: ProcedureTask) -> ProcedureResult:
     this is the function worker processes execute)."""
     if task.method != "original" and task.profile.total() == 0:
         # No training data: every method keeps the original layout (the
-        # historical align_program behaviour).
-        return ProcedureResult(task.name, original_layout(task.cfg))
+        # historical align_program behaviour).  An empty profile scores
+        # zero under the Ext-TSP objective by definition.
+        return ProcedureResult(
+            task.name, original_layout(task.cfg), exttsp_score=0.0
+        )
     return get_aligner(task.method).fn(task)
 
 
@@ -133,6 +137,10 @@ def _is_trivial(task: ProcedureTask) -> bool:
 
 
 def align_key(task: ProcedureTask) -> str:
+    # Every align artifact now carries dual pricing (penalty + Ext-TSP
+    # score), so the key covers the Ext-TSP scoring parameters: changing a
+    # weight or window must miss, not serve a stale score — and for the
+    # exttsp-family aligners the parameters also shape the layout itself.
     return ArtifactCache.key(
         "align",
         task.method,
@@ -143,6 +151,7 @@ def align_key(task: ProcedureTask) -> str:
         fingerprint_effort(task.effort),
         task.effective_seed,
         fingerprint_budget(task.budget),
+        DEFAULT_PARAMS.fingerprint(),
     )
 
 
@@ -280,6 +289,8 @@ def align_procedures(
                 f"kept identity layout ({result.warning})"
             )
             continue
+        if result.exttsp_score is not None and hasattr(report, "exttsp_scores"):
+            report.exttsp_scores[result.name] = result.exttsp_score
         if result.cities is not None:
             report.cities[result.name] = result.cities
             report.costs[result.name] = result.cost

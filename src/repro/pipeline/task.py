@@ -80,6 +80,11 @@ class ProcedureResult:
     layout: Layout
     #: Tour cost under the task's DTSP instance (TSP aligner only).
     cost: float | None = None
+    #: The layout's Ext-TSP score (dual pricing: every aligner's layout is
+    #: priced under both the paper's penalty model and the Ext-TSP
+    #: objective — see :mod:`repro.core.exttsp`).  ``None`` only on the
+    #: quarantine stand-in, where no pricing happened at all.
+    exttsp_score: float | None = None
     #: City count of the DTSP instance (TSP aligner only).
     cities: int | None = None
     runs_finding_best: int = 0

@@ -18,16 +18,54 @@ work.
 from __future__ import annotations
 
 import json
+import math
 import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 
 from repro.errors import ServiceRetryExhaustedError
 
 #: HTTP statuses a retry can fix: shed (429) and not-ready (503).  Any
 #: other status is the service's final, typed answer.
 RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+def _parse_retry_after(header) -> float | None:
+    """A ``Retry-After`` header as non-negative seconds, or ``None``.
+
+    Accepts RFC 9110's two forms — delay-seconds and an HTTP-date (the
+    delta to now, floored at zero for dates already past) — and treats
+    everything else (garbage text, NaN/inf, negative numbers, non-string
+    junk) as absent.  Never raises: a malformed header from a proxy must
+    not kill a retry loop mid-flight.
+    """
+    if header is None or not isinstance(header, str):
+        return None
+    text = header.strip()
+    if not text:
+        return None
+    try:
+        hint = float(text)
+    except (ValueError, OverflowError):
+        hint = None
+    if hint is not None:
+        return hint if math.isfinite(hint) and hint >= 0 else None
+    try:
+        when = parsedate_to_datetime(text)
+    except (ValueError, TypeError, IndexError, OverflowError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    try:
+        delta = (when - datetime.now(timezone.utc)).total_seconds()
+    except (OverflowError, OSError):
+        return None
+    return max(0.0, delta)
 
 
 def _decode(body: bytes) -> dict:
@@ -131,19 +169,19 @@ class RetryPolicy:
     def honor_retry_after(self, header: str | None, attempt: int) -> float:
         """Backoff before ``attempt``, honoring a server ``Retry-After``.
 
-        The server's hint (integer seconds per RFC 9110; we accept any
-        non-negative number) replaces the schedule's delay but stays
-        capped at ``max_delay_s`` — a confused or hostile server must
-        never stretch the deterministic schedule.  A missing or
-        malformed header falls back to :meth:`delay_s`.
+        RFC 9110 allows both forms of the header — delay-seconds and an
+        HTTP-date — and a retry loop must survive *any* spelling a proxy
+        or a confused server emits.  A usable hint (a finite non-negative
+        number, or a date that parses to a non-negative delta from now)
+        replaces the schedule's delay but stays capped at ``max_delay_s``
+        — a hostile server must never stretch the deterministic schedule.
+        Anything else — garbage text, NaN/inf, negative values, dates in
+        the past, non-string junk — falls back to :meth:`delay_s`; this
+        method never raises mid-retry-loop.
         """
-        if header is not None:
-            try:
-                hint = float(header)
-            except ValueError:
-                hint = -1.0
-            if hint >= 0:
-                return min(hint, self.max_delay_s)
+        hint = _parse_retry_after(header)
+        if hint is not None:
+            return min(hint, self.max_delay_s)
         return self.delay_s(attempt)
 
 

@@ -1,0 +1,227 @@
+"""The Ext-TSP objective and the chain-merging aligners built on it."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_PARAMS,
+    ExtTSPParams,
+    chain_merge_layout,
+    evaluate_layout,
+    exttsp_layout,
+    exttsp_max_score,
+    exttsp_program_score,
+    exttsp_score,
+    original_layout,
+)
+from repro.core.aligners import MergeStats
+from repro.core.exttsp import block_addresses, block_size_words, edge_weight
+from repro.core.layout import Layout
+from repro.machine import ALPHA_21164
+from repro.profiles import EdgeProfile
+
+
+class TestEdgeWeight:
+    def test_fallthrough_scores_full_weight(self):
+        assert edge_weight(100, 100) == DEFAULT_PARAMS.fallthrough_weight
+
+    def test_forward_window_is_inclusive(self):
+        w = DEFAULT_PARAMS.forward_window
+        assert edge_weight(0, w) == DEFAULT_PARAMS.forward_weight
+        assert edge_weight(0, w + 1) == 0.0
+
+    def test_backward_window_is_inclusive_and_tighter(self):
+        w = DEFAULT_PARAMS.backward_window
+        assert w < DEFAULT_PARAMS.forward_window
+        assert edge_weight(w, 0) == DEFAULT_PARAMS.backward_weight
+        assert edge_weight(w + 1, 0) == 0.0
+
+    def test_custom_params(self):
+        params = ExtTSPParams(
+            fallthrough_weight=2.0, forward_weight=0.5,
+            backward_weight=0.25, forward_window=10, backward_window=4,
+        )
+        assert edge_weight(7, 7, params) == 2.0
+        assert edge_weight(0, 10, params) == 0.5
+        assert edge_weight(0, 11, params) == 0.0
+        assert edge_weight(4, 0, params) == 0.25
+        assert edge_weight(5, 0, params) == 0.0
+
+    def test_fingerprint_covers_every_knob(self):
+        fingerprints = {
+            DEFAULT_PARAMS.fingerprint(),
+            ExtTSPParams(fallthrough_weight=2.0).fingerprint(),
+            ExtTSPParams(forward_weight=0.2).fingerprint(),
+            ExtTSPParams(backward_weight=0.2).fingerprint(),
+            ExtTSPParams(forward_window=512).fingerprint(),
+            ExtTSPParams(backward_window=128).fingerprint(),
+        }
+        assert len(fingerprints) == 6
+
+
+class TestBlockAddresses:
+    def test_consecutive_from_zero(self, diamond_cfg):
+        order = original_layout(diamond_cfg).order
+        addresses = block_addresses(diamond_cfg, order)
+        at = 0
+        for block_id in order:
+            start, end = addresses[block_id]
+            assert start == at
+            assert end - start == block_size_words(diamond_cfg.block(block_id))
+            at = end
+
+
+def diamond_ids_and_profile(cfg):
+    ids = {blk.label: blk.block_id for blk in cfg}
+    profile = EdgeProfile({
+        (ids["entry"], ids["right"]): 90,
+        (ids["entry"], ids["left"]): 10,
+        (ids["right"], ids["exit"]): 90,
+        (ids["left"], ids["exit"]): 10,
+    })
+    return ids, profile
+
+
+class TestExtTSPScore:
+    def test_hand_computed_diamond(self, diamond_cfg):
+        """entry·right·exit·left: the hot path falls through (full weight),
+        the cold arm pays short-jump weight both ways.  The whole procedure
+        is a handful of words, so every non-fall-through stays in window."""
+        ids, profile = diamond_ids_and_profile(diamond_cfg)
+        layout = Layout(order=(
+            ids["entry"], ids["right"], ids["exit"], ids["left"],
+        ))
+        expected = 90 * 1.0 + 90 * 1.0 + 10 * 0.1 + 10 * 0.1
+        assert exttsp_score(diamond_cfg, layout, profile) == pytest.approx(
+            expected
+        )
+
+    def test_max_score_is_total_counts(self, diamond_cfg):
+        _ids, profile = diamond_ids_and_profile(diamond_cfg)
+        assert exttsp_max_score(diamond_cfg, profile) == 200.0
+
+    def test_no_layout_beats_the_bound(self, diamond_cfg):
+        import itertools
+
+        ids, profile = diamond_ids_and_profile(diamond_cfg)
+        bound = exttsp_max_score(diamond_cfg, profile)
+        rest = [i for i in ids.values() if i != ids["entry"]]
+        for perm in itertools.permutations(rest):
+            layout = Layout(order=(ids["entry"], *perm))
+            assert exttsp_score(diamond_cfg, layout, profile) <= bound
+
+    def test_out_of_window_edges_score_nothing(self, diamond_cfg):
+        ids, profile = diamond_ids_and_profile(diamond_cfg)
+        layout = Layout(order=(
+            ids["entry"], ids["right"], ids["exit"], ids["left"],
+        ))
+        tight = ExtTSPParams(forward_window=0, backward_window=0)
+        # Only the two fall-throughs survive windows of width zero.
+        assert exttsp_score(diamond_cfg, layout, profile, tight) == 180.0
+
+    def test_phantom_and_unexecuted_edges_are_ignored(self, diamond_cfg):
+        ids, profile = diamond_ids_and_profile(diamond_cfg)
+        layout = Layout(order=(
+            ids["entry"], ids["right"], ids["exit"], ids["left"],
+        ))
+        baseline = exttsp_score(diamond_cfg, layout, profile)
+        # Not a CFG edge; a zero count; a block id outside the CFG.
+        profile.counts[(ids["exit"], ids["entry"])] = 500
+        profile.counts[(ids["right"], ids["exit"])] += 0
+        profile.counts[(9999, ids["exit"])] = 500
+        profile.counts[(ids["left"], ids["exit"])] = 10  # unchanged
+        assert exttsp_score(diamond_cfg, layout, profile) == baseline
+
+    def test_empty_profile_scores_zero(self, diamond_cfg):
+        layout = original_layout(diamond_cfg)
+        assert exttsp_score(diamond_cfg, layout, EdgeProfile()) == 0.0
+        assert exttsp_max_score(diamond_cfg, EdgeProfile()) == 0.0
+
+    def test_program_score_sums_procedures(self, loop_program, loop_profile):
+        from repro.core.layout import ProgramLayout
+
+        cfg = loop_program["main"].cfg
+        layouts = ProgramLayout(layouts={"main": original_layout(cfg)})
+        total = exttsp_program_score(loop_program, layouts, loop_profile)
+        assert total == pytest.approx(
+            exttsp_score(cfg, layouts["main"], loop_profile["main"])
+        )
+
+
+class TestChainMergeAligners:
+    def test_layouts_are_valid_permutations(self, loop_cfg, loop_profile):
+        profile = loop_profile["main"]
+        chain_merge_layout(loop_cfg, profile).check_against(loop_cfg)
+        exttsp_layout(loop_cfg, profile).check_against(loop_cfg)
+
+    def test_entry_block_leads(self, loop_cfg, loop_profile):
+        profile = loop_profile["main"]
+        assert chain_merge_layout(loop_cfg, profile).order[0] == loop_cfg.entry
+        assert exttsp_layout(loop_cfg, profile).order[0] == loop_cfg.entry
+
+    def test_hot_edge_becomes_fallthrough(self, diamond_cfg):
+        ids, profile = diamond_ids_and_profile(diamond_cfg)
+        layout = chain_merge_layout(diamond_cfg, profile)
+        position = layout.positions
+        assert position[ids["right"]] == position[ids["entry"]] + 1
+        assert position[ids["exit"]] == position[ids["right"]] + 1
+
+    def test_deterministic(self, loop_cfg, loop_profile):
+        profile = loop_profile["main"]
+        assert (
+            exttsp_layout(loop_cfg, profile).order
+            == exttsp_layout(loop_cfg, profile).order
+        )
+        assert (
+            chain_merge_layout(loop_cfg, profile).order
+            == chain_merge_layout(loop_cfg, profile).order
+        )
+
+    def test_refinement_never_loses_score(self, loop_cfg, loop_profile):
+        profile = loop_profile["main"]
+        merged = exttsp_score(
+            loop_cfg, chain_merge_layout(loop_cfg, profile), profile
+        )
+        refined = exttsp_score(
+            loop_cfg, exttsp_layout(loop_cfg, profile), profile
+        )
+        assert refined >= merged - 1e-9
+
+    def test_beats_original_layout_on_the_objective(
+        self, loop_cfg, loop_profile
+    ):
+        profile = loop_profile["main"]
+        original = exttsp_score(
+            loop_cfg, original_layout(loop_cfg), profile
+        )
+        aligned = exttsp_score(
+            loop_cfg, exttsp_layout(loop_cfg, profile), profile
+        )
+        assert aligned >= original - 1e-9
+        assert aligned <= exttsp_max_score(loop_cfg, profile) + 1e-9
+
+    def test_stats_are_populated(self, loop_cfg, loop_profile):
+        profile = loop_profile["main"]
+        stats = MergeStats()
+        layout = exttsp_layout(loop_cfg, profile, stats=stats)
+        assert stats.merges > 0
+        assert stats.score == pytest.approx(
+            exttsp_score(loop_cfg, layout, profile)
+        )
+
+    def test_empty_profile_degrades_gracefully(self, loop_cfg):
+        layout = exttsp_layout(loop_cfg, EdgeProfile())
+        layout.check_against(loop_cfg)
+        assert layout.order[0] == loop_cfg.entry
+
+    def test_penalty_no_worse_than_original(self, loop_cfg, loop_profile):
+        """The Ext-TSP objective is not the paper's penalty, but a layout
+        chasing fall-throughs should still beat the source-order layout
+        under the 1997 model."""
+        profile = loop_profile["main"]
+        exttsp_pen = evaluate_layout(
+            loop_cfg, exttsp_layout(loop_cfg, profile), profile, ALPHA_21164
+        ).total
+        original_pen = evaluate_layout(
+            loop_cfg, original_layout(loop_cfg), profile, ALPHA_21164
+        ).total
+        assert exttsp_pen <= original_pen + 1e-9

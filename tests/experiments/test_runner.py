@@ -30,7 +30,9 @@ class TestProfiledRun:
 
 class TestRunCase:
     def test_methods_present(self, dod_sm_case):
-        assert set(dod_sm_case.methods) == {"original", "greedy", "tsp"}
+        assert set(dod_sm_case.methods) == {
+            "original", "greedy", "tsp", "exttsp", "chain-merge"
+        }
         assert dod_sm_case.label == "dod.sm"
         assert not dod_sm_case.cross_validated
 

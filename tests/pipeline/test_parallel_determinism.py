@@ -106,6 +106,27 @@ def test_align_program_identical_under_injected_faults():
     }
 
 
+@pytest.mark.parametrize("method", ["exttsp", "chain-merge"])
+def test_exttsp_family_identical_across_worker_counts(method):
+    """The chain-merge aligners are deterministic pure functions of
+    (cfg, profile), so worker count must not leak into their layouts or
+    either of their two prices."""
+    serial_layouts, serial_report = align_both_ways(
+        jobs=1, method=method, effort="quick"
+    )
+    reset_artifact_cache()
+    parallel_layouts, parallel_report = align_both_ways(
+        jobs=4, method=method, effort="quick"
+    )
+    assert {n: l.order for n, l in serial_layouts.items()} == {
+        n: l.order for n, l in parallel_layouts.items()
+    }
+    assert serial_report.exttsp_scores == parallel_report.exttsp_scores
+    assert serial_report.exttsp_scores  # dual pricing actually recorded
+    assert serial_report.degraded == parallel_report.degraded
+    assert serial_report.warnings == parallel_report.warnings
+
+
 def test_run_case_state_identical_across_worker_counts():
     serial = run_case("com", "in", jobs=1, effort="quick")
     reset_artifact_cache()

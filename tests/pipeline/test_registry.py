@@ -17,7 +17,10 @@ from repro.pipeline.registry import (
 )
 from repro.pipeline.task import ProcedureResult
 
-BUILTINS = ("original", "greedy", "cost-greedy", "cg-exhaustive", "tsp")
+BUILTINS = (
+    "original", "greedy", "cost-greedy", "cg-exhaustive", "tsp",
+    "exttsp", "chain-merge",
+)
 
 
 def test_builtins_are_registered_in_order():
@@ -30,7 +33,7 @@ def test_align_methods_is_a_live_tuple_like_view():
     assert list(ALIGN_METHODS) == list(BUILTINS)
     assert len(ALIGN_METHODS) == len(BUILTINS)
     assert ALIGN_METHODS[0] == "original"
-    assert ALIGN_METHODS[-1] == "tsp"
+    assert ALIGN_METHODS[-1] == "chain-merge"
     assert "tsp" in ALIGN_METHODS
     assert "nope" not in ALIGN_METHODS
     assert ALIGN_METHODS == MethodsView()
@@ -79,6 +82,34 @@ def test_register_and_unregister_round_trip():
         unregister_aligner("test-reversed")
     assert "test-reversed" not in ALIGN_METHODS
     assert "trev" not in ALIGN_METHODS
+
+
+def test_replace_purges_the_replaced_specs_aliases():
+    """Re-registering with ``replace=True`` must not leave stale aliases.
+
+    Regression: the old spec's aliases used to survive the replacement,
+    so a retired alias kept resolving to the canonical name even after
+    the new spec dropped it.
+    """
+    def first(task) -> ProcedureResult:
+        return ProcedureResult(task.name, original_layout(task.cfg))
+
+    def second(task) -> ProcedureResult:
+        return ProcedureResult(task.name, original_layout(task.cfg))
+
+    register_aligner("test-replaced", first, aliases=("old-alias",))
+    try:
+        register_aligner(
+            "test-replaced", second, aliases=("new-alias",), replace=True
+        )
+        assert get_aligner("test-replaced").fn is second
+        assert normalize_method("new-alias") == "test-replaced"
+        with pytest.raises(UnknownNameError):
+            normalize_method("old-alias")
+        assert "old-alias" not in ALIGN_METHODS
+    finally:
+        unregister_aligner("test-replaced")
+    assert "new-alias" not in ALIGN_METHODS
 
 
 def test_duplicate_registration_is_rejected_without_replace():

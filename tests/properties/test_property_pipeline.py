@@ -85,6 +85,33 @@ def test_tour_cost_equals_evaluated_penalty(cfg_seed, target, profile_seed):
     target=st.integers(5, 18),
     profile_seed=st.integers(0, 10_000),
 )
+def test_every_method_is_priced_both_ways(cfg_seed, target, profile_seed):
+    """Dual pricing: every registered aligner's result carries an Ext-TSP
+    score alongside the paper penalty, the score recomputes exactly from
+    the layout it came with, never exceeds the all-fall-through bound, and
+    is deterministic across repeated runs."""
+    from repro.core import exttsp_max_score, exttsp_score
+
+    proc, profile = make_case(cfg_seed, target, profile_seed)
+    bound = exttsp_max_score(proc.cfg, profile)
+    for task in tasks_for(proc, profile):
+        result = align_one(task)
+        assert result.exttsp_score is not None, task.method
+        assert result.exttsp_score == exttsp_score(
+            proc.cfg, result.layout, profile
+        ), task.method
+        assert result.exttsp_score <= bound + 1e-9, task.method
+        again = align_one(task)
+        assert again.exttsp_score == result.exttsp_score, task.method
+        assert again.layout.order == result.layout.order, task.method
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    cfg_seed=st.integers(0, 10_000),
+    target=st.integers(5, 18),
+    profile_seed=st.integers(0, 10_000),
+)
 def test_layout_cost_agrees_for_any_instance_client(
     cfg_seed, target, profile_seed
 ):

@@ -280,6 +280,54 @@ class TestClientHonorsRetryAfter:
         assert policy.honor_retry_after("soon", attempt=2) == policy.delay_s(2)
         assert policy.honor_retry_after("-3", attempt=3) == policy.delay_s(3)
 
+    def test_http_date_form_is_honored(self):
+        """RFC 9110's second spelling: an HTTP-date, honored as the delta
+        to now (still capped), and a date already past floors at zero."""
+        from datetime import datetime, timedelta, timezone
+        from email.utils import format_datetime
+
+        from repro.service.client import RetryPolicy as Policy
+
+        policy = Policy(attempts=5, base_delay_s=0.1, max_delay_s=2.0)
+        soon = format_datetime(
+            datetime.now(timezone.utc) + timedelta(seconds=90), usegmt=True
+        )
+        assert policy.honor_retry_after(soon, attempt=1) == 2.0  # capped
+        near = format_datetime(
+            datetime.now(timezone.utc) + timedelta(seconds=1), usegmt=True
+        )
+        assert 0.0 <= policy.honor_retry_after(near, attempt=1) <= 1.0
+        past = format_datetime(
+            datetime.now(timezone.utc) - timedelta(hours=3), usegmt=True
+        )
+        assert policy.honor_retry_after(past, attempt=1) == 0.0
+
+    def test_malformed_headers_never_raise(self):
+        """Regression: ``float(header)`` used to propagate ValueError (and
+        ``nan``/``inf`` slipped through the float parse) — a proxy's junk
+        header could kill the retry loop mid-flight.  Every hostile
+        spelling must quietly fall back to the schedule."""
+        from repro.service.client import RetryPolicy as Policy
+
+        policy = Policy(attempts=5, base_delay_s=0.1, max_delay_s=2.0)
+        hostile = [
+            "soon", "never", "", "   ", "nan", "NaN", "inf", "-inf",
+            "Infinity", "-0.0001", "-3", "1e400", "0x10", "5 seconds",
+            "Wed, 99 Foo 2099 99:99:99 GMT",  # unparseable date
+            "Wed, 21 Oct 20155 07:28:00 GMT",  # absurd year
+            "\x00",
+        ]
+        for header in hostile:
+            delay = policy.honor_retry_after(header, attempt=2)
+            assert delay == policy.delay_s(2), header
+        # Non-string junk (a broken header dict upstream) is absent too.
+        for junk in (object(), 3.5, b"2", ["2"]):
+            assert policy.honor_retry_after(junk, attempt=1) == policy.delay_s(1)
+        # Edge legitimate spellings stay usable.
+        assert policy.honor_retry_after("0", attempt=3) == 0.0
+        assert policy.honor_retry_after(" 1.25 ", attempt=3) == 1.25
+        assert policy.honor_retry_after("-0", attempt=3) == 0.0
+
     def test_retry_loop_sleeps_the_server_hint(self, monkeypatch):
         import repro.service.client as client_mod
         from repro.service.client import RetryPolicy as Policy

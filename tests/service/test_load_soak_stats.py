@@ -1,0 +1,60 @@
+"""The load soak's latency statistics: nearest-rank percentile.
+
+Regression for the soak's reporting path: ``percentile([])`` used to
+raise ``IndexError``, so a fully-shed soak (every request 429'd, zero
+completion latencies) crashed while writing its metrics instead of
+reporting a clean run with zeroed latency rows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS_DIR))
+
+from load_soak import percentile  # noqa: E402
+
+
+class TestNearestRankPercentile:
+    def test_empty_sample_reports_zero_not_index_error(self):
+        assert percentile([], 0.50) == 0.0
+        assert percentile([], 0.95) == 0.0
+        assert percentile([], 1.0) == 0.0
+
+    def test_singleton_reports_its_element_for_every_fraction(self):
+        for fraction in (0.0, 0.25, 0.50, 0.95, 1.0):
+            assert percentile([3.25], fraction) == 3.25
+
+    def test_nearest_rank_definition(self):
+        """ordered[ceil(fraction * n) - 1]: the smallest observed value
+        with at least ``fraction`` of the sample at or below it."""
+        sample = [15.0, 20.0, 35.0, 40.0, 50.0]
+        assert percentile(sample, 0.30) == 20.0   # ceil(1.5) = 2nd
+        assert percentile(sample, 0.40) == 20.0   # ceil(2.0) = 2nd
+        assert percentile(sample, 0.50) == 35.0   # ceil(2.5) = 3rd
+        assert percentile(sample, 1.00) == 50.0
+
+    def test_returns_an_observed_value(self):
+        sample = [1.0, 2.0, 4.0, 8.0]
+        for fraction in (0.1, 0.5, 0.9, 0.95):
+            assert percentile(sample, fraction) in sample
+
+    def test_input_order_is_irrelevant(self):
+        sample = [9.0, 1.0, 5.0, 3.0, 7.0]
+        assert percentile(sample, 0.50) == percentile(sorted(sample), 0.50)
+        assert percentile(sample, 0.50) == 5.0
+
+    def test_fraction_extremes_clamp_into_the_sample(self):
+        sample = [1.0, 2.0, 3.0]
+        assert percentile(sample, 0.0) == 1.0    # rank 0 clamps to first
+        assert percentile(sample, 1.0) == 3.0    # never past the last
+
+    def test_parity_stability(self):
+        """Even- and odd-sized samples both report a real observation
+        (no interpolated midpoints that depend on sample parity)."""
+        odd = [1.0, 2.0, 3.0]
+        even = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(odd, 0.5) == 2.0
+        assert percentile(even, 0.5) == 2.0

@@ -101,6 +101,59 @@ class TestVerifyLayouts:
         ) == []
 
 
+class TestExtTSPFamilyVerifies:
+    """The 2020-objective aligners produce verifiable answers too: valid
+    permutations whose reported costs agree with re-evaluation and sit on
+    or above the certified Held–Karp floor."""
+
+    @pytest.fixture(scope="class", params=["exttsp", "chain-merge"])
+    def exttsp_aligned(self, request):
+        module = compile_source(SERVICE_SOURCE)
+        _, profile = run_and_profile(module, list(range(20)))
+        model = get_model("alpha21164")
+        report = AlignmentReport()
+        layouts = align_program(
+            module.program, profile, method=request.param, model=model,
+            seed=0, report=report,
+        )
+        return module.program, layouts, profile, model, report
+
+    @staticmethod
+    def evaluated_costs(program, layouts, profile, model):
+        from repro.core import evaluate_layout
+
+        return {
+            proc.name: evaluate_layout(
+                proc.cfg, layouts[proc.name], profile[proc.name], model
+            ).total
+            for proc in program
+        }
+
+    def test_clean_alignment_has_no_violations(self, exttsp_aligned):
+        program, layouts, profile, model, _report = exttsp_aligned
+        costs = self.evaluated_costs(program, layouts, profile, model)
+        assert verify_layouts(
+            program, layouts, profile, model, costs=costs
+        ) == []
+
+    def test_costs_respect_the_held_karp_floor(self, exttsp_aligned):
+        from repro.core import lower_bound_program
+
+        program, layouts, profile, model, _report = exttsp_aligned
+        costs = self.evaluated_costs(program, layouts, profile, model)
+        bounds = lower_bound_program(program, profile, model=model)
+        assert verify_layouts(
+            program, layouts, profile, model,
+            costs=costs, bounds=bounds.per_procedure,
+        ) == []
+
+    def test_every_procedure_got_a_layout_and_a_score(self, exttsp_aligned):
+        program, layouts, profile, model, report = exttsp_aligned
+        for proc in program:
+            layouts[proc.name].check_against(proc.cfg)
+            assert proc.name in report.exttsp_scores
+
+
 class TestVerifyOrRaise:
     def test_raises_typed_error_carrying_violations(self, aligned):
         program, layouts, profile, model, report = aligned
