@@ -1,0 +1,68 @@
+"""repro.chaos: deterministic fault-space exploration.
+
+The engine that turns the fault catalog (:mod:`repro.faults`) into a
+correctness tool: discover every injection point a workload reaches,
+replay single- and pairwise-fault schedules deterministically, judge
+each run against the system-invariant suite, shrink failures to
+minimal reproducers, and gate CI on the committed corpus.
+
+    explorer = Explorer(ExploreConfig(workload=WorkloadConfig(requests=8)))
+    report = explorer.explore()
+    report.canonical()   # byte-identical across reruns and worker counts
+
+CLI: ``repro chaos explore | replay | shrink`` and the offline journal
+scrubber ``repro journal verify``.
+"""
+
+from repro.chaos.corpus import (
+    CorpusEntry,
+    entry_filename,
+    load_corpus,
+    save_reproducer,
+)
+from repro.chaos.explore import ExplorationReport, ExploreConfig, Explorer
+from repro.chaos.invariants import (
+    DEGRADING_SITES,
+    JOURNAL_DAMAGE_SITES,
+    SHEDDING_SITES,
+    InvariantReport,
+    check_invariants,
+)
+from repro.chaos.schedule import (
+    FaultSchedule,
+    pairwise_schedules,
+    single_fault_schedules,
+)
+from repro.chaos.shrink import shrink, shrink_atoms
+from repro.chaos.space import FaultSpace
+from repro.chaos.workloads import (
+    WORKLOAD_NAMES,
+    WorkloadConfig,
+    WorkloadResult,
+    run_workload,
+)
+
+__all__ = [
+    "DEGRADING_SITES",
+    "JOURNAL_DAMAGE_SITES",
+    "SHEDDING_SITES",
+    "WORKLOAD_NAMES",
+    "CorpusEntry",
+    "ExplorationReport",
+    "ExploreConfig",
+    "Explorer",
+    "FaultSchedule",
+    "FaultSpace",
+    "InvariantReport",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "check_invariants",
+    "entry_filename",
+    "load_corpus",
+    "pairwise_schedules",
+    "run_workload",
+    "save_reproducer",
+    "shrink",
+    "shrink_atoms",
+    "single_fault_schedules",
+]

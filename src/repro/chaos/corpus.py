@@ -1,0 +1,104 @@
+"""The reproducer corpus: minimized failing schedules as a regression gate.
+
+Every schedule the explorer finds failing is shrunk to a 1-minimal
+reproducer and written here as one JSON file, addressed by a hash of
+its schedule id (stable names: re-finding the same bug never creates a
+second file).  The corpus is committed; CI replays every entry on each
+build.  The contract is the inverse of discovery: a corpus entry
+records a schedule that failed *once* — after the fix lands, replaying
+it must **pass**, forever.  A corpus replay failure is a regression of
+a previously-fixed robustness bug, the cheapest kind to catch.
+
+Entries carry the workload config they reproduce against, so the gate
+keeps meaning even as default workload knobs drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.chaos.schedule import FaultSchedule
+from repro.chaos.workloads import WorkloadConfig
+
+CORPUS_VERSION = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One committed minimal reproducer."""
+
+    schedule: FaultSchedule
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Invariants the schedule failed when it was minimized (history,
+    #: not a prediction: replays must pass once the bug is fixed).
+    failed: list[str] = field(default_factory=list)
+    note: str = ""
+    path: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "v": CORPUS_VERSION,
+            "schedule": self.schedule.to_json(),
+            "workload": self.workload.to_json(),
+            "failed": list(self.failed),
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, *, path: str = "") -> "CorpusEntry":
+        if data.get("v") != CORPUS_VERSION:
+            raise ValueError(
+                f"unsupported corpus entry version {data.get('v')!r}"
+            )
+        return cls(
+            schedule=FaultSchedule.from_json(data["schedule"]),
+            workload=WorkloadConfig.from_json(data.get("workload", {})),
+            failed=[str(name) for name in data.get("failed", [])],
+            note=str(data.get("note", "")),
+            path=path,
+        )
+
+
+def entry_filename(schedule: FaultSchedule) -> str:
+    digest = hashlib.sha256(schedule.schedule_id.encode()).hexdigest()
+    return f"{digest[:12]}.json"
+
+
+def save_reproducer(
+    corpus_dir: "str | pathlib.Path",
+    schedule: FaultSchedule,
+    *,
+    workload: WorkloadConfig,
+    failed: "list[str] | None" = None,
+    note: str = "",
+) -> "pathlib.Path | None":
+    """Write one minimized reproducer; returns its path, or ``None`` if
+    an entry for this exact schedule already exists (idempotent — CI
+    re-finding a committed bug must not dirty the tree)."""
+    corpus_dir = pathlib.Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / entry_filename(schedule)
+    if path.exists():
+        return None
+    entry = CorpusEntry(
+        schedule=schedule, workload=workload,
+        failed=list(failed or []), note=note,
+    )
+    path.write_text(json.dumps(entry.to_json(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: "str | pathlib.Path") -> list[CorpusEntry]:
+    """Every readable entry, sorted by filename (stable replay order).
+    A malformed entry raises — a corrupt regression gate must be loud."""
+    corpus_dir = pathlib.Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        data = json.loads(path.read_text())
+        entries.append(CorpusEntry.from_json(data, path=str(path)))
+    return entries

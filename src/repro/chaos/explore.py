@@ -1,0 +1,174 @@
+"""The fault-space exploration engine: discover → schedule → replay → check.
+
+One exploration is four deterministic phases:
+
+1. **Discovery** — run the workload fault-free with record mode armed
+   (:func:`repro.faults.record_sites`) and the environment's chaos plan
+   neutralized (:func:`repro.faults.chaos_override` with ``None``, so a
+   CI job that exports ``$REPRO_CHAOS`` cannot leak nondeterminism into
+   the pass).  This yields the :class:`FaultSpace` — every injection
+   point the workload actually reaches — and the *reference* result the
+   invariance checks compare against.
+2. **Scheduling** — compile the space into single-fault schedules (a
+   spread of call indices per site) and bounded pairwise schedules,
+   both pure functions of the sorted space.
+3. **Replay** — run the workload once per schedule with the schedule's
+   plan armed **twice from one object**: installed in the submitting
+   context (pipeline sites fire inside ``ctx.run``) *and* as the chaos
+   override (journal/store/shard hooks consulted on worker and probe
+   threads see the same plan and the same call counters).  Each run
+   gets a cold universe (fresh temp dirs, cleared caches).
+4. **Checking** — the invariant suite (:mod:`repro.chaos.invariants`)
+   judges every run; failing schedules become corpus candidates for the
+   shrinker.
+
+``canonical_report`` serializes only schedule ids and verdict booleans,
+so two explorations of the same space — rerun, or run at a different
+worker count — must produce byte-identical canonical reports.  That
+property is itself under test (``tests/chaos/``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+from repro import faults, obs
+from repro.chaos.invariants import InvariantReport, check_invariants
+from repro.chaos.schedule import (
+    FaultSchedule,
+    pairwise_schedules,
+    single_fault_schedules,
+)
+from repro.chaos.space import FaultSpace
+from repro.chaos.workloads import WorkloadConfig, WorkloadResult, run_workload
+
+
+@dataclass
+class ExploreConfig:
+    """Knobs for one exploration."""
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Single-fault call indices scheduled per site.
+    singles_per_site: int = 2
+    #: Pairwise schedule budget (0 disables the pairwise phase).
+    pairs: int = 12
+    #: Extra schedules to replay (corpus entries, operator picks).
+    extra: list[FaultSchedule] = field(default_factory=list)
+    #: Where runs scratch; ``None`` = a private temp dir per run.
+    workdir: str | None = None
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one exploration learned."""
+
+    space: FaultSpace = field(default_factory=FaultSpace)
+    reports: list[InvariantReport] = field(default_factory=list)
+    #: Schedule ids whose invariant suite failed.
+    failures: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "space": self.space.to_json(),
+            "schedules": len(self.reports),
+            "failures": list(self.failures),
+            "runs": [report.to_json() for report in self.reports],
+        }
+
+    def canonical(self) -> str:
+        """The byte-comparable determinism witness: schedule id →
+        invariant booleans, canonical JSON, nothing run-dependent."""
+        return json.dumps(
+            {
+                report.schedule_id: report.canonical()
+                for report in self.reports
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class Explorer:
+    """Drives one exploration; stateless between calls except config."""
+
+    def __init__(self, config: ExploreConfig):
+        self.config = config
+
+    # - phases -
+
+    def _fresh_dir(self, label: str) -> pathlib.Path:
+        if self.config.workdir is not None:
+            base = pathlib.Path(self.config.workdir)
+            base.mkdir(parents=True, exist_ok=True)
+            path = pathlib.Path(tempfile.mkdtemp(prefix=label, dir=base))
+        else:
+            path = pathlib.Path(tempfile.mkdtemp(prefix=f"repro-chaos-{label}"))
+        return path
+
+    def discover(self) -> "tuple[FaultSpace, WorkloadResult]":
+        """Phase 1: record-mode, fault-free reference pass."""
+        workdir = self._fresh_dir("discover-")
+        try:
+            with faults.chaos_override(None), faults.record_sites() as rec:
+                reference = run_workload(self.config.workload, workdir)
+            return FaultSpace.from_recorder(rec), reference
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def schedules(self, space: FaultSpace) -> list[FaultSchedule]:
+        """Phase 2: the deterministic schedule list."""
+        out = single_fault_schedules(
+            space, per_site=self.config.singles_per_site
+        )
+        if self.config.pairs > 0:
+            out.extend(pairwise_schedules(space, limit=self.config.pairs))
+        seen = set()
+        unique = []
+        for schedule in out + list(self.config.extra):
+            if schedule.schedule_id in seen:
+                continue
+            seen.add(schedule.schedule_id)
+            unique.append(schedule)
+        return unique
+
+    def run_schedule(
+        self,
+        schedule: FaultSchedule,
+        reference: "WorkloadResult | None",
+    ) -> InvariantReport:
+        """Phase 3+4 for one schedule: replay cold, then judge."""
+        workdir = self._fresh_dir("run-")
+        plan = schedule.to_plan()
+        try:
+            # One plan, armed on both paths: the submitting context (so
+            # pipeline sites consulted inside ctx.run fire) and the
+            # process-wide chaos override (so journal appends on the
+            # worker thread, shard probes, and store writes see the same
+            # schedule with shared call counters).  chaos_override also
+            # shadows any $REPRO_CHAOS in the environment.
+            with faults.chaos_override(plan), faults.install_plan(plan):
+                result = run_workload(self.config.workload, workdir)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        return check_invariants(schedule, result, reference)
+
+    def explore(self, *, progress=None) -> ExplorationReport:
+        """The whole engine, start to finish."""
+        report = ExplorationReport()
+        with obs.span("chaos:discover"):
+            space, reference = self.discover()
+        report.space = space
+        schedules = self.schedules(space)
+        for index, schedule in enumerate(schedules):
+            if progress is not None:
+                progress(index, len(schedules), schedule)
+            with obs.span("chaos:replay", schedule=schedule.schedule_id):
+                inv = self.run_schedule(schedule, reference)
+            report.reports.append(inv)
+            if not inv.ok:
+                report.failures.append(inv.schedule_id)
+        return report

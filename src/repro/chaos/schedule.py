@@ -1,0 +1,169 @@
+"""Fault schedules: which sites fire, and on which call index.
+
+A schedule maps :class:`~repro.faults.FaultPlan` field names to trigger
+call indices — ``{"journal_enospc": 3}`` fires the disk-full fault on
+the third journal append of the replayed workload; ``{"shard_death":
+(1, 4)}`` kills a shard on the first *and* fourth routed request.  The
+schedule compiles 1:1 into a fault plan, and its canonical id
+(``"journal_enospc@3+shard_death@1"``) is stable across runs, which is
+what makes reports byte-comparable and corpus entries addressable.
+
+Generation is deterministic by construction: schedules are derived only
+from the sorted fault space, never from randomness or wall clocks, so
+the same discovery pass always yields the same schedule list in the
+same order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+
+from repro import faults
+from repro.chaos.space import FaultSpace
+
+
+def _norm_trigger(value) -> "int | tuple[int, ...]":
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    if isinstance(value, (tuple, list)):
+        picks = tuple(sorted(int(v) for v in value))
+        if len(picks) == 1:
+            return picks[0]
+        return picks
+    raise ValueError(f"unsupported schedule trigger {value!r}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One deterministic injection schedule over the fault space."""
+
+    sites: tuple = field(default_factory=tuple)  # ((site, trigger), ...)
+
+    @classmethod
+    def of(cls, mapping: dict) -> "FaultSchedule":
+        known = {
+            f.name for f in fields(faults.FaultPlan)
+            if not f.name.startswith("_")
+        }
+        items = []
+        for site, trigger in sorted(mapping.items()):
+            if site not in known:
+                raise ValueError(f"unknown fault site {site!r}")
+            items.append((site, _norm_trigger(trigger)))
+        return cls(sites=tuple(items))
+
+    @classmethod
+    def from_atoms(cls, atoms: "list[tuple[str, int]]") -> "FaultSchedule":
+        """Build from ``(site, index)`` atoms; duplicate sites merge into
+        a multi-index trigger (the shrinker works on atoms)."""
+        merged: dict[str, list[int]] = {}
+        for site, index in atoms:
+            merged.setdefault(site, []).append(int(index))
+        return cls.of({site: picks for site, picks in merged.items()})
+
+    def atoms(self) -> "list[tuple[str, int]]":
+        """The schedule flattened to ``(site, index)`` pairs — the unit
+        the delta-debugging shrinker removes one at a time."""
+        out: list[tuple[str, int]] = []
+        for site, trigger in self.sites:
+            if isinstance(trigger, tuple):
+                out.extend((site, index) for index in trigger)
+            else:
+                out.append((site, trigger))
+        return out
+
+    @property
+    def schedule_id(self) -> str:
+        parts = []
+        for site, trigger in self.sites:
+            if isinstance(trigger, tuple):
+                parts.append(f"{site}@" + "+".join(str(i) for i in trigger))
+            else:
+                parts.append(f"{site}@{trigger}")
+        return "+".join(parts) if parts else "fault-free"
+
+    def to_plan(self) -> faults.FaultPlan:
+        return faults.FaultPlan(**dict(self.sites))
+
+    def to_json(self) -> dict:
+        return {
+            site: (list(trigger) if isinstance(trigger, tuple) else trigger)
+            for site, trigger in self.sites
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSchedule":
+        return cls.of(data)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Parse the CLI spelling: ``"journal_enospc@3+shard_death@1"``
+        (``site@i`` atoms joined by ``+``; a repeated site merges)."""
+        atoms: list[tuple[str, int]] = []
+        for part in text.split("+"):
+            part = part.strip()
+            if not part:
+                continue
+            site, sep, index = part.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"bad schedule atom {part!r} (want site@index)"
+                )
+            atoms.append((site.strip(), int(index)))
+        if not atoms:
+            raise ValueError("empty schedule")
+        return cls.from_atoms(atoms)
+
+
+def _spread_indices(total: int, per_site: int) -> list[int]:
+    """Up to ``per_site`` call indices spread across ``[1, total]``:
+    always the first, then evenly spaced through the tail — edges and
+    middle are where injection findings live."""
+    if total <= 0:
+        return []
+    if per_site <= 1 or total == 1:
+        return [1]
+    picks = {1, total}
+    step = max(1, total // per_site)
+    index = 1 + step
+    while len(picks) < per_site and index < total:
+        picks.add(index)
+        index += step
+    return sorted(picks)[:per_site]
+
+
+def single_fault_schedules(
+    space: FaultSpace, *, per_site: int = 2
+) -> list[FaultSchedule]:
+    """One schedule per (site, spread index) point of the space."""
+    out = []
+    for site in space.sites():
+        for index in _spread_indices(space.total(site), per_site):
+            out.append(FaultSchedule.of({site: index}))
+    return out
+
+
+def pairwise_schedules(
+    space: FaultSpace, *, limit: int = 16
+) -> list[FaultSchedule]:
+    """Bounded pairwise combinations, deterministically ordered.
+
+    Pairs of *distinct* sites arm each site's first reached index; a
+    same-site pair (only for sites consulted at least twice) compiles to
+    a multi-index trigger — the "same fault strikes twice" family that
+    single-fault sweeps can never cover.
+    """
+    sites = space.sites()
+    out: list[FaultSchedule] = []
+    for a, b in itertools.combinations_with_replacement(sites, 2):
+        if len(out) >= limit:
+            break
+        if a == b:
+            total = space.total(a)
+            if total < 2:
+                continue
+            out.append(FaultSchedule.of({a: (1, total)}))
+        else:
+            out.append(FaultSchedule.of({a: 1, b: 1}))
+    return out

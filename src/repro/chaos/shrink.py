@@ -1,0 +1,102 @@
+"""Delta-debugging shrinker: failing schedule → minimal reproducer.
+
+Classic ddmin over a schedule's ``(site, call_index)`` atoms: try ever
+finer partitions, keep any complement that still fails, stop when no
+single-atom removal preserves the failure.  The result is 1-minimal —
+every remaining atom is load-bearing — which is exactly what a human
+debugging the regression wants to read, and what the corpus commits.
+
+After atom minimization, each surviving atom's call index is lowered
+toward 1 (binary search) while the failure persists: ``site@17`` that
+also fails as ``site@1`` reproduces in a fraction of the workload.
+
+The ``fails`` predicate is injected (usually a closure over
+:meth:`Explorer.run_schedule`), so tests can shrink against synthetic
+oracles without paying for real workload replays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chaos.schedule import FaultSchedule
+
+Oracle = Callable[[FaultSchedule], bool]
+
+
+def _chunks(atoms: list, n: int) -> list[list]:
+    size, rem = divmod(len(atoms), n)
+    out, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < rem else 0)
+        if end > start:
+            out.append(atoms[start:end])
+        start = end
+    return out
+
+
+def shrink_atoms(
+    atoms: "list[tuple[str, int]]", fails: Oracle
+) -> "list[tuple[str, int]]":
+    """ddmin over the atom list; ``fails(schedule)`` must be True for the
+    input and is preserved throughout."""
+    atoms = list(atoms)
+    n = 2
+    while len(atoms) >= 2:
+        reduced = False
+        for chunk in _chunks(atoms, min(n, len(atoms))):
+            complement = _complement(atoms, chunk)
+            if complement and fails(FaultSchedule.from_atoms(complement)):
+                atoms = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(atoms):
+                break
+            n = min(len(atoms), n * 2)
+    return atoms
+
+
+def _complement(atoms: list, chunk: list) -> list:
+    remaining = list(atoms)
+    for atom in chunk:
+        remaining.remove(atom)
+    return remaining
+
+
+def lower_indices(
+    atoms: "list[tuple[str, int]]", fails: Oracle
+) -> "list[tuple[str, int]]":
+    """Binary-search each surviving atom's call index toward 1 while the
+    schedule still fails."""
+    atoms = list(atoms)
+    for position, (site, index) in enumerate(atoms):
+        low, high = 1, index  # invariant: `high` fails; probe below it
+        while low < high:
+            mid = (low + high) // 2
+            candidate = list(atoms)
+            candidate[position] = (site, mid)
+            if fails(FaultSchedule.from_atoms(candidate)):
+                high = mid
+            else:
+                low = mid + 1
+        atoms[position] = (site, high)
+    return atoms
+
+
+def shrink(schedule: FaultSchedule, fails: Oracle) -> FaultSchedule:
+    """Shrink a failing schedule to a 1-minimal, index-lowered one.
+
+    Raises ``ValueError`` if ``schedule`` does not fail in the first
+    place — shrinking a passing schedule silently would commit a
+    meaningless corpus entry.
+    """
+    if not fails(schedule):
+        raise ValueError(
+            f"schedule {schedule.schedule_id!r} does not fail; "
+            "nothing to shrink"
+        )
+    atoms = shrink_atoms(schedule.atoms(), fails)
+    atoms = lower_indices(atoms, fails)
+    return FaultSchedule.from_atoms(atoms)

@@ -1,0 +1,56 @@
+"""The discovered fault space: what a record-mode workload pass reached.
+
+Discovery runs the workload fault-free with
+:func:`repro.faults.record_sites` armed: every hook consultation is
+counted under ``(site, scope)``, where *site* is the
+:class:`~repro.faults.FaultPlan` field name (so a schedule entry is
+directly a plan kwarg) and *scope* labels the consulting context
+(``"main"``, ``"shard-0"``, ...).  The resulting :class:`FaultSpace` is
+the universe the explorer schedules over: site X with N consultations
+has exactly N schedulable single-fault injection points, ``X@1``
+through ``X@N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults import SiteRecorder
+
+
+@dataclass
+class FaultSpace:
+    """``{site: {scope: consultations}}`` from one discovery pass."""
+
+    counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(cls, recorder: SiteRecorder) -> "FaultSpace":
+        counts: dict[str, dict[str, int]] = {}
+        for (site, scope), n in recorder.counts().items():
+            counts.setdefault(site, {})[scope] = n
+        return cls(counts=counts)
+
+    def sites(self) -> list[str]:
+        return sorted(self.counts)
+
+    def total(self, site: str) -> int:
+        """Consultations of ``site`` across all scopes — the number of
+        distinct call indices a schedule may target."""
+        return sum(self.counts.get(site, {}).values())
+
+    def scopes(self, site: str) -> list[str]:
+        return sorted(self.counts.get(site, {}))
+
+    def to_json(self) -> dict:
+        return {
+            site: dict(sorted(scopes.items()))
+            for site, scopes in sorted(self.counts.items())
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpace":
+        return cls(counts={
+            str(site): {str(scope): int(n) for scope, n in scopes.items()}
+            for site, scopes in data.items()
+        })

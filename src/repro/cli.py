@@ -550,6 +550,209 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _chaos_workload(args) -> "object":
+    from repro.chaos import WORKLOAD_NAMES, WorkloadConfig
+
+    if args.workload not in WORKLOAD_NAMES:
+        raise UsageError(
+            f"unknown workload {args.workload!r} "
+            f"(want one of {', '.join(WORKLOAD_NAMES)})"
+        )
+    return WorkloadConfig(
+        name=args.workload,
+        requests=args.requests,
+        shards=args.shards,
+        jobs=args.jobs,
+    )
+
+
+def _parse_schedule(text: str):
+    from repro.chaos import FaultSchedule
+
+    try:
+        return FaultSchedule.parse(text)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+
+
+def cmd_chaos_explore(args) -> int:
+    from repro.chaos import (
+        ExploreConfig,
+        Explorer,
+        load_corpus,
+        save_reproducer,
+        shrink,
+    )
+
+    workload = _chaos_workload(args)
+    extra = []
+    if args.corpus:
+        for entry in load_corpus(args.corpus):
+            extra.append(entry.schedule)
+    config = ExploreConfig(
+        workload=workload,
+        singles_per_site=args.singles_per_site,
+        pairs=args.pairs,
+        extra=extra,
+    )
+    explorer = Explorer(config)
+
+    def progress(index: int, total: int, schedule) -> None:
+        print(f"[{index + 1}/{total}] {schedule.schedule_id}", flush=True)
+
+    report = explorer.explore(progress=progress if args.verbose else None)
+    sites = report.space.sites()
+    print(f"fault space: {len(sites)} site(s) reached")
+    rows = [
+        [site, str(report.space.total(site)),
+         ",".join(report.space.scopes(site))]
+        for site in sites
+    ]
+    print(format_table(["site", "consultations", "scopes"], rows))
+    print(
+        f"replayed {len(report.reports)} schedule(s): "
+        f"{len(report.reports) - len(report.failures)} ok, "
+        f"{len(report.failures)} failing"
+    )
+    minimized = []
+    if report.failures and args.corpus:
+        _, reference = explorer.discover()
+
+        def fails(candidate) -> bool:
+            return not explorer.run_schedule(candidate, reference).ok
+
+        by_id = {r.schedule_id: r for r in report.reports}
+        for schedule in explorer.schedules(report.space):
+            inv = by_id.get(schedule.schedule_id)
+            if inv is None or inv.ok:
+                continue
+            minimal = shrink(schedule, fails)
+            final = explorer.run_schedule(minimal, reference)
+            path = save_reproducer(
+                args.corpus, minimal,
+                workload=workload,
+                failed=final.failed() or inv.failed(),
+                note=f"minimized from {schedule.schedule_id}",
+            )
+            if path is not None:
+                minimized.append((schedule.schedule_id,
+                                  minimal.schedule_id, str(path)))
+        for original, minimal_id, path in minimized:
+            print(f"minimized {original} -> {minimal_id} ({path})")
+    if args.out:
+        payload = report.to_json()
+        payload["canonical"] = report.canonical()
+        pathlib.Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.out}")
+    for failure in report.failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
+def cmd_chaos_replay(args) -> int:
+    from repro.chaos import ExploreConfig, Explorer, load_corpus
+
+    schedules = []
+    if args.schedule:
+        schedules.append((_parse_schedule(args.schedule), None))
+    if args.corpus:
+        for entry in load_corpus(args.corpus):
+            schedules.append((entry.schedule, entry))
+    if not schedules:
+        raise UsageError("nothing to replay: pass --schedule and/or --corpus")
+    failures = 0
+    for schedule, entry in schedules:
+        workload = entry.workload if entry is not None else _chaos_workload(args)
+        explorer = Explorer(ExploreConfig(workload=workload))
+        _, reference = explorer.discover()
+        inv = explorer.run_schedule(schedule, reference)
+        origin = f" [{entry.path}]" if entry is not None else ""
+        if inv.ok:
+            print(f"ok   {schedule.schedule_id}{origin}")
+        else:
+            failures += 1
+            print(f"FAIL {schedule.schedule_id}{origin}: "
+                  f"{', '.join(inv.failed())}", file=sys.stderr)
+            for name, verdict in sorted(inv.verdicts.items()):
+                if not verdict["ok"]:
+                    print(f"     {name}: {verdict['detail']}",
+                          file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_chaos_shrink(args) -> int:
+    from repro.chaos import ExploreConfig, Explorer, save_reproducer, shrink
+
+    schedule = _parse_schedule(args.schedule)
+    workload = _chaos_workload(args)
+    explorer = Explorer(ExploreConfig(workload=workload))
+    _, reference = explorer.discover()
+
+    def fails(candidate) -> bool:
+        return not explorer.run_schedule(candidate, reference).ok
+
+    try:
+        minimal = shrink(schedule, fails)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    final = explorer.run_schedule(minimal, reference)
+    print(f"minimal failing schedule: {minimal.schedule_id}")
+    print(f"failing invariants: {', '.join(final.failed()) or '(flaky?)'}")
+    if args.corpus:
+        path = save_reproducer(
+            args.corpus, minimal, workload=workload,
+            failed=final.failed(),
+            note=f"minimized from {schedule.schedule_id}",
+        )
+        if path is not None:
+            print(f"reproducer written to {path}")
+        else:
+            print("reproducer already in corpus")
+    return 0
+
+
+def cmd_journal_verify(args) -> int:
+    from repro.service.scrub import scrub_path
+
+    scrubs = scrub_path(args.path)
+    if not scrubs:
+        print(f"{args.path}: no journal files")
+        return 0
+    if args.json:
+        print(json.dumps([s.to_json() for s in scrubs],
+                         indent=2, sort_keys=True))
+    else:
+        rows = []
+        for s in scrubs:
+            state = "CORRUPT" if s.corrupt else (
+                "torn-tail" if s.torn_tail else "ok"
+            )
+            rows.append([
+                pathlib.Path(s.path).name, str(s.lines),
+                str(s.records.get("admitted", 0)),
+                str(s.completed), str(s.orphans), str(s.failed),
+                str(len(s.interior_corrupt)), state,
+            ])
+        print(format_table(
+            ["journal", "lines", "admitted", "completed", "orphans",
+             "failed", "interior", "state"],
+            rows,
+        ))
+    corrupt = [s for s in scrubs if s.corrupt]
+    for s in corrupt:
+        where = ("unreadable" if s.unreadable else
+                 f"interior corruption at lines {s.interior_corrupt}")
+        print(f"{s.path}: {where}", file=sys.stderr)
+    torn = [s for s in scrubs if s.torn_tail and not s.corrupt]
+    for s in torn:
+        print(f"warning: {s.path}: torn final record (crash mid-append; "
+              f"the next start absorbs it)", file=sys.stderr)
+    return 2 if corrupt else 0
+
+
 def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=None, metavar="N",
                         help="retry budget per procedure task before it is "
@@ -744,6 +947,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_validate.add_argument("file", metavar="TRACE.jsonl")
     p_validate.set_defaults(func=cmd_trace)
+
+    def _add_chaos_workload_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--workload", default="service-burst",
+                            metavar="NAME",
+                            help="workload to drive: service-burst (shard "
+                                 "tier + store, the full fault surface) or "
+                                 "pipeline-sweep (bare pipeline)")
+        parser.add_argument("--requests", type=int, default=8, metavar="N",
+                            help="requests per workload run (default 8)")
+        parser.add_argument("--shards", type=int, default=2, metavar="N",
+                            help="shards for service-burst (default 2)")
+        parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="pipeline worker processes; canonical "
+                                 "reports must be identical for any value "
+                                 "(default 1)")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-space exploration "
+             "(discover -> schedule -> replay -> check invariants)",
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    p_explore = chaos_sub.add_parser(
+        "explore",
+        help="enumerate reached fault sites, replay single- and pairwise-"
+             "fault schedules, check the invariant suite after each",
+    )
+    _add_chaos_workload_flags(p_explore)
+    p_explore.add_argument("--singles-per-site", type=int, default=2,
+                           metavar="K",
+                           help="single-fault call indices scheduled per "
+                                "site (default 2)")
+    p_explore.add_argument("--pairs", type=int, default=12, metavar="N",
+                           help="bounded pairwise schedule budget "
+                                "(default 12; 0 disables)")
+    p_explore.add_argument("--corpus", default=None, metavar="DIR",
+                           help="replay this reproducer corpus too, and "
+                                "write newly minimized reproducers into it")
+    p_explore.add_argument("--out", default=None, metavar="REPORT.json",
+                           help="write the full exploration report (space, "
+                                "verdicts, canonical form) as JSON")
+    p_explore.add_argument("--verbose", action="store_true",
+                           help="print each schedule as it replays")
+    p_explore.set_defaults(func=cmd_chaos_explore)
+    p_replay = chaos_sub.add_parser(
+        "replay",
+        help="replay one schedule (site@index+site@index) and/or a corpus "
+             "of minimized reproducers; exit 1 if any invariant fails",
+    )
+    _add_chaos_workload_flags(p_replay)
+    p_replay.add_argument("--schedule", default=None, metavar="SPEC",
+                          help="schedule to replay, e.g. "
+                               "journal_enospc@3+shard_death@1")
+    p_replay.add_argument("--corpus", default=None, metavar="DIR",
+                          help="replay every committed reproducer (each "
+                               "pins its own workload config)")
+    p_replay.set_defaults(func=cmd_chaos_replay)
+    p_shrink = chaos_sub.add_parser(
+        "shrink",
+        help="delta-debug a failing schedule down to a 1-minimal, "
+             "index-lowered reproducer",
+    )
+    _add_chaos_workload_flags(p_shrink)
+    p_shrink.add_argument("--schedule", required=True, metavar="SPEC",
+                          help="the failing schedule to shrink")
+    p_shrink.add_argument("--corpus", default=None, metavar="DIR",
+                          help="write the minimized reproducer here")
+    p_shrink.set_defaults(func=cmd_chaos_shrink)
+
+    p_journal = sub.add_parser(
+        "journal", help="offline write-ahead journal tools"
+    )
+    journal_sub = p_journal.add_subparsers(
+        dest="journal_command", required=True
+    )
+    p_verify = journal_sub.add_parser(
+        "verify",
+        help="integrity audit of a journal file or directory: per-line "
+             "sha256, schema version, orphan/completion accounting; "
+             "exit 2 on corruption (a torn tail alone is a warning)",
+    )
+    p_verify.add_argument("path", metavar="JOURNAL_OR_DIR")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the audit as JSON")
+    p_verify.set_defaults(func=cmd_journal_verify)
     return parser
 
 

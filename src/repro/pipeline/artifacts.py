@@ -145,6 +145,8 @@ class StoreStats:
     io_errors: int = 0
     #: Writes skipped because another writer held the entry lock too long.
     lock_contention: int = 0
+    #: Writes skipped because the store is in sticky degraded mode.
+    degraded_writes: int = 0
 
 
 class EntryLock:
@@ -195,7 +197,10 @@ class EntryLock:
                 return True
             except FileExistsError:
                 try:
-                    age_s = time.time() - self.path.stat().st_mtime
+                    # An injected clock_skew fault reads this clock in the
+                    # future, the shape that makes fresh locks look stale.
+                    now = time.time() + faults.clock_skew_s()
+                    age_s = now - self.path.stat().st_mtime
                 except FileNotFoundError:
                     continue  # raced: owner released or stole first
                 except OSError:
@@ -273,6 +278,13 @@ class ArtifactStore:
         self.stats = StoreStats()
         self._lock = threading.Lock()
         self._tmp_serial = 0
+        #: Sticky read-only mode: a write failed at the OS level (disk
+        #: full, I/O error), so the store stops attempting writes — reads
+        #: still serve whatever was published — until a new store is
+        #: constructed.  Sticky by design: a full disk does not un-fill
+        #: itself between artifacts, and every retried write would pay
+        #: the failure on the solve path.
+        self.degraded = False
 
     # - paths -
 
@@ -334,6 +346,9 @@ class ArtifactStore:
         publish with atomic ``os.replace`` under a per-entry lock.  Returns
         whether the entry was published; failures are absorbed (a cache
         that cannot write is slow, not broken)."""
+        if self.degraded:
+            self._count("degraded_writes")
+            return False
         path = self.path_for(key)
         try:
             body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -355,6 +370,7 @@ class ArtifactStore:
         )
         try:
             faults.check_store_io()
+            faults.check_store_enospc()
             path.parent.mkdir(parents=True, exist_ok=True)
             if not lock.acquire():
                 self._count("lock_contention")
@@ -371,11 +387,25 @@ class ArtifactStore:
                 os.replace(tmp, path)
             finally:
                 lock.release()
-        except (ArtifactStoreError, OSError):
+        except ArtifactStoreError:
+            # Injected transient store I/O: absorbed per-operation, the
+            # store keeps trying (this is the shape chaos soaks arm).
             self._count("io_errors")
+            return False
+        except OSError:
+            # The OS refused a write — ENOSPC, EIO, a read-only remount.
+            # That is not transient: degrade to sticky read-only so the
+            # solve path never pays (or sees) the failing disk again.
+            self._count("io_errors")
+            self._degrade()
             return False
         self._count("writes")
         return True
+
+    def _degrade(self) -> None:
+        if not self.degraded:
+            self.degraded = True
+            obs.count("store.degraded", stable=False)
 
     def evict(self, key: str) -> None:
         """Delete one entry (corrupt, or superseded); missing is fine."""

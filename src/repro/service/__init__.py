@@ -66,6 +66,7 @@ from .core import (
 from .deadline import DeadlinePlan, plan_deadline
 from .http_server import AlignmentHTTPServer, serve
 from .journal import JournalReplay, RequestJournal, request_key
+from .scrub import JournalScrub, scrub_journal, scrub_path
 from .shard import (
     ShardRequest,
     ShardSupervisor,
@@ -83,6 +84,7 @@ __all__ = [
     "CircuitBreaker",
     "DeadlinePlan",
     "JournalReplay",
+    "JournalScrub",
     "PendingRequest",
     "RequestJournal",
     "RetryPolicy",
@@ -100,6 +102,8 @@ __all__ = [
     "request_key",
     "request_with_retry",
     "route_shard",
+    "scrub_journal",
+    "scrub_path",
     "serve",
     "verify_layouts",
     "verify_or_raise",

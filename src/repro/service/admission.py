@@ -79,6 +79,10 @@ class AdmissionGate:
         favours recent behaviour so a shard that slows down starts
         shedding deadline-doomed requests within a few completions.
         """
+        # The clock-skew fault lands here: a skewed reading inflates the
+        # observed wall time, and the EWMA (hence deadline shedding) must
+        # absorb the spike instead of shedding forever.
+        elapsed_ms += faults.clock_skew_ms()
         if elapsed_ms < 0:
             return
         with self._lock:

@@ -215,6 +215,11 @@ class ServiceConfig:
     #: default, and always the right choice for ``jobs=1``) runs
     #: lock-free.
     pipeline_lock: "threading.Lock | None" = None
+    #: Label for this service's fault-site consultations (``"shard-N"``
+    #: under the shard supervisor); ``""`` keeps the default ``"main"``.
+    #: Only fault-space discovery (:func:`repro.faults.record_sites`)
+    #: reads it.
+    fault_scope: str = ""
 
 
 class PendingRequest:
@@ -514,6 +519,8 @@ class AlignmentService:
 
     def _worker_loop(self) -> None:
         obs.install_tracer(self._tracer)
+        if self.config.fault_scope:
+            faults.set_scope(self.config.fault_scope)
         try:
             if self.journal is not None:
                 self._recover()
@@ -606,6 +613,13 @@ class AlignmentService:
         with obs.span("service:recover") as sp:
             replay = self.journal.load()
             reverify_failed = 0
+            if replay.interior_corrupt:
+                # Mid-file damage: each lost line was a previously-durable
+                # record the replay could not serve — rejected evidence,
+                # same counter as a completion that fails re-verification.
+                obs.count(
+                    "service.replay_rejected", len(replay.interior_corrupt)
+                )
             orphans = dict(replay.orphans)
             for key, response in replay.completed.items():
                 payload = replay.payloads.get(key, {})
@@ -654,6 +668,7 @@ class AlignmentService:
                 "abandoned": abandoned,
                 "failed_terminal": len(replay.failed),
                 "corrupt_lines": len(replay.corrupt_lines),
+                "interior_corrupt": len(replay.interior_corrupt),
                 "torn_tail": replay.torn_tail,
                 "replay_ms": replay_ms,
             }

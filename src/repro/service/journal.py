@@ -42,6 +42,7 @@ import json
 import os
 import pathlib
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro import faults, obs
@@ -170,6 +171,13 @@ class JournalReplay:
     #: The final line was corrupt — the torn-tail signature of a crash
     #: mid-append (any other corrupt line is bit rot or tampering).
     torn_tail: bool = False
+    #: Corrupt lines in the *interior* of the file: damage that cannot be
+    #: explained as a crash mid-append, so each is a previously-durable
+    #: record the journal lost.  Recovery demotes whatever those lines
+    #: held — the per-key replay simply never sees them, so an admitted
+    #: key whose terminal record was hit reads as an orphan and is
+    #: re-enqueued — and counts them under ``service.replay_rejected``.
+    interior_corrupt: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -302,8 +310,23 @@ class RequestJournal:
                 with self.path.open("a") as handle:
                     if not self._ends_with_newline:
                         handle.write("\n")
+                    if faults.journal_enospc_fires():
+                        # Disk full mid-append: half the record lands with
+                        # no trailing newline, then the write fails.  What
+                        # is on disk is exactly the torn tail the next
+                        # recovery's replay tolerates.
+                        handle.write(line[: max(1, len(line) // 2)])
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                        self._ends_with_newline = False
+                        raise JournalError(
+                            "fault injection: no space left on device"
+                        )
                     handle.write(line + "\n")
                     handle.flush()
+                    stall = faults.fsync_stall_s()
+                    if stall > 0.0:
+                        time.sleep(stall)
                     os.fsync(handle.fileno())
             except (JournalError, OSError):
                 self.stats.io_errors += 1
@@ -312,8 +335,28 @@ class RequestJournal:
                 return False
             self._ends_with_newline = True
             self.stats.appended += 1
+            if faults.torn_write_mid_file_fires():
+                self._corrupt_mid_file_locked()
             self._maybe_compact_locked()
             return True
+
+    def _corrupt_mid_file_locked(self) -> None:
+        """Zero one byte in the middle of the file — the injected shape of
+        a torn write at an arbitrary offset (lying firmware, bit rot): an
+        interior, previously-durable record stops checksumming, which the
+        next recovery must demote rather than serve or abort on."""
+        try:
+            with self.path.open("r+b") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size < 2:
+                    return
+                handle.seek(size // 2)
+                handle.write(b"\x00")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            pass  # failing to corrupt is a no-op, not a journal failure
 
     # - compaction -
 
@@ -471,6 +514,10 @@ class RequestJournal:
                 replay.completed.pop(key, None)
         replay.torn_tail = bool(
             replay.corrupt_lines and replay.corrupt_lines[-1] == len(lines)
+        )
+        replay.interior_corrupt = (
+            replay.corrupt_lines[:-1] if replay.torn_tail
+            else list(replay.corrupt_lines)
         )
         return replay
 

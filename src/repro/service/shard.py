@@ -337,6 +337,7 @@ class ShardSupervisor:
                 else self.config.service.journal_compact_bytes
             ),
             pipeline_lock=self._pipeline_lock,
+            fault_scope=f"shard-{worker.index}",
         )
         return AlignmentService(config)
 

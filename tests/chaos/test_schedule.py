@@ -1,0 +1,138 @@
+"""Schedules: construction, canonical ids, atoms, parsing, generation."""
+
+import pytest
+
+from repro.chaos.schedule import (
+    FaultSchedule,
+    _spread_indices,
+    pairwise_schedules,
+    single_fault_schedules,
+)
+from repro.chaos.space import FaultSpace
+
+
+def space_of(**totals) -> FaultSpace:
+    return FaultSpace(counts={site: {"main": n} for site, n in totals.items()})
+
+
+class TestFaultSchedule:
+    def test_of_sorts_and_normalizes(self):
+        sched = FaultSchedule.of({"shard_death": 2, "journal_enospc": [3, 1]})
+        assert sched.sites == (
+            ("journal_enospc", (1, 3)),
+            ("shard_death", 2),
+        )
+
+    def test_singleton_list_collapses_to_int(self):
+        sched = FaultSchedule.of({"journal_enospc": [3]})
+        assert sched.sites == (("journal_enospc", 3),)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSchedule.of({"not_a_site": 1})
+
+    def test_bool_trigger_rejected(self):
+        with pytest.raises(ValueError, match="unsupported schedule trigger"):
+            FaultSchedule.of({"journal_enospc": True})
+
+    def test_schedule_id(self):
+        assert FaultSchedule.of({}).schedule_id == "fault-free"
+        assert (
+            FaultSchedule.of({"journal_enospc": 3}).schedule_id
+            == "journal_enospc@3"
+        )
+        sched = FaultSchedule.of({"shard_death": 1, "journal_enospc": (3, 7)})
+        assert sched.schedule_id == "journal_enospc@3+7+shard_death@1"
+
+    def test_atoms_roundtrip(self):
+        sched = FaultSchedule.of({"shard_death": 1, "journal_enospc": (3, 7)})
+        atoms = sched.atoms()
+        assert atoms == [
+            ("journal_enospc", 3), ("journal_enospc", 7), ("shard_death", 1),
+        ]
+        assert FaultSchedule.from_atoms(atoms) == sched
+
+    def test_from_atoms_merges_duplicate_sites(self):
+        sched = FaultSchedule.from_atoms(
+            [("journal_enospc", 7), ("journal_enospc", 3)]
+        )
+        assert sched.sites == (("journal_enospc", (3, 7)),)
+
+    def test_parse(self):
+        sched = FaultSchedule.parse("journal_enospc@3+shard_death@1")
+        assert sched.schedule_id == "journal_enospc@3+shard_death@1"
+        # A repeated site merges into a multi-index trigger.
+        sched = FaultSchedule.parse("journal_enospc@3+journal_enospc@7")
+        assert sched.sites == (("journal_enospc", (3, 7)),)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.parse("journal_enospc")
+        with pytest.raises(ValueError):
+            FaultSchedule.parse("")
+
+    def test_json_roundtrip(self):
+        sched = FaultSchedule.of({"shard_death": 1, "journal_enospc": (3, 7)})
+        assert FaultSchedule.from_json(sched.to_json()) == sched
+
+    def test_to_plan_arms_exactly_the_sites(self):
+        plan = FaultSchedule.of({"journal_enospc": 2}).to_plan()
+        assert plan.journal_enospc == 2
+        assert not plan.shard_death
+        # Tuple triggers fire on exactly those call indices.
+        plan = FaultSchedule.of({"shard_death": (1, 3)}).to_plan()
+        assert plan.fires("shard_death", plan.shard_death) is True   # call 1
+        assert plan.fires("shard_death", plan.shard_death) is False  # call 2
+        assert plan.fires("shard_death", plan.shard_death) is True   # call 3
+        assert plan.fires("shard_death", plan.shard_death) is False  # call 4
+
+
+class TestSpread:
+    def test_spread_edges_and_middle(self):
+        assert _spread_indices(0, 2) == []
+        assert _spread_indices(1, 2) == [1]
+        assert _spread_indices(5, 1) == [1]
+        picks = _spread_indices(10, 3)
+        assert picks[0] == 1
+        assert 10 in picks or len(picks) == 3
+        assert picks == sorted(set(picks))
+        assert all(1 <= i <= 10 for i in picks)
+
+    def test_spread_always_includes_first_call(self):
+        for total in range(1, 20):
+            for per_site in range(1, 5):
+                picks = _spread_indices(total, per_site)
+                assert picks[0] == 1
+                assert len(picks) <= per_site
+
+
+class TestGeneration:
+    def test_single_fault_schedules(self):
+        space = space_of(journal_enospc=8, shard_death=1)
+        scheds = single_fault_schedules(space, per_site=2)
+        ids = [s.schedule_id for s in scheds]
+        assert "journal_enospc@1" in ids
+        assert "shard_death@1" in ids
+        assert len([i for i in ids if i.startswith("journal_enospc")]) == 2
+
+    def test_pairwise_schedules_bounded_and_deterministic(self):
+        space = space_of(journal_enospc=4, shard_death=2, solver_timeout=1)
+        first = pairwise_schedules(space, limit=4)
+        second = pairwise_schedules(space, limit=4)
+        assert [s.schedule_id for s in first] == [
+            s.schedule_id for s in second
+        ]
+        assert len(first) <= 4
+        # Same-site pair for a site consulted >= 2 times compiles to a
+        # multi-index trigger.
+        same = [s for s in pairwise_schedules(space, limit=16)
+                if len(s.sites) == 1 and isinstance(s.sites[0][1], tuple)]
+        assert any(s.sites[0][0] == "journal_enospc" for s in same)
+        # Sites consulted once never get a same-site pair.
+        assert not any(s.sites[0][0] == "solver_timeout" for s in same)
+
+    def test_generation_is_pure_function_of_space(self):
+        space = space_of(journal_enospc=8, shard_death=3, store_enospc=5)
+        a = [s.schedule_id for s in single_fault_schedules(space, per_site=3)]
+        b = [s.schedule_id for s in single_fault_schedules(space, per_site=3)]
+        assert a == b

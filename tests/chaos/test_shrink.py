@@ -1,0 +1,105 @@
+"""Shrinker convergence against synthetic oracles (no workload replays)."""
+
+import pytest
+
+from repro.chaos.schedule import FaultSchedule
+from repro.chaos.shrink import lower_indices, shrink, shrink_atoms
+
+
+def armed(schedule: FaultSchedule) -> dict:
+    return dict(schedule.sites)
+
+
+class TestShrinkAtoms:
+    def test_converges_to_the_two_culprit_atoms(self):
+        # The seeded known-bad pair: the failure needs journal_enospc AND
+        # shard_death armed together; the other atoms are noise.
+        def fails(schedule: FaultSchedule) -> bool:
+            sites = armed(schedule)
+            return "journal_enospc" in sites and "shard_death" in sites
+
+        start = FaultSchedule.of({
+            "journal_enospc": 3, "shard_death": 2,
+            "solver_timeout": 1, "store_enospc": 4,
+        })
+        assert fails(start)
+        atoms = shrink_atoms(start.atoms(), fails)
+        assert sorted(atoms) == [("journal_enospc", 3), ("shard_death", 2)]
+
+    def test_single_atom_failure_drops_everything_else(self):
+        def fails(schedule: FaultSchedule) -> bool:
+            return "torn_write_mid_file" in armed(schedule)
+
+        start = FaultSchedule.of({
+            "torn_write_mid_file": 5, "clock_skew": 1,
+            "fsync_stall": 2, "service_overload": 3,
+        })
+        atoms = shrink_atoms(start.atoms(), fails)
+        assert atoms == [("torn_write_mid_file", 5)]
+
+    def test_result_is_one_minimal(self):
+        # Failure requires at least 3 of the 4 atoms — ddmin must stop at
+        # a 3-atom set where removing any single atom passes.
+        start = FaultSchedule.of({
+            "journal_enospc": 1, "shard_death": 1,
+            "solver_timeout": 1, "store_enospc": 1,
+        })
+
+        def fails(schedule: FaultSchedule) -> bool:
+            return len(schedule.atoms()) >= 3
+
+        atoms = shrink_atoms(start.atoms(), fails)
+        assert len(atoms) == 3
+        for drop in range(3):
+            remaining = [a for i, a in enumerate(atoms) if i != drop]
+            assert not fails(FaultSchedule.from_atoms(remaining))
+
+
+class TestLowerIndices:
+    def test_indices_lower_to_one_when_index_is_irrelevant(self):
+        def fails(schedule: FaultSchedule) -> bool:
+            return "journal_enospc" in armed(schedule)
+
+        atoms = lower_indices([("journal_enospc", 17)], fails)
+        assert atoms == [("journal_enospc", 1)]
+
+    def test_indices_stop_at_the_failure_threshold(self):
+        # Only fails when the fault lands at call >= 5.
+        def fails(schedule: FaultSchedule) -> bool:
+            sites = armed(schedule)
+            trigger = sites.get("journal_enospc")
+            return isinstance(trigger, int) and trigger >= 5
+
+        atoms = lower_indices([("journal_enospc", 17)], fails)
+        assert atoms == [("journal_enospc", 5)]
+
+
+class TestShrink:
+    def test_full_shrink_seeded_known_bad_pair(self):
+        def fails(schedule: FaultSchedule) -> bool:
+            sites = armed(schedule)
+            return "journal_enospc" in sites and "shard_death" in sites
+
+        start = FaultSchedule.of({
+            "journal_enospc": 9, "shard_death": 4,
+            "solver_timeout": 2, "clock_skew": 1, "store_io_error": 6,
+        })
+        minimal = shrink(start, fails)
+        assert minimal.schedule_id == "journal_enospc@1+shard_death@1"
+
+    def test_shrink_refuses_a_passing_schedule(self):
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink(FaultSchedule.of({"clock_skew": 1}), lambda s: False)
+
+    def test_multi_index_trigger_shrinks_atomwise(self):
+        # Failure needs two distinct journal_enospc strikes; shrinker
+        # keeps both atoms of the tuple trigger but lowers their indices.
+        def fails(schedule: FaultSchedule) -> bool:
+            trigger = armed(schedule).get("journal_enospc")
+            return isinstance(trigger, tuple) and len(set(trigger)) >= 2
+
+        start = FaultSchedule.of({
+            "journal_enospc": (4, 9), "shard_death": 2,
+        })
+        minimal = shrink(start, fails)
+        assert minimal.schedule_id == "journal_enospc@1+2"

@@ -1,0 +1,133 @@
+"""``repro chaos`` end to end: explore, replay, shrink, corpus gating.
+
+Real explorations are kept tiny (few requests, single-index schedules)
+so this stays within integration-test budget; the heavier determinism
+guarantees live in ``tests/chaos/test_explorer.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CorpusEntry,
+    FaultSchedule,
+    WorkloadConfig,
+    load_corpus,
+    save_reproducer,
+)
+from repro.cli import main
+
+TINY = ["--requests", "2", "--shards", "2"]
+
+
+class TestChaosExplore:
+    def test_explore_passes_and_reports_the_space(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            ["chaos", "explore", *TINY,
+             "--singles-per-site", "1", "--pairs", "2",
+             "--out", str(out)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "fault space:" in captured.out
+        assert "journal_enospc" in captured.out
+        assert "0 failing" in captured.out
+        report = json.loads(out.read_text())
+        assert report["failures"] == []
+        assert report["schedules"] >= 10
+        assert len(report["space"]) >= 10
+        # The canonical witness is embedded for CI artifact diffing.
+        canonical = json.loads(report["canonical"])
+        assert all(
+            all(isinstance(ok, bool) for ok in verdicts.values())
+            for verdicts in canonical.values()
+        )
+
+    def test_unknown_workload_is_a_usage_error(self):
+        assert main(["chaos", "explore", "--workload", "nope"]) == 2
+
+
+class TestChaosReplay:
+    def test_replay_single_schedule(self, capsys):
+        code = main(
+            ["chaos", "replay", *TINY, "--schedule", "shard_death@1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "ok   shard_death@1" in captured.out
+
+    def test_replay_corpus_entries(self, tmp_path, capsys):
+        workload = WorkloadConfig(requests=2, shards=2)
+        save_reproducer(
+            tmp_path, FaultSchedule.of({"journal_enospc": 1}),
+            workload=workload, failed=["journal_replayable"],
+            note="seeded regression: fixed by torn-tail sealing",
+        )
+        code = main(["chaos", "replay", "--corpus", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "ok   journal_enospc@1" in captured.out
+
+    def test_replay_without_input_is_a_usage_error(self):
+        assert main(["chaos", "replay"]) == 2
+
+    def test_bad_schedule_spelling_is_a_usage_error(self):
+        assert main(["chaos", "replay", "--schedule", "garbage"]) == 2
+
+
+class TestChaosShrink:
+    def test_shrink_refuses_a_passing_schedule(self, capsys):
+        code = main(
+            ["chaos", "shrink", *TINY, "--schedule", "clock_skew@1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "does not fail" in captured.err
+
+
+class TestCorpusRoundtrip:
+    def test_save_load_idempotent(self, tmp_path):
+        schedule = FaultSchedule.of({"journal_enospc": 1, "shard_death": 2})
+        workload = WorkloadConfig(requests=3)
+        path = save_reproducer(
+            tmp_path, schedule, workload=workload,
+            failed=["closed_accounting"], note="seeded",
+        )
+        assert path is not None and path.exists()
+        # Idempotent: re-finding the same bug never dirties the tree.
+        assert save_reproducer(tmp_path, schedule, workload=workload) is None
+
+        entries = load_corpus(tmp_path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.schedule == schedule
+        assert entry.workload.requests == 3
+        assert entry.failed == ["closed_accounting"]
+        assert entry.path == str(path)
+
+    def test_malformed_entry_is_loud(self, tmp_path):
+        (tmp_path / "bad.json").write_text('{"v": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_corpus(tmp_path)
+
+    def test_entry_filenames_are_stable(self, tmp_path):
+        from repro.chaos import entry_filename
+
+        schedule = FaultSchedule.of({"journal_enospc": 1})
+        assert entry_filename(schedule) == entry_filename(
+            FaultSchedule.parse("journal_enospc@1")
+        )
+
+    def test_version_roundtrip(self):
+        entry = CorpusEntry(
+            schedule=FaultSchedule.of({"clock_skew": 1}),
+            workload=WorkloadConfig(requests=5),
+            failed=["results_match_reference"],
+            note="n",
+        )
+        again = CorpusEntry.from_json(entry.to_json(), path="p")
+        assert again.schedule == entry.schedule
+        assert again.workload.requests == 5
+        assert again.path == "p"

@@ -1,0 +1,128 @@
+"""Resource-exhaustion journal faults: ENOSPC, fsync stalls, torn mid-file."""
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.service.journal import RequestJournal
+
+from .conftest import make_payload
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return RequestJournal(tmp_path / "journal.jsonl")
+
+
+class TestJournalEnospc:
+    def test_enospc_degrades_and_leaves_a_tolerable_torn_tail(self, journal):
+        journal.admitted("k1", make_payload())
+        with faults.inject_faults(journal_enospc=1):
+            # Disk fills mid-append: half the record lands, no newline.
+            assert journal.admitted("k2", make_payload(seed=1)) is False
+        assert journal.degraded
+        assert journal.stats.io_errors == 1
+        # Degradation is sticky: later appends drop, never raise.
+        assert journal.completed("k1", {"status": "ok"}) is False
+        assert journal.stats.dropped == 1
+
+        # The partial record is exactly the torn tail recovery tolerates:
+        # the durable prefix replays, the stump reads as wear, and no
+        # interior corruption is reported.
+        replay = RequestJournal(journal.path).load()
+        assert set(replay.orphans) == {"k1"}
+        assert replay.torn_tail
+        assert replay.interior_corrupt == []
+
+    def test_append_after_recovery_seals_the_enospc_stump(self, journal):
+        journal.admitted("k1", make_payload())
+        with faults.inject_faults(journal_enospc=1):
+            journal.admitted("k2", make_payload(seed=1))
+        # A fresh journal object (think: restarted process, disk freed)
+        # must seal the stump before appending, or the next record would
+        # fuse with the partial line and corrupt itself.
+        fresh = RequestJournal(journal.path)
+        fresh.load()
+        assert fresh.admitted("k3", make_payload(seed=2))
+        replay = RequestJournal(journal.path).load()
+        assert set(replay.orphans) == {"k1", "k3"}
+        assert not replay.torn_tail
+
+    def test_enospc_counts_one_consultation_per_append(self, journal):
+        with faults.record_sites() as rec:
+            journal.admitted("k1", make_payload())
+            journal.completed("k1", {"status": "ok"})
+        assert rec.counts()[("journal_enospc", "main")] == 2
+
+
+class TestFsyncStall:
+    def test_stall_delays_the_append_but_keeps_it_durable(self, journal):
+        start = time.monotonic()
+        with faults.inject_faults(fsync_stall=1):
+            assert journal.admitted("k1", make_payload())
+        elapsed = time.monotonic() - start
+        assert elapsed >= faults.FSYNC_STALL_S
+        assert not journal.degraded
+        replay = RequestJournal(journal.path).load()
+        assert set(replay.orphans) == {"k1"}
+
+    def test_unarmed_appends_do_not_stall(self, journal):
+        start = time.monotonic()
+        journal.admitted("k1", make_payload())
+        assert time.monotonic() - start < faults.FSYNC_STALL_S
+
+
+class TestTornWriteMidFile:
+    def fill(self, journal, n=6):
+        for i in range(n):
+            journal.admitted(f"k{i}", make_payload(seed=i))
+
+    def test_interior_corruption_is_detected_and_demoted(self, journal):
+        self.fill(journal)
+        with faults.inject_faults(torn_write_mid_file=1):
+            assert journal.completed("k0", {"status": "ok"})
+        replay = RequestJournal(journal.path).load()
+        # One interior line was zeroed: it is counted as interior
+        # corruption, not mistaken for a torn tail, and the key whose
+        # record was destroyed is demoted to an orphan (re-solved on
+        # recovery) instead of served from damaged bytes.
+        assert len(replay.interior_corrupt) == 1
+        assert replay.interior_corrupt == replay.corrupt_lines
+        assert not replay.torn_tail
+        # The completion for k0 landed *before* the corruption strike, so
+        # it survives unless it was the damaged line.
+        survivors = set(replay.completed) | set(replay.orphans)
+        assert len(survivors) == 6 - 1 or "k0" in replay.completed
+
+    def test_corruption_never_fails_the_append_itself(self, journal):
+        self.fill(journal, n=3)
+        with faults.inject_faults(torn_write_mid_file=1):
+            assert journal.completed("k1", {"status": "ok"}) is True
+        assert not journal.degraded
+
+
+class TestServiceRecoveryCountsInteriorCorruption:
+    def test_replay_rejected_counter(self, tmp_path):
+        from repro.service.core import AlignmentService, ServiceConfig
+
+        journal_path = tmp_path / "service.jsonl"
+        journal = RequestJournal(journal_path)
+        for i in range(5):
+            journal.admitted(f"k{i}", make_payload(seed=i))
+        with faults.inject_faults(torn_write_mid_file=1):
+            journal.admitted("k5", make_payload(seed=5))
+
+        service = AlignmentService(
+            ServiceConfig(journal_path=str(journal_path))
+        ).start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while service.snapshot()["recovering"]:
+                assert time.monotonic() < deadline, "recovery hung"
+                time.sleep(0.05)
+            snapshot = service.snapshot()
+            assert snapshot["recovery"]["interior_corrupt"] == 1
+            assert snapshot["counters"]["service.replay_rejected"] == 1
+        finally:
+            service.drain(timeout=30.0)

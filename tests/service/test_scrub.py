@@ -1,0 +1,111 @@
+"""The offline journal scrubber and its ``repro journal verify`` CLI."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+from repro.service.journal import RequestJournal
+from repro.service.scrub import scrub_journal, scrub_path
+
+from .conftest import make_payload
+
+
+def write_clean(path, n=3):
+    journal = RequestJournal(path)
+    for i in range(n):
+        journal.admitted(f"k{i}", make_payload(seed=i))
+    journal.completed("k0", {"status": "ok"})
+    return journal
+
+
+class TestScrubJournal:
+    def test_clean_journal(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        write_clean(path)
+        scrub = scrub_journal(path)
+        assert scrub.lines == 4
+        assert scrub.records == {"admitted": 3, "completed": 1}
+        assert scrub.completed == 1
+        assert scrub.orphans == 2
+        assert not scrub.corrupt and not scrub.torn_tail
+
+    def test_missing_journal_is_an_empty_audit(self, tmp_path):
+        scrub = scrub_journal(tmp_path / "never.jsonl")
+        assert scrub.lines == 0 and not scrub.corrupt
+
+    def test_torn_tail_is_wear_not_corruption(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        write_clean(path)
+        with faults.inject_faults(journal_enospc=1):
+            RequestJournal(path).admitted("kx", make_payload(seed=9))
+        scrub = scrub_journal(path)
+        assert scrub.torn_tail
+        assert not scrub.corrupt
+        assert scrub.interior_corrupt == []
+
+    def test_interior_corruption_escalates(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        journal = write_clean(path, n=5)
+        with faults.inject_faults(torn_write_mid_file=1):
+            journal.completed("k1", {"status": "ok"})
+        scrub = scrub_journal(path)
+        assert scrub.corrupt
+        assert len(scrub.interior_corrupt) == 1
+
+    def test_scrub_path_directory_is_sorted(self, tmp_path):
+        write_clean(tmp_path / "shard-1.jsonl")
+        write_clean(tmp_path / "shard-0.jsonl")
+        scrubs = scrub_path(tmp_path)
+        assert [s.path for s in scrubs] == [
+            str(tmp_path / "shard-0.jsonl"), str(tmp_path / "shard-1.jsonl"),
+        ]
+
+    def test_scrub_path_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            scrub_path(tmp_path / "nope.jsonl")
+
+
+class TestJournalVerifyCLI:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.jsonl"
+        write_clean(path)
+        assert main(["journal", "verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_corrupt_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        journal = write_clean(path, n=5)
+        with faults.inject_faults(torn_write_mid_file=1):
+            journal.completed("k1", {"status": "ok"})
+        assert main(["journal", "verify", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out
+        assert "interior" in captured.err
+
+    def test_torn_tail_warns_but_passes(self, tmp_path, capsys):
+        path = tmp_path / "torn.jsonl"
+        write_clean(path)
+        with faults.inject_faults(journal_enospc=1):
+            RequestJournal(path).admitted("kx", make_payload(seed=9))
+        assert main(["journal", "verify", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "torn-tail" in captured.out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "clean.jsonl"
+        write_clean(path)
+        assert main(["journal", "verify", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["completed"] == 1
+        assert data[0]["corrupt"] is False
+
+    def test_directory_scrub(self, tmp_path):
+        write_clean(tmp_path / "shard-0.jsonl")
+        write_clean(tmp_path / "shard-1.jsonl")
+        assert main(["journal", "verify", str(tmp_path)]) == 0
+
+    def test_missing_path_exit_one(self, tmp_path, capsys):
+        assert main(["journal", "verify", str(tmp_path / "nope.jsonl")]) == 1
